@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suites.
+
+Graphs are generated once per session; benchmarks measure query
+evaluation only (the paper reports warm-cache times after loading).
+"""
+
+import pytest
+
+from repro.graph import builders
+from repro.ldbc import generate_snb_graph
+
+#: Scale factors standing in for the paper's SF-1/10/100 (person counts
+#: scale 4x per step at laptop scale; relative growth is what matters).
+SCALE_FACTORS = (0.1, 0.4, 1.6)
+
+
+@pytest.fixture(scope="session")
+def diamond30():
+    """The paper's experimental instance: a 30-diamond chain."""
+    return builders.diamond_chain(30)
+
+
+@pytest.fixture(scope="session")
+def snb_graphs():
+    return {sf: generate_snb_graph(scale_factor=sf, seed=42) for sf in SCALE_FACTORS}
+
+
+@pytest.fixture(scope="session")
+def snb_small(snb_graphs):
+    return snb_graphs[SCALE_FACTORS[0]]

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Regenerate the Section 7.1 SNB IC tables.
+
+Two tables, as in the paper: the counting engine ("TG", all-shortest-
+paths) and the enumeration engine ("Neo", non-repeated-edge), each over
+(scale factor) x (hops 2/3/4) x (ic3, ic5, ic6, ic9, ic11).  Enumeration
+cells that exceed the timeout print ``-`` — the paper's dashes.
+
+Usage:  python benchmarks/run_snb_ic.py [--timeout 30] [--scales 0.1 0.4 1.6]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench import TimeoutBudget, format_seconds, render_table
+from repro.core.pattern import EngineMode
+from repro.ldbc import IC_QUERIES, default_parameters, generate_snb_graph
+from repro.paths import PathSemantics
+
+QUERIES = ["ic3", "ic5", "ic6", "ic9", "ic11"]
+HOPS = (2, 3, 4)
+
+
+def run_cell(graph, name, hops, mode):
+    query = IC_QUERIES[name](hops)
+    params = default_parameters(graph, name)
+    start = time.perf_counter()
+    query.run(graph, mode=mode, **params)
+    return time.perf_counter() - start
+
+
+def table_for_engine(graphs, mode, timeout):
+    rows = []
+    for sf, graph in graphs.items():
+        budgets = {name: TimeoutBudget(timeout) for name in QUERIES}
+        for hops in HOPS:
+            cells = [sf, hops]
+            for name in QUERIES:
+                shot = budgets[name].run(
+                    lambda n=name, h=hops: run_cell(graph, n, h, mode)
+                )
+                cells.append(format_seconds(shot[0]) if shot else "-")
+            rows.append(cells)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--scales", type=float, nargs="+", default=[0.1, 0.4, 1.6],
+        help="scale factors standing in for the paper's SF 1/10/100",
+    )
+    args = parser.parse_args(argv)
+
+    graphs = {}
+    for sf in args.scales:
+        graph = generate_snb_graph(scale_factor=sf, seed=42)
+        graphs[sf] = graph
+        print(f"SF {sf}: {graph.num_vertices} vertices, {graph.num_edges} edges")
+    print()
+
+    headers = ["size", "hops"] + QUERIES
+    counting = table_for_engine(graphs, EngineMode.counting(), args.timeout)
+    print(render_table(headers, counting,
+                       title="TG (counting engine, all-shortest-paths)"))
+    print()
+    enum_mode = EngineMode.enumeration(PathSemantics.NO_REPEATED_EDGE)
+    enumerated = table_for_engine(graphs, enum_mode, args.timeout)
+    print(render_table(headers, enumerated,
+                       title="Neo (enumeration engine, non-repeated-edge)"))
+    print()
+    print(
+        "Expected shape: the counting engine grows mildly with hops; the\n"
+        "enumeration engine grows steeply on the hop-sensitive queries\n"
+        "(ic3, ic11 cross KNOWS) and hits the timeout on larger graphs —\n"
+        "matching the paper's two tables."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Experiment E3 — the Appendix B table: Q_gs vs Q_acc.
+
+The paper reports, per scale factor, the median running time of the
+GROUPING-SETS-style query (all 8 aggregates for each of 3 grouping sets,
+plus the outer-union separation pass) and of the accumulator-style query
+(only the wanted aggregates per set), with speedups of 2.48x-3.05x.
+
+The pytest-benchmark groups below produce the per-scale-factor pairs;
+``test_speedup_in_paper_band`` asserts the headline ratio directly.
+``run_appendix_b.py`` prints the paper-style table.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.ldbc import build_q_acc, build_q_gs
+from repro.ldbc.grouping import separate_grouping_sets
+
+from conftest import SCALE_FACTORS
+
+
+def run_acc(graph):
+    return build_q_acc().run(graph)
+
+
+def run_gs(graph):
+    result = build_q_gs().run(graph)
+    separate_grouping_sets(result)
+    return result
+
+
+@pytest.mark.parametrize("sf", SCALE_FACTORS)
+def test_q_acc(benchmark, snb_graphs, sf):
+    benchmark.group = f"appendix-b-sf{sf}"
+    benchmark.pedantic(
+        run_acc, args=(snb_graphs[sf],), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+@pytest.mark.parametrize("sf", SCALE_FACTORS)
+def test_q_gs(benchmark, snb_graphs, sf):
+    benchmark.group = f"appendix-b-sf{sf}"
+    benchmark.pedantic(
+        run_gs, args=(snb_graphs[sf],), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+def test_speedup_in_paper_band(snb_graphs):
+    """Q_acc must beat Q_gs clearly; the paper band is 2.48-3.05x and we
+    accept anything in [1.5, 6] to stay robust across machines."""
+    graph = snb_graphs[SCALE_FACTORS[-1]]
+
+    def median_time(fn, repeats=5):
+        times = []
+        fn(graph)  # warm
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn(graph)
+            times.append(time.perf_counter() - start)
+        return statistics.median(times)
+
+    t_acc = median_time(run_acc)
+    t_gs = median_time(run_gs)
+    speedup = t_gs / t_acc
+    assert 1.5 <= speedup <= 6.0, f"speedup {speedup:.2f}x outside sanity band"

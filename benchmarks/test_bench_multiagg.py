@@ -1,0 +1,163 @@
+"""Experiment E5 — single-pass multi-aggregation (Examples 4/12/13).
+
+Compares, on the purchase workload, three ways to compute multiple
+groupings of the same matches:
+
+* ``accumulators``     — one pass, dedicated accumulators per grouping
+  (the Figure 2 / Example 13 style);
+* ``sql_group_by_x3``  — three separate GROUP BY passes over the
+  materialized match table;
+* ``sql_grouping_sets``— one GROUPING SETS pass computing all aggregates
+  per set + the separation post-pass.
+"""
+
+import pytest
+
+from repro.accum import SumAccum
+from repro.core import (
+    AccumTarget,
+    AccumUpdate,
+    AttrRef,
+    Binary,
+    EngineMode,
+    Literal,
+    LocalAssign,
+    NameRef,
+    QueryContext,
+    SelectBlock,
+    chain,
+    hop,
+)
+from repro.core.context import GLOBAL, VERTEX, AccumDecl
+from repro.core.pattern import Pattern
+from repro.graph import Graph, GraphSchema
+from repro.sqlstyle import (
+    Aggregate,
+    group_by,
+    grouping_sets,
+    materialize_match_table,
+    split_grouping_result,
+)
+
+import random
+
+
+@pytest.fixture(scope="module")
+def big_sales():
+    """A larger deterministic SalesGraph (1k customers, 200 products)."""
+    rng = random.Random(17)
+    schema = (
+        GraphSchema("Sales")
+        .vertex("Customer", name="STRING")
+        .vertex("Product", name="STRING", price="FLOAT", category="STRING")
+        .edge("Bought", "Customer", "Product", quantity="INT", discount="FLOAT")
+    )
+    g = Graph(schema)
+    for i in range(1000):
+        g.add_vertex(f"c{i}", "Customer", name=f"cust{i}")
+    categories = ["toy", "kitchen", "garden", "book"]
+    for i in range(200):
+        g.add_vertex(
+            f"p{i}",
+            "Product",
+            name=f"prod{i}",
+            price=float(rng.randint(5, 100)),
+            category=categories[i % len(categories)],
+        )
+    for i in range(1000):
+        for _ in range(8):
+            g.add_edge(
+                f"c{i}",
+                f"p{rng.randrange(200)}",
+                "Bought",
+                quantity=rng.randint(1, 5),
+                discount=rng.choice([0.0, 0.05, 0.1]),
+            )
+    return g
+
+
+def pattern():
+    return Pattern(
+        [chain("Customer", "c", hop("Bought>", "Product", "p", edge_var="b"))]
+    )
+
+
+def price_expr():
+    return Binary(
+        "*",
+        Binary("*", AttrRef(NameRef("b"), "quantity"), AttrRef(NameRef("p"), "price")),
+        Binary("-", Literal(1.0), AttrRef(NameRef("b"), "discount")),
+    )
+
+
+def run_accumulators(graph):
+    """Example 4: revenue per customer, per product, and total — one pass."""
+    ctx = QueryContext(graph)
+    ctx.declare(AccumDecl("total", GLOBAL, lambda: SumAccum(0.0)))
+    ctx.declare(AccumDecl("perCust", VERTEX, lambda: SumAccum(0.0)))
+    ctx.declare(AccumDecl("perProd", VERTEX, lambda: SumAccum(0.0)))
+    block = SelectBlock(
+        pattern=pattern(),
+        select_var="c",
+        accum=[
+            LocalAssign("price", price_expr()),
+            AccumUpdate(AccumTarget("perCust", NameRef("c")), "+=", NameRef("price")),
+            AccumUpdate(AccumTarget("perProd", NameRef("p")), "+=", NameRef("price")),
+            AccumUpdate(AccumTarget("total"), "+=", NameRef("price")),
+        ],
+    )
+    block.execute(ctx, EngineMode.counting())
+    return ctx.global_accum("total").value
+
+
+def _match_table(graph):
+    return materialize_match_table(
+        graph,
+        pattern(),
+        columns={
+            "cust": AttrRef(NameRef("c"), "name"),
+            "prod": AttrRef(NameRef("p"), "name"),
+            "price": price_expr(),
+        },
+    )
+
+
+def run_sql_three_passes(graph):
+    table = _match_table(graph)
+    per_cust = group_by(table, ["cust"], [Aggregate("sum", "price", "rev")])
+    per_prod = group_by(table, ["prod"], [Aggregate("sum", "price", "rev")])
+    total = group_by(table, [], [Aggregate("sum", "price", "rev")])
+    return per_cust, per_prod, total
+
+
+def run_sql_grouping_sets(graph):
+    table = _match_table(graph)
+    sets = [["cust"], ["prod"], []]
+    unioned = grouping_sets(table, sets, [Aggregate("sum", "price", "rev")])
+    return split_grouping_result(unioned, sets, [["rev"], ["rev"], ["rev"]])
+
+
+def test_accumulator_single_pass(benchmark, big_sales):
+    benchmark.group = "multiagg"
+    total = benchmark(run_accumulators, big_sales)
+    assert total > 0
+
+
+def test_sql_three_group_by_passes(benchmark, big_sales):
+    benchmark.group = "multiagg"
+    benchmark(run_sql_three_passes, big_sales)
+
+
+def test_sql_grouping_sets(benchmark, big_sales):
+    benchmark.group = "multiagg"
+    benchmark(run_sql_grouping_sets, big_sales)
+
+
+def test_all_three_agree(big_sales):
+    """The three strategies compute identical totals."""
+    acc_total = run_accumulators(big_sales)
+    _, _, sql_total = run_sql_three_passes(big_sales)
+    gs_result = run_sql_grouping_sets(big_sales)
+    assert sql_total.rows[0]["rev"] == pytest.approx(acc_total)
+    (gs_total_row,) = gs_result[2].rows
+    assert gs_total_row["rev"] == pytest.approx(acc_total)

@@ -1,0 +1,70 @@
+"""Experiment E6 — iterative analytics through accumulators (Figure 4).
+
+PageRank and WCC over the SNB KNOWS graph: the cross-iteration
+composition the paper argues accumulators enable *inside* the server
+process (Section 1's client-loop comparison)."""
+
+import pytest
+
+from repro.algorithms import pagerank, triangle_count, weakly_connected_components
+from repro.graph import Graph
+
+
+@pytest.fixture(scope="module")
+def knows_digraph(snb_small):
+    g = Graph(name="Knows")
+    for p in snb_small.vertices("Person"):
+        g.add_vertex(p.vid, "Page")
+    for e in snb_small.edges("Knows"):
+        g.add_edge(e.source, e.target, "LinkTo")
+        g.add_edge(e.target, e.source, "LinkTo")
+    return g
+
+
+def test_pagerank_fixed_iterations(benchmark, knows_digraph):
+    benchmark.group = "iterative"
+    scores = benchmark.pedantic(
+        pagerank,
+        args=(knows_digraph,),
+        kwargs={"max_change": 0.0, "max_iteration": 10},
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert len(scores) == knows_digraph.num_vertices
+
+
+def test_pagerank_converged(benchmark, knows_digraph):
+    benchmark.group = "iterative"
+    benchmark.pedantic(
+        pagerank,
+        args=(knows_digraph,),
+        kwargs={"max_change": 1e-4, "max_iteration": 100},
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_wcc(benchmark, snb_small):
+    benchmark.group = "iterative"
+    labels = benchmark.pedantic(
+        weakly_connected_components,
+        args=(snb_small,),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert len(labels) == snb_small.num_vertices
+
+
+def test_triangles(benchmark, snb_small):
+    benchmark.group = "iterative"
+    count = benchmark.pedantic(
+        triangle_count,
+        args=(snb_small, "Person", "Knows"),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert count >= 0

@@ -1,0 +1,74 @@
+"""Experiment E4 — micro-benchmarks of the path-semantics machinery:
+SDMC counting flavors and per-semantics matching on the paper's example
+graphs (Figures 5-7)."""
+
+import pytest
+
+from repro.darpe import CompiledDarpe
+from repro.enumeration import match_counts
+from repro.graph import builders
+from repro.paths import (
+    PathSemantics,
+    all_paths_sdmc,
+    single_pair_sdmc,
+    single_source_sdmc,
+)
+
+E_STAR = CompiledDarpe.parse("E>*")
+
+
+@pytest.fixture(scope="module")
+def g1():
+    return builders.example9_graph()
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return builders.grid_graph(12, 12)
+
+
+class TestSdmcFlavors:
+    def test_single_pair(self, benchmark, grid):
+        benchmark.group = "sdmc-flavors"
+        result = benchmark(single_pair_sdmc, grid, (0, 0), (11, 11), E_STAR)
+        assert result.count == 705432  # C(22, 11)
+
+    def test_single_source(self, benchmark, grid):
+        benchmark.group = "sdmc-flavors"
+        result = benchmark(single_source_sdmc, grid, (0, 0), E_STAR)
+        assert len(result) == 144
+
+    def test_all_paths(self, benchmark):
+        small = builders.grid_graph(5, 5)
+        benchmark.group = "sdmc-flavors"
+        result = benchmark(all_paths_sdmc, small, E_STAR)
+        assert len(result) > 0
+
+
+class TestSemanticsOnG1:
+    @pytest.mark.parametrize(
+        "semantics,expected",
+        [
+            (PathSemantics.NO_REPEATED_VERTEX, 3),
+            (PathSemantics.NO_REPEATED_EDGE, 4),
+            (PathSemantics.ALL_SHORTEST, 2),
+            (PathSemantics.EXISTENCE, 1),
+        ],
+    )
+    def test_matching(self, benchmark, g1, semantics, expected):
+        benchmark.group = "semantics-g1"
+        counts = benchmark(
+            match_counts, g1, 1, E_STAR, semantics, {5}
+        )
+        assert counts == {5: expected}
+
+
+class TestDarpeCompilation:
+    def test_compile_example2(self, benchmark):
+        benchmark.group = "darpe-compile"
+        compiled = benchmark(CompiledDarpe.parse, "E>.(F>|<G)*.H.<J")
+        assert compiled.nfa.num_states > 0
+
+    def test_compile_bounded(self, benchmark):
+        benchmark.group = "darpe-compile"
+        benchmark(CompiledDarpe.parse, "Knows*1..4")

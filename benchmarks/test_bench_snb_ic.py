@@ -1,0 +1,61 @@
+"""Experiment E2 — the Section 7.1 SNB IC tables.
+
+The paper runs ic3/ic5/ic6/ic9/ic11 at SF 1/10/100 with KNOWS hops 2/3/4:
+TigerGraph (all-shortest-paths, counting) stays flat-ish in the hop count
+while Neo4j (non-repeated-edge, enumeration) grows steeply and times out
+on the largest graph.
+
+Here: the counting engine runs every (query, hops) cell on the small SNB
+graph; the enumeration engine runs the hop sweep for the two queries the
+paper singles out as hop-sensitive (ic3, ic11) — enumeration at hops=4 is
+the expensive diagonal, kept small for CI.  ``run_snb_ic.py`` prints the
+full two-table comparison across scale factors.
+"""
+
+import pytest
+
+from repro.core.pattern import EngineMode
+from repro.ldbc import IC_QUERIES, default_parameters
+from repro.paths import PathSemantics
+
+QUERIES = sorted(IC_QUERIES)
+HOPS = (2, 3, 4)
+
+
+def run_ic(graph, name, hops, mode=None):
+    query = IC_QUERIES[name](hops)
+    return query.run(graph, mode=mode, **default_parameters(graph, name))
+
+
+@pytest.mark.parametrize("hops", HOPS)
+@pytest.mark.parametrize("name", QUERIES)
+def test_ic_counting(benchmark, snb_small, name, hops):
+    benchmark.group = f"snb-ic-counting-h{hops}"
+    benchmark.pedantic(
+        run_ic, args=(snb_small, name, hops), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+@pytest.mark.parametrize("hops", HOPS)
+@pytest.mark.parametrize("name", ["ic3", "ic11"])
+def test_ic_enumeration(benchmark, snb_small, name, hops):
+    benchmark.group = f"snb-ic-enumeration-h{hops}"
+    mode = EngineMode.enumeration(PathSemantics.NO_REPEATED_EDGE)
+    benchmark.pedantic(
+        run_ic,
+        args=(snb_small, name, hops, mode),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+
+@pytest.mark.parametrize("name", ["ic3", "ic11"])
+def test_ic_results_agree_across_engines(snb_small, name):
+    """Not a timing benchmark: the paper's observation that both
+    semantics return identical results on this workload."""
+    counting = run_ic(snb_small, name, 3)
+    enumerated = run_ic(
+        snb_small, name, 3, EngineMode.enumeration(PathSemantics.NO_REPEATED_EDGE)
+    )
+    assert counting.returned.rows == enumerated.returned.rows

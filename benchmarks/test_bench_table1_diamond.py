@@ -1,0 +1,73 @@
+"""Experiment E1 — Table 1 of the paper (Section 7.1).
+
+The Qn family counts the paths from v0 to vn on the 30-diamond chain:
+
+* ``counting``   — the tractable engine (TigerGraph's all-shortest-paths
+  with SDMC counting): per the paper, "all queries completed within
+  10ms" for every n up to 30, linear in the graph;
+* ``trail_enum`` — non-repeated-edge enumeration (Neo4j's default,
+  Table 1 column 3): time doubles with each n;
+* ``asp_enum``   — enumerated all-shortest-paths (Neo4j's
+  allShortestPaths, Table 1 column 4): also exponential, no faster than
+  trail enumeration.
+
+Enumeration points are capped at n=14 (the growth factor is established
+long before the paper's n=25 six-minute mark; CI should not take
+minutes).  The standalone ``run_table1.py`` sweeps further with a
+timeout, printing the full paper-style table.
+"""
+
+import pytest
+
+from repro.algorithms import path_count
+from repro.core.pattern import EngineMode
+from repro.paths import PathSemantics
+
+COUNTING_NS = (5, 10, 20, 30)
+ENUM_NS = (6, 10, 14)
+
+
+def run_counting(graph, n):
+    return path_count(graph, "v0", f"v{n}")
+
+
+def run_enumeration(graph, n, semantics):
+    return path_count(
+        graph,
+        "v0",
+        f"v{n}",
+        mode=EngineMode.enumeration(semantics),
+    )
+
+
+@pytest.mark.parametrize("n", COUNTING_NS)
+def test_qn_counting_engine(benchmark, diamond30, n):
+    benchmark.group = "table1-counting"
+    result = benchmark(run_counting, diamond30, n)
+    assert result == 2 ** n
+
+
+@pytest.mark.parametrize("n", ENUM_NS)
+def test_qn_trail_enumeration(benchmark, diamond30, n):
+    benchmark.group = "table1-trail-enum"
+    result = benchmark.pedantic(
+        run_enumeration,
+        args=(diamond30, n, PathSemantics.NO_REPEATED_EDGE),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result == 2 ** n
+
+
+@pytest.mark.parametrize("n", ENUM_NS)
+def test_qn_asp_enumeration(benchmark, diamond30, n):
+    benchmark.group = "table1-asp-enum"
+    result = benchmark.pedantic(
+        run_enumeration,
+        args=(diamond30, n, PathSemantics.ALL_SHORTEST),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result == 2 ** n

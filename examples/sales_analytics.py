@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Sales analytics: the paper's SalesGraph scenario (Examples 3-5, 12-13).
+
+Demonstrates what Section 3 calls "single-pass multi-aggregation by
+distinct grouping criteria":
+
+* Figure 2's query — revenue per toy, per customer, and total, computed
+  in ONE traversal of the Bought edges via three accumulators;
+* Example 5's multi-output SELECT — the same pass routed into separate
+  result tables;
+* Example 12 — simulating SQL GROUP BY / GROUPING SETS with a
+  GroupByAccum, and the comparison against the true SQL-style engine.
+"""
+
+from repro.graph.builders import sales_graph
+from repro.gsql import parse_query
+from repro.sqlstyle import Aggregate, MatchTable, group_by, grouping_sets
+
+graph = sales_graph()
+print(f"SalesGraph: {graph.num_vertices} vertices, {graph.num_edges} purchases\n")
+
+# ----------------------------------------------------------------------
+# Figure 2: three-way aggregation in a single pass.
+# ----------------------------------------------------------------------
+figure2 = parse_query("""
+CREATE QUERY ToyRevenue() FOR GRAPH SalesGraph {
+  SumAccum<float> @@totalRevenue;
+  SumAccum<float> @revenuePerToy, @revenuePerCust;
+
+  S = SELECT c
+  FROM   Customer:c -(Bought>:b)- Product:p
+  WHERE  p.category == 'toy'
+  ACCUM  FLOAT salesPrice = b.quantity * p.price * (1.0 - b.discount),
+         c.@revenuePerCust += salesPrice,
+         p.@revenuePerToy += salesPrice,
+         @@totalRevenue += salesPrice;
+
+  SELECT c.name, c.@revenuePerCust INTO PerCust;
+         t.name, t.@revenuePerToy INTO PerToy;
+         @@totalRevenue AS rev INTO Total
+  FROM Customer:c -(Bought>)- Product:t
+  WHERE t.category == 'toy';
+}
+""")
+result = figure2.run(graph)
+
+print("Toy revenue per customer (vertex accumulators):")
+for name, revenue in sorted(result.tables["PerCust"].rows):
+    print(f"  {name:>6}: ${revenue:7.2f}")
+print("Toy revenue per product:")
+for name, revenue in sorted(result.tables["PerToy"].rows):
+    print(f"  {name:>10}: ${revenue:7.2f}")
+(total,) = result.tables["Total"].rows[0]
+print(f"Total toy revenue (global accumulator): ${total:.2f}\n")
+
+# ----------------------------------------------------------------------
+# Example 12/13: GROUPING SETS via accumulators vs SQL-style.
+# Each grouping set gets ONLY its wanted aggregate with accumulators;
+# the SQL GROUPING SETS baseline computes every aggregate per set.
+# ----------------------------------------------------------------------
+multi_grouping = parse_query("""
+CREATE QUERY PerGroupingSet() FOR GRAPH SalesGraph {
+  GroupByAccum<string cat, SumAccum<int>> @@unitsPerCategory;
+  GroupByAccum<string cust, MaxAccum<float>> @@biggestPurchase;
+
+  S = SELECT c
+  FROM  Customer:c -(Bought>:b)- Product:p
+  ACCUM @@unitsPerCategory += (p.category -> b.quantity),
+        @@biggestPurchase += (c.name -> b.quantity * p.price);
+}
+""")
+acc_result = multi_grouping.run(graph)
+print("Units per category (GroupByAccum, only the wanted aggregate):")
+for (category,), (units,) in sorted(acc_result.global_accum("unitsPerCategory").items()):
+    print(f"  {category:>8}: {units} units")
+print("Biggest single purchase per customer:")
+for (cust,), (amount,) in sorted(acc_result.global_accum("biggestPurchase").items()):
+    print(f"  {cust:>6}: ${amount:.2f}")
+
+# The conventional road: materialize the match table, run GROUPING SETS
+# (which computes BOTH aggregates for BOTH sets), then separate.
+rows = MatchTable()
+for e in graph.edges("Bought"):
+    product = graph.vertex(e.target)
+    customer = graph.vertex(e.source)
+    rows.append(
+        {
+            "cat": product["category"],
+            "cust": customer["name"],
+            "units": e["quantity"],
+            "amount": e["quantity"] * product["price"],
+        }
+    )
+unioned = grouping_sets(
+    rows,
+    [["cat"], ["cust"]],
+    [Aggregate("sum", "units", "units"), Aggregate("max", "amount", "biggest")],
+)
+print("\nSQL GROUPING SETS union table (note the unwanted aggregate in "
+      "every row, and the NULL-padded keys):")
+for row in list(unioned)[:4]:
+    print(f"  {row}")
+print("  ...")
+
+check = group_by(rows, ["cat"], [Aggregate("sum", "units", "units")])
+accumulated = {k[0]: v[0] for k, v in acc_result.global_accum("unitsPerCategory").items()}
+assert all(accumulated[r["cat"]] == r["units"] for r in check)
+print("\nAccumulator and SQL-style results agree — the difference is the "
+      "work performed, not the answer (Appendix B quantifies it).")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Social-network analytics on the SNB-like graph.
+
+Exercises the composition features of Section 5 on a realistic workload:
+
+* the TopKToys recommender (Figure 3) — two query blocks composing
+  through vertex accumulators;
+* an LDBC IC query analogue with a variable-length KNOWS pattern;
+* iterative analytics (PageRank / connected components / triangles)
+  written in GSQL with WHILE loops over accumulators (Figure 4 style).
+"""
+
+from repro.algorithms import (
+    pagerank,
+    recommend,
+    triangle_count,
+    weakly_connected_components,
+)
+from repro.graph import Graph
+from repro.graph.builders import likes_graph
+from repro.ldbc import generate_snb_graph, ic9_query
+
+# ----------------------------------------------------------------------
+# 1. The Figure 3 recommender on the toy likes graph.
+# ----------------------------------------------------------------------
+likes = likes_graph()
+print("TopKToys recommendations for customer 'ann' (Figure 3):")
+for name, rank in recommend(likes, "c0", k=3):
+    print(f"  {name:>8}  rank={rank:.3f}")
+print()
+
+# ----------------------------------------------------------------------
+# 2. A variable-length friend query on the SNB-like graph: the 20 most
+#    recent messages by friends within 3 KNOWS hops (IC9 analogue).
+#    The KNOWS hop is a DARPE with bounded repetition: Knows*1..3.
+# ----------------------------------------------------------------------
+snb = generate_snb_graph(scale_factor=0.3, seed=42)
+print(f"SNB-like graph: {snb.num_vertices} vertices, {snb.num_edges} edges")
+result = ic9_query(3).run(snb, p="person:0", maxDate=20120601)
+heap = result.printed[0]["recent"]
+print("Most recent messages by friends within 3 hops (HeapAccum top-k):")
+for message in heap[:5]:
+    print(f"  {message.creationDate}  {message.length:4d} chars  by {message.author}")
+print(f"  ... {len(heap)} retained by the capacity-20 heap\n")
+
+# ----------------------------------------------------------------------
+# 3. Iterative analytics over the KNOWS graph.
+# ----------------------------------------------------------------------
+knows = Graph(name="Knows")
+for person in snb.vertices("Person"):
+    knows.add_vertex(person.vid, "Page")
+for e in snb.edges("Knows"):
+    knows.add_edge(e.source, e.target, "LinkTo")
+    knows.add_edge(e.target, e.source, "LinkTo")
+
+scores = pagerank(knows, "Page", "LinkTo", max_change=1e-6, max_iteration=100)
+top = sorted(scores.items(), key=lambda kv: -kv[1])[:5]
+print("Most central people by PageRank (Figure 4's query):")
+for vid, score in top:
+    person = snb.vertex(vid)
+    print(f"  {person['firstName']} {person['lastName']:<8} score={score:.3f}")
+
+components = weakly_connected_components(snb)
+sizes = {}
+for label in components.values():
+    sizes[label] = sizes.get(label, 0) + 1
+largest = max(sizes.values())
+print(f"\nWeakly connected components: {len(sizes)} "
+      f"(largest spans {largest} of {snb.num_vertices} vertices)")
+
+triangles = triangle_count(snb, "Person", "Knows")
+print(f"Friendship triangles: {triangles}")

@@ -1,0 +1,62 @@
+"""repro — accumulator-based aggregation for graph analytics.
+
+A faithful, laptop-scale reproduction of *Aggregation Support for Modern
+Graph Analytics in TigerGraph* (Deutsch, Xu, Wu, Lee — SIGMOD 2020):
+
+* a mixed-kind property graph (:mod:`repro.graph`);
+* DARPEs — direction-aware regular path expressions (:mod:`repro.darpe`);
+* polynomial all-shortest-path match counting (:mod:`repro.paths`);
+* exponential enumeration baselines (:mod:`repro.enumeration`);
+* the accumulator library (:mod:`repro.accum`);
+* a GSQL-subset query engine with snapshot ACCUM semantics
+  (:mod:`repro.core`, :mod:`repro.gsql`);
+* SQL-style aggregation baselines (:mod:`repro.sqlstyle`);
+* an LDBC-SNB-like workload substrate (:mod:`repro.ldbc`);
+* graph algorithms written in GSQL (:mod:`repro.algorithms`).
+"""
+
+__version__ = "1.0.0"
+
+from . import accum, algorithms, bench, core, darpe, enumeration, graph, gsql, ldbc, paths, sqlstyle
+from .errors import (
+    AccumulatorError,
+    DarpeSyntaxError,
+    EvaluationBudgetExceeded,
+    GraphError,
+    GSQLSyntaxError,
+    QueryCompileError,
+    QueryRuntimeError,
+    ReproError,
+    SchemaError,
+    TractabilityError,
+)
+from .graph import Graph, GraphSchema
+from .paths import PathSemantics
+
+__all__ = [
+    "__version__",
+    "accum",
+    "algorithms",
+    "bench",
+    "core",
+    "darpe",
+    "enumeration",
+    "graph",
+    "gsql",
+    "ldbc",
+    "paths",
+    "sqlstyle",
+    "Graph",
+    "GraphSchema",
+    "PathSemantics",
+    "ReproError",
+    "SchemaError",
+    "GraphError",
+    "DarpeSyntaxError",
+    "GSQLSyntaxError",
+    "QueryCompileError",
+    "QueryRuntimeError",
+    "AccumulatorError",
+    "TractabilityError",
+    "EvaluationBudgetExceeded",
+]

@@ -1,0 +1,48 @@
+"""The accumulator library (Section 3 of the paper).
+
+All built-in accumulator types, the tuple machinery used by Heap/GroupBy
+accumulators, and the extensibility registry.
+"""
+
+from .base import Accumulator
+from .collections_ import ArrayAccum, BagAccum, ListAccum, SetAccum
+from .groupby import GroupByAccum
+from .heap import ASC, DESC, HeapAccum
+from .logical import AndAccum, BitwiseAndAccum, BitwiseOrAccum, OrAccum
+from .mapaccum import MapAccum
+from .numeric import AvgAccum, MaxAccum, MinAccum, SumAccum
+from .registry import (
+    accumulator_from_combiner,
+    lookup_accumulator,
+    register_accumulator,
+    unregister_accumulator,
+)
+from .tuples import TupleType, TupleValue, coerce_tuple
+
+__all__ = [
+    "Accumulator",
+    "SumAccum",
+    "MinAccum",
+    "MaxAccum",
+    "AvgAccum",
+    "OrAccum",
+    "AndAccum",
+    "BitwiseOrAccum",
+    "BitwiseAndAccum",
+    "SetAccum",
+    "BagAccum",
+    "ListAccum",
+    "ArrayAccum",
+    "MapAccum",
+    "HeapAccum",
+    "GroupByAccum",
+    "ASC",
+    "DESC",
+    "TupleType",
+    "TupleValue",
+    "coerce_tuple",
+    "lookup_accumulator",
+    "register_accumulator",
+    "unregister_accumulator",
+    "accumulator_from_combiner",
+]

@@ -1,0 +1,192 @@
+"""Collection accumulators: Set, Bag, List, Array.
+
+Set and Bag are order-invariant; List and Array are the documented
+order-dependent exceptions (Section 4.3) and are excluded from the
+tractable class of Section 7 when fed from Kleene-starred patterns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..errors import AccumulatorError
+from .base import Accumulator
+
+
+class SetAccum(Accumulator):
+    """Inserts inputs into a set (duplicates collapse; order-invariant)."""
+
+    type_name = "SetAccum"
+    multiplicity_sensitive = False
+
+    def __init__(self, initial: Optional[Iterable[Any]] = None):
+        self._items = set(initial) if initial is not None else set()
+
+    @property
+    def value(self) -> FrozenSet[Any]:
+        return frozenset(self._items)
+
+    def assign(self, value: Iterable[Any]) -> None:
+        self._items = set(value)
+
+    def combine(self, item: Any) -> None:
+        self._items.add(item)
+
+    def combine_all(self, items: Iterable[Any]) -> None:
+        """GSQL's ``+=`` with a set right-hand side is set union."""
+        self._items.update(items)
+
+    def merge(self, other: Accumulator) -> None:
+        if not isinstance(other, SetAccum):
+            raise AccumulatorError("cannot merge SetAccum with " + other.type_name)
+        self._items |= other._items
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class BagAccum(Accumulator):
+    """Inserts inputs into a multiset.
+
+    Order-invariant and multiplicity-sensitive; the weighted combine adds
+    ``μ`` copies by bumping one counter.
+    """
+
+    type_name = "BagAccum"
+
+    def __init__(self, initial: Optional[Iterable[Any]] = None):
+        self._items: Counter = Counter(initial) if initial is not None else Counter()
+
+    @property
+    def value(self) -> Dict[Any, int]:
+        """The bag as an item -> multiplicity mapping."""
+        return dict(self._items)
+
+    def assign(self, value: Iterable[Any]) -> None:
+        self._items = Counter(value)
+
+    def combine(self, item: Any) -> None:
+        self._items[item] += 1
+
+    def combine_weighted(self, item: Any, multiplicity: int) -> None:
+        if multiplicity < 0:
+            raise AccumulatorError(f"negative multiplicity {multiplicity}")
+        if multiplicity:
+            self._items[item] += multiplicity
+
+    def merge(self, other: Accumulator) -> None:
+        if not isinstance(other, BagAccum):
+            raise AccumulatorError("cannot merge BagAccum with " + other.type_name)
+        self._items.update(other._items)
+
+    def multiplicity(self, item: Any) -> int:
+        return self._items.get(item, 0)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return sum(self._items.values())
+
+
+class ListAccum(Accumulator):
+    """Appends inputs to a list.  Order-dependent (Section 4.3) — the
+    engine flags it when deterministic results are requested."""
+
+    type_name = "ListAccum"
+    order_invariant = False
+
+    def __init__(self, initial: Optional[Iterable[Any]] = None):
+        self._items: List[Any] = list(initial) if initial is not None else []
+
+    @property
+    def value(self) -> Tuple[Any, ...]:
+        return tuple(self._items)
+
+    def assign(self, value: Iterable[Any]) -> None:
+        self._items = list(value)
+
+    def combine(self, item: Any) -> None:
+        self._items.append(item)
+
+    def combine_weighted(self, item: Any, multiplicity: int) -> None:
+        if multiplicity < 0:
+            raise AccumulatorError(f"negative multiplicity {multiplicity}")
+        self._items.extend([item] * multiplicity)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._items[index]
+
+
+class ArrayAccum(Accumulator):
+    """A fixed-size array of element accumulators.
+
+    GSQL's ArrayAccum aggregates *positionally*: the input is an
+    ``(index, item)`` pair, folded into the element accumulator at that
+    index.  The element accumulator type is chosen at construction, e.g.
+    ``ArrayAccum(3, lambda: SumAccum(0.0))``.
+    """
+
+    type_name = "ArrayAccum"
+    order_invariant = False
+
+    def __init__(self, size: int, element_factory=None):
+        from .numeric import SumAccum
+
+        if size < 0:
+            raise AccumulatorError("ArrayAccum size must be non-negative")
+        if element_factory is None:
+            element_factory = lambda: SumAccum(0.0)  # noqa: E731 - tiny default
+        self._cells: List[Accumulator] = [element_factory() for _ in range(size)]
+        # The array is order-invariant iff its cells are.
+        self.order_invariant = all(c.order_invariant for c in self._cells)
+
+    @property
+    def value(self) -> Tuple[Any, ...]:
+        return tuple(cell.value for cell in self._cells)
+
+    def assign(self, value: Iterable[Any]) -> None:
+        values = list(value)
+        if len(values) != len(self._cells):
+            raise AccumulatorError(
+                f"ArrayAccum of size {len(self._cells)} assigned "
+                f"{len(values)} values"
+            )
+        for cell, item in zip(self._cells, values):
+            cell.assign(item)
+
+    def _check_input(self, item: Any) -> Tuple[int, Any]:
+        if not (isinstance(item, tuple) and len(item) == 2):
+            raise AccumulatorError(
+                "ArrayAccum input must be an (index, value) pair"
+            )
+        index, payload = item
+        if not isinstance(index, int) or not 0 <= index < len(self._cells):
+            raise AccumulatorError(
+                f"ArrayAccum index {index!r} out of range 0..{len(self._cells) - 1}"
+            )
+        return index, payload
+
+    def combine(self, item: Any) -> None:
+        index, payload = self._check_input(item)
+        self._cells[index].combine(payload)
+
+    def combine_weighted(self, item: Any, multiplicity: int) -> None:
+        index, payload = self._check_input(item)
+        self._cells[index].combine_weighted(payload, multiplicity)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._cells[index].value
+
+
+__all__ = ["SetAccum", "BagAccum", "ListAccum", "ArrayAccum"]

@@ -1,0 +1,153 @@
+"""GroupByAccum: SQL-style grouped aggregation as an accumulator.
+
+``GroupByAccum<k1, ..., kn, Acc1, ..., Accm>`` groups its inputs by an
+n-ary key and folds the payload values into one nested accumulator per
+aggregate column.  Inputs use the paper's arrow notation
+(Example 12)::
+
+    A += (k1, k2, k3 -> a1, a2, a3)
+
+which in this library is the pair ``((k1, k2, k3), (a1, a2, a3))`` — the
+GSQL front end builds exactly that from the arrow syntax.
+
+This single type is what lets accumulators *subsume* conventional GROUP BY
+(Section 8): one GroupByAccum per grouping set expresses GROUPING SETS /
+CUBE / ROLLUP without computing unwanted aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import AccumulatorError
+from .base import Accumulator
+
+
+class GroupByAccum(Accumulator):
+    """Grouped aggregation: key tuple -> one nested accumulator per column.
+
+    Parameters
+    ----------
+    key_names:
+        Names of the grouping attributes (used in results and for
+        readability; arity is enforced on every input).
+    accum_factories:
+        One zero-argument accumulator factory per aggregate column.
+    """
+
+    type_name = "GroupByAccum"
+
+    def __init__(
+        self,
+        key_names: Sequence[str],
+        accum_factories: Sequence[Callable[[], Accumulator]],
+    ):
+        if not key_names:
+            raise AccumulatorError("GroupByAccum needs at least one key")
+        if not accum_factories:
+            raise AccumulatorError("GroupByAccum needs at least one aggregate")
+        self.key_names = tuple(key_names)
+        self._factories = tuple(accum_factories)
+        self._groups: Dict[Tuple[Any, ...], List[Accumulator]] = {}
+        probes = [factory() for factory in self._factories]
+        for probe in probes:
+            if not isinstance(probe, Accumulator):
+                raise AccumulatorError(
+                    "GroupByAccum factories must produce Accumulator instances"
+                )
+        self.order_invariant = all(p.order_invariant for p in probes)
+        self.multiplicity_sensitive = any(p.multiplicity_sensitive for p in probes)
+
+    # -- input handling ----------------------------------------------------
+    def _check_input(self, item: Any) -> Tuple[Tuple[Any, ...], Tuple[Any, ...]]:
+        if not (isinstance(item, tuple) and len(item) == 2):
+            raise AccumulatorError(
+                "GroupByAccum input must be a (keys, values) pair "
+                "(the GSQL arrow form 'k1, k2 -> a1, a2')"
+            )
+        keys, values = item
+        if not isinstance(keys, tuple):
+            keys = (keys,)
+        if not isinstance(values, tuple):
+            values = (values,)
+        if len(keys) != len(self.key_names):
+            raise AccumulatorError(
+                f"GroupByAccum expects {len(self.key_names)} keys, got {len(keys)}"
+            )
+        if len(values) != len(self._factories):
+            raise AccumulatorError(
+                f"GroupByAccum expects {len(self._factories)} aggregate values, "
+                f"got {len(values)}"
+            )
+        return keys, values
+
+    def _cells(self, keys: Tuple[Any, ...]) -> List[Accumulator]:
+        cells = self._groups.get(keys)
+        if cells is None:
+            cells = [factory() for factory in self._factories]
+            self._groups[keys] = cells
+        return cells
+
+    def combine(self, item: Any) -> None:
+        keys, values = self._check_input(item)
+        for cell, val in zip(self._cells(keys), values):
+            cell.combine(val)
+
+    def combine_weighted(self, item: Any, multiplicity: int) -> None:
+        if multiplicity < 0:
+            raise AccumulatorError(f"negative multiplicity {multiplicity}")
+        if multiplicity == 0:
+            return  # no inputs: must not materialize an empty group
+        keys, values = self._check_input(item)
+        for cell, val in zip(self._cells(keys), values):
+            cell.combine_weighted(val, multiplicity)
+
+    def assign(self, value: Any) -> None:
+        raise AccumulatorError("GroupByAccum does not support plain assignment")
+
+    def merge(self, other: Accumulator) -> None:
+        if not isinstance(other, GroupByAccum):
+            raise AccumulatorError(
+                "cannot merge GroupByAccum with " + other.type_name
+            )
+        for keys, cells in other._groups.items():
+            mine = self._groups.get(keys)
+            if mine is None:
+                self._groups[keys] = [cell.copy() for cell in cells]
+            else:
+                for my_cell, their_cell in zip(mine, cells):
+                    my_cell.merge(their_cell)
+
+    # -- reading -------------------------------------------------------------
+    @property
+    def value(self) -> Dict[Tuple[Any, ...], Tuple[Any, ...]]:
+        """Map from key tuple to the tuple of aggregate values."""
+        return {
+            keys: tuple(cell.value for cell in cells)
+            for keys, cells in self._groups.items()
+        }
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        """Result rows as dicts: key columns by name, aggregates as agg0..n."""
+        for keys, cells in self._groups.items():
+            row = dict(zip(self.key_names, keys))
+            for i, cell in enumerate(cells):
+                row[f"agg{i}"] = cell.value
+            yield row
+
+    def get(self, *keys: Any) -> Optional[Tuple[Any, ...]]:
+        cells = self._groups.get(tuple(keys))
+        if cells is None:
+            return None
+        return tuple(cell.value for cell in cells)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __contains__(self, keys: Any) -> bool:
+        if not isinstance(keys, tuple):
+            keys = (keys,)
+        return keys in self._groups
+
+
+__all__ = ["GroupByAccum"]

@@ -1,0 +1,121 @@
+"""Boolean and bitwise accumulators."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import AccumulatorError
+from .base import Accumulator
+
+
+def _check_bool(type_name: str, value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise AccumulatorError(f"{type_name} expects bool inputs, got {value!r}")
+    return value
+
+
+class OrAccum(Accumulator):
+    """Aggregates boolean inputs with logical disjunction."""
+
+    type_name = "OrAccum"
+    multiplicity_sensitive = False
+
+    def __init__(self, initial: bool = False):
+        self._value = _check_bool("OrAccum", initial)
+
+    @property
+    def value(self) -> bool:
+        return self._value
+
+    def assign(self, value: Any) -> None:
+        self._value = _check_bool("OrAccum", value)
+
+    def combine(self, item: Any) -> None:
+        self._value = self._value or _check_bool("OrAccum", item)
+
+    def merge(self, other: Accumulator) -> None:
+        if not isinstance(other, OrAccum):
+            raise AccumulatorError("cannot merge OrAccum with " + other.type_name)
+        self._value = self._value or other._value
+
+
+class AndAccum(Accumulator):
+    """Aggregates boolean inputs with logical conjunction."""
+
+    type_name = "AndAccum"
+    multiplicity_sensitive = False
+
+    def __init__(self, initial: bool = True):
+        self._value = _check_bool("AndAccum", initial)
+
+    @property
+    def value(self) -> bool:
+        return self._value
+
+    def assign(self, value: Any) -> None:
+        self._value = _check_bool("AndAccum", value)
+
+    def combine(self, item: Any) -> None:
+        self._value = self._value and _check_bool("AndAccum", item)
+
+    def merge(self, other: Accumulator) -> None:
+        if not isinstance(other, AndAccum):
+            raise AccumulatorError("cannot merge AndAccum with " + other.type_name)
+        self._value = self._value and other._value
+
+
+class BitwiseOrAccum(Accumulator):
+    """Aggregates integer inputs with bitwise OR (GSQL extension type)."""
+
+    type_name = "BitwiseOrAccum"
+    multiplicity_sensitive = False
+
+    def __init__(self, initial: int = 0):
+        self._value = int(initial)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def assign(self, value: Any) -> None:
+        self._value = int(value)
+
+    def combine(self, item: Any) -> None:
+        self._value |= int(item)
+
+    def merge(self, other: Accumulator) -> None:
+        if not isinstance(other, BitwiseOrAccum):
+            raise AccumulatorError(
+                "cannot merge BitwiseOrAccum with " + other.type_name
+            )
+        self._value |= other._value
+
+
+class BitwiseAndAccum(Accumulator):
+    """Aggregates integer inputs with bitwise AND (GSQL extension type)."""
+
+    type_name = "BitwiseAndAccum"
+    multiplicity_sensitive = False
+
+    def __init__(self, initial: int = -1):
+        self._value = int(initial)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def assign(self, value: Any) -> None:
+        self._value = int(value)
+
+    def combine(self, item: Any) -> None:
+        self._value &= int(item)
+
+    def merge(self, other: Accumulator) -> None:
+        if not isinstance(other, BitwiseAndAccum):
+            raise AccumulatorError(
+                "cannot merge BitwiseAndAccum with " + other.type_name
+            )
+        self._value &= other._value
+
+
+__all__ = ["OrAccum", "AndAccum", "BitwiseOrAccum", "BitwiseAndAccum"]

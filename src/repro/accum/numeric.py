@@ -1,0 +1,188 @@
+"""Numeric accumulators: Sum, Min, Max, Avg.
+
+``SumAccum`` doubles as a string concatenator when constructed with
+``element_type=str`` (GSQL's ``SumAccum<string>``), in which case it loses
+order invariance — one of the three documented exceptions in Section 4.3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from ..errors import AccumulatorError
+from .base import Accumulator, check_numeric
+
+
+class SumAccum(Accumulator):
+    """Aggregates numeric inputs by addition (or strings by concatenation).
+
+    The weighted combine adds ``μ·i`` in one step — the Appendix A
+    simulation of ``μ`` duplicate ACCUM executions.
+    """
+
+    type_name = "SumAccum"
+
+    def __init__(self, initial: Union[int, float, str, None] = None, element_type: type = float):
+        if element_type not in (int, float, str):
+            raise AccumulatorError(
+                f"SumAccum supports int, float or string elements, not "
+                f"{element_type!r}"
+            )
+        self.element_type = element_type
+        self.order_invariant = element_type is not str
+        if initial is None:
+            initial = "" if element_type is str else element_type(0)
+        self._validate(initial)
+        self._value = initial
+
+    def _validate(self, item: Any) -> None:
+        if self.element_type is str:
+            if not isinstance(item, str):
+                raise AccumulatorError(
+                    f"SumAccum<string> expects str inputs, got {item!r}"
+                )
+        else:
+            check_numeric("SumAccum", item)
+
+    @property
+    def value(self) -> Union[int, float, str]:
+        return self._value
+
+    def assign(self, value: Any) -> None:
+        self._validate(value)
+        self._value = value
+
+    def combine(self, item: Any) -> None:
+        self._validate(item)
+        self._value = self._value + item
+
+    def combine_weighted(self, item: Any, multiplicity: int) -> None:
+        if multiplicity < 0:
+            raise AccumulatorError(f"negative multiplicity {multiplicity}")
+        if multiplicity == 0:
+            return
+        self._validate(item)
+        if self.element_type is str:
+            self._value = self._value + item * multiplicity
+        else:
+            self._value = self._value + item * multiplicity
+
+    def merge(self, other: Accumulator) -> None:
+        if not isinstance(other, SumAccum):
+            raise AccumulatorError("cannot merge SumAccum with " + other.type_name)
+        if self.element_type is str:
+            raise AccumulatorError("SumAccum<string> merge is order-dependent")
+        self._value = self._value + other._value
+
+
+class MinAccum(Accumulator):
+    """Keeps the minimum input seen (multiplicity-insensitive)."""
+
+    type_name = "MinAccum"
+    multiplicity_sensitive = False
+
+    def __init__(self, initial: Any = None):
+        self._value = initial
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def assign(self, value: Any) -> None:
+        self._value = value
+
+    def combine(self, item: Any) -> None:
+        if self._value is None or item < self._value:
+            self._value = item
+
+    def merge(self, other: Accumulator) -> None:
+        if not isinstance(other, MinAccum):
+            raise AccumulatorError("cannot merge MinAccum with " + other.type_name)
+        if other._value is not None:
+            self.combine(other._value)
+
+
+class MaxAccum(Accumulator):
+    """Keeps the maximum input seen (multiplicity-insensitive)."""
+
+    type_name = "MaxAccum"
+    multiplicity_sensitive = False
+
+    def __init__(self, initial: Any = None):
+        self._value = initial
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def assign(self, value: Any) -> None:
+        self._value = value
+
+    def combine(self, item: Any) -> None:
+        if self._value is None or item > self._value:
+            self._value = item
+
+    def merge(self, other: Accumulator) -> None:
+        if not isinstance(other, MaxAccum):
+            raise AccumulatorError("cannot merge MaxAccum with " + other.type_name)
+        if other._value is not None:
+            self.combine(other._value)
+
+
+class AvgAccum(Accumulator):
+    """Order-invariant running average.
+
+    Implemented, as the paper prescribes, by internally maintaining the
+    (sum, count) pair, so input order never matters and weighted combines
+    are O(1): ``sum += μ·i; count += μ``.
+    """
+
+    type_name = "AvgAccum"
+
+    def __init__(self) -> None:
+        self._sum: float = 0.0
+        self._count: int = 0
+
+    @property
+    def value(self) -> Optional[float]:
+        if self._count == 0:
+            return None
+        return self._sum / self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def assign(self, value: Any) -> None:
+        """``=`` resets the average to a single observation (GSQL treats
+        plain assignment into an AvgAccum as restart-from-value)."""
+        check_numeric("AvgAccum", value)
+        self._sum = float(value)
+        self._count = 1
+
+    def combine(self, item: Any) -> None:
+        check_numeric("AvgAccum", item)
+        self._sum += item
+        self._count += 1
+
+    def combine_weighted(self, item: Any, multiplicity: int) -> None:
+        if multiplicity < 0:
+            raise AccumulatorError(f"negative multiplicity {multiplicity}")
+        if multiplicity == 0:
+            return
+        check_numeric("AvgAccum", item)
+        self._sum += item * multiplicity
+        self._count += multiplicity
+
+    def merge(self, other: Accumulator) -> None:
+        if not isinstance(other, AvgAccum):
+            raise AccumulatorError("cannot merge AvgAccum with " + other.type_name)
+        self._sum += other._sum
+        self._count += other._count
+
+
+__all__ = ["SumAccum", "MinAccum", "MaxAccum", "AvgAccum"]

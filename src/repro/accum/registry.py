@@ -1,0 +1,131 @@
+"""Registry of accumulator types, including user-defined ones.
+
+The paper's "Extensible Accumulator Library" lets users implement a C++
+combiner interface; the Python analogue is :func:`register_accumulator`
+(for full :class:`~repro.accum.base.Accumulator` subclasses) and
+:func:`accumulator_from_combiner` (for a plain binary ``⊕`` function).
+The GSQL front end resolves declaration type names through this registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Type
+
+from ..errors import AccumulatorError
+from .base import Accumulator
+from .collections_ import ArrayAccum, BagAccum, ListAccum, SetAccum
+from .groupby import GroupByAccum
+from .heap import HeapAccum
+from .logical import AndAccum, BitwiseAndAccum, BitwiseOrAccum, OrAccum
+from .mapaccum import MapAccum
+from .numeric import AvgAccum, MaxAccum, MinAccum, SumAccum
+
+_BUILTINS: Dict[str, Type[Accumulator]] = {
+    "SumAccum": SumAccum,
+    "MinAccum": MinAccum,
+    "MaxAccum": MaxAccum,
+    "AvgAccum": AvgAccum,
+    "OrAccum": OrAccum,
+    "AndAccum": AndAccum,
+    "BitwiseOrAccum": BitwiseOrAccum,
+    "BitwiseAndAccum": BitwiseAndAccum,
+    "SetAccum": SetAccum,
+    "BagAccum": BagAccum,
+    "ListAccum": ListAccum,
+    "ArrayAccum": ArrayAccum,
+    "MapAccum": MapAccum,
+    "HeapAccum": HeapAccum,
+    "GroupByAccum": GroupByAccum,
+}
+
+_registry: Dict[str, Type[Accumulator]] = dict(_BUILTINS)
+
+
+def lookup_accumulator(name: str) -> Type[Accumulator]:
+    """Resolve an accumulator type name (case-sensitive, as in GSQL)."""
+    cls = _registry.get(name)
+    if cls is None:
+        raise AccumulatorError(
+            f"unknown accumulator type {name!r}; registered types: "
+            f"{', '.join(sorted(_registry))}"
+        )
+    return cls
+
+
+def register_accumulator(cls: Type[Accumulator], name: Optional[str] = None) -> Type[Accumulator]:
+    """Register a user-defined accumulator class (usable as a decorator).
+
+    The class must subclass :class:`Accumulator`.  Re-registering a builtin
+    name is rejected to avoid silently changing query semantics.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, Accumulator)):
+        raise AccumulatorError("register_accumulator expects an Accumulator subclass")
+    key = name or cls.type_name
+    if key in _BUILTINS:
+        raise AccumulatorError(f"cannot override builtin accumulator {key!r}")
+    _registry[key] = cls
+    return cls
+
+
+def unregister_accumulator(name: str) -> None:
+    """Remove a user-defined accumulator (builtins cannot be removed)."""
+    if name in _BUILTINS:
+        raise AccumulatorError(f"cannot unregister builtin accumulator {name!r}")
+    _registry.pop(name, None)
+
+
+def accumulator_from_combiner(
+    name: str,
+    combiner: Callable[[Any, Any], Any],
+    initial: Any = None,
+    order_invariant: bool = True,
+    multiplicity_sensitive: bool = True,
+) -> Type[Accumulator]:
+    """Build and register an accumulator type from a binary ``⊕`` function.
+
+    This is the Python rendering of the paper's extensible-accumulator
+    interface: the user supplies only the combiner (and optionally an
+    identity value), e.g.::
+
+        GcdAccum = accumulator_from_combiner("GcdAccum", math.gcd, 0)
+    """
+
+    class _CombinerAccum(Accumulator):
+        type_name = name
+
+        def __init__(self, start: Any = initial):
+            self._value = start
+
+        @property
+        def value(self) -> Any:
+            return self._value
+
+        def assign(self, value: Any) -> None:
+            self._value = value
+
+        def combine(self, item: Any) -> None:
+            self._value = combiner(self._value, item)
+
+        def merge(self, other: Accumulator) -> None:
+            if type(other) is not type(self):
+                raise AccumulatorError(
+                    f"cannot merge {name} with {other.type_name}"
+                )
+            if not order_invariant:
+                raise AccumulatorError(f"{name} merge is order-dependent")
+            self._value = combiner(self._value, other._value)
+
+    _CombinerAccum.order_invariant = order_invariant
+    _CombinerAccum.multiplicity_sensitive = multiplicity_sensitive
+    _CombinerAccum.__name__ = name
+    _CombinerAccum.__qualname__ = name
+    register_accumulator(_CombinerAccum, name)
+    return _CombinerAccum
+
+
+__all__ = [
+    "lookup_accumulator",
+    "register_accumulator",
+    "unregister_accumulator",
+    "accumulator_from_combiner",
+]

@@ -1,0 +1,51 @@
+"""Graph algorithms written against the query engine (Section 5: the
+iterative-analytics class GSQL's accumulators + control flow cover)."""
+
+from .centrality import closeness_centrality, degree_centrality, harmonic_centrality
+from .communities import community_sizes, label_propagation
+from .components import component_sizes, wcc_query, weakly_connected_components
+from .gsql_library import (
+    common_neighbor_counts,
+    degree_histogram,
+    k_hop_reach,
+    wcc_labels_gsql,
+)
+from .kcore import core_numbers, k_core
+from .shortest_weighted import shortest_path_lengths, sssp_query
+from .similarity import cosine_similarity, jaccard_similarity, log_cosine_similarity
+from .pagerank import pagerank, pagerank_query
+from .recommender import recommend, topk_query
+from .traversal import bfs_levels, hop_distances_reference, path_count, path_count_query
+from .triangles import triangle_count, triangle_query
+
+__all__ = [
+    "closeness_centrality",
+    "degree_centrality",
+    "harmonic_centrality",
+    "community_sizes",
+    "label_propagation",
+    "core_numbers",
+    "k_core",
+    "shortest_path_lengths",
+    "sssp_query",
+    "cosine_similarity",
+    "jaccard_similarity",
+    "log_cosine_similarity",
+    "component_sizes",
+    "common_neighbor_counts",
+    "degree_histogram",
+    "k_hop_reach",
+    "wcc_labels_gsql",
+    "wcc_query",
+    "weakly_connected_components",
+    "pagerank",
+    "pagerank_query",
+    "recommend",
+    "topk_query",
+    "bfs_levels",
+    "hop_distances_reference",
+    "path_count",
+    "path_count_query",
+    "triangle_count",
+    "triangle_query",
+]

@@ -1,0 +1,86 @@
+"""Centrality measures written against the query engine.
+
+Degree centrality is a one-block aggregation; closeness and harmonic
+centrality run one BFS per vertex through the iterative frontier idiom —
+the "multi-pass algorithms, each pass specified declaratively" class of
+Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..darpe.automaton import CompiledDarpe
+from ..graph.graph import Graph
+from ..paths.sdmc import single_source_sdmc
+
+
+def degree_centrality(
+    graph: Graph,
+    vertex_type: Optional[str] = None,
+    edge_type: Optional[str] = None,
+) -> Dict[Any, float]:
+    """Out-degree divided by (n - 1), the standard normalization."""
+    vertices = list(graph.vertices(vertex_type))
+    n = len(vertices)
+    if n <= 1:
+        return {v.vid: 0.0 for v in vertices}
+    return {
+        v.vid: graph.outdegree(v.vid, edge_type) / (n - 1) for v in vertices
+    }
+
+
+def _distances(graph: Graph, source: Any, darpe: CompiledDarpe) -> Dict[Any, int]:
+    return {
+        vid: res.distance
+        for vid, res in single_source_sdmc(graph, source, darpe).items()
+        if vid != source
+    }
+
+
+def closeness_centrality(
+    graph: Graph,
+    vertex_type: Optional[str] = None,
+    edge_darpe: str = "_>",
+) -> Dict[Any, float]:
+    """Wasserman-Faust closeness over hop distances.
+
+    ``closeness(v) = ((r-1)/(n-1)) * ((r-1) / sum of distances)`` where r
+    counts vertices reachable from v — the standard correction for
+    disconnected graphs (matches networkx's ``wf_improved``).
+    """
+    darpe = CompiledDarpe.parse(f"({edge_darpe})*")
+    vertices = list(graph.vertices(vertex_type))
+    n = len(vertices)
+    out: Dict[Any, float] = {}
+    for v in vertices:
+        dists = _distances(graph, v.vid, darpe)
+        reachable = len(dists)
+        total = sum(dists.values())
+        if total == 0 or n <= 1:
+            out[v.vid] = 0.0
+        else:
+            out[v.vid] = (reachable / (n - 1)) * (reachable / total)
+    return out
+
+
+def harmonic_centrality(
+    graph: Graph,
+    vertex_type: Optional[str] = None,
+    edge_darpe: str = "_>",
+) -> Dict[Any, float]:
+    """Sum of inverse hop distances to every other vertex.
+
+    Computed over *incoming* distance in networkx's convention; here we
+    use outgoing distance from ``v`` — pass ``edge_darpe="<_"`` for the
+    incoming flavor.
+    """
+    darpe = CompiledDarpe.parse(f"({edge_darpe})*")
+    out: Dict[Any, float] = {}
+    for v in graph.vertices(vertex_type):
+        dists = _distances(graph, v.vid, darpe)
+        out[v.vid] = sum(1.0 / d for d in dists.values() if d > 0)
+    return out
+
+
+__all__ = ["degree_centrality", "closeness_centrality", "harmonic_centrality"]

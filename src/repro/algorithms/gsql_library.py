@@ -1,0 +1,154 @@
+"""A library of reusable analytics written as plain GSQL text.
+
+Everything here goes through the full text pipeline (lexer → parser →
+engine), demonstrating that the language subset is expressive enough for
+the iterative-algorithm class of Section 5 without any Python-side
+orchestration.  The programmatic implementations in the sibling modules
+are cross-checked against these in the tests.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, Dict, Optional
+
+from ..core.query import Query
+from ..graph.graph import Graph
+from ..gsql import parse_query
+
+
+@lru_cache(maxsize=None)
+def wcc_gsql() -> Query:
+    """Weakly connected components: MinAccum label flooding, in GSQL."""
+    return parse_query("""
+CREATE QUERY WCC () {
+  MinAccum<string> @cc;
+  OrAccum @@changed;
+
+  AllV = {ANY.*};
+  Init = SELECT v FROM AllV:v ACCUM v.@cc = v.id();
+
+  @@changed = TRUE;
+  WHILE @@changed LIMIT 1000000 DO
+    @@changed = FALSE;
+    Fwd = SELECT n FROM AllV:v -(_>)- ANY:n
+          WHERE v.@cc < n.@cc
+          ACCUM n.@cc += v.@cc, @@changed += TRUE;
+    Rev = SELECT n FROM AllV:v -(<_)- ANY:n
+          WHERE v.@cc < n.@cc
+          ACCUM n.@cc += v.@cc, @@changed += TRUE;
+    Und = SELECT n FROM AllV:v -(_)- ANY:n
+          WHERE v.@cc < n.@cc
+          ACCUM n.@cc += v.@cc, @@changed += TRUE;
+  END;
+}
+""")
+
+
+def wcc_labels_gsql(graph: Graph) -> Dict[Any, Any]:
+    """Run the GSQL WCC; vertex id -> minimum-id component label."""
+    result = wcc_gsql().run(graph)
+    labels = result.vertex_accum("cc")
+    for v in graph.vertices():
+        labels.setdefault(v.vid, v.vid)
+    return labels
+
+
+@lru_cache(maxsize=None)
+def degree_histogram_gsql(vertex_type: str = "ANY", edge_type: str = "_") -> Query:
+    """Out-degree histogram via a MapAccum keyed by degree."""
+    etype = "" if edge_type == "_" else f"'{edge_type}'"
+    return parse_query(f"""
+CREATE QUERY DegreeHistogram () {{
+  MapAccum<int, SumAccum<int>> @@histogram;
+
+  AllV = {{{vertex_type}.*}};
+  S = SELECT v FROM AllV:v
+      ACCUM @@histogram += (v.outdegree({etype}), 1);
+
+  PRINT @@histogram;
+}}
+""")
+
+
+def degree_histogram(graph: Graph, edge_type: Optional[str] = None) -> Dict[int, int]:
+    """Map out-degree -> vertex count, computed in GSQL."""
+    query = degree_histogram_gsql("ANY", edge_type or "_")
+    result = query.run(graph)
+    return dict(result.printed[0]["histogram"])
+
+
+@lru_cache(maxsize=None)
+def common_neighbors_gsql(vertex_type: str, edge_type: str) -> Query:
+    """Top-10 vertex pairs by common out-neighbors (link prediction's
+    simplest score), via the Figure 3 two-hop pattern + a global
+    GroupByAccum."""
+    return parse_query(f"""
+CREATE QUERY CommonNeighbors () {{
+  GroupByAccum<string a, string b, SumAccum<int>> @@common;
+
+  S = SELECT x
+      FROM {vertex_type}:a -({edge_type}>)- _:x -(<{edge_type})- {vertex_type}:b
+      WHERE a.id() < b.id()
+      ACCUM @@common += (a.id(), b.id() -> 1);
+
+  PRINT @@common;
+}}
+""")
+
+
+def common_neighbor_counts(
+    graph: Graph, vertex_type: str, edge_type: str
+) -> Dict[tuple, int]:
+    """(a, b) -> number of shared out-neighbors, for a < b."""
+    result = common_neighbors_gsql(vertex_type, edge_type).run(graph)
+    return {pair: counts[0] for pair, counts in result.printed[0]["common"].items()}
+
+
+@lru_cache(maxsize=None)
+def k_hop_reach_gsql(edge_darpe: str = "_>") -> Query:
+    """How many vertices are within k hops of a source (per hop count) —
+    the neighborhood-growth profile behind the IC experiments."""
+    return parse_query(f"""
+CREATE QUERY KHopReach (vertex source, int k) {{
+  OrAccum @seen;
+  SumAccum<int> @@level;
+  MapAccum<int, SumAccum<int>> @@reached;
+
+  Frontier = {{source}};
+  S = SELECT v FROM Frontier:v ACCUM v.@seen += TRUE;
+  @@level = 0;
+
+  WHILE Frontier.size() > 0 AND @@level < k LIMIT 1000000 DO
+    @@level += 1;
+    Frontier = SELECT n
+               FROM Frontier:v -({edge_darpe})- ANY:n
+               WHERE NOT n.@seen
+               ACCUM n.@seen += TRUE;
+    @@reached += (@@level, Frontier.size());
+  END;
+
+  PRINT @@reached;
+}}
+""")
+
+
+def k_hop_reach(
+    graph: Graph, source: Any, k: int, edge_darpe: str = "_>"
+) -> Dict[int, int]:
+    """Hop level -> newly reached vertex count, up to k hops."""
+    query = k_hop_reach_gsql(edge_darpe)
+    result = query.run(graph, source=source, k=k)
+    return dict(result.printed[0]["reached"])
+
+
+__all__ = [
+    "wcc_gsql",
+    "wcc_labels_gsql",
+    "degree_histogram_gsql",
+    "degree_histogram",
+    "common_neighbors_gsql",
+    "common_neighbor_counts",
+    "k_hop_reach_gsql",
+    "k_hop_reach",
+]

@@ -1,0 +1,70 @@
+"""k-core decomposition via iterative peeling with accumulators.
+
+A vertex's core number is the largest k such that it belongs to a
+subgraph where every vertex has degree >= k.  The peeling loop removes
+sub-k vertices until a fixpoint — another member of the iterative class
+Section 5 argues accumulators keep inside the query engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set
+
+from ..graph.graph import Graph
+
+
+def _undirected_degree(graph: Graph, vid: Any, alive: Set[Any], edge_type: Optional[str]) -> int:
+    seen = set()
+    degree = 0
+    for step in graph.steps(vid, etype=edge_type):
+        if step.neighbor not in alive:
+            continue
+        key = step.edge.eid
+        if key in seen:
+            continue
+        seen.add(key)
+        degree += 1
+    return degree
+
+
+def k_core(
+    graph: Graph,
+    k: int,
+    vertex_type: Optional[str] = None,
+    edge_type: Optional[str] = None,
+) -> Set[Any]:
+    """Vertex ids of the k-core (may be empty)."""
+    alive: Set[Any] = {v.vid for v in graph.vertices(vertex_type)}
+    changed = True
+    while changed:
+        changed = False
+        doomed = [
+            vid
+            for vid in alive
+            if _undirected_degree(graph, vid, alive, edge_type) < k
+        ]
+        if doomed:
+            alive.difference_update(doomed)
+            changed = True
+    return alive
+
+
+def core_numbers(
+    graph: Graph,
+    vertex_type: Optional[str] = None,
+    edge_type: Optional[str] = None,
+) -> Dict[Any, int]:
+    """Vertex id -> core number, by peeling at increasing k."""
+    numbers: Dict[Any, int] = {v.vid: 0 for v in graph.vertices(vertex_type)}
+    k = 1
+    while True:
+        core = k_core(graph, k, vertex_type, edge_type)
+        if not core:
+            break
+        for vid in core:
+            numbers[vid] = k
+        k += 1
+    return numbers
+
+
+__all__ = ["k_core", "core_numbers"]

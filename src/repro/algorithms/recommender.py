@@ -1,0 +1,53 @@
+"""The TopKToys recommender of Figure 3 / Example 6, verbatim GSQL.
+
+Two-pass composition through vertex accumulators: the first block stores
+each other customer's log-cosine similarity to the query customer in
+``@lc``; the second block ranks products by the sum of their likers'
+similarities — "input-output composition" (the vertex set) and
+"side-effect composition" (the @lc values) in the paper's terms.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, List, Tuple
+
+from ..core.query import Query
+from ..graph.graph import Graph
+from ..gsql import parse_query
+
+
+@lru_cache(maxsize=None)
+def topk_query(category: str = "Toys") -> Query:
+    """Figure 3's TopKToys, for a configurable product category."""
+    return parse_query(f"""
+CREATE QUERY TopKToys (vertex<Customer> c, int k) FOR GRAPH LikesGraph {{
+  SumAccum<float> @lc, @inCommon, @rank;
+
+  SELECT DISTINCT o INTO OthersWithCommonLikes
+  FROM   Customer:c -(Likes>)- Product:t -(<Likes)- Customer:o
+  WHERE  o <> c AND t.category == '{category}'
+  ACCUM  o.@inCommon += 1
+  POST_ACCUM o.@lc = log(1 + o.@inCommon);
+
+  SELECT t.name, t.@rank AS rank INTO Recommended
+  FROM   OthersWithCommonLikes:o -(Likes>)- Product:t
+  WHERE  t.category == '{category}' AND c <> o
+  ACCUM  t.@rank += o.@lc
+  ORDER BY t.@rank DESC
+  LIMIT k;
+
+  RETURN Recommended;
+}}
+""")
+
+
+def recommend(
+    graph: Graph, customer: Any, k: int = 5, category: str = "Toys"
+) -> List[Tuple[str, float]]:
+    """Top-k product recommendations for a customer as (name, rank)."""
+    result = topk_query(category).run(graph, c=customer, k=k)
+    return [(name, rank) for name, rank in result.returned.rows]
+
+
+__all__ = ["topk_query", "recommend"]

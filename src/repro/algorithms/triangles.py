@@ -1,0 +1,40 @@
+"""Triangle counting over an undirected edge type, via pattern join +
+global SumAccum — a multi-chain FROM clause exercising the engine's
+natural join on shared variables."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.query import Query
+from ..graph.graph import Graph
+from ..gsql import parse_query
+
+
+@lru_cache(maxsize=None)
+def triangle_query(vertex_type: str, edge_type: str) -> Query:
+    """Each triangle is counted once thanks to the id-ordering filter."""
+    return parse_query(f"""
+CREATE QUERY Triangles () {{
+  SumAccum<int> @@count;
+
+  S = SELECT a
+      FROM {vertex_type}:a -({edge_type})- {vertex_type}:b -({edge_type})- {vertex_type}:c,
+           {vertex_type}:a -({edge_type})- {vertex_type}:c
+      WHERE a.id() < b.id() AND b.id() < c.id()
+      ACCUM @@count += 1;
+
+  PRINT @@count AS triangles;
+}}
+""")
+
+
+def triangle_count(
+    graph: Graph, vertex_type: str = "Person", edge_type: str = "Knows"
+) -> int:
+    """Number of triangles in the ``edge_type`` graph."""
+    result = triangle_query(vertex_type, edge_type).run(graph)
+    return result.printed[0]["triangles"]
+
+
+__all__ = ["triangle_query", "triangle_count"]

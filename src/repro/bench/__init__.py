@@ -1,0 +1,25 @@
+"""Benchmark harness utilities shared by benchmarks/ suites and scripts."""
+
+from .harness import (
+    Measurement,
+    TimeoutBudget,
+    doubling_ratios,
+    fit_exponent,
+    fit_power,
+    format_seconds,
+    render_table,
+    sweep,
+    time_call,
+)
+
+__all__ = [
+    "Measurement",
+    "TimeoutBudget",
+    "doubling_ratios",
+    "fit_exponent",
+    "fit_power",
+    "format_seconds",
+    "render_table",
+    "sweep",
+    "time_call",
+]

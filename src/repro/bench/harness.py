@@ -1,0 +1,203 @@
+"""Benchmark harness: timing, series collection, growth-rate analysis.
+
+Used by both the pytest-benchmark suites and the standalone ``run_*.py``
+harness scripts in ``benchmarks/`` that print the paper's tables.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import EvaluationBudgetExceeded
+
+
+class Measurement:
+    """One benchmark point: a label, a parameter value, and timings."""
+
+    def __init__(self, label: str, param: Any, seconds: List[float], extra: Any = None):
+        self.label = label
+        self.param = param
+        self.seconds = seconds
+        self.extra = extra
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.seconds)
+
+    @property
+    def best(self) -> float:
+        return min(self.seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Measurement({self.label}, {self.param}: {self.median * 1000:.2f}ms)"
+
+
+def time_call(
+    fn: Callable[[], Any],
+    repeat: int = 3,
+    warmup: int = 1,
+) -> Tuple[List[float], Any]:
+    """Run ``fn`` ``warmup + repeat`` times; return (timings, last result).
+
+    Warm-cache timing, as the paper reports ("the warm-cache running times
+    observed after the initial loading").
+    """
+    result = None
+    for _ in range(warmup):
+        result = fn()
+    timings = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        timings.append(time.perf_counter() - start)
+    return timings, result
+
+
+class TimeoutBudget:
+    """Per-point wall-clock cutoff for sweeps over exponential baselines.
+
+    Once a point exceeds ``limit_seconds``, subsequent points are skipped
+    and reported as timeouts — the role of the paper's 10-minute timeout
+    ("For n >= 25, the queries timed out").
+    """
+
+    def __init__(self, limit_seconds: float):
+        self.limit_seconds = limit_seconds
+        self.tripped = False
+
+    def run(self, fn: Callable[[], Any]) -> Optional[Tuple[float, Any]]:
+        """Execute once; None signals a (possibly inherited) timeout."""
+        if self.tripped:
+            return None
+        start = time.perf_counter()
+        try:
+            result = fn()
+        except EvaluationBudgetExceeded:
+            self.tripped = True
+            return None
+        elapsed = time.perf_counter() - start
+        if elapsed > self.limit_seconds:
+            self.tripped = True
+        return elapsed, result
+
+
+def sweep(
+    label: str,
+    params: Sequence[Any],
+    make_fn: Callable[[Any], Callable[[], Any]],
+    repeat: int = 3,
+    timeout_seconds: Optional[float] = None,
+) -> List[Measurement]:
+    """Measure ``make_fn(param)()`` for each parameter value.
+
+    With a timeout, a point that exceeds it stops the sweep (entries for
+    remaining params are omitted), mirroring the paper's dash entries.
+    """
+    budget = TimeoutBudget(timeout_seconds) if timeout_seconds else None
+    out: List[Measurement] = []
+    for param in params:
+        fn = make_fn(param)
+        if budget is not None:
+            shot = budget.run(fn)
+            if shot is None:
+                break
+            elapsed, result = shot
+            out.append(Measurement(label, param, [elapsed], extra=result))
+            if budget.tripped:
+                break
+        else:
+            timings, result = time_call(fn, repeat=repeat)
+            out.append(Measurement(label, param, timings, extra=result))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Growth-rate analysis
+# ----------------------------------------------------------------------
+
+def doubling_ratios(series: Sequence[Tuple[Any, float]]) -> List[float]:
+    """Successive time ratios t[i+1]/t[i] — an exponential-in-n algorithm
+    shows ratios near its base (2 for the diamond chain), a polynomial one
+    shows ratios tending to 1."""
+    ratios = []
+    for (_, a), (_, b) in zip(series, series[1:]):
+        if a > 0:
+            ratios.append(b / a)
+    return ratios
+
+
+def fit_exponent(series: Sequence[Tuple[float, float]]) -> float:
+    """Least-squares slope of log(time) against the parameter.
+
+    For times ~ C * 2**n the slope is ~ log(2) = 0.693; for polynomial
+    times the slope tends to 0 as n grows.
+    """
+    points = [(x, math.log(t)) for x, t in series if t > 0]
+    if len(points) < 2:
+        return 0.0
+    n = len(points)
+    sx = sum(x for x, _ in points)
+    sy = sum(y for _, y in points)
+    sxx = sum(x * x for x, _ in points)
+    sxy = sum(x * y for x, y in points)
+    denom = n * sxx - sx * sx
+    if denom == 0:
+        return 0.0
+    return (n * sxy - sx * sy) / denom
+
+
+def fit_power(series: Sequence[Tuple[float, float]]) -> float:
+    """Least-squares slope of log(time) against log(parameter): the
+    polynomial degree for times ~ C * n**d."""
+    return fit_exponent([(math.log(x), t) for x, t in series if x > 0])
+
+
+# ----------------------------------------------------------------------
+# Table rendering
+# ----------------------------------------------------------------------
+
+def format_seconds(seconds: Optional[float]) -> str:
+    """Paper-style duration formatting: ms / s / XmYs / '-' for timeout."""
+    if seconds is None:
+        return "-"
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes = int(seconds // 60)
+    return f"{minutes}m{seconds - 60 * minutes:.0f}s"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """A plain fixed-width text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Measurement",
+    "time_call",
+    "TimeoutBudget",
+    "sweep",
+    "doubling_ratios",
+    "fit_exponent",
+    "fit_power",
+    "format_seconds",
+    "render_table",
+]

@@ -1,0 +1,211 @@
+"""Command-line interface: run GSQL files against graphs on disk.
+
+Subcommands::
+
+    python -m repro run QUERY.gsql --graph graph.json [--param k=5] ...
+    python -m repro explain QUERY.gsql
+    python -m repro generate-snb out.json --scale 0.5 --seed 42
+    python -m repro semantics GRAPH.json SOURCE DARPE [--semantics ...]
+
+``run`` executes a ``CREATE QUERY`` file against a JSON graph (see
+``repro.graph.io``), prints PRINT output and result tables, and can
+switch engines with ``--engine counting|nre|nrv|asp-enum``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, List, Optional
+
+from .core.explain import explain_query
+from .core.validate import validate_query
+from .core.pattern import EngineMode
+from .core.values import Table
+from .darpe.automaton import CompiledDarpe
+from .enumeration import match_counts
+from .graph.io import load_graph_json, save_graph_json
+from .gsql import parse_query
+from .ldbc import generate_snb_graph
+from .paths import PathSemantics, single_source_sdmc
+
+_ENGINES = {
+    "counting": lambda: EngineMode.counting(),
+    "nre": lambda: EngineMode.enumeration(PathSemantics.NO_REPEATED_EDGE),
+    "nrv": lambda: EngineMode.enumeration(PathSemantics.NO_REPEATED_VERTEX),
+    "asp-enum": lambda: EngineMode.enumeration(PathSemantics.ALL_SHORTEST),
+}
+
+
+def _parse_param(text: str) -> tuple:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"parameters take the form name=value, got {text!r}"
+        )
+    name, raw = text.split("=", 1)
+    for caster in (int, float):
+        try:
+            return name, caster(raw)
+        except ValueError:
+            continue
+    if raw.lower() in ("true", "false"):
+        return name, raw.lower() == "true"
+    return name, raw
+
+
+def _print_value(value: Any) -> str:
+    if isinstance(value, Table):
+        lines = ["  " + " | ".join(value.columns)]
+        for row in value:
+            lines.append("  " + " | ".join(str(c) for c in row))
+        return "\n".join(lines)
+    return f"  {value!r}"
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    graph = load_graph_json(args.graph)
+    with open(args.query_file) as fh:
+        query = parse_query(fh.read())
+    mode = _ENGINES[args.engine]()
+    params = dict(args.param or [])
+    result = query.run(graph, mode=mode, **params)
+    for record in result.printed:
+        for key, value in record.items():
+            print(f"{key}:")
+            if isinstance(value, list):
+                for row in value:
+                    print(f"  {row}")
+            else:
+                print(f"  {value}")
+    for name, table in result.tables.items():
+        print(f"table {name} ({len(table)} rows):")
+        print(_print_value(table))
+    if result.returned is not None:
+        print("returned:")
+        print(_print_value(result.returned))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    with open(args.query_file) as fh:
+        query = parse_query(fh.read())
+    print(explain_query(query))
+    issues = validate_query(query)
+    if issues:
+        print("\nvalidation issues:")
+        for issue in issues:
+            print(f"  {issue}")
+        return 1
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    schema = None
+    if args.graph:
+        # JSON graphs are schema-free; synthesize a schema from the types
+        # actually present so pattern positions can be checked.
+        from .graph.schema import GraphSchema
+
+        graph = load_graph_json(args.graph)
+        schema = graph.schema or GraphSchema(graph.name)
+        if graph.schema is None:
+            for vtype in graph.vertex_types():
+                schema.vertex(vtype)
+            for etype in graph.edge_types():
+                schema.edge(etype)
+    with open(args.query_file) as fh:
+        query = parse_query(fh.read())
+    issues = validate_query(query, schema)
+    for issue in issues:
+        print(issue)
+    if not issues:
+        print("ok")
+    return 1 if issues else 0
+
+
+def cmd_generate_snb(args: argparse.Namespace) -> int:
+    graph = generate_snb_graph(scale_factor=args.scale, seed=args.seed)
+    save_graph_json(graph, args.output)
+    summary = graph.summary()
+    print(json.dumps(summary))
+    return 0
+
+
+def cmd_semantics(args: argparse.Namespace) -> int:
+    graph = load_graph_json(args.graph)
+    darpe = CompiledDarpe.parse(args.darpe)
+    source: Any = args.source
+    if source not in graph:
+        try:
+            source = int(args.source)
+        except ValueError:
+            pass
+    if args.semantics == "all-shortest-paths":
+        found = single_source_sdmc(graph, source, darpe)
+        rows = {vid: res.count for vid, res in found.items()}
+    else:
+        semantics = PathSemantics(args.semantics)
+        rows = match_counts(
+            graph, source, darpe, semantics,
+            max_length=args.max_length, budget=args.budget,
+        )
+    for target, count in sorted(rows.items(), key=lambda kv: str(kv[0])):
+        print(f"{target}\t{count}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a GSQL query file against a JSON graph")
+    run_p.add_argument("query_file")
+    run_p.add_argument("--graph", required=True)
+    run_p.add_argument("--engine", choices=sorted(_ENGINES), default="counting")
+    run_p.add_argument(
+        "--param", action="append", type=_parse_param, metavar="NAME=VALUE"
+    )
+    run_p.set_defaults(fn=cmd_run)
+
+    explain_p = sub.add_parser("explain", help="print a query's evaluation plan")
+    explain_p.add_argument("query_file")
+    explain_p.set_defaults(fn=cmd_explain)
+
+    validate_p = sub.add_parser(
+        "validate", help="statically check a query (optionally against a graph)"
+    )
+    validate_p.add_argument("query_file")
+    validate_p.add_argument("--graph", default=None)
+    validate_p.set_defaults(fn=cmd_validate)
+
+    gen_p = sub.add_parser("generate-snb", help="write an SNB-like graph as JSON")
+    gen_p.add_argument("output")
+    gen_p.add_argument("--scale", type=float, default=0.1)
+    gen_p.add_argument("--seed", type=int, default=42)
+    gen_p.set_defaults(fn=cmd_generate_snb)
+
+    sem_p = sub.add_parser(
+        "semantics", help="per-target match counts for a DARPE from a source"
+    )
+    sem_p.add_argument("graph")
+    sem_p.add_argument("source")
+    sem_p.add_argument("darpe")
+    sem_p.add_argument(
+        "--semantics",
+        choices=[s.value for s in PathSemantics],
+        default="all-shortest-paths",
+    )
+    sem_p.add_argument("--max-length", type=int, default=None)
+    sem_p.add_argument("--budget", type=int, default=None)
+    sem_p.set_defaults(fn=cmd_semantics)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

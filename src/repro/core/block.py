@@ -1,0 +1,410 @@
+"""The SELECT query block: FROM / WHERE / ACCUM / POST_ACCUM / outputs.
+
+Execution follows the declarative semantics of Section 4 exactly:
+
+1. capture block-entry snapshots for accumulators read with a prime;
+2. evaluate the FROM pattern to the compressed binding table;
+3. filter rows with WHERE (reads of accumulators see current values);
+4. Map phase: one acc-execution per row generates accumulator inputs
+   (weighted by the row's multiplicity per Appendix A);
+5. Reduce phase: fold the inputs into the accumulators;
+6. POST_ACCUM (per distinct vertex);
+7. produce the outputs: a vertex-set result and/or the multi-output
+   ``INTO`` tables, with DISTINCT / GROUP BY / HAVING / ORDER BY / LIMIT.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import QueryRuntimeError, TractabilityError
+from ..graph.elements import Vertex
+from ..paths.semantics import PathSemantics
+from .context import QueryContext
+from .exprs import (
+    AggCall,
+    Binary,
+    Call,
+    CaseExpr,
+    EvalEnv,
+    Expr,
+    Literal,
+    TupleExpr,
+    Unary,
+    contains_aggregate,
+    primed_accum_names,
+)
+from .pattern import BindingRow, EngineMode, Pattern, evaluate_pattern
+from .stmts import (
+    AccStatement,
+    InputBuffer,
+    collect_primed_names,
+    run_map_phase,
+    run_post_accum,
+)
+from .values import Table, VertexSet
+
+
+class OutputColumn:
+    """One projected column of an INTO fragment: expression plus alias."""
+
+    def __init__(self, expr: Expr, alias: Optional[str] = None):
+        self.expr = expr
+        self.alias = alias or self._derive_alias(expr)
+
+    @staticmethod
+    def _derive_alias(expr: Expr) -> str:
+        text = repr(expr)
+        return text.replace(" ", "")
+
+    def __repr__(self) -> str:
+        return f"{self.expr!r} AS {self.alias}"
+
+
+class OutputFragment:
+    """One semicolon-separated output of a multi-output SELECT clause
+    (Example 5): a column list materialized INTO a named table."""
+
+    def __init__(self, columns: Sequence[OutputColumn], into: str):
+        if not columns:
+            raise QueryRuntimeError("an output fragment needs at least one column")
+        self.columns = list(columns)
+        self.into = into
+
+    def has_aggregates(self) -> bool:
+        return any(contains_aggregate(col.expr) for col in self.columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(repr(c) for c in self.columns)
+        return f"{cols} INTO {self.into}"
+
+
+class SelectBlock:
+    """A full GSQL SELECT block (Figure 2/3/4 shape)."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        select_var: Optional[str] = None,
+        fragments: Optional[List[OutputFragment]] = None,
+        distinct: bool = False,
+        where: Optional[Expr] = None,
+        accum: Optional[List[AccStatement]] = None,
+        post_accum: Optional[List[AccStatement]] = None,
+        group_by: Optional[List[Expr]] = None,
+        having: Optional[Expr] = None,
+        order_by: Optional[List[Tuple[Expr, bool]]] = None,
+        limit: Optional[Expr] = None,
+        semantics: Optional["PathSemantics"] = None,
+    ):
+        self.pattern = pattern
+        self.select_var = select_var
+        self.fragments = fragments or []
+        self.distinct = distinct
+        self.where = where
+        self.accum = accum or []
+        self.post_accum = post_accum or []
+        self.group_by = group_by or []
+        self.having = having
+        self.order_by = order_by or []
+        self.limit = limit
+        #: Per-block matching-semantics override (the "syntactic sugar for
+        #: specifying semantic alternatives" Section 6.1 plans; GSQL text:
+        #: ``USING SEMANTICS 'no-repeated-edge'`` after the FROM pattern).
+        self.semantics = semantics
+
+    # ------------------------------------------------------------------
+    def execute(self, ctx: QueryContext, mode: EngineMode) -> Optional[VertexSet]:
+        from .planner import and_all, push_down_filters
+
+        if self.semantics is not None:
+            mode = mode.for_semantics(self.semantics)
+        self._check_tractability(ctx, mode)
+        primed = self._capture_primed(ctx)
+
+        # Filter pushdown: single-variable WHERE conjuncts apply while the
+        # pattern binds (restricting seeds/targets); the rest stays here.
+        var_filters, residual_conjuncts = push_down_filters(
+            self.where, set(self.pattern.variables())
+        )
+        residual = and_all(residual_conjuncts)
+        table = evaluate_pattern(ctx, self.pattern, mode, var_filters)
+        rows = table.rows
+        if residual is not None:
+            rows = [
+                row
+                for row in rows
+                if residual.eval(EvalEnv(ctx, row.bindings, None, primed))
+            ]
+
+        if self.accum:
+            buffer = InputBuffer()
+            locals_: Dict[str, Any] = {}
+            for row in rows:
+                env = EvalEnv(ctx, row.bindings, locals_, primed)
+                run_map_phase(self.accum, env, buffer, row.multiplicity)
+            buffer.flush()
+
+        if self.post_accum:
+            pattern_vars = set(self.pattern.variables())
+            run_post_accum(self.post_accum, ctx, rows, pattern_vars, primed)
+
+        for fragment in self.fragments:
+            self._emit_fragment(ctx, fragment, rows, primed)
+
+        if self.select_var is not None:
+            return self._vertex_set_result(ctx, rows, primed)
+        return None
+
+    # ------------------------------------------------------------------
+    def _check_tractability(self, ctx: QueryContext, mode: EngineMode) -> None:
+        """Reject order-dependent accumulation from Kleene patterns.
+
+        Such queries fall outside the tractable class of Section 7: a
+        binding with multiplicity μ would have to deposit μ list entries,
+        re-creating the exponential blow-up the compressed binding table
+        avoids.  (The enumeration engine materializes paths anyway, so the
+        combination is permitted there.)
+        """
+        if mode.kind != EngineMode.COUNTING or not self.pattern.has_kleene():
+            return
+        for stmt in self.accum:
+            target = getattr(stmt, "target", None)
+            if target is None:
+                continue
+            if not ctx.has_accum(target.name):
+                continue
+            decl = ctx.declaration(target.name)
+            if not decl.order_invariant:
+                raise TractabilityError(
+                    f"accumulator @{target.name} ({type(decl.factory()).type_name}) "
+                    f"is order-dependent and the FROM pattern contains a Kleene "
+                    f"star: this query is outside the tractable class "
+                    f"(Section 7); evaluate it with the enumeration engine "
+                    f"or drop the order-dependent accumulator"
+                )
+
+    def _capture_primed(self, ctx: QueryContext) -> Dict[str, Dict[Any, Any]]:
+        names = collect_primed_names(self.accum) | collect_primed_names(
+            self.post_accum
+        )
+        for expr in self._all_output_exprs():
+            names.update(primed_accum_names(expr))
+        snapshots: Dict[str, Dict[Any, Any]] = {}
+        for name in names:
+            if name.startswith("@@"):
+                snapshots[name] = {None: ctx.snapshot_global_accum(name[2:])}
+            else:
+                snapshots[name] = ctx.snapshot_vertex_accum(name)
+        return snapshots
+
+    def _all_output_exprs(self):
+        if self.where is not None:
+            yield self.where
+        for fragment in self.fragments:
+            for col in fragment.columns:
+                yield col.expr
+        for expr, _ in self.order_by:
+            yield expr
+        if self.having is not None:
+            yield self.having
+        yield from self.group_by
+
+    # ------------------------------------------------------------------
+    # Vertex-set result
+    # ------------------------------------------------------------------
+    def _vertex_set_result(
+        self,
+        ctx: QueryContext,
+        rows: List[BindingRow],
+        primed: Dict[str, Dict[Any, Any]],
+    ) -> VertexSet:
+        seen = set()
+        vertices: List[Vertex] = []
+        for row in rows:
+            vertex = row.bindings.get(self.select_var)
+            if vertex is None:
+                raise QueryRuntimeError(
+                    f"SELECT variable {self.select_var!r} is not bound by "
+                    f"the FROM pattern"
+                )
+            if not isinstance(vertex, Vertex):
+                raise QueryRuntimeError(
+                    f"SELECT variable {self.select_var!r} binds to a "
+                    f"non-vertex; vertex-set results need a vertex variable"
+                )
+            if vertex.vid not in seen:
+                seen.add(vertex.vid)
+                vertices.append(vertex)
+        if self.order_by:
+            def sort_key(v: Vertex):
+                env = EvalEnv(ctx, {self.select_var: v}, None, primed)
+                return tuple(
+                    _OrderKey(expr.eval(env), desc) for expr, desc in self.order_by
+                )
+
+            vertices.sort(key=sort_key)
+        if self.limit is not None:
+            env = EvalEnv(ctx, {}, None, primed)
+            vertices = vertices[: int(self.limit.eval(env))]
+        return VertexSet(ctx.graph, vertices)
+
+    # ------------------------------------------------------------------
+    # INTO fragments
+    # ------------------------------------------------------------------
+    def _emit_fragment(
+        self,
+        ctx: QueryContext,
+        fragment: OutputFragment,
+        rows: List[BindingRow],
+        primed: Dict[str, Dict[Any, Any]],
+    ) -> None:
+        out = Table(fragment.into, [col.alias for col in fragment.columns])
+        if fragment.has_aggregates() or self.group_by:
+            keyed_rows = self._aggregate_rows(ctx, fragment, rows, primed)
+        else:
+            keyed_rows = self._plain_rows(ctx, fragment, rows, primed)
+        if self.order_by:
+            keyed_rows.sort(key=lambda pair: pair[0])
+        for _, row in keyed_rows:
+            out.append(row)
+        if self.limit is not None:
+            env = EvalEnv(ctx, {}, None, primed)
+            out.truncate(int(self.limit.eval(env)))
+        ctx.tables[fragment.into] = out
+
+    def _plain_rows(self, ctx, fragment, rows, primed):
+        """Project per binding row, collapsing duplicate output tuples.
+
+        GSQL SELECT fragments materialize each distinct projected tuple
+        once: duplicates would only reflect path multiplicities, which the
+        accumulators already aggregate.
+        """
+        seen = set()
+        out = []
+        for row in rows:
+            env = EvalEnv(ctx, row.bindings, None, primed)
+            projected = tuple(col.expr.eval(env) for col in fragment.columns)
+            try:
+                key = projected
+                dup = key in seen
+            except TypeError:
+                dup = False  # unhashable values are kept as-is
+                key = None
+            if dup:
+                continue
+            if key is not None:
+                seen.add(key)
+            sort_key = tuple(
+                _OrderKey(expr.eval(env), desc) for expr, desc in self.order_by
+            )
+            out.append((sort_key, projected))
+        return out
+
+    def _aggregate_rows(self, ctx, fragment, rows, primed):
+        """SQL-style grouped aggregation over the (weighted) binding table."""
+        groups: Dict[Tuple, List[BindingRow]] = {}
+        order: List[Tuple] = []
+        for row in rows:
+            env = EvalEnv(ctx, row.bindings, None, primed)
+            key = tuple(expr.eval(env) for expr in self.group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        out = []
+        for key in order:
+            group = groups[key]
+            rep_env = EvalEnv(ctx, group[0].bindings, None, primed)
+            if self.having is not None and not _eval_in_group(
+                self.having, ctx, group, rep_env, primed
+            ):
+                continue
+            projected = tuple(
+                _eval_in_group(col.expr, ctx, group, rep_env, primed)
+                for col in fragment.columns
+            )
+            sort_key = tuple(
+                _OrderKey(_eval_in_group(expr, ctx, group, rep_env, primed), desc)
+                for expr, desc in self.order_by
+            )
+            out.append((sort_key, projected))
+        return out
+
+
+class _OrderKey:
+    """Sort key wrapper handling DESC and None-last ordering."""
+
+    __slots__ = ("value", "desc")
+
+    def __init__(self, value: Any, desc: bool):
+        self.value = value
+        self.desc = desc
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        a, b = self.value, other.value
+        if a is None:
+            return False
+        if b is None:
+            return True
+        if self.desc:
+            return b < a
+        return a < b
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _OrderKey) and self.value == other.value
+
+
+def _eval_in_group(
+    expr: Expr,
+    ctx: QueryContext,
+    group: List[BindingRow],
+    rep_env: EvalEnv,
+    primed: Dict[str, Dict[Any, Any]],
+) -> Any:
+    """Evaluate an expression in a GROUP BY group.
+
+    Aggregate calls fold over the group's rows with their multiplicities
+    (SQL bag semantics over the conceptual uncompressed table); everything
+    else evaluates against a representative row — well-defined for group
+    keys, which are constant within a group.
+    """
+    if not contains_aggregate(expr):
+        return expr.eval(rep_env)
+    if isinstance(expr, AggCall):
+        weighted: List[Tuple[Any, int]] = []
+        for row in group:
+            env = EvalEnv(ctx, row.bindings, None, primed)
+            value = expr.arg.eval(env) if expr.arg is not None else 1
+            weighted.append((value, row.multiplicity))
+        return expr.apply(weighted)
+    if isinstance(expr, Binary):
+        left = _eval_in_group(expr.left, ctx, group, rep_env, primed)
+        right = _eval_in_group(expr.right, ctx, group, rep_env, primed)
+        return Binary(expr.op, Literal(left), Literal(right)).eval(rep_env)
+    if isinstance(expr, Unary):
+        inner = _eval_in_group(expr.operand, ctx, group, rep_env, primed)
+        return Unary(expr.op, Literal(inner)).eval(rep_env)
+    if isinstance(expr, Call):
+        args = [
+            Literal(_eval_in_group(a, ctx, group, rep_env, primed))
+            for a in expr.args
+        ]
+        return Call(expr.name, args).eval(rep_env)
+    if isinstance(expr, TupleExpr):
+        return tuple(
+            _eval_in_group(item, ctx, group, rep_env, primed) for item in expr.items
+        )
+    if isinstance(expr, CaseExpr):
+        for cond, result in expr.whens:
+            if _eval_in_group(cond, ctx, group, rep_env, primed):
+                return _eval_in_group(result, ctx, group, rep_env, primed)
+        if expr.default is not None:
+            return _eval_in_group(expr.default, ctx, group, rep_env, primed)
+        return None
+    raise QueryRuntimeError(
+        f"aggregates may not appear under {type(expr).__name__} expressions"
+    )
+
+
+__all__ = ["OutputColumn", "OutputFragment", "SelectBlock"]

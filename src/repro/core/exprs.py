@@ -1,0 +1,682 @@
+"""Expression AST and evaluator for the query engine.
+
+Expressions appear in WHERE/HAVING conditions, ACCUM/POST_ACCUM statement
+right-hand sides, SELECT output lists, ORDER BY keys and control-flow
+conditions.  The same AST is produced by the GSQL parser and by the
+programmatic query-builder API.
+
+Name resolution is dynamic and follows GSQL's scoping: ACCUM-local
+variables shadow pattern variables, which shadow query parameters, which
+shadow vertex-set variables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..accum.mapaccum import MapAccum
+from ..accum.tuples import TupleValue
+from ..errors import QueryRuntimeError
+from ..graph.elements import Edge, Vertex
+from .context import QueryContext
+from .values import VertexSet
+
+
+class EvalEnv:
+    """One expression-evaluation environment.
+
+    ``row`` holds the pattern-variable bindings of the current binding-table
+    row; ``locals`` the ACCUM-local variables; ``primed`` the block-entry
+    snapshots backing ``v.@acc'`` reads.
+    """
+
+    __slots__ = ("ctx", "row", "locals", "primed")
+
+    def __init__(
+        self,
+        ctx: QueryContext,
+        row: Optional[Dict[str, Any]] = None,
+        locals_: Optional[Dict[str, Any]] = None,
+        primed: Optional[Dict[str, Dict[Any, Any]]] = None,
+    ):
+        self.ctx = ctx
+        self.row = row or {}
+        self.locals = locals_ if locals_ is not None else {}
+        self.primed = primed or {}
+
+    def child_with_locals(self) -> "EvalEnv":
+        return EvalEnv(self.ctx, self.row, dict(self.locals), self.primed)
+
+
+class Expr:
+    """Base expression node."""
+
+    __slots__ = ()
+
+    def eval(self, env: EvalEnv) -> Any:
+        raise NotImplementedError
+
+    def children(self) -> Iterator["Expr"]:
+        return iter(())
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class Literal(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def eval(self, env: EvalEnv) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class NameRef(Expr):
+    """A bare identifier: local var, pattern var, parameter or vertex set."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def eval(self, env: EvalEnv) -> Any:
+        if self.name in env.locals:
+            return env.locals[self.name]
+        if self.name in env.row:
+            return env.row[self.name]
+        if self.name in env.ctx.params:
+            return env.ctx.params[self.name]
+        if self.name in env.ctx.vertex_sets:
+            return env.ctx.vertex_sets[self.name]
+        if self.name in env.ctx.tables:
+            return env.ctx.tables[self.name]
+        raise QueryRuntimeError(f"unknown name {self.name!r} in expression")
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class AttrRef(Expr):
+    """Attribute access ``base.attr`` on vertices, edges, tuples, dicts."""
+
+    __slots__ = ("base", "attr")
+
+    def __init__(self, base: Expr, attr: str):
+        self.base = base
+        self.attr = attr
+
+    def children(self) -> Iterator[Expr]:
+        yield self.base
+
+    def eval(self, env: EvalEnv) -> Any:
+        base = self.base.eval(env)
+        if isinstance(base, (Vertex, Edge)):
+            if self.attr in base:
+                return base[self.attr]
+            raise QueryRuntimeError(
+                f"{base!r} has no attribute {self.attr!r}"
+            )
+        if isinstance(base, TupleValue):
+            return base.get(self.attr)
+        if isinstance(base, dict):
+            try:
+                return base[self.attr]
+            except KeyError:
+                raise QueryRuntimeError(
+                    f"map has no key {self.attr!r}"
+                ) from None
+        raise QueryRuntimeError(
+            f"cannot read attribute {self.attr!r} of {type(base).__name__}"
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.base!r}.{self.attr}"
+
+
+class GlobalAccumRef(Expr):
+    """``@@name`` — the value of a global accumulator.
+
+    SQL-borrowed clauses interpret it "as a constant equal to the internal
+    value" (Section 4.2), which is exactly what evaluation yields.
+    """
+
+    __slots__ = ("name", "primed")
+
+    def __init__(self, name: str, primed: bool = False):
+        self.name = name
+        self.primed = primed
+
+    def eval(self, env: EvalEnv) -> Any:
+        if self.primed:
+            snap = env.primed.get("@@" + self.name)
+            if snap is None:
+                raise QueryRuntimeError(
+                    f"no snapshot for @@{self.name}' (primed reads are only "
+                    f"valid inside a query block)"
+                )
+            return snap.get(None)
+        return env.ctx.global_accum(self.name).value
+
+    def __repr__(self) -> str:
+        return f"@@{self.name}" + ("'" if self.primed else "")
+
+
+class VertexAccumRef(Expr):
+    """``v.@name`` — the value of a vertex accumulator instance; with
+    ``primed=True``, the block-entry snapshot value ``v.@name'``."""
+
+    __slots__ = ("base", "name", "primed")
+
+    def __init__(self, base: Expr, name: str, primed: bool = False):
+        self.base = base
+        self.name = name
+        self.primed = primed
+
+    def children(self) -> Iterator[Expr]:
+        yield self.base
+
+    def eval(self, env: EvalEnv) -> Any:
+        vertex = self.base.eval(env)
+        if not isinstance(vertex, Vertex):
+            raise QueryRuntimeError(
+                f"@{self.name} must be read through a vertex variable, "
+                f"got {type(vertex).__name__}"
+            )
+        if self.primed:
+            snap = env.primed.get(self.name)
+            if snap is None:
+                raise QueryRuntimeError(
+                    f"no snapshot for @{self.name}' (the block never "
+                    f"captured one)"
+                )
+            # A vertex whose accumulator was never materialized reads the
+            # declared default.
+            if vertex.vid in snap:
+                return snap[vertex.vid]
+            return env.ctx.declaration(self.name).factory().value
+        return env.ctx.vertex_accum(self.name, vertex.vid).value
+
+    def __repr__(self) -> str:
+        return f"{self.base!r}.@{self.name}" + ("'" if self.primed else "")
+
+
+def _numeric_guard(op: str, left: Any, right: Any) -> None:
+    if left is None or right is None:
+        raise QueryRuntimeError(
+            f"operator {op!r} applied to NULL operand "
+            f"({left!r} {op} {right!r})"
+        )
+
+
+_BINARY_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Binary(Expr):
+    """Binary operator.  ``AND``/``OR`` short-circuit; ``IN`` tests
+    membership in sets/lists/vertex sets."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        self.op = op.upper() if op.upper() in ("AND", "OR", "IN", "NOT IN") else op
+        if self.op == "<>":
+            self.op = "!="
+        self.left = left
+        self.right = right
+
+    def children(self) -> Iterator[Expr]:
+        yield self.left
+        yield self.right
+
+    def eval(self, env: EvalEnv) -> Any:
+        if self.op == "AND":
+            return bool(self.left.eval(env)) and bool(self.right.eval(env))
+        if self.op == "OR":
+            return bool(self.left.eval(env)) or bool(self.right.eval(env))
+        left = self.left.eval(env)
+        right = self.right.eval(env)
+        if self.op in ("IN", "NOT IN"):
+            contained = self._contains(left, right)
+            return contained if self.op == "IN" else not contained
+        fn = _BINARY_OPS.get(self.op)
+        if fn is None:
+            raise QueryRuntimeError(f"unknown operator {self.op!r}")
+        if self.op in ("+", "-", "*", "/", "%", "<", "<=", ">", ">="):
+            _numeric_guard(self.op, left, right)
+        try:
+            return fn(left, right)
+        except ZeroDivisionError:
+            raise QueryRuntimeError(
+                f"division by zero: {left!r} {self.op} {right!r}"
+            ) from None
+        except TypeError as exc:
+            raise QueryRuntimeError(
+                f"type error in {left!r} {self.op} {right!r}: {exc}"
+            ) from None
+
+    @staticmethod
+    def _contains(item: Any, container: Any) -> bool:
+        if isinstance(container, VertexSet):
+            return item in container
+        if isinstance(container, MapAccum):
+            return item in container
+        try:
+            return item in container
+        except TypeError:
+            raise QueryRuntimeError(
+                f"right side of IN is not a collection: {container!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Unary(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr):
+        self.op = op.upper() if op.upper() == "NOT" else op
+        self.operand = operand
+
+    def children(self) -> Iterator[Expr]:
+        yield self.operand
+
+    def eval(self, env: EvalEnv) -> Any:
+        value = self.operand.eval(env)
+        if self.op == "NOT":
+            return not bool(value)
+        if self.op == "-":
+            if value is None:
+                raise QueryRuntimeError("unary minus applied to NULL")
+            return -value
+        if self.op == "+":
+            return value
+        raise QueryRuntimeError(f"unknown unary operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.op} {self.operand!r})"
+
+
+def _fn_year(x: Any) -> int:
+    """Year of a yyyymmdd-encoded date (the encoding used by the LDBC
+    substrate)."""
+    return int(x) // 10000
+
+
+def _fn_month(x: Any) -> int:
+    return int(x) // 100 % 100
+
+
+def _fn_day(x: Any) -> int:
+    return int(x) % 100
+
+
+_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "abs": abs,
+    "log": math.log,
+    "log2": math.log2,
+    "log10": math.log10,
+    "exp": math.exp,
+    "sqrt": math.sqrt,
+    "pow": pow,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "round": round,
+    "min": min,
+    "max": max,
+    "float": float,
+    "int": int,
+    "str": str,
+    "to_string": str,
+    "lower": lambda s: s.lower(),
+    "upper": lambda s: s.upper(),
+    "trim": lambda s: s.strip(),
+    "ltrim": lambda s: s.lstrip(),
+    "rtrim": lambda s: s.rstrip(),
+    "substr": lambda s, start, count=None: (
+        s[start:] if count is None else s[start : start + count]
+    ),
+    "find": lambda s, sub: s.find(sub),
+    "replace": lambda s, old, new: s.replace(old, new),
+    "contains": lambda s, sub: sub in s,
+    "starts_with": lambda s, prefix: s.startswith(prefix),
+    "ends_with": lambda s, suffix: s.endswith(suffix),
+    "split": lambda s, sep: tuple(s.split(sep)),
+    "concat": lambda *parts: "".join(str(p) for p in parts),
+    "length": len,
+    "size": len,
+    "coalesce": lambda *args: next((a for a in args if a is not None), None),
+    "year": _fn_year,
+    "month": _fn_month,
+    "day": _fn_day,
+}
+
+
+class Call(Expr):
+    """Function call: a builtin (``log(1 + o.@inCommon)``) or a
+    registered subquery (GSQL's query-calling-query composition —
+    resolved through the context's subquery registry, invoked with
+    positional arguments, evaluating to its RETURN value)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expr]):
+        self.name = name
+        self.args = tuple(args)
+
+    def children(self) -> Iterator[Expr]:
+        yield from self.args
+
+    def eval(self, env: EvalEnv) -> Any:
+        fn = _FUNCTIONS.get(self.name.lower())
+        values = [arg.eval(env) for arg in self.args]
+        if fn is None:
+            subquery = env.ctx.subqueries.get(self.name)
+            if subquery is None:
+                raise QueryRuntimeError(
+                    f"unknown function or subquery {self.name!r}"
+                )
+            return _run_subquery(env.ctx, subquery, values)
+        try:
+            return fn(*values)
+        except (ValueError, TypeError) as exc:
+            raise QueryRuntimeError(
+                f"error in {self.name}({', '.join(map(repr, values))}): {exc}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+class Method(Expr):
+    """Method call ``base.method(args)``.
+
+    On vertices: ``outdegree([edge_type])``, ``indegree([edge_type])``,
+    ``id()``, ``type()``.  On collection values: ``size()``,
+    ``contains(x)``, ``get(key[, default])``; on heap values ``top()``.
+    """
+
+    __slots__ = ("base", "name", "args")
+
+    def __init__(self, base: Expr, name: str, args: Sequence[Expr]):
+        self.base = base
+        self.name = name
+        self.args = tuple(args)
+
+    def children(self) -> Iterator[Expr]:
+        yield self.base
+        yield from self.args
+
+    def eval(self, env: EvalEnv) -> Any:
+        base = self.base.eval(env)
+        args = [arg.eval(env) for arg in self.args]
+        name = self.name.lower()
+        if isinstance(base, Vertex):
+            if name == "outdegree":
+                return env.ctx.graph.outdegree(base.vid, *args)
+            if name == "indegree":
+                return env.ctx.graph.indegree(base.vid, *args)
+            if name == "id":
+                return base.vid
+            if name == "type":
+                return base.type
+            raise QueryRuntimeError(f"vertices have no method {self.name!r}")
+        if isinstance(base, Edge) and name == "type":
+            return base.type
+        if name == "size":
+            try:
+                return len(base)
+            except TypeError:
+                raise QueryRuntimeError(
+                    f".size() on non-collection {base!r}"
+                ) from None
+        if name == "contains":
+            return args[0] in base
+        if name == "get":
+            if isinstance(base, dict):
+                return base.get(*args)
+            raise QueryRuntimeError(f".get() on non-map {base!r}")
+        if name == "top":
+            items = base if isinstance(base, tuple) else tuple(base)
+            return items[0] if items else None
+        raise QueryRuntimeError(
+            f"unknown method {self.name!r} on {type(base).__name__}"
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.base!r}.{self.name}({', '.join(map(repr, self.args))})"
+
+
+class TupleExpr(Expr):
+    """A plain tuple literal ``(a, b, c)`` (heap inputs, composite keys)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence[Expr]):
+        self.items = tuple(items)
+
+    def children(self) -> Iterator[Expr]:
+        yield from self.items
+
+    def eval(self, env: EvalEnv) -> Tuple[Any, ...]:
+        return tuple(item.eval(env) for item in self.items)
+
+    def __repr__(self) -> str:
+        return f"({', '.join(map(repr, self.items))})"
+
+
+class ArrowExpr(Expr):
+    """The GroupByAccum input form ``(k1, k2 -> a1, a2)`` (Example 12)."""
+
+    __slots__ = ("keys", "values")
+
+    def __init__(self, keys: Sequence[Expr], values: Sequence[Expr]):
+        self.keys = tuple(keys)
+        self.values = tuple(values)
+
+    def children(self) -> Iterator[Expr]:
+        yield from self.keys
+        yield from self.values
+
+    def eval(self, env: EvalEnv) -> Tuple[Tuple[Any, ...], Tuple[Any, ...]]:
+        return (
+            tuple(k.eval(env) for k in self.keys),
+            tuple(v.eval(env) for v in self.values),
+        )
+
+    def __repr__(self) -> str:
+        keys = ", ".join(map(repr, self.keys))
+        values = ", ".join(map(repr, self.values))
+        return f"({keys} -> {values})"
+
+
+class CaseExpr(Expr):
+    """``CASE WHEN c1 THEN e1 ... ELSE e END``."""
+
+    __slots__ = ("whens", "default")
+
+    def __init__(self, whens: Sequence[Tuple[Expr, Expr]], default: Optional[Expr]):
+        self.whens = tuple(whens)
+        self.default = default
+
+    def children(self) -> Iterator[Expr]:
+        for cond, result in self.whens:
+            yield cond
+            yield result
+        if self.default is not None:
+            yield self.default
+
+    def eval(self, env: EvalEnv) -> Any:
+        for cond, result in self.whens:
+            if cond.eval(env):
+                return result.eval(env)
+        if self.default is not None:
+            return self.default.eval(env)
+        return None
+
+    def __repr__(self) -> str:
+        body = " ".join(f"WHEN {c!r} THEN {r!r}" for c, r in self.whens)
+        tail = f" ELSE {self.default!r}" if self.default is not None else ""
+        return f"CASE {body}{tail} END"
+
+
+class AggCall(Expr):
+    """A SQL aggregate (count/sum/min/max/avg) inside a SELECT output.
+
+    Never evaluated directly — the SELECT executor groups rows and feeds
+    them through :meth:`apply`.  ``arg`` is None for ``count(*)``.
+    """
+
+    FUNCS = ("count", "sum", "min", "max", "avg")
+
+    __slots__ = ("func", "arg", "distinct")
+
+    def __init__(self, func: str, arg: Optional[Expr], distinct: bool = False):
+        func = func.lower()
+        if func not in self.FUNCS:
+            raise QueryRuntimeError(f"unknown aggregate function {func!r}")
+        self.func = func
+        self.arg = arg
+        self.distinct = distinct
+
+    def children(self) -> Iterator[Expr]:
+        if self.arg is not None:
+            yield self.arg
+
+    def eval(self, env: EvalEnv) -> Any:
+        raise QueryRuntimeError(
+            f"aggregate {self.func}() used outside a SELECT output clause"
+        )
+
+    def apply(self, weighted_values: List[Tuple[Any, int]]) -> Any:
+        """Fold ``(value, multiplicity)`` pairs per SQL bag semantics."""
+        if self.distinct:
+            seen = {}
+            for value, _ in weighted_values:
+                seen.setdefault(value, 1)
+            weighted_values = [(v, 1) for v in seen]
+        if self.func == "count":
+            return sum(mult for _, mult in weighted_values)
+        values = [(v, m) for v, m in weighted_values if v is not None]
+        if not values:
+            return None
+        if self.func == "sum":
+            return sum(v * m for v, m in values)
+        if self.func == "min":
+            return min(v for v, _ in values)
+        if self.func == "max":
+            return max(v for v, _ in values)
+        total = sum(v * m for v, m in values)
+        count = sum(m for _, m in values)
+        return total / count
+
+    def __repr__(self) -> str:
+        inner = "*" if self.arg is None else repr(self.arg)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.func}({prefix}{inner})"
+
+
+# ----------------------------------------------------------------------
+# Static analysis helpers
+# ----------------------------------------------------------------------
+
+def referenced_names(expr: Expr) -> Iterator[str]:
+    """Every bare identifier referenced by an expression."""
+    for node in expr.walk():
+        if isinstance(node, NameRef):
+            yield node.name
+
+
+def referenced_vertex_vars(expr: Expr, pattern_vars: set) -> set:
+    """Pattern variables an expression depends on (drives POST_ACCUM's
+    once-per-distinct-vertex execution)."""
+    return {name for name in referenced_names(expr) if name in pattern_vars}
+
+
+def primed_accum_names(expr: Expr) -> Iterator[str]:
+    """Names of accumulators read with the prime suffix."""
+    for node in expr.walk():
+        if isinstance(node, VertexAccumRef) and node.primed:
+            yield node.name
+        elif isinstance(node, GlobalAccumRef) and node.primed:
+            yield "@@" + node.name
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    return any(isinstance(node, AggCall) for node in expr.walk())
+
+
+def _run_subquery(ctx: QueryContext, subquery: Any, values: List[Any]) -> Any:
+    """Invoke a registered subquery with positional arguments.
+
+    The subquery runs against the caller's graph (fresh accumulator
+    state, same registered tables and subqueries) and yields its RETURN
+    value.
+    """
+    params = subquery.params
+    if len(values) != len(params):
+        raise QueryRuntimeError(
+            f"subquery {subquery.name!r} takes {len(params)} arguments, "
+            f"got {len(values)}"
+        )
+    kwargs = {param.name: value for param, value in zip(params, values)}
+    result = subquery.run(
+        ctx.graph,
+        tables={
+            name: table
+            for name, table in ctx.tables.items()
+        },
+        subqueries=ctx.subqueries,
+        **kwargs,
+    )
+    return result.returned
+
+
+def register_function(name: str, fn: Callable[..., Any]) -> None:
+    """Register a scalar function usable from query expressions (the
+    Python analogue of a GSQL scalar UDF)."""
+    _FUNCTIONS[name.lower()] = fn
+
+
+__all__ = [
+    "EvalEnv",
+    "Expr",
+    "Literal",
+    "NameRef",
+    "AttrRef",
+    "GlobalAccumRef",
+    "VertexAccumRef",
+    "Binary",
+    "Unary",
+    "Call",
+    "Method",
+    "TupleExpr",
+    "ArrowExpr",
+    "CaseExpr",
+    "AggCall",
+    "referenced_names",
+    "referenced_vertex_vars",
+    "primed_accum_names",
+    "contains_aggregate",
+    "register_function",
+]

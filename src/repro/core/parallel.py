@@ -1,0 +1,134 @@
+"""Bulk-synchronous parallel execution of the ACCUM Map phase.
+
+Section 4.3: "The snapshot semantics is compatible with bulk-synchronous
+parallel execution ... while guaranteeing deterministic semantics in all
+order-invariant use cases."  This module demonstrates that property
+concretely: the binding table is partitioned across workers, each worker
+runs its acc-executions into a *private* accumulator scratch (fresh
+instances), and the per-worker partials are folded together with each
+accumulator's ``merge`` — the parallel Reduce.
+
+The point is semantic (determinism through order invariance), not raw
+speed: CPython threads do not parallelize interpreter-bound work, so the
+default runs partitions sequentially; pass ``use_threads=True`` to
+exercise the same code path under a real thread pool.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..accum.base import Accumulator
+from ..errors import QueryRuntimeError
+from .context import QueryContext
+from .exprs import EvalEnv
+from .pattern import BindingRow
+from .stmts import AccStatement, AccumUpdate, LocalAssign
+
+
+class _Partial:
+    """One worker's private accumulation state.
+
+    Keyed the way the final merge needs it: global accumulators by name,
+    vertex accumulators by (name, vertex id).  Instances are created from
+    the context's declared factories, so defaults/initializers match.
+    """
+
+    def __init__(self, ctx: QueryContext):
+        self.ctx = ctx
+        self.globals: Dict[str, Accumulator] = {}
+        self.vertex: Dict[Tuple[str, Any], Accumulator] = {}
+
+    def accumulator_for(self, target, env: EvalEnv) -> Accumulator:
+        if target.is_global:
+            acc = self.globals.get(target.name)
+            if acc is None:
+                acc = self.ctx.declaration(target.name).factory()
+                self.globals[target.name] = acc
+            return acc
+        vertex = target.base.eval(env)
+        key = (target.name, vertex.vid)
+        acc = self.vertex.get(key)
+        if acc is None:
+            acc = self.ctx.declaration(target.name).factory()
+            self.vertex[key] = acc
+        return acc
+
+
+def _run_partition(
+    ctx: QueryContext,
+    statements: List[AccStatement],
+    rows: List[BindingRow],
+    primed: Dict[str, Dict[Any, Any]],
+) -> _Partial:
+    partial = _Partial(ctx)
+    locals_: Dict[str, Any] = {}
+    for row in rows:
+        env = EvalEnv(ctx, row.bindings, locals_, primed)
+        locals_.clear()
+        for stmt in statements:
+            if isinstance(stmt, LocalAssign):
+                locals_[stmt.name] = stmt.expr.eval(env)
+            elif isinstance(stmt, AccumUpdate):
+                if stmt.op != "+=":
+                    raise QueryRuntimeError(
+                        "parallel ACCUM supports only += statements "
+                        "(plain assignment is inherently a race)"
+                    )
+                value = stmt.expr.eval(env)
+                partial.accumulator_for(stmt.target, env).combine_weighted(
+                    value, row.multiplicity
+                )
+            else:
+                raise QueryRuntimeError(f"unknown ACCUM statement {stmt!r}")
+    return partial
+
+
+def parallel_accum(
+    ctx: QueryContext,
+    statements: List[AccStatement],
+    rows: List[BindingRow],
+    partitions: int = 4,
+    primed: Optional[Dict[str, Dict[Any, Any]]] = None,
+    use_threads: bool = False,
+) -> None:
+    """Execute an ACCUM clause over ``rows`` with a partitioned Map phase
+    and a merge-based Reduce, mutating the context's accumulators.
+
+    Deterministic whenever every target accumulator is order-invariant
+    (the engine's guarantee from Section 4.3); order-dependent targets
+    raise, since their parallel result would be nondeterministic.
+    """
+    primed = primed or {}
+    for stmt in statements:
+        if isinstance(stmt, AccumUpdate):
+            decl = ctx.declaration(stmt.target.name)
+            if not decl.order_invariant:
+                raise QueryRuntimeError(
+                    f"@{stmt.target.name} is order-dependent; parallel "
+                    f"execution would be nondeterministic (Section 4.3)"
+                )
+    partitions = max(1, min(partitions, len(rows) or 1))
+    chunks = [rows[i::partitions] for i in range(partitions)]
+
+    if use_threads and partitions > 1:
+        with ThreadPoolExecutor(max_workers=partitions) as pool:
+            partials = list(
+                pool.map(
+                    lambda chunk: _run_partition(ctx, statements, chunk, primed),
+                    chunks,
+                )
+            )
+    else:
+        partials = [_run_partition(ctx, statements, chunk, primed) for chunk in chunks]
+
+    # Reduce: merge worker partials into the live accumulators.
+    for partial in partials:
+        for name, acc in partial.globals.items():
+            ctx.global_accum(name).merge(acc)
+        for (name, vid), acc in partial.vertex.items():
+            ctx.vertex_accum(name, vid).merge(acc)
+
+
+__all__ = ["parallel_accum"]

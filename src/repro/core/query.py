@@ -1,0 +1,462 @@
+"""Queries: parameters, statement sequences and control flow.
+
+A :class:`Query` is a named sequence of statements — accumulator
+declarations, vertex-set assignments, SELECT blocks, global-accumulator
+updates, WHILE/IF control flow, PRINT and RETURN — mirroring a GSQL
+``CREATE QUERY`` body (Figures 1-4 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..accum.base import Accumulator
+from ..errors import QueryCompileError, QueryRuntimeError
+from ..graph.elements import Vertex
+from ..graph.graph import Graph
+from .block import SelectBlock
+from .context import AccumDecl, QueryContext
+from .exprs import EvalEnv, Expr
+from .pattern import EngineMode
+from .values import Table, VertexSet
+
+#: Iteration ceiling for WHILE loops without an explicit LIMIT, so a
+#: mis-specified convergence condition fails loudly instead of spinning.
+DEFAULT_WHILE_CEILING = 10_000
+
+
+class Statement:
+    """Base class for query-body statements."""
+
+    def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
+        raise NotImplementedError
+
+
+class DeclareAccum(Statement):
+    """Declare an accumulator, optionally with an initial value.
+
+    ``SumAccum<float> @score = 1`` declares a vertex accumulator whose
+    fresh instances start at 1 — the factory wraps the initialization, so
+    every lazily-created per-vertex instance starts there too.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scope: str,
+        factory: Callable[[], Accumulator],
+        initial: Optional[Expr] = None,
+    ):
+        self.name = name
+        self.scope = scope
+        self.base_factory = factory
+        self.initial = initial
+
+    def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
+        factory = self.base_factory
+        if getattr(factory, "takes_context", False):
+            # Factories whose construction depends on runtime parameters
+            # (e.g. HeapAccum<T>(k, ...) with k a query parameter).
+            factory = factory(ctx)
+        if self.initial is not None:
+            init_value = self.initial.eval(EvalEnv(ctx))
+            base = factory
+
+            def factory() -> Accumulator:
+                acc = base()
+                acc.assign(init_value)
+                return acc
+
+        ctx.declare(AccumDecl(self.name, self.scope, factory))
+
+
+class SetAssign(Statement):
+    """Vertex-set assignment: ``AllV = {Page.*}``, ``S = {param}``,
+    ``S = OtherSet`` or ``S = SELECT v FROM ...``."""
+
+    def __init__(self, name: str, source: Union[str, Sequence[str], SelectBlock]):
+        self.name = name
+        self.source = source
+
+    def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
+        if isinstance(self.source, SelectBlock):
+            result = self.source.execute(ctx, mode)
+            if result is None:
+                raise QueryCompileError(
+                    f"the SELECT assigned to {self.name!r} must select a "
+                    f"vertex variable"
+                )
+            ctx.set_vertex_set(self.name, result)
+            return
+        names = [self.source] if isinstance(self.source, str) else list(self.source)
+        vset = VertexSet(ctx.graph)
+        for name in names:
+            base, star = (name[:-2], True) if name.endswith(".*") else (name, False)
+            if star:
+                for v in ctx.graph.vertices(None if base in ("_", "ANY") else base):
+                    vset.add(v)
+            elif base in ctx.vertex_sets:
+                for v in ctx.vertex_sets[base]:
+                    vset.add(v)
+            elif base in ctx.params and isinstance(ctx.params[base], Vertex):
+                vset.add(ctx.params[base])
+            else:
+                raise QueryRuntimeError(
+                    f"cannot build a vertex set from {name!r}: not a "
+                    f"'Type.*' pattern, vertex set, or vertex parameter"
+                )
+        ctx.set_vertex_set(self.name, vset)
+
+
+class SetOpAssign(Statement):
+    """Vertex-set algebra: ``S = A UNION B``, ``INTERSECT``, ``MINUS``.
+
+    GSQL's set operators compose multi-block pipelines (frontier
+    management, excluded-set subtraction) without leaving the language.
+    """
+
+    OPS = ("UNION", "INTERSECT", "MINUS")
+
+    def __init__(self, name: str, left: str, op: str, right: str):
+        op = op.upper()
+        if op not in self.OPS:
+            raise QueryCompileError(f"unknown set operator {op!r}")
+        self.name = name
+        self.left = left
+        self.op = op
+        self.right = right
+
+    def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
+        left = ctx.vertex_set(self.left)
+        right = ctx.vertex_set(self.right)
+        result = VertexSet(ctx.graph)
+        if self.op == "UNION":
+            for v in left:
+                result.add(v)
+            for v in right:
+                result.add(v)
+        elif self.op == "INTERSECT":
+            for v in left:
+                if v in right:
+                    result.add(v)
+        else:  # MINUS
+            for v in left:
+                if v not in right:
+                    result.add(v)
+        ctx.set_vertex_set(self.name, result)
+
+
+class RunBlock(Statement):
+    """Execute a SELECT block, optionally assigning its vertex-set result."""
+
+    def __init__(self, block: SelectBlock, assign_to: Optional[str] = None):
+        self.block = block
+        self.assign_to = assign_to
+
+    def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
+        result = self.block.execute(ctx, mode)
+        if self.assign_to is not None:
+            if result is None:
+                raise QueryCompileError(
+                    f"block assigned to {self.assign_to!r} has no vertex-set "
+                    f"result"
+                )
+            ctx.set_vertex_set(self.assign_to, result)
+
+
+class GlobalAccumUpdate(Statement):
+    """Statement-level ``@@acc = expr`` / ``@@acc += expr`` (immediate —
+    outside query blocks there is no Map/Reduce phase to defer to)."""
+
+    def __init__(self, name: str, op: str, expr: Expr):
+        if op not in ("=", "+="):
+            raise QueryCompileError(f"global accumulator updates use = or +=")
+        self.name = name
+        self.op = op
+        self.expr = expr
+
+    def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
+        value = self.expr.eval(EvalEnv(ctx))
+        acc = ctx.global_accum(self.name)
+        if self.op == "=":
+            acc.assign(value)
+        else:
+            acc.combine(value)
+
+
+class While(Statement):
+    """``WHILE cond LIMIT n DO ... END`` (Figure 4's iteration primitive)."""
+
+    def __init__(self, cond: Expr, body: List[Statement], limit: Optional[Expr] = None):
+        self.cond = cond
+        self.body = body
+        self.limit = limit
+
+    def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
+        if self.limit is not None:
+            ceiling = int(self.limit.eval(EvalEnv(ctx)))
+        else:
+            ceiling = DEFAULT_WHILE_CEILING
+        iterations = 0
+        while bool(self.cond.eval(EvalEnv(ctx))):
+            if iterations >= ceiling:
+                if self.limit is not None:
+                    break
+                raise QueryRuntimeError(
+                    f"WHILE loop exceeded {DEFAULT_WHILE_CEILING} iterations "
+                    f"without a LIMIT clause; assuming runaway condition"
+                )
+            for stmt in self.body:
+                stmt.execute(ctx, mode)
+            iterations += 1
+
+
+class Foreach(Statement):
+    """``FOREACH x IN collection DO ... END``.
+
+    The collection expression may yield a vertex set, an accumulator's
+    collection value (Set/Bag/List), or any tuple.  The loop variable is
+    exposed to the body through the parameter namespace (shadowing any
+    same-named parameter for the loop's duration).
+    """
+
+    def __init__(self, var: str, collection: Expr, body: List[Statement]):
+        self.var = var
+        self.collection = collection
+        self.body = body
+
+    def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
+        value = self.collection.eval(EvalEnv(ctx))
+        if isinstance(value, dict):
+            items = list(value.items())
+        else:
+            try:
+                items = list(value)
+            except TypeError:
+                raise QueryRuntimeError(
+                    f"FOREACH needs an iterable, got {type(value).__name__}"
+                ) from None
+        had_prior = self.var in ctx.params
+        prior = ctx.params.get(self.var)
+        try:
+            for item in items:
+                ctx.params[self.var] = item
+                for stmt in self.body:
+                    stmt.execute(ctx, mode)
+        finally:
+            if had_prior:
+                ctx.params[self.var] = prior
+            else:
+                ctx.params.pop(self.var, None)
+
+
+class If(Statement):
+    """``IF cond THEN ... ELSE ... END``."""
+
+    def __init__(
+        self,
+        cond: Expr,
+        then: List[Statement],
+        otherwise: Optional[List[Statement]] = None,
+    ):
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise or []
+
+    def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
+        branch = self.then if bool(self.cond.eval(EvalEnv(ctx))) else self.otherwise
+        for stmt in branch:
+            stmt.execute(ctx, mode)
+
+
+class PrintItem:
+    """One item of a PRINT statement: an expression with an alias."""
+
+    def __init__(self, expr: Expr, alias: Optional[str] = None):
+        self.expr = expr
+        self.alias = alias or repr(expr)
+
+
+class PrintSetProjection:
+    """``PRINT R[R.name, R.@acc]`` — project a vertex set into rows, the
+    set name doubling as the per-vertex row variable (the Qn query of
+    Section 7.1)."""
+
+    def __init__(self, set_name: str, columns: List[PrintItem]):
+        self.set_name = set_name
+        self.columns = columns
+
+
+class Print(Statement):
+    def __init__(self, items: List[Union[PrintItem, PrintSetProjection]]):
+        self.items = items
+
+    def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
+        record: Dict[str, Any] = {}
+        for item in self.items:
+            if isinstance(item, PrintSetProjection):
+                vset = ctx.vertex_set(item.set_name)
+                rows = []
+                for vertex in vset:
+                    env = EvalEnv(ctx, {item.set_name: vertex})
+                    rows.append(
+                        {col.alias: col.expr.eval(env) for col in item.columns}
+                    )
+                record[item.set_name] = rows
+            else:
+                record[item.alias] = item.expr.eval(EvalEnv(ctx))
+        ctx.printed.append(record)
+
+
+class Return(Statement):
+    """``RETURN expr`` — the query's return value (tables, sets, scalars)."""
+
+    def __init__(self, expr: Expr):
+        self.expr = expr
+
+    def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
+        ctx.returned = self.expr.eval(EvalEnv(ctx))
+
+
+class Parameter:
+    """A query parameter: name, GSQL type name, optional default.
+
+    ``vertex`` / ``vertex<Type>`` parameters accept a vertex id (resolved
+    and type-checked against the graph at call time) or a Vertex.
+    """
+
+    def __init__(self, name: str, type_name: str = "ANY", default: Any = None):
+        self.name = name
+        self.type_name = type_name
+        self.default = default
+
+    @property
+    def vertex_type(self) -> Optional[str]:
+        t = self.type_name.lower()
+        if t == "vertex":
+            return "_"
+        if t.startswith("vertex<") and t.endswith(">"):
+            return self.type_name[7:-1]
+        return None
+
+    def resolve(self, graph: Graph, value: Any) -> Any:
+        vtype = self.vertex_type
+        if vtype is None:
+            return value
+        if isinstance(value, Vertex):
+            vertex = value
+        else:
+            vertex = graph.vertex(value)
+        if vtype != "_" and vertex.type != vtype:
+            raise QueryRuntimeError(
+                f"parameter {self.name!r} expects a {vtype} vertex, got "
+                f"{vertex.type}:{vertex.vid}"
+            )
+        return vertex
+
+
+class QueryResult:
+    """Everything a query execution produced."""
+
+    def __init__(self, ctx: QueryContext):
+        self._ctx = ctx
+        self.tables: Dict[str, Table] = dict(ctx.tables)
+        self.printed: List[Dict[str, Any]] = list(ctx.printed)
+        self.returned: Any = ctx.returned
+        self.vertex_sets: Dict[str, VertexSet] = dict(ctx.vertex_sets)
+
+    def table(self, name: str) -> Table:
+        return self._ctx.table(name)
+
+    def global_accum(self, name: str) -> Any:
+        return self._ctx.global_accum(name).value
+
+    def vertex_accum(self, name: str) -> Dict[Any, Any]:
+        """Materialized per-vertex values of one vertex accumulator."""
+        return dict(self._ctx.vertex_accum_values(name))
+
+    @property
+    def context(self) -> QueryContext:
+        return self._ctx
+
+
+class Query:
+    """A compiled query, runnable against any compatible graph."""
+
+    def __init__(
+        self,
+        name: str,
+        statements: List[Statement],
+        params: Optional[List[Parameter]] = None,
+        graph_name: Optional[str] = None,
+    ):
+        self.name = name
+        self.statements = statements
+        self.params = params or []
+        self.graph_name = graph_name
+
+    def run(
+        self,
+        graph: Graph,
+        mode: Optional[EngineMode] = None,
+        tables: Optional[Dict[str, Table]] = None,
+        subqueries: Optional[Dict[str, "Query"]] = None,
+        **param_values: Any,
+    ) -> QueryResult:
+        """Execute against ``graph``.
+
+        ``mode`` selects the evaluation engine; the default is the paper's
+        counting engine under all-shortest-paths semantics.  ``tables``
+        registers relational input tables, scannable from FROM clauses
+        (the Figure 1 graph-table join).  Parameter values are keyword
+        arguments matching the declared parameters.
+        """
+        mode = mode or EngineMode.counting()
+        resolved: Dict[str, Any] = {}
+        declared = {p.name for p in self.params}
+        for key in param_values:
+            if key not in declared:
+                raise QueryRuntimeError(
+                    f"query {self.name!r} has no parameter {key!r}"
+                )
+        for param in self.params:
+            if param.name in param_values:
+                resolved[param.name] = param.resolve(graph, param_values[param.name])
+            elif param.default is not None:
+                resolved[param.name] = param.resolve(graph, param.default)
+            else:
+                raise QueryRuntimeError(
+                    f"missing required parameter {param.name!r} of query "
+                    f"{self.name!r}"
+                )
+        ctx = QueryContext(graph, resolved)
+        if tables:
+            ctx.tables.update(tables)
+        if subqueries:
+            ctx.subqueries.update(subqueries)
+        for stmt in self.statements:
+            stmt.execute(ctx, mode)
+        return QueryResult(ctx)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        params = ", ".join(f"{p.type_name} {p.name}" for p in self.params)
+        return f"Query({self.name}({params}), {len(self.statements)} statements)"
+
+
+__all__ = [
+    "Statement",
+    "DeclareAccum",
+    "SetAssign",
+    "RunBlock",
+    "GlobalAccumUpdate",
+    "While",
+    "If",
+    "Print",
+    "PrintItem",
+    "PrintSetProjection",
+    "Return",
+    "Parameter",
+    "Query",
+    "QueryResult",
+    "DEFAULT_WHILE_CEILING",
+]

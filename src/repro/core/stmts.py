@@ -1,0 +1,298 @@
+"""ACCUM / POST_ACCUM statements and their snapshot execution.
+
+The ACCUM clause executes once per binding-table row under **snapshot
+semantics** (Section 4.3): every execution reads the accumulator values as
+they were at block entry (the Map phase merely *generates inputs*), and
+the generated inputs are folded into the accumulators only after all
+executions finished (the Reduce phase).  This module implements the input
+buffer and the two phases; the weighted variant of the Reduce phase is the
+Appendix A trick that turns a row with multiplicity μ into a single
+``combine_weighted(value, μ)`` call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..accum.base import Accumulator
+from ..errors import QueryCompileError, QueryRuntimeError
+from ..graph.elements import Vertex
+from .context import QueryContext
+from .exprs import EvalEnv, Expr, primed_accum_names, referenced_names
+
+
+class AccumTarget:
+    """The left-hand side of an ACCUM statement: ``@@name`` or ``v.@name``."""
+
+    def __init__(self, name: str, base: Optional[Expr] = None):
+        self.name = name
+        self.base = base  # None => global accumulator
+
+    @property
+    def is_global(self) -> bool:
+        return self.base is None
+
+    def resolve(self, env: EvalEnv) -> Accumulator:
+        if self.base is None:
+            return env.ctx.global_accum(self.name)
+        vertex = self.base.eval(env)
+        if not isinstance(vertex, Vertex):
+            raise QueryRuntimeError(
+                f"accumulator @{self.name} addressed through non-vertex "
+                f"{type(vertex).__name__}"
+            )
+        return env.ctx.vertex_accum(self.name, vertex.vid)
+
+    def referenced_names(self) -> Iterator[str]:
+        if self.base is not None:
+            yield from referenced_names(self.base)
+
+    def __repr__(self) -> str:
+        if self.base is None:
+            return f"@@{self.name}"
+        return f"{self.base!r}.@{self.name}"
+
+
+class AccStatement:
+    """Base class of statements allowed in ACCUM/POST_ACCUM clauses."""
+
+    def referenced_names(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def primed_names(self) -> Iterator[str]:
+        raise NotImplementedError
+
+
+class LocalAssign(AccStatement):
+    """An ACCUM-local variable: ``FLOAT salesPrice = ...`` or a re-bind."""
+
+    def __init__(self, name: str, expr: Expr, type_name: Optional[str] = None):
+        self.name = name
+        self.expr = expr
+        self.type_name = type_name
+
+    def referenced_names(self) -> Iterator[str]:
+        yield from referenced_names(self.expr)
+
+    def primed_names(self) -> Iterator[str]:
+        yield from primed_accum_names(self.expr)
+
+    def __repr__(self) -> str:
+        return f"{self.name} = {self.expr!r}"
+
+
+class AccumUpdate(AccStatement):
+    """``target += expr`` (combine) or ``target = expr`` (assign)."""
+
+    def __init__(self, target: AccumTarget, op: str, expr: Expr):
+        if op not in ("+=", "="):
+            raise QueryCompileError(f"accumulator statements use += or =, not {op!r}")
+        self.target = target
+        self.op = op
+        self.expr = expr
+
+    def referenced_names(self) -> Iterator[str]:
+        yield from self.target.referenced_names()
+        yield from referenced_names(self.expr)
+
+    def primed_names(self) -> Iterator[str]:
+        yield from primed_accum_names(self.expr)
+
+    def __repr__(self) -> str:
+        return f"{self.target!r} {self.op} {self.expr!r}"
+
+
+class AttributeUpdate(AccStatement):
+    """``v.attr = expr`` in POST_ACCUM: persist a computed value into a
+    vertex attribute (how GSQL algorithms write results back to the
+    graph, e.g. storing final PageRank scores).
+
+    Only allowed in POST_ACCUM — inside ACCUM, concurrent acc-executions
+    for the same vertex would race on the attribute.
+    """
+
+    def __init__(self, base: Expr, attr: str, expr: Expr):
+        self.base = base
+        self.attr = attr
+        self.expr = expr
+
+    def referenced_names(self) -> Iterator[str]:
+        yield from referenced_names(self.base)
+        yield from referenced_names(self.expr)
+
+    def primed_names(self) -> Iterator[str]:
+        yield from primed_accum_names(self.expr)
+
+    def __repr__(self) -> str:
+        return f"{self.base!r}.{self.attr} = {self.expr!r}"
+
+
+class InputBuffer:
+    """The Map-phase output: buffered accumulator inputs.
+
+    ``adds`` pairs each accumulator instance with (value, multiplicity)
+    inputs; ``sets`` records plain assignments.  :meth:`flush` is the
+    Reduce phase: assignments first (deterministically, in generation
+    order), then weighted combines.
+    """
+
+    def __init__(self) -> None:
+        self._adds: List[Tuple[Accumulator, Any, int]] = []
+        self._sets: List[Tuple[Accumulator, Any]] = []
+
+    def add(self, acc: Accumulator, value: Any, multiplicity: int) -> None:
+        self._adds.append((acc, value, multiplicity))
+
+    def set(self, acc: Accumulator, value: Any) -> None:
+        self._sets.append((acc, value))
+
+    def flush(self) -> None:
+        for acc, value in self._sets:
+            acc.assign(value)
+        for acc, value, multiplicity in self._adds:
+            acc.combine_weighted(value, multiplicity)
+        self._adds.clear()
+        self._sets.clear()
+
+    def __len__(self) -> int:
+        return len(self._adds) + len(self._sets)
+
+
+def run_map_phase(
+    statements: List[AccStatement],
+    env: EvalEnv,
+    buffer: InputBuffer,
+    multiplicity: int,
+) -> None:
+    """Execute one acc-execution (one binding-table row) of an ACCUM
+    clause, buffering its accumulator inputs.
+
+    Local variables live for the duration of the one execution; the
+    Appendix A simulation applies: an input generated by a row with
+    multiplicity μ is buffered once with weight μ instead of μ times.
+    """
+    env.locals.clear()
+    for stmt in statements:
+        if isinstance(stmt, LocalAssign):
+            env.locals[stmt.name] = stmt.expr.eval(env)
+        elif isinstance(stmt, AccumUpdate):
+            value = stmt.expr.eval(env)
+            acc = stmt.target.resolve(env)
+            if stmt.op == "+=":
+                buffer.add(acc, value, multiplicity)
+            else:
+                buffer.set(acc, value)
+        elif isinstance(stmt, AttributeUpdate):
+            raise QueryRuntimeError(
+                "attribute assignments are only allowed in POST_ACCUM "
+                "(in ACCUM, acc-executions for the same vertex would race)"
+            )
+        else:
+            raise QueryRuntimeError(f"unknown ACCUM statement {stmt!r}")
+
+
+def run_post_accum(
+    statements: List[AccStatement],
+    ctx: QueryContext,
+    rows: List,
+    pattern_vars: set,
+    primed: Dict[str, Dict[Any, Any]],
+) -> None:
+    """Execute a POST_ACCUM clause.
+
+    Statement-major, once per *distinct* binding of the vertex variables
+    each statement references (GSQL's POST-ACCUM is per-vertex, not
+    per-row — multiplicities do not apply).  Plain assignments take effect
+    immediately (so later statements observe them, as PageRank's
+    ``v.@score = ...`` / ``abs(v.@score - v.@score')`` sequence requires);
+    ``+=`` inputs are buffered and folded in after the whole clause, which
+    keeps the phase order-invariant.
+    """
+    buffer = InputBuffer()
+    for stmt in statements:
+        deps = sorted(
+            {name for name in stmt.referenced_names() if name in pattern_vars}
+        )
+        executions = _distinct_projections(rows, deps)
+        locals_: Dict[str, Any] = {}
+        for binding in executions:
+            env = EvalEnv(ctx, binding, locals_, primed)
+            locals_.clear()
+            if isinstance(stmt, LocalAssign):
+                raise QueryRuntimeError(
+                    "local variables are not allowed in POST_ACCUM "
+                    "(each statement runs per distinct vertex)"
+                )
+            if isinstance(stmt, AttributeUpdate):
+                vertex = stmt.base.eval(env)
+                if not isinstance(vertex, Vertex):
+                    raise QueryRuntimeError(
+                        f"attribute assignment needs a vertex, got "
+                        f"{type(vertex).__name__}"
+                    )
+                value = stmt.expr.eval(env)
+                schema = ctx.graph.schema
+                if schema is not None:
+                    decl = schema.vertex_type(vertex.type).attributes.get(stmt.attr)
+                    if decl is None:
+                        raise QueryRuntimeError(
+                            f"vertex type {vertex.type!r} has no attribute "
+                            f"{stmt.attr!r}"
+                        )
+                    decl.validate(value)
+                vertex.set(stmt.attr, value)
+                continue
+            if not isinstance(stmt, AccumUpdate):
+                raise QueryRuntimeError(f"unknown POST_ACCUM statement {stmt!r}")
+            value = stmt.expr.eval(env)
+            acc = stmt.target.resolve(env)
+            if stmt.op == "=":
+                acc.assign(value)
+            else:
+                buffer.add(acc, value, 1)
+    buffer.flush()
+
+
+def _distinct_projections(rows: List, variables: List[str]) -> List[Dict[str, Any]]:
+    """Distinct projections of binding rows onto some variables.
+
+    With no variables the statement is global and executes exactly once
+    (provided the binding table is non-empty).
+    """
+    if not variables:
+        return [{}] if rows else []
+    seen = set()
+    out: List[Dict[str, Any]] = []
+    for row in rows:
+        bindings = row.bindings
+        key = tuple(_identity(bindings.get(v)) for v in variables)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append({v: bindings[v] for v in variables if v in bindings})
+    return out
+
+
+def _identity(value: Any) -> Any:
+    if isinstance(value, Vertex):
+        return ("v", value.vid)
+    return value
+
+
+def collect_primed_names(statements: List[AccStatement]) -> set:
+    names = set()
+    for stmt in statements:
+        names.update(stmt.primed_names())
+    return names
+
+
+__all__ = [
+    "AccumTarget",
+    "AccStatement",
+    "LocalAssign",
+    "AccumUpdate",
+    "InputBuffer",
+    "run_map_phase",
+    "run_post_accum",
+    "collect_primed_names",
+]

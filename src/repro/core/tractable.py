@@ -1,0 +1,100 @@
+"""Static tractability analysis (Section 7's "tractable class").
+
+A query is in the tractable class when:
+
+* it binds no path variables (the engine's AST cannot express them, so
+  this holds by construction — recorded here for completeness);
+* no vertex/edge variable is bound inside the scope of a Kleene star
+  (enforced at pattern-construction time: edge variables require
+  single-edge DARPEs);
+* it uses no order-dependent accumulators (ListAccum, ArrayAccum,
+  SumAccum<string>) — these would need one entry per *path*, defeating
+  the compressed binding table.
+
+:func:`analyze_query` reports violations; the engine additionally refuses
+at runtime the genuinely dangerous combination (order-dependent
+accumulator fed from a Kleene pattern) — see
+:meth:`repro.core.block.SelectBlock._check_tractability`.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from .block import SelectBlock
+from .query import DeclareAccum, If, Query, RunBlock, SetAssign, Statement, While
+from .stmts import AccumUpdate
+
+
+class TractabilityViolation(NamedTuple):
+    """One reason a query falls outside the tractable class."""
+
+    kind: str
+    detail: str
+
+
+def _iter_blocks(statements: List[Statement]):
+    for stmt in statements:
+        if isinstance(stmt, RunBlock):
+            yield stmt.block
+        elif isinstance(stmt, SetAssign) and isinstance(stmt.source, SelectBlock):
+            yield stmt.source
+        elif isinstance(stmt, While):
+            yield from _iter_blocks(stmt.body)
+        elif isinstance(stmt, If):
+            yield from _iter_blocks(stmt.then)
+            yield from _iter_blocks(stmt.otherwise)
+
+
+def _iter_decls(statements: List[Statement]):
+    for stmt in statements:
+        if isinstance(stmt, DeclareAccum):
+            yield stmt
+        elif isinstance(stmt, While):
+            yield from _iter_decls(stmt.body)
+        elif isinstance(stmt, If):
+            yield from _iter_decls(stmt.then)
+            yield from _iter_decls(stmt.otherwise)
+
+
+def analyze_query(query: Query) -> List[TractabilityViolation]:
+    """All tractability violations of a query (empty list = tractable).
+
+    The check is conservative in the paper's direction: *any* use of an
+    order-dependent accumulator is reported, matching Section 7's class
+    definition, even though only the Kleene-fed uses actually blow up.
+    """
+    violations: List[TractabilityViolation] = []
+    order_dependent = set()
+    for decl in _iter_decls(query.statements):
+        probe = decl.base_factory()
+        if not probe.order_invariant:
+            order_dependent.add(decl.name)
+            violations.append(
+                TractabilityViolation(
+                    "order-dependent-accumulator",
+                    f"@{decl.name} has order-dependent type {probe.type_name}",
+                )
+            )
+    for block in _iter_blocks(query.statements):
+        if not block.pattern.has_kleene():
+            continue
+        for stmt in block.accum:
+            if isinstance(stmt, AccumUpdate) and stmt.target.name in order_dependent:
+                violations.append(
+                    TractabilityViolation(
+                        "kleene-feeds-order-dependent",
+                        f"@{stmt.target.name} receives inputs from a Kleene "
+                        f"pattern ({block.pattern!r}); evaluation would "
+                        f"require per-path materialization",
+                    )
+                )
+    return violations
+
+
+def is_tractable(query: Query) -> bool:
+    """True when the query is in the Section 7 tractable class."""
+    return not analyze_query(query)
+
+
+__all__ = ["TractabilityViolation", "analyze_query", "is_tractable"]

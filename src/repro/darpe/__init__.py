@@ -1,0 +1,44 @@
+"""Direction-Aware Regular Path Expressions (DARPEs).
+
+Parsing (:func:`parse_darpe`), static analysis (length ranges,
+fixed-unique-length detection) and compilation to automata
+(:class:`CompiledDarpe`), per Section 2 of the paper.
+"""
+
+from .ast import (
+    Alt,
+    Concat,
+    DarpeNode,
+    Epsilon,
+    Repeat,
+    Star,
+    Symbol,
+    contains_kleene,
+    fixed_unique_length,
+    length_range,
+    normalize,
+    symbols,
+)
+from .automaton import NFA, AdornedSymbol, CompiledDarpe, LazyDFA, compile_nfa
+from .parser import parse_darpe
+
+__all__ = [
+    "Alt",
+    "Concat",
+    "DarpeNode",
+    "Epsilon",
+    "Repeat",
+    "Star",
+    "Symbol",
+    "contains_kleene",
+    "fixed_unique_length",
+    "length_range",
+    "normalize",
+    "symbols",
+    "NFA",
+    "AdornedSymbol",
+    "CompiledDarpe",
+    "LazyDFA",
+    "compile_nfa",
+    "parse_darpe",
+]

@@ -1,0 +1,307 @@
+"""Abstract syntax trees for Direction-Aware Regular Path Expressions.
+
+The grammar follows Section 2 of the paper::
+
+    rpe    ->  '_' | EdgeType | '(' rpe ')' | rpe '*' bounds?
+             | rpe '.' rpe | rpe '|' rpe
+    bounds ->  N? '..' N?
+
+extended with direction adornments: for every edge type ``E`` the
+direction-adorned alphabet contains ``E>`` (cross a directed E-edge along
+its orientation), ``<E`` (against it) and bare ``E`` (an undirected
+E-edge).  The wildcard ``_`` may be adorned the same way (``_>``, ``<_``,
+``_``).
+
+Nodes are immutable and hashable; :func:`normalize` lowers bounded repeats
+into the core Symbol/Concat/Alt/Star/Epsilon fragment used by the NFA
+builder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..graph.elements import FORWARD, REVERSE, UNDIRECTED, adorn
+
+
+class DarpeNode:
+    """Base class for DARPE AST nodes."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))  # type: ignore[attr-defined]
+
+
+class Symbol(DarpeNode):
+    """A direction-adorned edge-type symbol.
+
+    ``edge_type`` is ``None`` for the wildcard ``_``; ``direction`` is one
+    of the adornment constants from :mod:`repro.graph.elements`.
+    """
+
+    __slots__ = ("edge_type", "direction")
+
+    def __init__(self, edge_type: Optional[str], direction: str):
+        self.edge_type = edge_type
+        self.direction = direction
+
+    def _key(self):
+        return (self.edge_type, self.direction)
+
+    def matches(self, edge_type: str, direction: str) -> bool:
+        """Does this symbol match a concrete adorned edge crossing?"""
+        return self.direction == direction and (
+            self.edge_type is None or self.edge_type == edge_type
+        )
+
+    def __repr__(self) -> str:
+        return adorn(self.edge_type if self.edge_type is not None else "_", self.direction)
+
+
+class Epsilon(DarpeNode):
+    """The empty word (arises from lowering optional repetitions)."""
+
+    __slots__ = ()
+
+    def _key(self):
+        return ()
+
+    def __repr__(self) -> str:
+        return "ε"
+
+
+class Concat(DarpeNode):
+    """Concatenation ``r1 . r2 . ... . rk``."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Tuple[DarpeNode, ...]):
+        self.parts = tuple(parts)
+
+    def _key(self):
+        return self.parts
+
+    def __repr__(self) -> str:
+        return ".".join(_paren(p, self) for p in self.parts)
+
+
+class Alt(DarpeNode):
+    """Alternation ``r1 | r2 | ... | rk``."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Tuple[DarpeNode, ...]):
+        self.parts = tuple(parts)
+
+    def _key(self):
+        return self.parts
+
+    def __repr__(self) -> str:
+        return "|".join(repr(p) for p in self.parts)
+
+
+class Star(DarpeNode):
+    """Unbounded Kleene repetition ``r*`` (zero or more)."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: DarpeNode):
+        self.inner = inner
+
+    def _key(self):
+        return (self.inner,)
+
+    def __repr__(self) -> str:
+        return f"{_paren(self.inner, self)}*"
+
+
+class Repeat(DarpeNode):
+    """Bounded repetition ``r* m..M``; ``max_count`` None means unbounded.
+
+    ``E>*2..4`` parses to ``Repeat(Symbol(E,>), 2, 4)``.
+    """
+
+    __slots__ = ("inner", "min_count", "max_count")
+
+    def __init__(self, inner: DarpeNode, min_count: int, max_count: Optional[int]):
+        if min_count < 0:
+            raise ValueError("repetition lower bound must be non-negative")
+        if max_count is not None and max_count < min_count:
+            raise ValueError("repetition upper bound below lower bound")
+        self.inner = inner
+        self.min_count = min_count
+        self.max_count = max_count
+
+    def _key(self):
+        return (self.inner, self.min_count, self.max_count)
+
+    def __repr__(self) -> str:
+        lo = str(self.min_count) if self.min_count else ""
+        hi = str(self.max_count) if self.max_count is not None else ""
+        return f"{_paren(self.inner, self)}*{lo}..{hi}"
+
+
+def _paren(node: DarpeNode, parent: DarpeNode) -> str:
+    """Parenthesize a child when needed for a faithful round-trip repr."""
+    needs = isinstance(node, Alt) or (
+        isinstance(node, Concat) and isinstance(parent, (Star, Repeat))
+    )
+    return f"({node!r})" if needs else repr(node)
+
+
+# ----------------------------------------------------------------------
+# Lowering and static analysis
+# ----------------------------------------------------------------------
+
+def normalize(node: DarpeNode) -> DarpeNode:
+    """Lower :class:`Repeat` nodes into the Symbol/Concat/Alt/Star/Epsilon
+    core so the NFA builder only handles five node kinds.
+
+    ``r*m..M``  becomes ``r^m . (r|ε)^(M-m)`` and ``r*m..`` becomes
+    ``r^m . r*``.
+    """
+    if isinstance(node, Symbol) or isinstance(node, Epsilon):
+        return node
+    if isinstance(node, Concat):
+        return Concat(tuple(normalize(p) for p in node.parts))
+    if isinstance(node, Alt):
+        return Alt(tuple(normalize(p) for p in node.parts))
+    if isinstance(node, Star):
+        return Star(normalize(node.inner))
+    if isinstance(node, Repeat):
+        inner = normalize(node.inner)
+        parts = [inner] * node.min_count
+        if node.max_count is None:
+            parts.append(Star(inner))
+        else:
+            optional = Alt((inner, Epsilon()))
+            parts.extend([optional] * (node.max_count - node.min_count))
+        if not parts:
+            return Epsilon()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+    raise TypeError(f"unknown DARPE node {node!r}")
+
+
+def length_range(node: DarpeNode) -> Tuple[int, Optional[int]]:
+    """The (min, max) number of edges in any path matching the DARPE;
+    ``max`` is ``None`` when unbounded."""
+    if isinstance(node, Symbol):
+        return 1, 1
+    if isinstance(node, Epsilon):
+        return 0, 0
+    if isinstance(node, Concat):
+        lo = 0
+        hi: Optional[int] = 0
+        for part in node.parts:
+            plo, phi = length_range(part)
+            lo += plo
+            hi = None if (hi is None or phi is None) else hi + phi
+        return lo, hi
+    if isinstance(node, Alt):
+        los, his = [], []
+        for part in node.parts:
+            plo, phi = length_range(part)
+            los.append(plo)
+            his.append(phi)
+        hi = None if any(h is None for h in his) else max(his)  # type: ignore[type-var]
+        return min(los), hi
+    if isinstance(node, Star):
+        _, ihi = length_range(node.inner)
+        return 0, 0 if ihi == 0 else None
+    if isinstance(node, Repeat):
+        ilo, ihi = length_range(node.inner)
+        lo = ilo * node.min_count
+        if node.max_count is None:
+            hi = 0 if ihi == 0 else None
+        else:
+            hi = None if ihi is None else ihi * node.max_count
+        return lo, hi
+    raise TypeError(f"unknown DARPE node {node!r}")
+
+
+def fixed_unique_length(node: DarpeNode) -> Optional[int]:
+    """The unique path length of a *fixed-unique-length* pattern, or
+    ``None`` if the pattern is not in that class.
+
+    Per Section 6.1: Kleene-free, built from concatenation with
+    disjunction allowed only between equal-length branches.  For such
+    patterns all-shortest-paths semantics coincides with unrestricted
+    semantics.
+    """
+    if contains_kleene(node):
+        return None
+    lo, hi = length_range(node)
+    if hi is not None and lo == hi and _alts_are_uniform(node):
+        return lo
+    return None
+
+
+def _alts_are_uniform(node: DarpeNode) -> bool:
+    """All Alt nodes (recursively) have equal-fixed-length branches."""
+    if isinstance(node, (Symbol, Epsilon)):
+        return True
+    if isinstance(node, Alt):
+        lengths = set()
+        for part in node.parts:
+            if not _alts_are_uniform(part):
+                return False
+            lengths.add(length_range(part))
+        return len(lengths) == 1
+    if isinstance(node, Concat):
+        return all(_alts_are_uniform(p) for p in node.parts)
+    if isinstance(node, (Star, Repeat)):
+        return _alts_are_uniform(node.inner)
+    raise TypeError(f"unknown DARPE node {node!r}")
+
+
+def contains_kleene(node: DarpeNode) -> bool:
+    """Does the pattern contain unbounded repetition?
+
+    Bounded repeats (``*1..4``) do not count: they specify finitely many
+    lengths and are lowered to Kleene-free form.
+    """
+    if isinstance(node, (Symbol, Epsilon)):
+        return False
+    if isinstance(node, Star):
+        return True
+    if isinstance(node, Repeat):
+        return node.max_count is None or contains_kleene(node.inner)
+    if isinstance(node, (Concat, Alt)):
+        return any(contains_kleene(p) for p in node.parts)
+    raise TypeError(f"unknown DARPE node {node!r}")
+
+
+def symbols(node: DarpeNode):
+    """Iterate over every :class:`Symbol` leaf of the AST."""
+    if isinstance(node, Symbol):
+        yield node
+    elif isinstance(node, (Concat, Alt)):
+        for part in node.parts:
+            yield from symbols(part)
+    elif isinstance(node, (Star, Repeat)):
+        yield from symbols(node.inner)
+
+
+__all__ = [
+    "DarpeNode",
+    "Symbol",
+    "Epsilon",
+    "Concat",
+    "Alt",
+    "Star",
+    "Repeat",
+    "normalize",
+    "length_range",
+    "fixed_unique_length",
+    "contains_kleene",
+    "symbols",
+    "FORWARD",
+    "REVERSE",
+    "UNDIRECTED",
+]

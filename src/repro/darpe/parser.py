@@ -1,0 +1,198 @@
+"""Parser for DARPE strings such as ``E>.(F>|<G)*.H.<J``.
+
+The concrete syntax follows the paper exactly:
+
+* ``E>`` — cross a directed E-edge along its orientation;
+* ``<E`` — cross a directed E-edge against its orientation;
+* ``E``  — cross an undirected E-edge;
+* ``_``, ``_>``, ``<_`` — wildcards over edge types, per direction;
+* ``.`` concatenation, ``|`` alternation, ``*`` Kleene star;
+* ``* m..n`` bounded repetition with optional lower/upper bounds
+  (``*2..4``, ``*..3``, ``*2..``, and GSQL's shorthand ``*3`` for
+  ``*3..3``).
+
+Whitespace is insignificant.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from ..errors import DarpeSyntaxError
+from ..graph.elements import FORWARD, REVERSE, UNDIRECTED
+from .ast import Alt, Concat, DarpeNode, Repeat, Star, Symbol
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<DOTDOT>\.\.)
+  | (?P<NUMBER>\d+)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<LT><)
+  | (?P<GT>>)
+  | (?P<DOT>\.)
+  | (?P<PIPE>\|)
+  | (?P<STAR>\*)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DarpeSyntaxError(
+                f"unexpected character {text[pos]!r}", text, pos
+            )
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser; precedence: ``|`` < ``.`` < postfix ``*``."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise DarpeSyntaxError("unexpected end of pattern", self.text, len(self.text))
+        self.index += 1
+        return token
+
+    def _accept(self, kind: str) -> Optional[_Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self.index += 1
+            return token
+        return None
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            where = token.position if token else len(self.text)
+            found = token.value if token else "end of pattern"
+            raise DarpeSyntaxError(f"expected {kind}, found {found!r}", self.text, where)
+        self.index += 1
+        return token
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> DarpeNode:
+        node = self._alternation()
+        leftover = self._peek()
+        if leftover is not None:
+            raise DarpeSyntaxError(
+                f"unexpected trailing {leftover.value!r}", self.text, leftover.position
+            )
+        return node
+
+    def _alternation(self) -> DarpeNode:
+        parts = [self._concatenation()]
+        while self._accept("PIPE"):
+            parts.append(self._concatenation())
+        if len(parts) == 1:
+            return parts[0]
+        return Alt(tuple(parts))
+
+    def _concatenation(self) -> DarpeNode:
+        parts = [self._postfix()]
+        while self._accept("DOT"):
+            parts.append(self._postfix())
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def _postfix(self) -> DarpeNode:
+        node = self._atom()
+        while True:
+            star = self._accept("STAR")
+            if star is None:
+                return node
+            node = self._bounds(node)
+
+    def _bounds(self, inner: DarpeNode) -> DarpeNode:
+        """Parse the optional bounds following a ``*``."""
+        lower_token = self._accept("NUMBER")
+        if lower_token is not None:
+            lower = int(lower_token.value)
+            if self._accept("DOTDOT"):
+                upper_token = self._accept("NUMBER")
+                upper = int(upper_token.value) if upper_token else None
+            else:
+                upper = lower  # GSQL shorthand: E>*3 means exactly 3 hops
+            return self._checked_repeat(inner, lower, upper, lower_token.position)
+        if self._accept("DOTDOT"):
+            upper_token = self._accept("NUMBER")
+            upper = int(upper_token.value) if upper_token else None
+            return self._checked_repeat(inner, 0, upper, None)
+        return Star(inner)
+
+    def _checked_repeat(
+        self, inner: DarpeNode, lower: int, upper: Optional[int], pos: Optional[int]
+    ) -> DarpeNode:
+        if upper is not None and upper < lower:
+            raise DarpeSyntaxError(
+                f"repetition bounds {lower}..{upper} are inverted",
+                self.text,
+                pos if pos is not None else 0,
+            )
+        return Repeat(inner, lower, upper)
+
+    def _atom(self) -> DarpeNode:
+        if self._accept("LPAREN"):
+            node = self._alternation()
+            self._expect("RPAREN")
+            return node
+        if self._accept("LT"):
+            name = self._expect("NAME").value
+            return Symbol(None if name == "_" else name, REVERSE)
+        name_token = self._peek()
+        if name_token is not None and name_token.kind == "NAME":
+            self._next()
+            name = name_token.value
+            edge_type = None if name == "_" else name
+            if self._accept("GT"):
+                return Symbol(edge_type, FORWARD)
+            return Symbol(edge_type, UNDIRECTED)
+        where = name_token.position if name_token else len(self.text)
+        found = name_token.value if name_token else "end of pattern"
+        raise DarpeSyntaxError(f"expected an edge type, found {found!r}", self.text, where)
+
+
+def parse_darpe(text: str) -> DarpeNode:
+    """Parse a DARPE string into an AST.
+
+    >>> parse_darpe("E>.(F>|<G)*.H.<J")  # Example 2 of the paper
+    E>.(F>|<G)*.H.<J
+    """
+    if not text or not text.strip():
+        raise DarpeSyntaxError("empty DARPE", text, 0)
+    return _Parser(text).parse()
+
+
+__all__ = ["parse_darpe"]

@@ -1,0 +1,6 @@
+"""Enumeration-based matching baselines (the exponential reference
+engines corresponding to the paper's Neo4j/Cypher measurements)."""
+
+from .engine import PathMatch, enumerate_matches, match_counts
+
+__all__ = ["PathMatch", "enumerate_matches", "match_counts"]

@@ -1,0 +1,100 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle all library failures.  Sub-hierarchies
+mirror the package layout: schema/graph errors, DARPE parse errors, query
+compilation/execution errors and accumulator errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """Raised for violations of a graph schema.
+
+    Examples: adding a vertex of an undeclared type, adding an edge whose
+    endpoint types are not allowed by the edge type, or redefining a type.
+    """
+
+
+class GraphError(ReproError):
+    """Raised for structural graph errors (unknown vertex ids, etc.)."""
+
+
+class DarpeSyntaxError(ReproError):
+    """Raised when a DARPE string cannot be parsed.
+
+    Carries the offending ``text`` and the ``position`` of the first
+    character that could not be consumed.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        self.text = text
+        self.position = position
+        if text and position >= 0:
+            pointer = " " * position + "^"
+            message = f"{message}\n  {text}\n  {pointer}"
+        super().__init__(message)
+
+
+class GSQLSyntaxError(ReproError):
+    """Raised when GSQL query text cannot be parsed."""
+
+    def __init__(self, message: str, line: int = -1, column: int = -1):
+        self.line = line
+        self.column = column
+        if line >= 0:
+            message = f"line {line}, col {column}: {message}"
+        super().__init__(message)
+
+
+class QueryCompileError(ReproError):
+    """Raised when a syntactically valid query cannot be compiled.
+
+    Examples: reference to an undeclared accumulator, unknown vertex type,
+    an edge variable attached to a multi-edge DARPE, or a pattern variable
+    used in an incompatible position.
+    """
+
+
+class QueryRuntimeError(ReproError):
+    """Raised when query execution fails (type errors, missing attributes,
+    division by zero inside an expression, exceeding iteration limits...)."""
+
+
+class AccumulatorError(ReproError):
+    """Raised for invalid accumulator usage.
+
+    Examples: inputting a value of the wrong type, conflicting plain
+    assignments during one reduce phase, or constructing a HeapAccum with
+    an unknown sort field.
+    """
+
+
+class TractabilityError(ReproError):
+    """Raised when a query falls outside the tractable class of Section 7
+    and the engine was configured to reject such queries.
+
+    The tractable class disallows path variables, variables bound inside a
+    Kleene star, and order-sensitive accumulators (List/Array/string-Sum)
+    fed from patterns with unbounded repetition.
+    """
+
+
+class EvaluationBudgetExceeded(ReproError):
+    """Raised by enumeration-based engines when a configured budget
+    (maximum number of enumerated paths or expanded search nodes) is
+    exhausted.
+
+    The enumeration baselines are intentionally exponential; the budget
+    turns a would-be multi-hour run into a clean, reportable failure,
+    mirroring the timeouts in the paper's Table 1.
+    """
+
+    def __init__(self, message: str, expanded: int = 0):
+        self.expanded = expanded
+        super().__init__(message)

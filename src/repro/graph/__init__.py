@@ -1,0 +1,25 @@
+"""Property-graph substrate: schemas, graphs, and example-graph builders."""
+
+from .elements import FORWARD, REVERSE, UNDIRECTED, Edge, Step, Vertex, adorn
+from .graph import Graph, induced_subgraph
+from .schema import AttributeDecl, EdgeType, GraphSchema, VertexType
+from . import builders, io, stats
+
+__all__ = [
+    "FORWARD",
+    "REVERSE",
+    "UNDIRECTED",
+    "Edge",
+    "Step",
+    "Vertex",
+    "adorn",
+    "Graph",
+    "induced_subgraph",
+    "AttributeDecl",
+    "EdgeType",
+    "GraphSchema",
+    "VertexType",
+    "builders",
+    "io",
+    "stats",
+]

@@ -1,0 +1,294 @@
+"""Builders for the graphs used in the paper's examples and experiments.
+
+Every builder is deterministic, so tests and benchmarks are reproducible.
+The vertex naming follows the paper's figures, which makes the tests read
+like the running text (e.g. "three non-repeated-vertex paths from 1 to 5").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from .graph import Graph
+from .schema import GraphSchema
+
+
+def diamond_chain(n: int, edge_type: str = "E", vertex_type: str = "V") -> Graph:
+    """The diamond-chain graph of Example 11 / Figure 7 and Section 7.1.
+
+    A chain of ``n`` diamonds: diamond ``i`` connects hub vertex ``v_i`` to
+    hub vertex ``v_{i+1}`` through two parallel intermediate vertices, so
+    there are exactly ``2**k`` directed paths from ``v_0`` to ``v_k``.  All
+    edges are directed and typed ``edge_type``; every vertex carries a
+    ``name`` attribute (hubs are named ``v0 .. vn``), matching the paper's
+    experimental setup ("vertices carrying only a 'name' attribute of type
+    string, and edges carrying no attributes").
+
+    The paper's 30-diamond instance has 91 vertices and 120 edges:
+    ``n+1`` hubs plus ``2n`` intermediates, and ``4n`` edges.
+    """
+    if n < 0:
+        raise ValueError("diamond count must be non-negative")
+    schema = (
+        GraphSchema("DiamondChain")
+        .vertex(vertex_type, name="STRING")
+        .edge(edge_type, vertex_type, vertex_type)
+    )
+    g = Graph(schema)
+    for i in range(n + 1):
+        g.add_vertex(f"v{i}", vertex_type, name=f"v{i}")
+    for i in range(n):
+        top = f"d{i}t"
+        bottom = f"d{i}b"
+        g.add_vertex(top, vertex_type, name=top)
+        g.add_vertex(bottom, vertex_type, name=bottom)
+        g.add_edge(f"v{i}", top, edge_type)
+        g.add_edge(f"v{i}", bottom, edge_type)
+        g.add_edge(top, f"v{i+1}", edge_type)
+        g.add_edge(bottom, f"v{i+1}", edge_type)
+    return g
+
+
+def example9_graph() -> Graph:
+    """Graph G1 of Figure 5 (Example 9), all edges directed and typed "E".
+
+    Paths from vertex 1 to vertex 5 satisfying ``E>*``:
+
+    * infinitely many unrestricted (cycle 3-7-8-3),
+    * three with non-repeated vertices,
+    * four with non-repeated edges,
+    * two shortest (1-2-3-4-5 and 1-2-6-4-5).
+    """
+    g = Graph(name="G1")
+    for i in range(1, 13):
+        g.add_vertex(i, "V", )
+    edges = [
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (2, 6),
+        (6, 4),
+        (3, 7),
+        (7, 8),
+        (8, 3),
+        (2, 9),
+        (9, 10),
+        (10, 11),
+        (11, 12),
+        (12, 4),
+    ]
+    for s, t in edges:
+        g.add_edge(s, t, "E")
+    return g
+
+
+def example10_graph() -> Graph:
+    """Graph G2 of Figure 6 (Example 10).
+
+    Against the pattern ``E>*.F>.E>*`` the only path from 1 to 4 is
+    1-2-3-5-6-2-3-4, which repeats vertices 2, 3 and the edge between
+    them — so shortest-path semantics matches while both non-repeating
+    semantics find nothing.
+    """
+    g = Graph(name="G2")
+    for i in range(1, 7):
+        g.add_vertex(i, "V")
+    g.add_edge(1, 2, "E")
+    g.add_edge(2, 3, "E")
+    g.add_edge(3, 4, "E")
+    g.add_edge(3, 5, "F")
+    g.add_edge(5, 6, "E")
+    g.add_edge(6, 2, "E")
+    return g
+
+
+def fixed_length_cycle_graph() -> Graph:
+    """The 3-cycle from Section 6.1's fixed-unique-length discussion.
+
+    ``v --A--> u --B--> w --C--> v``.  The pattern ``A>.(B>|D>)._>.A>``
+    matches the length-4 path that wraps the cycle and recrosses the A
+    edge; non-repeating semantics find no match.
+    """
+    g = Graph(name="Cycle3")
+    for name in ("v", "u", "w"):
+        g.add_vertex(name, "V", name=name)
+    g.add_edge("v", "u", "A")
+    g.add_edge("u", "w", "B")
+    g.add_edge("w", "v", "C")
+    return g
+
+
+def mixed_kind_graph() -> Graph:
+    """A small graph mixing directed and undirected edges, used to test
+    DARPEs like the one in Example 2: ``E>.(F>|<G)*.H.<J``.
+
+    Layout (``--`` undirected, ``->`` directed)::
+
+        a -E-> b -F-> c <-G- d? ... b -H- e <-J- f
+
+    We build a graph where the path a,b,c,d,e,f spells E>, F>, <G, H, <J.
+    """
+    g = Graph(name="MixedKind")
+    for name in "abcdef":
+        g.add_vertex(name, "V", name=name)
+    g.add_edge("a", "b", "E")               # E>
+    g.add_edge("b", "c", "F")               # F>
+    g.add_edge("d", "c", "G")               # traversed c -> d as <G
+    g.add_edge("d", "e", "H", directed=False)  # undirected H
+    g.add_edge("f", "e", "J")               # traversed e -> f as <J
+    return g
+
+
+def path_graph(n: int, edge_type: str = "E", directed: bool = True) -> Graph:
+    """A simple path 0 -> 1 -> ... -> n-1 (n vertices, n-1 edges)."""
+    g = Graph(name=f"Path{n}")
+    for i in range(n):
+        g.add_vertex(i, "V", name=str(i))
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, edge_type, directed=directed)
+    return g
+
+
+def cycle_graph(n: int, edge_type: str = "E", directed: bool = True) -> Graph:
+    """A directed (or undirected) cycle on ``n`` vertices."""
+    if n < 1:
+        raise ValueError("cycle needs at least one vertex")
+    g = Graph(name=f"Cycle{n}")
+    for i in range(n):
+        g.add_vertex(i, "V", name=str(i))
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, edge_type, directed=directed)
+    return g
+
+
+def complete_graph(n: int, edge_type: str = "E") -> Graph:
+    """A complete directed graph on ``n`` vertices (no self loops)."""
+    g = Graph(name=f"K{n}")
+    for i in range(n):
+        g.add_vertex(i, "V", name=str(i))
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                g.add_edge(i, j, edge_type)
+    return g
+
+
+def grid_graph(rows: int, cols: int, edge_type: str = "E") -> Graph:
+    """A directed grid: edges go right and down.
+
+    The number of shortest paths from corner (0,0) to (r,c) is the binomial
+    coefficient C(r+c, r), a handy closed form for SDMC tests.
+    """
+    g = Graph(name=f"Grid{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            g.add_vertex((r, c), "V", name=f"{r},{c}")
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                g.add_edge((r, c), (r, c + 1), edge_type)
+            if r + 1 < rows:
+                g.add_edge((r, c), (r + 1, c), edge_type)
+    return g
+
+
+def sales_graph() -> Graph:
+    """The SalesGraph of Examples 3-5: Customers buy Products.
+
+    Deterministic toy data with a handful of customers, toy and non-toy
+    products, and Bought edges carrying quantity and discount — enough to
+    check the three-way single-pass aggregation by hand.
+    """
+    schema = (
+        GraphSchema("SalesGraph")
+        .vertex("Customer", name="STRING")
+        .vertex("Product", name="STRING", price="FLOAT", category="STRING")
+        .edge("Bought", "Customer", "Product", quantity="INT", discount="FLOAT")
+    )
+    g = Graph(schema)
+    customers = ["alice", "bob", "carol", "dave"]
+    for i, name in enumerate(customers):
+        g.add_vertex(f"c{i}", "Customer", name=name)
+    products = [
+        ("p0", "train set", 50.0, "toy"),
+        ("p1", "doll", 20.0, "toy"),
+        ("p2", "puzzle", 10.0, "toy"),
+        ("p3", "blender", 80.0, "kitchen"),
+        ("p4", "kite", 15.0, "toy"),
+    ]
+    for pid, name, price, category in products:
+        g.add_vertex(pid, "Product", name=name, price=price, category=category)
+    purchases = [
+        ("c0", "p0", 1, 0.0),
+        ("c0", "p1", 2, 0.1),
+        ("c0", "p3", 1, 0.0),
+        ("c1", "p1", 1, 0.0),
+        ("c1", "p2", 3, 0.2),
+        ("c2", "p0", 2, 0.05),
+        ("c2", "p4", 1, 0.0),
+        ("c3", "p3", 2, 0.1),
+        ("c3", "p2", 1, 0.0),
+    ]
+    for cust, prod, qty, disc in purchases:
+        g.add_edge(cust, prod, "Bought", quantity=qty, discount=disc)
+    return g
+
+
+def likes_graph() -> Graph:
+    """A Customer-Likes->Product graph for the TopKToys recommender
+    (Example 6 / Figure 3).
+
+    Customer c0 likes two toys in common with c1, one with c2, none with
+    c3 — giving a hand-checkable ranking.
+    """
+    schema = (
+        GraphSchema("LikesGraph")
+        .vertex("Customer", name="STRING")
+        .vertex("Product", name="STRING", category="STRING")
+        .edge("Likes", "Customer", "Product")
+    )
+    g = Graph(schema)
+    for i, name in enumerate(["ann", "ben", "cam", "deb"]):
+        g.add_vertex(f"c{i}", "Customer", name=name)
+    toys = [("t0", "robot"), ("t1", "ball"), ("t2", "blocks"), ("t3", "yo-yo")]
+    for pid, name in toys:
+        g.add_vertex(pid, "Product", name=name, category="Toys")
+    g.add_vertex("b0", "Product", name="novel", category="Books")
+    likes = [
+        ("c0", "t0"),
+        ("c0", "t1"),
+        ("c0", "b0"),
+        ("c1", "t0"),
+        ("c1", "t1"),
+        ("c1", "t2"),
+        ("c2", "t1"),
+        ("c2", "t3"),
+        ("c3", "b0"),
+        ("c3", "t3"),
+    ]
+    for cust, prod in likes:
+        g.add_edge(cust, prod, "Likes")
+    return g
+
+
+def from_edge_list(
+    edges: Iterable[Tuple],
+    directed: bool = True,
+    vertex_type: str = "V",
+    default_edge_type: str = "E",
+) -> Graph:
+    """Build a schema-free graph from ``(source, target[, edge_type])``
+    tuples, creating vertices on first sight."""
+    g = Graph(name="EdgeList")
+    for item in edges:
+        if len(item) == 2:
+            s, t = item
+            etype = default_edge_type
+        else:
+            s, t, etype = item[:3]
+        for vid in (s, t):
+            if not g.has_vertex(vid):
+                g.add_vertex(vid, vertex_type, name=str(vid))
+        g.add_edge(s, t, etype, directed=directed)
+    return g

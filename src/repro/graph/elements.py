@@ -1,0 +1,182 @@
+"""Vertices and edges of a property graph.
+
+The data model follows Section 2 of the paper: a property graph holds typed
+vertices and typed edges; edges may be *directed* or *undirected* (mixed
+kinds may coexist in one graph, which is what DARPEs are designed for), and
+both vertices and edges carry attribute maps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from ..errors import GraphError
+
+#: Direction adornment constants, matching the paper's notation.
+#: ``FORWARD`` corresponds to ``E>`` (traversing a directed edge along its
+#: orientation), ``REVERSE`` to ``<E`` (against its orientation) and
+#: ``UNDIRECTED`` to a bare ``E`` (an undirected edge).
+FORWARD = ">"
+REVERSE = "<"
+UNDIRECTED = "-"
+
+_VALID_DIRECTIONS = frozenset({FORWARD, REVERSE, UNDIRECTED})
+
+
+def adorn(edge_type: str, direction: str) -> str:
+    """Render an adorned edge-type symbol the way the paper writes it.
+
+    >>> adorn("E", FORWARD)
+    'E>'
+    >>> adorn("E", REVERSE)
+    '<E'
+    >>> adorn("E", UNDIRECTED)
+    'E'
+    """
+    if direction == FORWARD:
+        return f"{edge_type}>"
+    if direction == REVERSE:
+        return f"<{edge_type}"
+    if direction == UNDIRECTED:
+        return edge_type
+    raise GraphError(f"unknown direction adornment: {direction!r}")
+
+
+class Vertex:
+    """A typed vertex with an attribute map.
+
+    Vertices are identified by ``(type, vid)``; ``vid`` may be any hashable
+    value (ints and strings in practice).  Attribute access is through
+    :meth:`get` / :meth:`set` or the mapping-style ``v["name"]``.
+    """
+
+    __slots__ = ("vid", "type", "attrs")
+
+    def __init__(self, vid: Any, vtype: str, attrs: Optional[Dict[str, Any]] = None):
+        self.vid = vid
+        self.type = vtype
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.attrs.get(name, default)
+
+    def set(self, name: str, value: Any) -> None:
+        self.attrs[name] = value
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self.attrs[name]
+        except KeyError:
+            raise GraphError(
+                f"vertex {self.type}:{self.vid} has no attribute {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.attrs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Vertex({self.type}:{self.vid})"
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.vid))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Vertex)
+            and self.vid == other.vid
+            and self.type == other.type
+        )
+
+
+class Edge:
+    """A typed edge with an attribute map.
+
+    ``source`` and ``target`` are vertex ids.  For an undirected edge the
+    source/target distinction is storage-only: traversal treats the two
+    endpoints symmetrically.
+    """
+
+    __slots__ = ("eid", "type", "source", "target", "directed", "attrs")
+
+    def __init__(
+        self,
+        eid: int,
+        etype: str,
+        source: Any,
+        target: Any,
+        directed: bool = True,
+        attrs: Optional[Dict[str, Any]] = None,
+    ):
+        self.eid = eid
+        self.type = etype
+        self.source = source
+        self.target = target
+        self.directed = directed
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+
+    def other(self, vid: Any) -> Any:
+        """The endpoint opposite ``vid``; raises if ``vid`` is not incident."""
+        if vid == self.source:
+            return self.target
+        if vid == self.target:
+            return self.source
+        raise GraphError(f"vertex {vid!r} is not an endpoint of edge {self.eid}")
+
+    def endpoints(self) -> Iterator[Any]:
+        yield self.source
+        yield self.target
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.attrs.get(name, default)
+
+    def set(self, name: str, value: Any) -> None:
+        self.attrs[name] = value
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self.attrs[name]
+        except KeyError:
+            raise GraphError(
+                f"edge {self.type}#{self.eid} has no attribute {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.attrs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        arrow = "->" if self.directed else "--"
+        return f"Edge({self.type}#{self.eid}: {self.source}{arrow}{self.target})"
+
+    def __hash__(self) -> int:
+        return hash(self.eid)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Edge) and self.eid == other.eid
+
+
+class Step:
+    """One traversal step out of a vertex: an edge plus the direction in
+    which it is being crossed.
+
+    ``direction`` is the adornment under which the step matches a DARPE
+    symbol: :data:`FORWARD` for crossing a directed edge along its
+    orientation, :data:`REVERSE` for crossing it backwards, and
+    :data:`UNDIRECTED` for crossing an undirected edge (either way).
+    """
+
+    __slots__ = ("edge", "direction", "neighbor")
+
+    def __init__(self, edge: Edge, direction: str, neighbor: Any):
+        if direction not in _VALID_DIRECTIONS:
+            raise GraphError(f"invalid step direction {direction!r}")
+        self.edge = edge
+        self.direction = direction
+        self.neighbor = neighbor
+
+    @property
+    def adorned_symbol(self) -> str:
+        """The paper-style adorned symbol this step spells out."""
+        return adorn(self.edge.type, self.direction)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Step({self.adorned_symbol} -> {self.neighbor})"

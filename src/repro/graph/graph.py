@@ -1,0 +1,296 @@
+"""The in-memory property graph.
+
+:class:`Graph` stores typed vertices and typed (directed or undirected)
+edges and maintains an adjacency index keyed by ``(edge type, direction)``
+so that DARPE evaluation can expand a frontier one adorned symbol at a
+time without scanning unrelated edges.
+
+Vertex ids are arbitrary hashable values chosen by the caller; edge ids are
+integers assigned by the graph.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import GraphError, SchemaError
+from .elements import FORWARD, REVERSE, UNDIRECTED, Edge, Step, Vertex
+from .schema import GraphSchema
+
+
+class Graph:
+    """A mixed-kind property graph.
+
+    Parameters
+    ----------
+    schema:
+        Optional :class:`~repro.graph.schema.GraphSchema`.  When provided,
+        every insertion is validated against it; when omitted, types are
+        registered implicitly on first use (schema-free mode).
+    name:
+        A display name, used in error messages and query headers.
+    """
+
+    def __init__(self, schema: Optional[GraphSchema] = None, name: Optional[str] = None):
+        self.schema = schema
+        self.name = name or (schema.name if schema else "Graph")
+        self._vertices: Dict[Any, Vertex] = {}
+        self._edges: Dict[int, Edge] = {}
+        self._next_eid = 0
+        # vertex id -> direction -> edge type -> list of Steps
+        self._adjacency: Dict[Any, Dict[str, Dict[str, List[Step]]]] = {}
+        # vertex type -> list of vertex ids (insertion order)
+        self._by_type: Dict[str, List[Any]] = defaultdict(list)
+        # edge type -> directedness actually observed (for schema-free mode)
+        self._edge_type_directed: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vid: Any, vtype: str, **attrs: Any) -> Vertex:
+        """Insert a vertex; raises :class:`GraphError` on duplicate id."""
+        if vid in self._vertices:
+            raise GraphError(f"vertex id {vid!r} already exists")
+        if self.schema is not None:
+            vt = self.schema.vertex_type(vtype)
+            attrs = vt.validate_attrs(attrs)
+        vertex = Vertex(vid, vtype, attrs)
+        self._vertices[vid] = vertex
+        self._by_type[vtype].append(vid)
+        self._adjacency[vid] = {
+            FORWARD: defaultdict(list),
+            REVERSE: defaultdict(list),
+            UNDIRECTED: defaultdict(list),
+        }
+        return vertex
+
+    def add_edge(
+        self,
+        source: Any,
+        target: Any,
+        etype: str,
+        directed: Optional[bool] = None,
+        **attrs: Any,
+    ) -> Edge:
+        """Insert an edge between two existing vertices.
+
+        ``directed`` defaults to the schema's declaration when a schema is
+        present, and to ``True`` otherwise.
+        """
+        src = self.vertex(source)
+        tgt = self.vertex(target)
+        if self.schema is not None:
+            et = self.schema.edge_type(etype)
+            if directed is None:
+                directed = et.directed
+            elif directed != et.directed:
+                raise SchemaError(
+                    f"edge type {etype!r} is declared "
+                    f"{'directed' if et.directed else 'undirected'}"
+                )
+            et.validate_endpoints(src.type, tgt.type)
+            attrs = et.validate_attrs(attrs)
+        else:
+            if directed is None:
+                directed = self._edge_type_directed.get(etype, True)
+            observed = self._edge_type_directed.setdefault(etype, directed)
+            if observed != directed:
+                raise GraphError(
+                    f"edge type {etype!r} used with inconsistent directedness"
+                )
+        eid = self._next_eid
+        self._next_eid += 1
+        edge = Edge(eid, etype, source, target, directed, attrs)
+        self._edges[eid] = edge
+        if directed:
+            self._adjacency[source][FORWARD][etype].append(Step(edge, FORWARD, target))
+            self._adjacency[target][REVERSE][etype].append(Step(edge, REVERSE, source))
+        else:
+            self._adjacency[source][UNDIRECTED][etype].append(
+                Step(edge, UNDIRECTED, target)
+            )
+            if source != target:
+                self._adjacency[target][UNDIRECTED][etype].append(
+                    Step(edge, UNDIRECTED, source)
+                )
+        return edge
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def vertex(self, vid: Any) -> Vertex:
+        try:
+            return self._vertices[vid]
+        except KeyError:
+            raise GraphError(f"unknown vertex id {vid!r}") from None
+
+    def has_vertex(self, vid: Any) -> bool:
+        return vid in self._vertices
+
+    def edge(self, eid: int) -> Edge:
+        try:
+            return self._edges[eid]
+        except KeyError:
+            raise GraphError(f"unknown edge id {eid!r}") from None
+
+    def vertices(self, vtype: Optional[str] = None) -> Iterator[Vertex]:
+        """All vertices, or all vertices of one type, in insertion order."""
+        if vtype is None:
+            yield from self._vertices.values()
+        else:
+            for vid in self._by_type.get(vtype, ()):
+                yield self._vertices[vid]
+
+    def vertex_ids(self, vtype: Optional[str] = None) -> Iterator[Any]:
+        if vtype is None:
+            yield from self._vertices
+        else:
+            yield from self._by_type.get(vtype, ())
+
+    def edges(self, etype: Optional[str] = None) -> Iterator[Edge]:
+        if etype is None:
+            yield from self._edges.values()
+        else:
+            for e in self._edges.values():
+                if e.type == etype:
+                    yield e
+
+    def vertex_types(self) -> Tuple[str, ...]:
+        return tuple(self._by_type)
+
+    def edge_types(self) -> Tuple[str, ...]:
+        if self.schema is not None:
+            return self.schema.edge_type_names()
+        return tuple(self._edge_type_directed)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def steps(
+        self,
+        vid: Any,
+        direction: Optional[str] = None,
+        etype: Optional[str] = None,
+    ) -> Iterator[Step]:
+        """Traversal steps available from ``vid``.
+
+        ``direction`` restricts to one of :data:`FORWARD`, :data:`REVERSE`,
+        :data:`UNDIRECTED`; ``etype`` restricts to one edge type.  With no
+        restrictions, every crossable incidence of the vertex is yielded
+        (directed edges appear once per crossable orientation).
+        """
+        adjacency = self._adjacency.get(vid)
+        if adjacency is None:
+            raise GraphError(f"unknown vertex id {vid!r}")
+        directions = (direction,) if direction else (FORWARD, REVERSE, UNDIRECTED)
+        for d in directions:
+            buckets = adjacency[d]
+            if etype is not None:
+                yield from buckets.get(etype, ())
+            else:
+                for bucket in buckets.values():
+                    yield from bucket
+
+    def outdegree(self, vid: Any, etype: Optional[str] = None) -> int:
+        """Number of outgoing directed edges (plus undirected incidences).
+
+        This matches GSQL's ``v.outdegree()`` builtin, which counts the
+        edges a traversal can leave the vertex through in forward or
+        undirected fashion.
+        """
+        adjacency = self._adjacency.get(vid)
+        if adjacency is None:
+            raise GraphError(f"unknown vertex id {vid!r}")
+        total = 0
+        for d in (FORWARD, UNDIRECTED):
+            buckets = adjacency[d]
+            if etype is not None:
+                total += len(buckets.get(etype, ()))
+            else:
+                total += sum(len(bucket) for bucket in buckets.values())
+        return total
+
+    def indegree(self, vid: Any, etype: Optional[str] = None) -> int:
+        """Number of incoming directed edges (plus undirected incidences)."""
+        adjacency = self._adjacency.get(vid)
+        if adjacency is None:
+            raise GraphError(f"unknown vertex id {vid!r}")
+        total = 0
+        for d in (REVERSE, UNDIRECTED):
+            buckets = adjacency[d]
+            if etype is not None:
+                total += len(buckets.get(etype, ()))
+            else:
+                total += sum(len(bucket) for bucket in buckets.values())
+        return total
+
+    def neighbors(
+        self,
+        vid: Any,
+        direction: Optional[str] = None,
+        etype: Optional[str] = None,
+    ) -> Iterator[Vertex]:
+        """Distinct neighbor vertices reachable in one step."""
+        seen = set()
+        for step in self.steps(vid, direction, etype):
+            if step.neighbor not in seen:
+                seen.add(step.neighbor)
+                yield self._vertices[step.neighbor]
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def find_vertex(self, vtype: str, attr: str, value: Any) -> Optional[Vertex]:
+        """First vertex of ``vtype`` whose attribute equals ``value``."""
+        for v in self.vertices(vtype):
+            if v.get(attr) == value:
+                return v
+        return None
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Map from out-degree to number of vertices with that degree."""
+        hist: Dict[int, int] = defaultdict(int)
+        for vid in self._vertices:
+            hist[self.outdegree(vid)] += 1
+        return dict(hist)
+
+    def summary(self) -> Dict[str, Any]:
+        """A small statistics dict (used by benchmark logs)."""
+        return {
+            "name": self.name,
+            "vertices": self.num_vertices,
+            "edges": self.num_edges,
+            "vertex_types": {t: len(ids) for t, ids in self._by_type.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Graph({self.name}: |V|={self.num_vertices}, |E|={self.num_edges})"
+
+    def __contains__(self, vid: Any) -> bool:
+        return vid in self._vertices
+
+
+def induced_subgraph(graph: Graph, vertex_ids: Iterable[Any]) -> Graph:
+    """A new graph containing the given vertices and all edges among them.
+
+    Vertex and edge attributes are shared (not deep-copied); the subgraph
+    is intended for read-only analytics.
+    """
+    keep = set(vertex_ids)
+    sub = Graph(schema=graph.schema, name=f"{graph.name}-sub")
+    for vid in keep:
+        v = graph.vertex(vid)
+        sub.add_vertex(vid, v.type, **v.attrs)
+    for e in graph.edges():
+        if e.source in keep and e.target in keep:
+            sub.add_edge(e.source, e.target, e.type, directed=e.directed, **e.attrs)
+    return sub

@@ -1,0 +1,222 @@
+"""Loading and saving graphs: CSV vertex/edge files and a JSON format.
+
+The CSV layout follows the common property-graph interchange shape (and
+LDBC's CSV dumps): one vertex file and one edge file per type, or single
+files with a ``type`` column.  The JSON format round-trips a whole graph
+including its schema-free/schema'd status.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import GraphError
+from .graph import Graph
+from .schema import GraphSchema
+
+PathLike = Union[str, Path]
+
+
+def _coerce(value: str) -> Any:
+    """Best-effort typing of CSV cells: int, float, bool, else string."""
+    if value == "":
+        return None
+    lowered = value.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def load_vertices_csv(
+    graph: Graph,
+    path: PathLike,
+    vertex_type: Optional[str] = None,
+    id_column: str = "id",
+) -> int:
+    """Load vertices from a CSV file into an existing graph.
+
+    The file needs an ``id`` column (configurable); a ``type`` column
+    supplies per-row vertex types unless ``vertex_type`` fixes one.
+    Every other column becomes an attribute (cells typed best-effort).
+    Returns the number of vertices added.
+    """
+    count = 0
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or id_column not in reader.fieldnames:
+            raise GraphError(f"{path}: missing {id_column!r} column")
+        for row in reader:
+            vid = _coerce(row.pop(id_column))
+            vtype = vertex_type or row.pop("type", None)
+            if vtype is None:
+                raise GraphError(
+                    f"{path}: no vertex type for row with id {vid!r} "
+                    f"(add a 'type' column or pass vertex_type=)"
+                )
+            attrs = {k: _coerce(v) for k, v in row.items() if k != "type"}
+            graph.add_vertex(vid, vtype, **attrs)
+            count += 1
+    return count
+
+
+def load_edges_csv(
+    graph: Graph,
+    path: PathLike,
+    edge_type: Optional[str] = None,
+    source_column: str = "source",
+    target_column: str = "target",
+    directed: Optional[bool] = None,
+) -> int:
+    """Load edges from a CSV file; endpoints must already exist.
+
+    Columns: ``source``, ``target`` (configurable), optional ``type``,
+    everything else becomes edge attributes.  Returns edges added.
+    """
+    count = 0
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        fields = reader.fieldnames or []
+        for needed in (source_column, target_column):
+            if needed not in fields:
+                raise GraphError(f"{path}: missing {needed!r} column")
+        for row in reader:
+            src = _coerce(row.pop(source_column))
+            dst = _coerce(row.pop(target_column))
+            etype = edge_type or row.pop("type", None)
+            if etype is None:
+                raise GraphError(
+                    f"{path}: no edge type for {src!r}->{dst!r} "
+                    f"(add a 'type' column or pass edge_type=)"
+                )
+            row_directed = directed
+            if "directed" in row:
+                cell = _coerce(row.pop("directed"))
+                if row_directed is None and cell is not None:
+                    row_directed = bool(cell)
+            attrs = {k: _coerce(v) for k, v in row.items() if k != "type"}
+            graph.add_edge(src, dst, etype, directed=row_directed, **attrs)
+            count += 1
+    return count
+
+
+def load_graph_csv(
+    vertices_path: PathLike,
+    edges_path: PathLike,
+    schema: Optional[GraphSchema] = None,
+    name: Optional[str] = None,
+    directed: Optional[bool] = None,
+) -> Graph:
+    """Build a graph from a vertex CSV and an edge CSV."""
+    graph = Graph(schema=schema, name=name)
+    load_vertices_csv(graph, vertices_path)
+    load_edges_csv(graph, edges_path, directed=directed)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    """A JSON-serializable representation of the graph."""
+    return {
+        "name": graph.name,
+        "vertices": [
+            {"id": v.vid, "type": v.type, "attrs": v.attrs}
+            for v in graph.vertices()
+        ],
+        "edges": [
+            {
+                "source": e.source,
+                "target": e.target,
+                "type": e.type,
+                "directed": e.directed,
+                "attrs": e.attrs,
+            }
+            for e in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any], schema: Optional[GraphSchema] = None) -> Graph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    graph = Graph(schema=schema, name=data.get("name"))
+    for v in data.get("vertices", ()):
+        graph.add_vertex(v["id"], v["type"], **v.get("attrs", {}))
+    for e in data.get("edges", ()):
+        graph.add_edge(
+            e["source"],
+            e["target"],
+            e["type"],
+            directed=e.get("directed", True),
+            **e.get("attrs", {}),
+        )
+    return graph
+
+
+def save_graph_json(graph: Graph, path: PathLike) -> None:
+    with open(path, "w") as fh:
+        json.dump(graph_to_dict(graph), fh)
+
+
+def load_graph_json(path: PathLike, schema: Optional[GraphSchema] = None) -> Graph:
+    with open(path) as fh:
+        return graph_from_dict(json.load(fh), schema=schema)
+
+
+def save_graph_csv(graph: Graph, vertices_path: PathLike, edges_path: PathLike) -> None:
+    """Write vertex and edge CSVs (attribute columns are unioned across
+    rows; absent attributes serialize as empty cells)."""
+    vertex_attrs: List[str] = []
+    for v in graph.vertices():
+        for key in v.attrs:
+            if key not in vertex_attrs:
+                vertex_attrs.append(key)
+    with open(vertices_path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["id", "type"] + vertex_attrs)
+        for v in graph.vertices():
+            writer.writerow(
+                [v.vid, v.type] + [_cell(v.attrs.get(a)) for a in vertex_attrs]
+            )
+    edge_attrs: List[str] = []
+    for e in graph.edges():
+        for key in e.attrs:
+            if key not in edge_attrs:
+                edge_attrs.append(key)
+    with open(edges_path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["source", "target", "type", "directed"] + edge_attrs)
+        for e in graph.edges():
+            writer.writerow(
+                [e.source, e.target, e.type, e.directed]
+                + [_cell(e.attrs.get(a)) for a in edge_attrs]
+            )
+
+
+def _cell(value: Any) -> Any:
+    return "" if value is None else value
+
+
+__all__ = [
+    "load_vertices_csv",
+    "load_edges_csv",
+    "load_graph_csv",
+    "save_graph_csv",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph_json",
+    "load_graph_json",
+]

@@ -1,0 +1,270 @@
+"""Graph schemas: vertex types, edge types, and attribute declarations.
+
+A :class:`GraphSchema` is optional — graphs can be built schema-free for
+quick experiments — but when present it validates every insertion, the way
+TigerGraph's DDL does.  Edge types record whether they are directed, which
+is what makes the graph a *mixed-kind* graph in the paper's sense, and
+drives DARPE direction adornments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Set, Tuple
+
+from ..errors import SchemaError
+
+#: Attribute types understood by schemas.  Values are the Python types an
+#: attribute value must be an instance of (``None`` values are always
+#: allowed, modelling SQL NULL).
+ATTRIBUTE_TYPES: Dict[str, Tuple[type, ...]] = {
+    "INT": (int,),
+    "UINT": (int,),
+    "FLOAT": (int, float),
+    "DOUBLE": (int, float),
+    "BOOL": (bool,),
+    "STRING": (str,),
+    "DATETIME": (int, float, str),
+}
+
+
+class AttributeDecl:
+    """Declaration of a single attribute: name, type name, default."""
+
+    __slots__ = ("name", "type_name", "default")
+
+    def __init__(self, name: str, type_name: str, default: Any = None):
+        type_name = type_name.upper()
+        if type_name not in ATTRIBUTE_TYPES:
+            raise SchemaError(
+                f"unknown attribute type {type_name!r} for attribute {name!r}; "
+                f"expected one of {sorted(ATTRIBUTE_TYPES)}"
+            )
+        self.name = name
+        self.type_name = type_name
+        self.default = default
+
+    def validate(self, value: Any) -> None:
+        if value is None:
+            return
+        expected = ATTRIBUTE_TYPES[self.type_name]
+        if self.type_name == "BOOL":
+            if not isinstance(value, bool):
+                raise SchemaError(
+                    f"attribute {self.name!r} expects BOOL, got {value!r}"
+                )
+            return
+        if isinstance(value, bool) and self.type_name in ("INT", "UINT"):
+            raise SchemaError(f"attribute {self.name!r} expects {self.type_name}, got bool")
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"attribute {self.name!r} expects {self.type_name}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+        if self.type_name == "UINT" and value < 0:
+            raise SchemaError(f"attribute {self.name!r} expects UINT, got {value!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AttributeDecl({self.name}: {self.type_name})"
+
+
+class VertexType:
+    """A named vertex type with attribute declarations."""
+
+    def __init__(self, name: str, attributes: Optional[Iterable[AttributeDecl]] = None):
+        self.name = name
+        self.attributes: Dict[str, AttributeDecl] = {}
+        for decl in attributes or ():
+            if decl.name in self.attributes:
+                raise SchemaError(
+                    f"duplicate attribute {decl.name!r} on vertex type {name!r}"
+                )
+            self.attributes[decl.name] = decl
+
+    def validate_attrs(self, attrs: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate and complete an attribute map with declared defaults."""
+        out: Dict[str, Any] = {}
+        for key, value in attrs.items():
+            decl = self.attributes.get(key)
+            if decl is None:
+                raise SchemaError(
+                    f"vertex type {self.name!r} has no attribute {key!r}"
+                )
+            decl.validate(value)
+            out[key] = value
+        for key, decl in self.attributes.items():
+            if key not in out and decl.default is not None:
+                out[key] = decl.default
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VertexType({self.name})"
+
+
+class EdgeType:
+    """A named edge type: directedness, endpoint type constraints, attributes.
+
+    ``from_types`` / ``to_types`` are sets of vertex type names; empty sets
+    mean "any type".  For undirected edge types the from/to distinction is
+    not meaningful and both endpoint sets are checked symmetrically.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        directed: bool = True,
+        from_types: Optional[Iterable[str]] = None,
+        to_types: Optional[Iterable[str]] = None,
+        attributes: Optional[Iterable[AttributeDecl]] = None,
+    ):
+        self.name = name
+        self.directed = directed
+        self.from_types: Set[str] = set(from_types or ())
+        self.to_types: Set[str] = set(to_types or ())
+        self.attributes: Dict[str, AttributeDecl] = {}
+        for decl in attributes or ():
+            if decl.name in self.attributes:
+                raise SchemaError(
+                    f"duplicate attribute {decl.name!r} on edge type {name!r}"
+                )
+            self.attributes[decl.name] = decl
+
+    def validate_endpoints(self, source_type: str, target_type: str) -> None:
+        if self.directed:
+            if self.from_types and source_type not in self.from_types:
+                raise SchemaError(
+                    f"edge type {self.name!r} cannot start at vertex type "
+                    f"{source_type!r} (allowed: {sorted(self.from_types)})"
+                )
+            if self.to_types and target_type not in self.to_types:
+                raise SchemaError(
+                    f"edge type {self.name!r} cannot end at vertex type "
+                    f"{target_type!r} (allowed: {sorted(self.to_types)})"
+                )
+            return
+        # Undirected: the pair must match in one orientation or the other.
+        if not self.from_types and not self.to_types:
+            return
+        fwd_ok = (not self.from_types or source_type in self.from_types) and (
+            not self.to_types or target_type in self.to_types
+        )
+        rev_ok = (not self.from_types or target_type in self.from_types) and (
+            not self.to_types or source_type in self.to_types
+        )
+        if not (fwd_ok or rev_ok):
+            raise SchemaError(
+                f"undirected edge type {self.name!r} cannot connect "
+                f"{source_type!r} and {target_type!r}"
+            )
+
+    def validate_attrs(self, attrs: Dict[str, Any]) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for key, value in attrs.items():
+            decl = self.attributes.get(key)
+            if decl is None:
+                raise SchemaError(f"edge type {self.name!r} has no attribute {key!r}")
+            decl.validate(value)
+            out[key] = value
+        for key, decl in self.attributes.items():
+            if key not in out and decl.default is not None:
+                out[key] = decl.default
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "directed" if self.directed else "undirected"
+        return f"EdgeType({self.name}, {kind})"
+
+
+class GraphSchema:
+    """A collection of vertex and edge type declarations.
+
+    Build one with the fluent helpers::
+
+        schema = (GraphSchema("SalesGraph")
+                  .vertex("Customer", name="STRING")
+                  .vertex("Product", name="STRING", price="FLOAT", category="STRING")
+                  .edge("Bought", "Customer", "Product",
+                        quantity="INT", discount="FLOAT"))
+    """
+
+    def __init__(self, name: str = "Graph"):
+        self.name = name
+        self.vertex_types: Dict[str, VertexType] = {}
+        self.edge_types: Dict[str, EdgeType] = {}
+
+    # ------------------------------------------------------------------
+    # Fluent construction
+    # ------------------------------------------------------------------
+    def vertex(self, type_name: str, **attributes: str) -> "GraphSchema":
+        """Declare a vertex type; keyword values are attribute type names."""
+        if type_name in self.vertex_types:
+            raise SchemaError(f"vertex type {type_name!r} already declared")
+        decls = [AttributeDecl(attr, tname) for attr, tname in attributes.items()]
+        self.vertex_types[type_name] = VertexType(type_name, decls)
+        return self
+
+    def edge(
+        self,
+        type_name: str,
+        from_type: Optional[str] = None,
+        to_type: Optional[str] = None,
+        directed: bool = True,
+        **attributes: str,
+    ) -> "GraphSchema":
+        """Declare an edge type; keyword values are attribute type names."""
+        if type_name in self.edge_types:
+            raise SchemaError(f"edge type {type_name!r} already declared")
+        for endpoint in (from_type, to_type):
+            if endpoint is not None and endpoint not in self.vertex_types:
+                raise SchemaError(
+                    f"edge type {type_name!r} references undeclared vertex type "
+                    f"{endpoint!r}"
+                )
+        decls = [AttributeDecl(attr, tname) for attr, tname in attributes.items()]
+        self.edge_types[type_name] = EdgeType(
+            type_name,
+            directed=directed,
+            from_types=[from_type] if from_type else None,
+            to_types=[to_type] if to_type else None,
+            attributes=decls,
+        )
+        return self
+
+    def undirected_edge(
+        self,
+        type_name: str,
+        from_type: Optional[str] = None,
+        to_type: Optional[str] = None,
+        **attributes: str,
+    ) -> "GraphSchema":
+        """Declare an undirected edge type (convenience wrapper)."""
+        return self.edge(type_name, from_type, to_type, directed=False, **attributes)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def vertex_type(self, name: str) -> VertexType:
+        try:
+            return self.vertex_types[name]
+        except KeyError:
+            raise SchemaError(f"unknown vertex type {name!r}") from None
+
+    def edge_type(self, name: str) -> EdgeType:
+        try:
+            return self.edge_types[name]
+        except KeyError:
+            raise SchemaError(f"unknown edge type {name!r}") from None
+
+    def has_vertex_type(self, name: str) -> bool:
+        return name in self.vertex_types
+
+    def has_edge_type(self, name: str) -> bool:
+        return name in self.edge_types
+
+    def edge_type_names(self) -> Tuple[str, ...]:
+        return tuple(self.edge_types)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GraphSchema({self.name}: {len(self.vertex_types)} vertex types, "
+            f"{len(self.edge_types)} edge types)"
+        )

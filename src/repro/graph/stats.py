@@ -1,0 +1,139 @@
+"""Graph statistics: the workload-characterization numbers benchmark
+logs report (degree moments, clustering, components, distance profile).
+
+Undirected views treat every edge as a symmetric connection, matching
+how the SNB KNOWS network is analyzed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Optional, Set
+
+from .graph import Graph
+
+
+def _undirected_neighbors(graph: Graph, etype: Optional[str]) -> Dict[Any, Set[Any]]:
+    adjacency: Dict[Any, Set[Any]] = {v.vid: set() for v in graph.vertices()}
+    for e in graph.edges(etype):
+        if e.source != e.target:
+            adjacency[e.source].add(e.target)
+            adjacency[e.target].add(e.source)
+    return adjacency
+
+
+def density(graph: Graph) -> float:
+    """Directed density |E| / (|V|·(|V|−1)); 0 for graphs with <2 vertices."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return graph.num_edges / (n * (n - 1))
+
+
+def average_degree(graph: Graph, etype: Optional[str] = None) -> float:
+    """Mean undirected degree over all vertices."""
+    adjacency = _undirected_neighbors(graph, etype)
+    if not adjacency:
+        return 0.0
+    return sum(len(nbrs) for nbrs in adjacency.values()) / len(adjacency)
+
+
+def clustering_coefficient(
+    graph: Graph, vid: Any, etype: Optional[str] = None
+) -> float:
+    """Local clustering: closed-pair fraction of the vertex's
+    undirected neighborhood."""
+    adjacency = _undirected_neighbors(graph, etype)
+    neighbors = adjacency.get(vid, set())
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    neighbor_list = sorted(neighbors, key=str)
+    for i, a in enumerate(neighbor_list):
+        for b in neighbor_list[i + 1 :]:
+            if b in adjacency[a]:
+                links += 1
+    return 2 * links / (k * (k - 1))
+
+
+def average_clustering(graph: Graph, etype: Optional[str] = None) -> float:
+    """Mean local clustering over all vertices (networkx's convention:
+    degree-<2 vertices count as 0)."""
+    vertices = list(graph.vertex_ids())
+    if not vertices:
+        return 0.0
+    return sum(clustering_coefficient(graph, v, etype) for v in vertices) / len(
+        vertices
+    )
+
+
+def _bfs_distances(adjacency: Dict[Any, Set[Any]], source: Any) -> Dict[Any, int]:
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for n in adjacency[v]:
+            if n not in dist:
+                dist[n] = dist[v] + 1
+                queue.append(n)
+    return dist
+
+
+def eccentricity(graph: Graph, vid: Any, etype: Optional[str] = None) -> int:
+    """Greatest undirected hop distance from ``vid`` to any reachable
+    vertex (0 for isolated vertices)."""
+    adjacency = _undirected_neighbors(graph, etype)
+    dist = _bfs_distances(adjacency, vid)
+    return max(dist.values())
+
+
+def diameter(graph: Graph, etype: Optional[str] = None) -> int:
+    """Largest eccentricity over the (largest) connected component.
+
+    Exact all-pairs BFS — fine at this library's laptop scales.
+    Disconnected pairs are ignored (the diameter of the graph's
+    components' union).
+    """
+    adjacency = _undirected_neighbors(graph, etype)
+    best = 0
+    for source in adjacency:
+        dist = _bfs_distances(adjacency, source)
+        if dist:
+            best = max(best, max(dist.values()))
+    return best
+
+
+def distance_histogram(
+    graph: Graph, source: Any, etype: Optional[str] = None
+) -> Dict[int, int]:
+    """Hop distance -> vertex count, from one source (undirected)."""
+    adjacency = _undirected_neighbors(graph, etype)
+    hist: Dict[int, int] = {}
+    for d in _bfs_distances(adjacency, source).values():
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def describe(graph: Graph, etype: Optional[str] = None) -> Dict[str, Any]:
+    """A one-call statistics summary (used by benchmark logs)."""
+    return {
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "density": round(density(graph), 6),
+        "avg_degree": round(average_degree(graph, etype), 3),
+        "avg_clustering": round(average_clustering(graph, etype), 4),
+        "diameter": diameter(graph, etype),
+    }
+
+
+__all__ = [
+    "density",
+    "average_degree",
+    "clustering_coefficient",
+    "average_clustering",
+    "eccentricity",
+    "diameter",
+    "distance_histogram",
+    "describe",
+]

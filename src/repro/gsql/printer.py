@@ -1,0 +1,291 @@
+"""Render compiled queries back to GSQL text.
+
+``print_query(parse_query(text))`` produces text that parses back to a
+behaviorally identical query (the round-trip property tested in
+``tests/test_gsql_printer.py``).  Useful for showing programmatically
+built queries, for documentation, and as a serialization format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..accum import (
+    Accumulator,
+    AndAccum,
+    ArrayAccum,
+    AvgAccum,
+    BagAccum,
+    GroupByAccum,
+    HeapAccum,
+    ListAccum,
+    MapAccum,
+    MaxAccum,
+    MinAccum,
+    OrAccum,
+    SetAccum,
+    SumAccum,
+)
+from ..core.block import SelectBlock
+from ..core.context import GLOBAL
+from ..core.exprs import Expr
+from ..core.pattern import Pattern, TableSource
+from ..core.query import (
+    DeclareAccum,
+    Foreach,
+    GlobalAccumUpdate,
+    If,
+    Parameter,
+    Print,
+    PrintItem,
+    PrintSetProjection,
+    Query,
+    Return,
+    RunBlock,
+    SetAssign,
+    SetOpAssign,
+    Statement,
+    While,
+)
+from ..core.stmts import AccStatement, AccumUpdate, AttributeUpdate, LocalAssign
+from ..errors import QueryCompileError
+
+_INDENT = "  "
+
+
+def print_query(query: Query) -> str:
+    """GSQL text for a compiled query."""
+    printer = _Printer()
+    return printer.query(query)
+
+
+def expr_text(expr: Expr) -> str:
+    """GSQL text for an expression (the expression reprs are designed to
+    be valid GSQL; this is the documented entry point)."""
+    return repr(expr)
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self.typedefs: List[str] = []
+        self._tuple_names: set = set()
+
+    # ------------------------------------------------------------------
+    def query(self, query: Query) -> str:
+        params = ", ".join(
+            f"{p.type_name} {p.name}"
+            + (f" = {_literal(p.default)}" if p.default is not None else "")
+            for p in query.params
+        )
+        graph = f" FOR GRAPH {query.graph_name}" if query.graph_name else ""
+        body = self.statements(query.statements, 1)
+        header = f"CREATE QUERY {query.name}({params}){graph} {{"
+        typedef_block = "".join(
+            f"{_INDENT}{line}\n" for line in self.typedefs
+        )
+        return f"{header}\n{typedef_block}{body}}}\n"
+
+    def statements(self, statements: List[Statement], depth: int) -> str:
+        out = []
+        for stmt in statements:
+            out.append(self.statement(stmt, depth))
+        return "".join(out)
+
+    def statement(self, stmt: Statement, depth: int) -> str:
+        pad = _INDENT * depth
+        if isinstance(stmt, DeclareAccum):
+            type_text = self.accum_type(stmt)
+            sigil = "@@" if stmt.scope == GLOBAL else "@"
+            init = f" = {expr_text(stmt.initial)}" if stmt.initial is not None else ""
+            return f"{pad}{type_text} {sigil}{stmt.name}{init};\n"
+        if isinstance(stmt, SetAssign):
+            if isinstance(stmt.source, SelectBlock):
+                return f"{pad}{stmt.name} = {self.select(stmt.source, depth)};\n"
+            if isinstance(stmt.source, str):
+                source = stmt.source
+                if source.endswith(".*"):
+                    return f"{pad}{stmt.name} = {{{source}}};\n"
+                return f"{pad}{stmt.name} = {source};\n"
+            items = ", ".join(stmt.source)
+            return f"{pad}{stmt.name} = {{{items}}};\n"
+        if isinstance(stmt, SetOpAssign):
+            return f"{pad}{stmt.name} = {stmt.left} {stmt.op} {stmt.right};\n"
+        if isinstance(stmt, RunBlock):
+            prefix = f"{stmt.assign_to} = " if stmt.assign_to else ""
+            return f"{pad}{prefix}{self.select(stmt.block, depth)};\n"
+        if isinstance(stmt, GlobalAccumUpdate):
+            return f"{pad}@@{stmt.name} {stmt.op} {expr_text(stmt.expr)};\n"
+        if isinstance(stmt, While):
+            limit = f" LIMIT {expr_text(stmt.limit)}" if stmt.limit is not None else ""
+            body = self.statements(stmt.body, depth + 1)
+            return f"{pad}WHILE {expr_text(stmt.cond)}{limit} DO\n{body}{pad}END;\n"
+        if isinstance(stmt, Foreach):
+            body = self.statements(stmt.body, depth + 1)
+            return (
+                f"{pad}FOREACH {stmt.var} IN {expr_text(stmt.collection)} DO\n"
+                f"{body}{pad}END;\n"
+            )
+        if isinstance(stmt, If):
+            then = self.statements(stmt.then, depth + 1)
+            text = f"{pad}IF {expr_text(stmt.cond)} THEN\n{then}"
+            if stmt.otherwise:
+                text += f"{pad}ELSE\n{self.statements(stmt.otherwise, depth + 1)}"
+            return text + f"{pad}END\n"
+        if isinstance(stmt, Print):
+            return f"{pad}PRINT {self.print_items(stmt.items)};\n"
+        if isinstance(stmt, Return):
+            return f"{pad}RETURN {expr_text(stmt.expr)};\n"
+        inner = getattr(stmt, "statements", None)
+        if inner is not None:  # statement groups
+            return self.statements(inner, depth)
+        if type(stmt).__name__ == "_AliasVertexSet":
+            return ""  # re-created by the parser from the INTO fragment
+        raise QueryCompileError(f"cannot print statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    def select(self, block: SelectBlock, depth: int) -> str:
+        pad = _INDENT * (depth + 1)
+        parts: List[str] = []
+        targets: List[str] = []
+        for fragment in block.fragments:
+            cols = ", ".join(
+                f"{expr_text(col.expr)} AS {col.alias}" for col in fragment.columns
+            )
+            targets.append(f"{cols} INTO {fragment.into}")
+        if not targets and block.select_var:
+            targets.append(block.select_var)
+        distinct = "DISTINCT " if block.distinct else ""
+        parts.append(f"SELECT {distinct}" + f";\n{pad}       ".join(targets))
+        parts.append(f"\n{pad}FROM {self.pattern(block.pattern)}")
+        if block.semantics is not None:
+            parts.append(f"\n{pad}USING SEMANTICS '{block.semantics.value}'")
+        if block.where is not None:
+            parts.append(f"\n{pad}WHERE {expr_text(block.where)}")
+        if block.accum:
+            parts.append(f"\n{pad}ACCUM {self.acc_statements(block.accum, pad)}")
+        if block.post_accum:
+            parts.append(
+                f"\n{pad}POST_ACCUM {self.acc_statements(block.post_accum, pad)}"
+            )
+        if block.group_by:
+            keys = ", ".join(expr_text(k) for k in block.group_by)
+            parts.append(f"\n{pad}GROUP BY {keys}")
+        if block.having is not None:
+            parts.append(f"\n{pad}HAVING {expr_text(block.having)}")
+        if block.order_by:
+            keys = ", ".join(
+                f"{expr_text(e)} {'DESC' if desc else 'ASC'}"
+                for e, desc in block.order_by
+            )
+            parts.append(f"\n{pad}ORDER BY {keys}")
+        if block.limit is not None:
+            parts.append(f"\n{pad}LIMIT {expr_text(block.limit)}")
+        return "".join(parts)
+
+    def pattern(self, pattern: Pattern) -> str:
+        return ", ".join(self.chain(c) for c in pattern.chains)
+
+    def chain(self, chain) -> str:
+        if isinstance(chain, TableSource):
+            return f"{chain.table_name}:{chain.var}"
+        text = f"{chain.source.name}:{chain.source.var}"
+        for hop in chain.hops:
+            edge = f":{hop.edge_var}" if hop.edge_var else ""
+            text += f" -({hop.darpe.text}{edge})- {hop.target.name}:{hop.target.var}"
+        return text
+
+    def acc_statements(self, statements: List[AccStatement], pad: str) -> str:
+        rendered = []
+        for stmt in statements:
+            if isinstance(stmt, LocalAssign):
+                type_name = stmt.type_name or "FLOAT"
+                rendered.append(f"{type_name} {stmt.name} = {expr_text(stmt.expr)}")
+            elif isinstance(stmt, AccumUpdate):
+                rendered.append(
+                    f"{stmt.target!r} {stmt.op} {expr_text(stmt.expr)}"
+                )
+            elif isinstance(stmt, AttributeUpdate):
+                rendered.append(
+                    f"{expr_text(stmt.base)}.{stmt.attr} = {expr_text(stmt.expr)}"
+                )
+            else:
+                raise QueryCompileError(
+                    f"cannot print ACCUM statement {type(stmt).__name__}"
+                )
+        return f",\n{pad}      ".join(rendered)
+
+    def print_items(self, items) -> str:
+        rendered = []
+        for item in items:
+            if isinstance(item, PrintSetProjection):
+                cols = ", ".join(
+                    f"{expr_text(c.expr)} AS {c.alias}" for c in item.columns
+                )
+                rendered.append(f"{item.set_name}[{cols}]")
+            else:
+                rendered.append(f"{expr_text(item.expr)} AS {item.alias}")
+        return ", ".join(rendered)
+
+    # ------------------------------------------------------------------
+    def accum_type(self, stmt: DeclareAccum) -> str:
+        factory = stmt.base_factory
+        if getattr(factory, "takes_context", False):
+            raise QueryCompileError(
+                f"@{stmt.name}: parameter-dependent HeapAccum declarations "
+                f"cannot be reconstructed textually"
+            )
+        return self._accum_type_of(factory())
+
+    def _accum_type_of(self, probe: Accumulator) -> str:
+        if isinstance(probe, SumAccum):
+            element = {int: "int", float: "float", str: "string"}[probe.element_type]
+            return f"SumAccum<{element}>"
+        if isinstance(probe, MinAccum):
+            return "MinAccum<float>"
+        if isinstance(probe, MaxAccum):
+            return "MaxAccum<float>"
+        if isinstance(probe, AvgAccum):
+            return "AvgAccum"
+        if isinstance(probe, OrAccum):
+            return "OrAccum"
+        if isinstance(probe, AndAccum):
+            return "AndAccum"
+        if isinstance(probe, SetAccum):
+            return "SetAccum<int>"
+        if isinstance(probe, BagAccum):
+            return "BagAccum<int>"
+        if isinstance(probe, ListAccum):
+            return "ListAccum<int>"
+        if isinstance(probe, ArrayAccum):
+            return "ArrayAccum<SumAccum<float>>"
+        if isinstance(probe, MapAccum):
+            nested = self._accum_type_of(probe._factory())
+            return f"MapAccum<string, {nested}>"
+        if isinstance(probe, HeapAccum):
+            name = probe.tuple_type.name
+            if name not in self._tuple_names:
+                self._tuple_names.add(name)
+                fields = ", ".join(
+                    f"{ftype} {fname}" for fname, ftype in probe.tuple_type.fields
+                )
+                self.typedefs.append(f"TYPEDEF TUPLE <{fields}> {name};")
+            spec = ", ".join(f"{f} {o}" for f, o in probe.sort_spec)
+            return f"HeapAccum<{name}>({probe.capacity}, {spec})"
+        if isinstance(probe, GroupByAccum):
+            keys = ", ".join(f"string {k}" for k in probe.key_names)
+            nested = ", ".join(
+                self._accum_type_of(f()) for f in probe._factories
+            )
+            return f"GroupByAccum<{keys}, {nested}>"
+        return probe.type_name
+
+
+def _literal(value: Any) -> str:
+    if isinstance(value, str):
+        return f"'{value}'"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    return repr(value)
+
+
+__all__ = ["print_query", "expr_text"]

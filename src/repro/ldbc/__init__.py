@@ -1,0 +1,34 @@
+"""LDBC-SNB-like workload substrate: schema, deterministic generator,
+IC query analogues (Section 7.1) and the Appendix B grouping queries."""
+
+from .generator import SnbSizes, generate_snb_graph
+from .grouping import build_q_acc, build_q_gs, run_q_acc, run_q_gs
+from .interactive import (
+    HOPS,
+    IC_QUERIES,
+    default_parameters,
+    ic3_query,
+    ic5_query,
+    ic6_query,
+    ic9_query,
+    ic11_query,
+)
+from .schema import snb_schema
+
+__all__ = [
+    "SnbSizes",
+    "generate_snb_graph",
+    "snb_schema",
+    "HOPS",
+    "IC_QUERIES",
+    "default_parameters",
+    "ic3_query",
+    "ic5_query",
+    "ic6_query",
+    "ic9_query",
+    "ic11_query",
+    "build_q_acc",
+    "build_q_gs",
+    "run_q_acc",
+    "run_q_gs",
+]

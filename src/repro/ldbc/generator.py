@@ -1,0 +1,207 @@
+"""Deterministic SNB-like social network generator.
+
+Substitutes for the LDBC SNB data generator at laptop scale: the *shape*
+matters for the paper's experiments — KNOWS forms a small-world network
+whose h-hop neighborhoods grow quickly with h (that growth is what makes
+the enumeration engine blow up as the paper increases hops from 2 to 4),
+persons cluster into cities/countries, and messages carry the dates,
+lengths and browsers the Appendix B grouping query aggregates.
+
+``scale_factor`` plays the role of SNB's SF: person count scales linearly
+with it, everything else proportionally.  All randomness flows from one
+seeded :class:`random.Random`, so a given (scale_factor, seed) pair always
+produces the identical graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..graph.graph import Graph
+from .schema import snb_schema
+
+_COUNTRIES = ["Arcadia", "Borduria", "Cascadia", "Delphinia", "Elbonia", "Florin"]
+_CITIES_PER_COUNTRY = 4
+_BROWSERS = ["Firefox", "Chrome", "Safari", "Internet Explorer", "Opera"]
+_LANGUAGES = ["en", "de", "fr", "es", "zh"]
+_FIRST_NAMES = ["Alex", "Brook", "Casey", "Devon", "Emery", "Flynn", "Gale", "Hadley"]
+_LAST_NAMES = ["Ames", "Bell", "Cole", "Dorn", "Ezra", "Finn", "Gray", "Hale"]
+_TAG_STEMS = ["opera", "punk", "jazz", "chess", "go", "soccer", "tango", "haiku"]
+
+
+def _date(rng: random.Random, year_lo: int = 2010, year_hi: int = 2012) -> int:
+    """A yyyymmdd date uniform over [year_lo, year_hi]."""
+    year = rng.randint(year_lo, year_hi)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return year * 10000 + month * 100 + day
+
+
+class SnbSizes:
+    """Entity counts for one scale factor (documented, overridable)."""
+
+    def __init__(self, scale_factor: float):
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.persons = max(20, int(round(300 * scale_factor)))
+        self.companies = max(5, int(round(20 * scale_factor ** 0.5)))
+        self.forums = max(5, self.persons // 10)
+        self.tags = max(8, int(round(8 * scale_factor ** 0.5)))
+        self.posts_per_person = 3
+        self.comments_per_person = 5
+        self.likes_per_person = 8
+        # LDBC's average KNOWS degree grows with the scale factor; this is
+        # the property that makes h-hop trail enumeration explode at the
+        # paper's SF 100 (the "Neo" table's minute-scale cells).
+        self.knows_per_person = max(6, int(round(14 * scale_factor ** 0.5)))
+
+
+def generate_snb_graph(
+    scale_factor: float = 0.1,
+    seed: int = 42,
+    sizes: Optional[SnbSizes] = None,
+) -> Graph:
+    """Generate the SNB-like graph for a scale factor.
+
+    The KNOWS network is a Watts-Strogatz-style small world: each person
+    knows a handful of "ring neighbors" (clustering) plus rewired random
+    long-range acquaintances (short diameter) — giving the rapidly growing
+    h-hop friend neighborhoods the IC experiments rely on.
+    """
+    rng = random.Random(seed)
+    sizes = sizes or SnbSizes(scale_factor)
+    g = Graph(snb_schema(), name=f"SNB-SF{scale_factor}")
+
+    # -- places -----------------------------------------------------------
+    cities: List[str] = []
+    for country_name in _COUNTRIES:
+        country_id = f"country:{country_name}"
+        g.add_vertex(country_id, "Country", name=country_name)
+        for i in range(_CITIES_PER_COUNTRY):
+            city_id = f"city:{country_name}:{i}"
+            g.add_vertex(city_id, "City", name=f"{country_name} City {i}")
+            g.add_edge(city_id, country_id, "IsPartOf")
+            cities.append(city_id)
+
+    # -- companies -----------------------------------------------------------
+    companies: List[str] = []
+    for i in range(sizes.companies):
+        company_id = f"company:{i}"
+        country_name = _COUNTRIES[i % len(_COUNTRIES)]
+        g.add_vertex(company_id, "Company", name=f"Company {i}")
+        g.add_edge(company_id, f"country:{country_name}", "CompanyIn")
+        companies.append(company_id)
+
+    # -- tags ------------------------------------------------------------------
+    tags: List[str] = []
+    for i in range(sizes.tags):
+        tag_id = f"tag:{i}"
+        g.add_vertex(tag_id, "Tag", name=f"{_TAG_STEMS[i % len(_TAG_STEMS)]}-{i}")
+        tags.append(tag_id)
+
+    # -- persons -------------------------------------------------------------
+    n = sizes.persons
+    persons = [f"person:{i}" for i in range(n)]
+    for i, pid in enumerate(persons):
+        birth_year = rng.randint(1950, 2000)
+        g.add_vertex(
+            pid,
+            "Person",
+            firstName=_FIRST_NAMES[i % len(_FIRST_NAMES)],
+            lastName=_LAST_NAMES[(i // len(_FIRST_NAMES)) % len(_LAST_NAMES)],
+            gender=rng.choice(["male", "female"]),
+            birthday=birth_year * 10000 + rng.randint(1, 12) * 100 + rng.randint(1, 28),
+            browserUsed=rng.choice(_BROWSERS),
+            creationDate=_date(rng),
+        )
+        g.add_edge(pid, rng.choice(cities), "IsLocatedIn")
+        for _ in range(rng.randint(0, 2)):
+            g.add_edge(
+                pid,
+                rng.choice(companies),
+                "WorkAt",
+                workFrom=rng.randint(1995, 2012),
+            )
+
+    # -- KNOWS: small-world ring + rewired long links --------------------------
+    half_k = max(1, sizes.knows_per_person // 2)
+    known = set()
+
+    def add_knows(a: int, b: int) -> None:
+        if a == b:
+            return
+        key = (min(a, b), max(a, b))
+        if key in known:
+            return
+        known.add(key)
+        g.add_edge(persons[a], persons[b], "Knows", creationDate=_date(rng))
+
+    for i in range(n):
+        for offset in range(1, half_k + 1):
+            if rng.random() < 0.2:  # rewire: long-range link
+                add_knows(i, rng.randrange(n))
+            else:
+                add_knows(i, (i + offset) % n)
+
+    # -- forums ---------------------------------------------------------------
+    forums = [f"forum:{i}" for i in range(sizes.forums)]
+    for i, fid in enumerate(forums):
+        g.add_vertex(fid, "Forum", title=f"Forum {i}", creationDate=_date(rng))
+        for pid in rng.sample(persons, min(len(persons), rng.randint(5, 15))):
+            g.add_edge(fid, pid, "HasMember", joinDate=_date(rng))
+
+    # -- posts -----------------------------------------------------------------
+    posts: List[str] = []
+    for i, pid in enumerate(persons):
+        for j in range(sizes.posts_per_person):
+            post_id = f"post:{i}:{j}"
+            country_name = rng.choice(_COUNTRIES)
+            g.add_vertex(
+                post_id,
+                "Post",
+                creationDate=_date(rng),
+                length=rng.randint(10, 2000),
+                browserUsed=rng.choice(_BROWSERS),
+                language=rng.choice(_LANGUAGES),
+            )
+            g.add_edge(post_id, pid, "PostCreator")
+            g.add_edge(post_id, f"country:{country_name}", "PostIn")
+            forum = rng.choice(forums)
+            g.add_edge(forum, post_id, "ContainerOf")
+            for tag in rng.sample(tags, rng.randint(1, 3)):
+                g.add_edge(post_id, tag, "HasTag")
+            posts.append(post_id)
+
+    # -- comments ------------------------------------------------------------------
+    comments: List[str] = []
+    for i, pid in enumerate(persons):
+        for j in range(sizes.comments_per_person):
+            comment_id = f"comment:{i}:{j}"
+            country_name = rng.choice(_COUNTRIES)
+            g.add_vertex(
+                comment_id,
+                "Comment",
+                creationDate=_date(rng),
+                length=rng.randint(5, 1500),
+                browserUsed=rng.choice(_BROWSERS),
+            )
+            g.add_edge(comment_id, pid, "CommentCreator")
+            g.add_edge(comment_id, f"country:{country_name}", "CommentIn")
+            g.add_edge(comment_id, rng.choice(posts), "ReplyOf")
+            comments.append(comment_id)
+
+    # -- likes ---------------------------------------------------------------------
+    for pid in persons:
+        for _ in range(sizes.likes_per_person):
+            if rng.random() < 0.5:
+                g.add_edge(pid, rng.choice(posts), "LikesPost", creationDate=_date(rng))
+            else:
+                g.add_edge(
+                    pid, rng.choice(comments), "LikesComment", creationDate=_date(rng)
+                )
+
+    return g
+
+
+__all__ = ["SnbSizes", "generate_snb_graph"]

@@ -1,0 +1,74 @@
+"""Schema of the SNB-like social network.
+
+A scaled-down analogue of the LDBC Social Network Benchmark schema [16],
+covering the entity and relationship types the paper's experiments touch
+(the IC query family of Section 7.1 and the Appendix B grouping query):
+
+* ``Person`` — ``KNOWS`` (undirected, as in SNB) other persons, lives in
+  a ``City``, works at ``Company``s, likes and creates messages;
+* ``City`` — part of a ``Country``;
+* ``Post`` / ``Comment`` — created by persons, located in countries,
+  tagged, contained in ``Forum``s (posts) or replying to messages
+  (comments);
+* ``Forum`` — has members, contains posts;
+* ``Tag`` — attached to posts.
+
+Dates are integers encoded ``yyyymmdd`` (see ``year()``/``month()``/
+``day()`` in the expression library).
+"""
+
+from __future__ import annotations
+
+from ..graph.schema import GraphSchema
+
+
+def snb_schema() -> GraphSchema:
+    """The SNB-like schema used by the generator and the IC queries."""
+    schema = GraphSchema("SNB")
+    schema.vertex(
+        "Person",
+        firstName="STRING",
+        lastName="STRING",
+        gender="STRING",
+        birthday="INT",
+        browserUsed="STRING",
+        creationDate="INT",
+    )
+    schema.vertex("City", name="STRING")
+    schema.vertex("Country", name="STRING")
+    schema.vertex("Company", name="STRING")
+    schema.vertex("Forum", title="STRING", creationDate="INT")
+    schema.vertex(
+        "Post",
+        creationDate="INT",
+        length="INT",
+        browserUsed="STRING",
+        language="STRING",
+    )
+    schema.vertex(
+        "Comment",
+        creationDate="INT",
+        length="INT",
+        browserUsed="STRING",
+    )
+    schema.vertex("Tag", name="STRING")
+
+    schema.undirected_edge("Knows", "Person", "Person", creationDate="INT")
+    schema.edge("IsLocatedIn", "Person", "City")
+    schema.edge("IsPartOf", "City", "Country")
+    schema.edge("CompanyIn", "Company", "Country")
+    schema.edge("WorkAt", "Person", "Company", workFrom="INT")
+    schema.edge("HasMember", "Forum", "Person", joinDate="INT")
+    schema.edge("ContainerOf", "Forum", "Post")
+    schema.edge("PostCreator", "Post", "Person")
+    schema.edge("CommentCreator", "Comment", "Person")
+    schema.edge("PostIn", "Post", "Country")
+    schema.edge("CommentIn", "Comment", "Country")
+    schema.edge("HasTag", "Post", "Tag")
+    schema.edge("LikesPost", "Person", "Post", creationDate="INT")
+    schema.edge("LikesComment", "Person", "Comment", creationDate="INT")
+    schema.edge("ReplyOf", "Comment", "Post")
+    return schema
+
+
+__all__ = ["snb_schema"]

@@ -1,0 +1,23 @@
+"""Path semantics and polynomial-time shortest-path match counting."""
+
+from .sdmc import (
+    SdmcResult,
+    ShortestPathDag,
+    all_paths_sdmc,
+    enumerate_shortest_paths,
+    shortest_path_dag,
+    single_pair_sdmc,
+    single_source_sdmc,
+)
+from .semantics import PathSemantics
+
+__all__ = [
+    "SdmcResult",
+    "ShortestPathDag",
+    "all_paths_sdmc",
+    "enumerate_shortest_paths",
+    "shortest_path_dag",
+    "single_pair_sdmc",
+    "single_source_sdmc",
+    "PathSemantics",
+]

@@ -1,0 +1,281 @@
+"""Shortest DARPE Match Counting (SDMC) — Theorem 6.1 of the paper.
+
+Given a DARPE ``d`` and a graph, the *single-pair* problem asks for the
+number of shortest paths from ``s`` to ``t`` that satisfy ``d`` (length
+measured in edges); *single-source* asks for that count for every target
+``t``; *all-paths* for every source/target pair.  All three are solvable
+in polynomial time even when the count itself is exponential in the graph
+size, which is the linchpin of the paper's tractability result
+(Theorem 7.1): the evaluation engine *counts* matching paths instead of
+materializing them.
+
+The algorithm is the folklore product construction: determinize the DARPE
+automaton (so each graph path has exactly one automaton run — otherwise
+runs, not paths, would be counted) and run a level-synchronized BFS over
+product states ``(vertex, dfa_state)``, accumulating shortest-path counts
+per product state.  For a target vertex ``t`` the answer is the first BFS
+level at which any accepting product state ``(t, q)`` appears, and the sum
+of the counts of all accepting product states at that level.
+
+The product has at most ``|V| * 2^|NFA|`` states, but the DFA part is
+built lazily and in practice stays tiny (it is bounded by the query, not
+the data, giving the polynomial *data* complexity the theorems claim).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple
+
+from ..darpe.automaton import CompiledDarpe, LazyDFA
+from ..graph.graph import Graph
+
+
+class SdmcResult(NamedTuple):
+    """Result of a single-pair SDMC query: the shortest satisfying path
+    length and the number of shortest satisfying paths."""
+
+    distance: int
+    count: int
+
+
+def single_source_sdmc(
+    graph: Graph,
+    source: Any,
+    darpe: CompiledDarpe,
+    targets: Optional[Set[Any]] = None,
+    max_length: Optional[int] = None,
+) -> Dict[Any, SdmcResult]:
+    """Single-source SDMC: shortest satisfying-path distance and count from
+    ``source`` to every reachable target.
+
+    Parameters
+    ----------
+    graph, source, darpe:
+        The graph, the source vertex id, and the compiled DARPE.
+    targets:
+        Optional set of target vertex ids.  When given, the BFS stops as
+        soon as every requested target has been resolved, and only those
+        targets appear in the result.
+    max_length:
+        Optional cap on the path length explored (used by bounded-hop
+        workloads; ``None`` explores the whole product graph).
+
+    Returns
+    -------
+    dict mapping target vertex id to :class:`SdmcResult`.  Targets with no
+    satisfying path are absent.
+    """
+    graph.vertex(source)  # validate early, with a clear error
+    dfa = darpe.new_dfa()
+    results: Dict[Any, SdmcResult] = {}
+    remaining = set(targets) if targets is not None else None
+
+    start = (source, dfa.start)
+    level = 0
+    visited: Set[Tuple[Any, int]] = {start}
+    frontier: Dict[Tuple[Any, int], int] = {start: 1}
+
+    def record_level(states: Dict[Tuple[Any, int], int]) -> None:
+        per_vertex: Dict[Any, int] = defaultdict(int)
+        for (vid, q), count in states.items():
+            if dfa.is_accepting(q):
+                per_vertex[vid] += count
+        for vid, count in per_vertex.items():
+            if vid not in results:
+                results[vid] = SdmcResult(level, count)
+                if remaining is not None:
+                    remaining.discard(vid)
+
+    record_level(frontier)
+    while frontier:
+        if remaining is not None and not remaining:
+            break
+        if max_length is not None and level >= max_length:
+            break
+        next_frontier: Dict[Tuple[Any, int], int] = defaultdict(int)
+        for (vid, q), count in frontier.items():
+            for step in graph.steps(vid):
+                q2 = dfa.step(q, (step.edge.type, step.direction))
+                if q2 == LazyDFA.DEAD:
+                    continue
+                ps = (step.neighbor, q2)
+                if ps in visited:
+                    continue
+                next_frontier[ps] += count
+        level += 1
+        visited.update(next_frontier)
+        record_level(next_frontier)
+        frontier = next_frontier
+
+    if targets is not None:
+        return {vid: res for vid, res in results.items() if vid in targets}
+    return results
+
+
+def single_pair_sdmc(
+    graph: Graph,
+    source: Any,
+    target: Any,
+    darpe: CompiledDarpe,
+    max_length: Optional[int] = None,
+) -> Optional[SdmcResult]:
+    """Single-pair SDMC: ``SDMC_d(s, t)`` with its distance, or ``None``
+    when no satisfying path exists."""
+    graph.vertex(target)
+    found = single_source_sdmc(
+        graph, source, darpe, targets={target}, max_length=max_length
+    )
+    return found.get(target)
+
+
+def all_paths_sdmc(
+    graph: Graph,
+    darpe: CompiledDarpe,
+    sources: Optional[Iterable[Any]] = None,
+    max_length: Optional[int] = None,
+) -> Dict[Tuple[Any, Any], SdmcResult]:
+    """All-paths SDMC: the union of single-source results over all (or the
+    given) sources, keyed by ``(source, target)``."""
+    result: Dict[Tuple[Any, Any], SdmcResult] = {}
+    source_ids = list(sources) if sources is not None else list(graph.vertex_ids())
+    for source in source_ids:
+        for target, res in single_source_sdmc(
+            graph, source, darpe, max_length=max_length
+        ).items():
+            result[(source, target)] = res
+    return result
+
+
+# ----------------------------------------------------------------------
+# Shortest-path DAG and enumeration (used to cross-check counts in tests
+# and to exhibit witness paths when a user asks for them)
+# ----------------------------------------------------------------------
+
+class ShortestPathDag:
+    """The DAG of shortest satisfying paths from one source.
+
+    Nodes are product states ``(vertex, dfa_state)``; ``parents`` maps a
+    product state to the list of ``(parent_state, edge)`` pairs lying on
+    shortest paths.  Enumerating paths from this DAG touches only edges
+    that participate in some shortest satisfying path, so enumeration is
+    output-sensitive (linear work per emitted path).
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        distances: Dict[Tuple[Any, int], int],
+        parents: Dict[Tuple[Any, int], List[Tuple[Tuple[Any, int], Any]]],
+        accepting_by_vertex: Dict[Any, List[Tuple[Any, int]]],
+        target_distance: Dict[Any, int],
+    ):
+        self.source = source
+        self.distances = distances
+        self.parents = parents
+        self._accepting_by_vertex = accepting_by_vertex
+        self._target_distance = target_distance
+
+    def paths_to(self, target: Any) -> Iterator[List[Any]]:
+        """Yield each shortest satisfying path to ``target`` as a list of
+        edges, in source-to-target order."""
+        dist = self._target_distance.get(target)
+        if dist is None:
+            return
+        ends = [
+            ps
+            for ps in self._accepting_by_vertex.get(target, ())
+            if self.distances[ps] == dist
+        ]
+
+        def walk(state: Tuple[Any, int]) -> Iterator[List[Any]]:
+            if self.distances[state] == 0:
+                yield []
+                return
+            for parent, edge in self.parents.get(state, ()):
+                for prefix in walk(parent):
+                    yield prefix + [edge]
+
+        for end in ends:
+            yield from walk(end)
+
+
+def shortest_path_dag(
+    graph: Graph,
+    source: Any,
+    darpe: CompiledDarpe,
+    max_length: Optional[int] = None,
+) -> ShortestPathDag:
+    """Build the shortest-satisfying-path DAG from ``source``.
+
+    Same BFS as :func:`single_source_sdmc`, but retaining parent pointers
+    so witness paths can be reconstructed.
+    """
+    graph.vertex(source)
+    dfa = darpe.new_dfa()
+    start = (source, dfa.start)
+    distances: Dict[Tuple[Any, int], int] = {start: 0}
+    parents: Dict[Tuple[Any, int], List[Tuple[Tuple[Any, int], Any]]] = {}
+    accepting_by_vertex: Dict[Any, List[Tuple[Any, int]]] = defaultdict(list)
+    target_distance: Dict[Any, int] = {}
+
+    def note_accepting(ps: Tuple[Any, int], level: int) -> None:
+        vid, q = ps
+        if dfa.is_accepting(q):
+            accepting_by_vertex[vid].append(ps)
+            if vid not in target_distance:
+                target_distance[vid] = level
+
+    note_accepting(start, 0)
+    frontier = [start]
+    level = 0
+    while frontier:
+        if max_length is not None and level >= max_length:
+            break
+        next_frontier: List[Tuple[Any, int]] = []
+        for ps in frontier:
+            vid, q = ps
+            for step in graph.steps(vid):
+                q2 = dfa.step(q, (step.edge.type, step.direction))
+                if q2 == LazyDFA.DEAD:
+                    continue
+                child = (step.neighbor, q2)
+                known = distances.get(child)
+                if known is None:
+                    distances[child] = level + 1
+                    parents[child] = [(ps, step.edge)]
+                    next_frontier.append(child)
+                    note_accepting(child, level + 1)
+                elif known == level + 1:
+                    parents[child].append((ps, step.edge))
+        level += 1
+        frontier = next_frontier
+
+    return ShortestPathDag(
+        source, distances, parents, dict(accepting_by_vertex), target_distance
+    )
+
+
+def enumerate_shortest_paths(
+    graph: Graph,
+    source: Any,
+    target: Any,
+    darpe: CompiledDarpe,
+    max_length: Optional[int] = None,
+) -> Iterator[List[Any]]:
+    """Yield every shortest satisfying path from ``source`` to ``target``
+    as a list of edges (may be exponentially many — intended for tests and
+    witness exhibition, never for aggregation)."""
+    dag = shortest_path_dag(graph, source, darpe, max_length=max_length)
+    yield from dag.paths_to(target)
+
+
+__all__ = [
+    "SdmcResult",
+    "single_source_sdmc",
+    "single_pair_sdmc",
+    "all_paths_sdmc",
+    "ShortestPathDag",
+    "shortest_path_dag",
+    "enumerate_shortest_paths",
+]

@@ -1,0 +1,63 @@
+"""Path-legality semantics (Section 6.1 of the paper).
+
+Each semantics restricts which paths count as matches of a DARPE pattern,
+to keep the match multiset finite on cyclic graphs:
+
+* :data:`PathSemantics.UNRESTRICTED` — every walk matches (Gremlin's
+  default; termination requires an explicit length bound);
+* :data:`PathSemantics.NO_REPEATED_VERTEX` — simple paths only (the style
+  used throughout Gremlin/TinkerPop tutorials);
+* :data:`PathSemantics.NO_REPEATED_EDGE` — trails only (Cypher's default);
+* :data:`PathSemantics.ALL_SHORTEST` — all shortest satisfying paths
+  (GSQL's default; the only aggregation-friendly *tractable* choice);
+* :data:`PathSemantics.EXISTENCE` — boolean reachability with
+  multiplicity 1 (SparQL 1.1's starred-RPE semantics; tractable but
+  aggregation-unfriendly).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PathSemantics(enum.Enum):
+    """The five path-legality flavors surveyed in Section 6.1."""
+
+    UNRESTRICTED = "unrestricted"
+    NO_REPEATED_VERTEX = "no-repeated-vertex"
+    NO_REPEATED_EDGE = "no-repeated-edge"
+    ALL_SHORTEST = "all-shortest-paths"
+    EXISTENCE = "existence"
+
+    @property
+    def is_tractable(self) -> bool:
+        """Whether counting matches has polynomial data complexity.
+
+        Checking/counting legal paths is NP-hard/#P-complete for the two
+        non-repeating flavors; unrestricted semantics is not even finite.
+        Only all-shortest-paths and existence semantics are tractable.
+        """
+        return self in (PathSemantics.ALL_SHORTEST, PathSemantics.EXISTENCE)
+
+    @property
+    def is_aggregation_friendly(self) -> bool:
+        """Whether the semantics yields meaningful path multiplicities.
+
+        Existence semantics collapses every multiplicity to 1, defeating
+        multiplicity-sensitive aggregates (count/sum/avg).
+        """
+        return self is not PathSemantics.EXISTENCE
+
+    @property
+    def reference_system(self) -> str:
+        """The representative system the paper associates with the flavor."""
+        return {
+            PathSemantics.UNRESTRICTED: "Gremlin (default)",
+            PathSemantics.NO_REPEATED_VERTEX: "Gremlin (tutorial style)",
+            PathSemantics.NO_REPEATED_EDGE: "Cypher/Neo4j (default)",
+            PathSemantics.ALL_SHORTEST: "GSQL/TigerGraph (default)",
+            PathSemantics.EXISTENCE: "SparQL 1.1",
+        }[self]
+
+
+__all__ = ["PathSemantics"]

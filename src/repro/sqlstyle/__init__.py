@@ -1,0 +1,25 @@
+"""Conventional SQL-style aggregation baseline (Section 8)."""
+
+from .engine import materialize_match_table
+from .relational import (
+    Aggregate,
+    MatchTable,
+    Row,
+    cube,
+    group_by,
+    grouping_sets,
+    rollup,
+    split_grouping_result,
+)
+
+__all__ = [
+    "materialize_match_table",
+    "Aggregate",
+    "MatchTable",
+    "Row",
+    "cube",
+    "group_by",
+    "grouping_sets",
+    "rollup",
+    "split_grouping_result",
+]

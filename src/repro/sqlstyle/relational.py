@@ -1,0 +1,201 @@
+"""A small relational layer: match tables and SQL-style grouped
+aggregation, including GROUPING SETS / CUBE / ROLLUP.
+
+This is the conventional-aggregation baseline of Section 8.  It is built
+to exhibit — faithfully — the two structural inefficiencies the paper
+attributes to SQL-style multi-aggregation:
+
+1. **Wasteful aggregates per grouping set**: SQL computes *every*
+   aggregate column for *every* grouping set, even when each set needs a
+   different aggregate (Example 13).  :func:`grouping_sets` does exactly
+   that, per the standard.
+2. **Outer-union + multi-pass separation**: GROUPING SETS returns one
+   table with NULLed-out grouping columns; routing per-set results to
+   separate destinations requires materializing the union and
+   re-scanning it (Section 8's "inefficiently expressible class").
+   :func:`split_grouping_result` performs that post-pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import QueryRuntimeError
+
+Row = Dict[str, Any]
+
+
+class MatchTable:
+    """A materialized match table: named columns, dict rows.
+
+    This is the uncompressed relation that conventional engines feed
+    their GROUP BY over (contrast with the compressed
+    :class:`repro.core.pattern.BindingTable`).
+    """
+
+    def __init__(self, rows: Optional[List[Row]] = None):
+        self.rows: List[Row] = rows if rows is not None else []
+
+    def append(self, row: Row) -> None:
+        self.rows.append(row)
+
+    def project(self, columns: Sequence[str]) -> "MatchTable":
+        return MatchTable([{c: row[c] for c in columns} for row in self.rows])
+
+    def filter(self, predicate: Callable[[Row], bool]) -> "MatchTable":
+        return MatchTable([row for row in self.rows if predicate(row)])
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+class Aggregate:
+    """One aggregate column: function name, input column, output alias."""
+
+    FUNCS = ("count", "sum", "min", "max", "avg")
+
+    def __init__(self, func: str, column: Optional[str], alias: Optional[str] = None):
+        func = func.lower()
+        if func not in self.FUNCS:
+            raise QueryRuntimeError(f"unknown aggregate {func!r}")
+        self.func = func
+        self.column = column
+        self.alias = alias or f"{func}_{column or 'all'}"
+
+    def fold(self, rows: List[Row]) -> Any:
+        if self.func == "count":
+            if self.column is None:
+                return len(rows)
+            return sum(1 for row in rows if row.get(self.column) is not None)
+        values = [row[self.column] for row in rows if row.get(self.column) is not None]
+        if not values:
+            return None
+        if self.func == "sum":
+            return sum(values)
+        if self.func == "min":
+            return min(values)
+        if self.func == "max":
+            return max(values)
+        return sum(values) / len(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.func}({self.column or '*'}) AS {self.alias}"
+
+
+def group_by(
+    table: MatchTable,
+    keys: Sequence[str],
+    aggregates: Sequence[Aggregate],
+) -> MatchTable:
+    """Plain SQL GROUP BY: one output row per distinct key combination."""
+    groups: Dict[Tuple, List[Row]] = {}
+    order: List[Tuple] = []
+    for row in table:
+        key = tuple(row.get(k) for k in keys)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = bucket = []
+            order.append(key)
+        bucket.append(row)
+    out = MatchTable()
+    for key in order:
+        bucket = groups[key]
+        result: Row = dict(zip(keys, key))
+        for agg in aggregates:
+            result[agg.alias] = agg.fold(bucket)
+        out.append(result)
+    return out
+
+
+def grouping_sets(
+    table: MatchTable,
+    sets: Sequence[Sequence[str]],
+    aggregates: Sequence[Aggregate],
+    all_columns: Optional[Sequence[str]] = None,
+) -> MatchTable:
+    """SQL GROUPING SETS: the outer union of one GROUP BY per set.
+
+    Per the standard (and per the paper's complaint), **all** aggregate
+    columns are computed for **every** grouping set.  Grouping columns
+    absent from a set are NULL in its rows; a ``__grouping_set`` index
+    column identifies the originating set (the role of SQL's GROUPING()
+    function).
+    """
+    if all_columns is None:
+        seen: List[str] = []
+        for gset in sets:
+            for col in gset:
+                if col not in seen:
+                    seen.append(col)
+        all_columns = seen
+    out = MatchTable()
+    for index, gset in enumerate(sets):
+        grouped = group_by(table, list(gset), aggregates)
+        for row in grouped:
+            unioned: Row = {col: row.get(col) for col in all_columns}
+            for agg in aggregates:
+                unioned[agg.alias] = row[agg.alias]
+            unioned["__grouping_set"] = index
+            out.append(unioned)
+    return out
+
+
+def cube(
+    table: MatchTable, columns: Sequence[str], aggregates: Sequence[Aggregate]
+) -> MatchTable:
+    """SQL CUBE: grouping sets for every subset of the columns (2^n sets)."""
+    subsets: List[List[str]] = [[]]
+    for col in columns:
+        subsets += [subset + [col] for subset in subsets]
+    # Standard CUBE order: coarser sets last; keep deterministic order.
+    subsets.sort(key=lambda s: (-len(s), [columns.index(c) for c in s]))
+    return grouping_sets(table, subsets, aggregates, all_columns=columns)
+
+
+def rollup(
+    table: MatchTable, columns: Sequence[str], aggregates: Sequence[Aggregate]
+) -> MatchTable:
+    """SQL ROLLUP: the n+1 prefix grouping sets."""
+    prefixes = [list(columns[:i]) for i in range(len(columns), -1, -1)]
+    return grouping_sets(table, prefixes, aggregates, all_columns=columns)
+
+
+def split_grouping_result(
+    unioned: MatchTable,
+    sets: Sequence[Sequence[str]],
+    wanted: Sequence[Sequence[str]],
+) -> List[MatchTable]:
+    """The multi-pass separation step of Section 8.
+
+    Conventional SQL leaves GROUPING SETS results in one outer-union
+    table; producing the per-set destination tables (what GSQL's
+    multi-output SELECT emits directly) requires re-scanning that table
+    once per set, keeping only the set's rows and its *wanted* aggregate
+    columns.
+    """
+    outputs: List[MatchTable] = []
+    for index, (gset, keep) in enumerate(zip(sets, wanted)):
+        out = MatchTable()
+        for row in unioned:
+            if row.get("__grouping_set") != index:
+                continue
+            out.append(
+                {**{col: row[col] for col in gset}, **{a: row[a] for a in keep}}
+            )
+        outputs.append(out)
+    return outputs
+
+
+__all__ = [
+    "Row",
+    "MatchTable",
+    "Aggregate",
+    "group_by",
+    "grouping_sets",
+    "cube",
+    "rollup",
+    "split_grouping_result",
+]

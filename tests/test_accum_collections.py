@@ -1,0 +1,193 @@
+"""Tests for Or/And/Bitwise/Set/Bag/List/Array accumulators."""
+
+import pytest
+
+from repro.accum import (
+    AndAccum,
+    ArrayAccum,
+    BagAccum,
+    BitwiseAndAccum,
+    BitwiseOrAccum,
+    ListAccum,
+    OrAccum,
+    SetAccum,
+    SumAccum,
+)
+from repro.errors import AccumulatorError
+
+
+class TestLogical:
+    def test_or_defaults_false(self):
+        assert OrAccum().value is False
+
+    def test_or_disjunction(self):
+        acc = OrAccum()
+        acc.combine(False)
+        assert acc.value is False
+        acc.combine(True)
+        acc.combine(False)
+        assert acc.value is True
+
+    def test_and_defaults_true(self):
+        assert AndAccum().value is True
+
+    def test_and_conjunction(self):
+        acc = AndAccum()
+        acc.combine(True)
+        assert acc.value is True
+        acc.combine(False)
+        assert acc.value is False
+
+    def test_bool_enforced(self):
+        with pytest.raises(AccumulatorError):
+            OrAccum().combine(1)
+        with pytest.raises(AccumulatorError):
+            AndAccum().combine("yes")
+
+    def test_multiplicity_insensitive(self):
+        acc = OrAccum()
+        acc.combine_weighted(True, 10 ** 9)
+        assert acc.value is True
+
+    def test_merge(self):
+        a, b = OrAccum(), OrAccum()
+        b.combine(True)
+        a.merge(b)
+        assert a.value is True
+
+    def test_bitwise(self):
+        acc = BitwiseOrAccum()
+        acc.combine(0b001)
+        acc.combine(0b100)
+        assert acc.value == 0b101
+        acc2 = BitwiseAndAccum()
+        acc2.combine(0b110)
+        acc2.combine(0b011)
+        assert acc2.value == 0b010
+
+
+class TestSetAccum:
+    def test_deduplicates(self):
+        acc = SetAccum()
+        acc.combine(1)
+        acc.combine(1)
+        acc.combine(2)
+        assert acc.value == frozenset({1, 2})
+        assert len(acc) == 2
+
+    def test_contains(self):
+        acc = SetAccum([1])
+        assert 1 in acc
+        assert 2 not in acc
+
+    def test_combine_all_union(self):
+        acc = SetAccum({1})
+        acc.combine_all([2, 3])
+        assert acc.value == frozenset({1, 2, 3})
+
+    def test_assign_replaces(self):
+        acc = SetAccum({1, 2})
+        acc.assign([9])
+        assert acc.value == frozenset({9})
+
+    def test_merge(self):
+        a, b = SetAccum({1}), SetAccum({2})
+        a.merge(b)
+        assert a.value == frozenset({1, 2})
+
+    def test_multiplicity_insensitive(self):
+        acc = SetAccum()
+        acc.combine_weighted("x", 1000)
+        assert len(acc) == 1
+
+
+class TestBagAccum:
+    def test_multiplicities(self):
+        acc = BagAccum()
+        acc.combine("a")
+        acc.combine("a")
+        acc.combine("b")
+        assert acc.value == {"a": 2, "b": 1}
+        assert len(acc) == 3
+        assert acc.multiplicity("a") == 2
+        assert acc.multiplicity("zzz") == 0
+
+    def test_weighted_bumps_counter(self):
+        acc = BagAccum()
+        acc.combine_weighted("x", 1024)
+        assert acc.multiplicity("x") == 1024
+
+    def test_merge_adds(self):
+        a, b = BagAccum(["x"]), BagAccum(["x", "y"])
+        a.merge(b)
+        assert a.value == {"x": 2, "y": 1}
+
+    def test_contains(self):
+        acc = BagAccum(["q"])
+        assert "q" in acc
+
+
+class TestListAccum:
+    def test_preserves_order_and_duplicates(self):
+        acc = ListAccum()
+        for x in (3, 1, 3):
+            acc.combine(x)
+        assert acc.value == (3, 1, 3)
+        assert acc[0] == 3
+        assert len(acc) == 3
+
+    def test_order_dependent_flag(self):
+        assert ListAccum.order_invariant is False
+
+    def test_weighted_extends(self):
+        acc = ListAccum()
+        acc.combine_weighted("p", 3)
+        assert acc.value == ("p", "p", "p")
+
+    def test_merge_unsupported(self):
+        with pytest.raises(AccumulatorError):
+            ListAccum().merge(ListAccum())
+
+    def test_assign(self):
+        acc = ListAccum([1])
+        acc.assign([5, 6])
+        assert acc.value == (5, 6)
+
+
+class TestArrayAccum:
+    def test_positional_aggregation(self):
+        acc = ArrayAccum(3)
+        acc.combine((0, 1.0))
+        acc.combine((0, 2.0))
+        acc.combine((2, 5.0))
+        assert acc.value == (3.0, 0.0, 5.0)
+        assert acc[2] == 5.0
+
+    def test_custom_element_factory(self):
+        from repro.accum import MaxAccum
+
+        acc = ArrayAccum(2, MaxAccum)
+        acc.combine((0, 3))
+        acc.combine((0, 1))
+        assert acc.value[0] == 3
+
+    def test_index_out_of_range(self):
+        with pytest.raises(AccumulatorError, match="out of range"):
+            ArrayAccum(2).combine((5, 1.0))
+
+    def test_input_shape_enforced(self):
+        with pytest.raises(AccumulatorError):
+            ArrayAccum(2).combine(1.0)
+
+    def test_assign_requires_matching_size(self):
+        with pytest.raises(AccumulatorError):
+            ArrayAccum(2).assign([1.0])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(AccumulatorError):
+            ArrayAccum(-1)
+
+    def test_weighted(self):
+        acc = ArrayAccum(1)
+        acc.combine_weighted((0, 2.0), 8)
+        assert acc.value == (16.0,)

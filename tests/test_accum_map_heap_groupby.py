@@ -1,0 +1,254 @@
+"""Tests for MapAccum, HeapAccum, GroupByAccum and tuple types."""
+
+import pytest
+
+from repro.accum import (
+    ASC,
+    DESC,
+    AvgAccum,
+    GroupByAccum,
+    HeapAccum,
+    ListAccum,
+    MapAccum,
+    MaxAccum,
+    MinAccum,
+    SumAccum,
+    TupleType,
+    coerce_tuple,
+)
+from repro.errors import AccumulatorError
+
+
+class TestTupleType:
+    def test_make_positional_and_keyword(self):
+        tt = TupleType("T", [("a", "INT"), ("b", "STRING")])
+        t1 = tt.make(1, "x")
+        t2 = tt.make(a=1, b="x")
+        assert t1 == t2
+        assert t1.a == 1
+        assert t1.get("b") == "x"
+
+    def test_as_dict(self):
+        tt = TupleType("T", [("a", "INT")])
+        assert tt.make(5).as_dict() == {"a": 5}
+
+    def test_hashable(self):
+        tt = TupleType("T", [("a", "INT")])
+        assert len({tt.make(1), tt.make(1), tt.make(2)}) == 2
+
+    def test_unknown_field(self):
+        tt = TupleType("T", [("a", "INT")])
+        with pytest.raises(AccumulatorError):
+            tt.make(c=1)
+        with pytest.raises(AttributeError):
+            tt.make(1).zzz
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(AccumulatorError):
+            TupleType("T", [("a", "INT"), ("a", "INT")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AccumulatorError):
+            TupleType("T", [])
+
+    def test_coerce_from_sequence_and_dict(self):
+        tt = TupleType("T", [("a", "INT"), ("b", "INT")])
+        assert coerce_tuple(tt, (1, 2)).a == 1
+        assert coerce_tuple(tt, {"a": 1, "b": 2}).b == 2
+        with pytest.raises(AccumulatorError):
+            coerce_tuple(tt, 42)
+
+
+class TestMapAccum:
+    def test_sum_per_key(self):
+        acc = MapAccum()
+        acc.combine(("x", 1.0))
+        acc.combine(("x", 2.0))
+        acc.combine(("y", 5.0))
+        assert acc.value == {"x": 3.0, "y": 5.0}
+        assert acc.get("x") == 3.0
+        assert acc.get("zzz", -1) == -1
+
+    def test_nested_accumulator_choice(self):
+        acc = MapAccum(MinAccum)
+        acc.combine(("k", 5))
+        acc.combine(("k", 2))
+        assert acc.value == {"k": 2}
+
+    def test_nested_nested(self):
+        """MapAccum<K, MapAccum<K2, SumAccum>> — recursion works."""
+        acc = MapAccum(lambda: MapAccum(lambda: SumAccum(0.0)))
+        acc.combine(("a", ("x", 1.0)))
+        acc.combine(("a", ("x", 2.0)))
+        assert acc.value == {"a": {"x": 3.0}}
+
+    def test_order_invariance_inherited(self):
+        assert MapAccum(lambda: SumAccum(0.0)).order_invariant is True
+        assert MapAccum(ListAccum).order_invariant is False
+
+    def test_multiplicity_weighting_reaches_nested(self):
+        acc = MapAccum()
+        acc.combine_weighted(("k", 2.0), 512)
+        assert acc.value == {"k": 1024.0}
+
+    def test_input_shape(self):
+        with pytest.raises(AccumulatorError):
+            MapAccum().combine("not-a-pair")
+
+    def test_assign(self):
+        acc = MapAccum()
+        acc.assign({"a": 1.0})
+        assert acc.value == {"a": 1.0}
+        with pytest.raises(AccumulatorError):
+            acc.assign([1, 2])
+
+    def test_merge(self):
+        a, b = MapAccum(), MapAccum()
+        a.combine(("x", 1.0))
+        b.combine(("x", 2.0))
+        b.combine(("y", 7.0))
+        a.merge(b)
+        assert a.value == {"x": 3.0, "y": 7.0}
+
+    def test_iteration_helpers(self):
+        acc = MapAccum()
+        acc.combine(("k", 1.0))
+        assert list(acc.keys()) == ["k"]
+        assert list(acc.items()) == [("k", 1.0)]
+        assert "k" in acc
+        assert len(acc) == 1
+
+    def test_factory_must_build_accumulators(self):
+        with pytest.raises(AccumulatorError):
+            MapAccum(lambda: 42)
+
+
+TT = TupleType("Scored", [("score", "INT"), ("name", "STRING")])
+
+
+class TestHeapAccum:
+    def test_retains_top_k_desc(self):
+        acc = HeapAccum(TT, 2, [("score", DESC)])
+        for s, n in [(5, "a"), (9, "b"), (1, "c"), (7, "d")]:
+            acc.combine((s, n))
+        assert [t.score for t in acc.value] == [9, 7]
+        assert acc.top().name == "b"
+
+    def test_asc_order(self):
+        acc = HeapAccum(TT, 2, [("score", ASC)])
+        for s in (5, 9, 1, 7):
+            acc.combine((s, "x"))
+        assert [t.score for t in acc.value] == [1, 5]
+
+    def test_lexicographic_tiebreak(self):
+        acc = HeapAccum(TT, 2, [("score", DESC), ("name", ASC)])
+        acc.combine((5, "z"))
+        acc.combine((5, "a"))
+        acc.combine((5, "m"))
+        assert [t.name for t in acc.value] == ["a", "m"]
+
+    def test_under_capacity_keeps_all(self):
+        acc = HeapAccum(TT, 10, [("score", DESC)])
+        acc.combine((1, "a"))
+        assert len(acc) == 1
+        assert acc.top().score == 1
+
+    def test_empty_top_none(self):
+        assert HeapAccum(TT, 3, [("score", ASC)]).top() is None
+
+    def test_capacity_positive(self):
+        with pytest.raises(AccumulatorError):
+            HeapAccum(TT, 0, [("score", ASC)])
+
+    def test_unknown_sort_field(self):
+        with pytest.raises(AccumulatorError):
+            HeapAccum(TT, 1, [("nope", ASC)])
+
+    def test_bad_order_keyword(self):
+        with pytest.raises(AccumulatorError):
+            HeapAccum(TT, 1, [("score", "SIDEWAYS")])
+
+    def test_weighted_capped_at_capacity(self):
+        acc = HeapAccum(TT, 3, [("score", DESC)])
+        acc.combine_weighted((5, "x"), 10 ** 9)  # must terminate quickly
+        assert len(acc) == 3
+
+    def test_merge(self):
+        a = HeapAccum(TT, 2, [("score", DESC)])
+        b = HeapAccum(TT, 2, [("score", DESC)])
+        a.combine((1, "a"))
+        b.combine((9, "b"))
+        b.combine((8, "c"))
+        a.merge(b)
+        assert [t.score for t in a.value] == [9, 8]
+
+    def test_assign_rebuilds(self):
+        acc = HeapAccum(TT, 2, [("score", DESC)])
+        acc.combine((1, "a"))
+        acc.assign([(5, "x"), (6, "y"), (2, "z")])
+        assert [t.score for t in acc.value] == [6, 5]
+
+
+class TestGroupByAccum:
+    def test_example12_shape(self):
+        """SQL: GROUP BY k1,k2,k3 computing sum, min, avg (Example 12)."""
+        acc = GroupByAccum(
+            ["k1", "k2", "k3"],
+            [lambda: SumAccum(0.0), MinAccum, AvgAccum],
+        )
+        acc.combine(((1.0, "x", 10), (2.0, 5.0, 4.0)))
+        acc.combine(((1.0, "x", 10), (3.0, 1.0, 8.0)))
+        acc.combine(((2.0, "y", 20), (1.0, 1.0, 1.0)))
+        assert acc.get(1.0, "x", 10) == (5.0, 1.0, 6.0)
+        assert acc.get(2.0, "y", 20) == (1.0, 1.0, 1.0)
+        assert acc.get(9.0, "z", 0) is None
+        assert len(acc) == 2
+
+    def test_single_key_unwrapped_input(self):
+        acc = GroupByAccum(["k"], [lambda: SumAccum(0.0)])
+        acc.combine(("a", 1.0))
+        acc.combine(("a", 2.0))
+        assert acc.get("a") == (3.0,)
+
+    def test_arity_checked(self):
+        acc = GroupByAccum(["a", "b"], [lambda: SumAccum(0.0)])
+        with pytest.raises(AccumulatorError, match="expects 2 keys"):
+            acc.combine(((1,), (1.0,)))
+        with pytest.raises(AccumulatorError, match="aggregate values"):
+            acc.combine(((1, 2), (1.0, 2.0)))
+
+    def test_weighted(self):
+        acc = GroupByAccum(["k"], [lambda: SumAccum(0.0), MaxAccum])
+        acc.combine_weighted(("g", (2.0, 7)), 100)
+        assert acc.get("g") == (200.0, 7)
+
+    def test_rows(self):
+        acc = GroupByAccum(["k"], [lambda: SumAccum(0.0)])
+        acc.combine(("a", 1.0))
+        assert list(acc.rows()) == [{"k": "a", "agg0": 1.0}]
+
+    def test_merge(self):
+        a = GroupByAccum(["k"], [lambda: SumAccum(0.0)])
+        b = GroupByAccum(["k"], [lambda: SumAccum(0.0)])
+        a.combine(("x", 1.0))
+        b.combine(("x", 2.0))
+        b.combine(("y", 5.0))
+        a.merge(b)
+        assert a.get("x") == (3.0,)
+        assert a.get("y") == (5.0,)
+
+    def test_contains(self):
+        acc = GroupByAccum(["k"], [MaxAccum])
+        acc.combine(("g", 1))
+        assert "g" in acc
+        assert ("g",) in acc
+
+    def test_no_plain_assignment(self):
+        with pytest.raises(AccumulatorError):
+            GroupByAccum(["k"], [MaxAccum]).assign({})
+
+    def test_requires_keys_and_aggregates(self):
+        with pytest.raises(AccumulatorError):
+            GroupByAccum([], [MaxAccum])
+        with pytest.raises(AccumulatorError):
+            GroupByAccum(["k"], [])

@@ -1,0 +1,190 @@
+"""Tests for Sum/Min/Max/Avg accumulators."""
+
+import pytest
+
+from repro.accum import AvgAccum, MaxAccum, MinAccum, SumAccum
+from repro.errors import AccumulatorError
+
+
+class TestSumAccum:
+    def test_starts_at_zero(self):
+        assert SumAccum().value == 0.0
+
+    def test_combine(self):
+        acc = SumAccum()
+        acc.combine(2)
+        acc.combine(3.5)
+        assert acc.value == 5.5
+
+    def test_assign(self):
+        acc = SumAccum()
+        acc.combine(10)
+        acc.assign(1)
+        assert acc.value == 1
+
+    def test_weighted_is_multiplication(self):
+        acc = SumAccum()
+        acc.combine_weighted(3, 1024)
+        assert acc.value == 3072
+
+    def test_weighted_zero_noop(self):
+        acc = SumAccum()
+        acc.combine_weighted(3, 0)
+        assert acc.value == 0
+
+    def test_weighted_negative_rejected(self):
+        with pytest.raises(AccumulatorError):
+            SumAccum().combine_weighted(1, -1)
+
+    def test_int_element_type(self):
+        acc = SumAccum(element_type=int)
+        acc.combine(2)
+        assert acc.value == 2
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(AccumulatorError):
+            SumAccum().combine("x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(AccumulatorError):
+            SumAccum().combine(True)
+
+    def test_merge(self):
+        a, b = SumAccum(), SumAccum()
+        a.combine(1)
+        b.combine(2)
+        a.merge(b)
+        assert a.value == 3
+
+    def test_merge_type_mismatch(self):
+        with pytest.raises(AccumulatorError):
+            SumAccum().merge(MinAccum())
+
+    def test_string_variant_concatenates(self):
+        acc = SumAccum(element_type=str)
+        acc.combine("a")
+        acc.combine("b")
+        assert acc.value == "ab"
+
+    def test_string_variant_is_order_dependent(self):
+        assert SumAccum(element_type=str).order_invariant is False
+        assert SumAccum(element_type=float).order_invariant is True
+
+    def test_string_weighted_repeats(self):
+        acc = SumAccum(element_type=str)
+        acc.combine_weighted("ab", 3)
+        assert acc.value == "ababab"
+
+    def test_string_rejects_number(self):
+        with pytest.raises(AccumulatorError):
+            SumAccum(element_type=str).combine(1)
+
+    def test_string_merge_rejected(self):
+        a, b = SumAccum(element_type=str), SumAccum(element_type=str)
+        with pytest.raises(AccumulatorError, match="order-dependent"):
+            a.merge(b)
+
+    def test_bad_element_type(self):
+        with pytest.raises(AccumulatorError):
+            SumAccum(element_type=list)
+
+
+class TestMinMax:
+    def test_min_tracks_minimum(self):
+        acc = MinAccum()
+        for x in (5, 3, 7):
+            acc.combine(x)
+        assert acc.value == 3
+
+    def test_max_tracks_maximum(self):
+        acc = MaxAccum()
+        for x in (5, 3, 7):
+            acc.combine(x)
+        assert acc.value == 7
+
+    def test_empty_is_none(self):
+        assert MinAccum().value is None
+        assert MaxAccum().value is None
+
+    def test_initial_value(self):
+        assert MinAccum(10).value == 10
+        assert MaxAccum(-1).value == -1
+
+    def test_multiplicity_insensitive(self):
+        acc = MinAccum()
+        acc.combine_weighted(4, 1_000_000)
+        assert acc.value == 4
+
+    def test_assign_overrides(self):
+        acc = MaxAccum()
+        acc.combine(10)
+        acc.assign(0)
+        assert acc.value == 0
+        acc.combine(5)
+        assert acc.value == 5
+
+    def test_strings_ordered(self):
+        acc = MinAccum()
+        acc.combine("banana")
+        acc.combine("apple")
+        assert acc.value == "apple"
+
+    def test_merge(self):
+        a, b = MinAccum(), MinAccum()
+        a.combine(3)
+        b.combine(1)
+        a.merge(b)
+        assert a.value == 1
+
+    def test_merge_empty_other(self):
+        a, b = MaxAccum(), MaxAccum()
+        a.combine(3)
+        a.merge(b)
+        assert a.value == 3
+
+
+class TestAvgAccum:
+    def test_empty_is_none(self):
+        assert AvgAccum().value is None
+
+    def test_average(self):
+        acc = AvgAccum()
+        for x in (1, 2, 3, 4):
+            acc.combine(x)
+        assert acc.value == 2.5
+
+    def test_weighted_closed_form(self):
+        """Avg keeps (sum, count) — weighted combine is O(1) and exact."""
+        acc = AvgAccum()
+        acc.combine_weighted(10, 3)
+        acc.combine(2)
+        assert acc.value == 8.0
+        assert acc.count == 4
+        assert acc.sum == 32.0
+
+    def test_assign_restarts(self):
+        acc = AvgAccum()
+        acc.combine(100)
+        acc.assign(4)
+        assert acc.value == 4.0
+        acc.combine(6)
+        assert acc.value == 5.0
+
+    def test_merge(self):
+        a, b = AvgAccum(), AvgAccum()
+        a.combine(1)
+        a.combine(2)
+        b.combine(6)
+        a.merge(b)
+        assert a.value == 3.0
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(AccumulatorError):
+            AvgAccum().combine("x")
+
+    def test_copy_is_independent(self):
+        acc = AvgAccum()
+        acc.combine(2)
+        snap = acc.copy()
+        acc.combine(100)
+        assert snap.value == 2.0

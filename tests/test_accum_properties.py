@@ -1,0 +1,139 @@
+"""Property-based tests on accumulator invariants (hypothesis).
+
+The three properties the paper's semantics relies on (Section 4.3 and
+Appendix A):
+
+1. **Order invariance**: for order-invariant types, any permutation of
+   the same inputs yields the same value — this is what makes the
+   snapshot Map/Reduce execution deterministic under parallel evaluation.
+2. **Weighted-combine equivalence**: ``combine_weighted(x, mu)`` must
+   equal ``mu`` repeated ``combine(x)`` calls — the Appendix A simulation
+   of duplicate ACCUM executions must be exact, or the counting engine
+   would silently disagree with the enumerating one.
+3. **Merge-partition equivalence**: merging per-partition partials must
+   equal sequential aggregation — the parallel-reduction contract.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accum import (
+    AndAccum,
+    AvgAccum,
+    BagAccum,
+    GroupByAccum,
+    HeapAccum,
+    MapAccum,
+    MaxAccum,
+    MinAccum,
+    OrAccum,
+    SetAccum,
+    SumAccum,
+    TupleType,
+)
+
+ints = st.integers(min_value=-1000, max_value=1000)
+bools = st.booleans()
+
+#: (factory, input strategy) pairs for the scalar order-invariant types.
+SCALAR_CASES = [
+    (lambda: SumAccum(0, element_type=int), ints),
+    (MinAccum, ints),
+    (MaxAccum, ints),
+    (AvgAccum, ints),
+    (OrAccum, bools),
+    (AndAccum, bools),
+    (SetAccum, ints),
+    (BagAccum, ints),
+]
+
+
+def _fold(factory, items):
+    acc = factory()
+    for item in items:
+        acc.combine(item)
+    return acc
+
+
+class TestOrderInvariance:
+    @pytest.mark.parametrize("factory,strategy", SCALAR_CASES)
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_permutation_invariant(self, factory, strategy, data):
+        items = data.draw(st.lists(strategy, max_size=12))
+        perm = data.draw(st.permutations(items))
+        assert _fold(factory, items).value == _fold(factory, perm).value
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_heap_permutation_invariant(self, data):
+        tt = TupleType("P", [("a", "INT"), ("b", "INT")])
+        items = data.draw(st.lists(st.tuples(ints, ints), max_size=12))
+        perm = data.draw(st.permutations(items))
+        make = lambda: HeapAccum(tt, 4, [("a", "DESC"), ("b", "ASC")])  # noqa: E731
+        assert _fold(make, items).value == _fold(make, perm).value
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_map_permutation_invariant(self, data):
+        items = data.draw(
+            st.lists(st.tuples(st.integers(0, 3), ints.map(float)), max_size=12)
+        )
+        perm = data.draw(st.permutations(items))
+        assert _fold(MapAccum, items).value == _fold(MapAccum, perm).value
+
+
+class TestWeightedEquivalence:
+    @pytest.mark.parametrize("factory,strategy", SCALAR_CASES)
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), mu=st.integers(min_value=0, max_value=9))
+    def test_weighted_equals_repeated(self, factory, strategy, data, mu):
+        item = data.draw(strategy)
+        weighted = factory()
+        weighted.combine_weighted(item, mu)
+        repeated = factory()
+        for _ in range(mu):
+            repeated.combine(item)
+        assert weighted.value == repeated.value
+
+    @settings(max_examples=30, deadline=None)
+    @given(key=st.integers(0, 3), val=ints, mu=st.integers(0, 9))
+    def test_groupby_weighted_equals_repeated(self, key, val, mu):
+        make = lambda: GroupByAccum(  # noqa: E731
+            ["k"], [lambda: SumAccum(0, element_type=int), AvgAccum, MinAccum]
+        )
+        weighted = make()
+        weighted.combine_weighted((key, (val, val, val)), mu)
+        repeated = make()
+        for _ in range(mu):
+            repeated.combine((key, (val, val, val)))
+        assert weighted.value == repeated.value
+
+
+class TestMergeEquivalence:
+    @pytest.mark.parametrize(
+        "factory,strategy",
+        [case for case in SCALAR_CASES],
+    )
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_merge_partitions(self, factory, strategy, data):
+        items = data.draw(st.lists(strategy, max_size=12))
+        cut = data.draw(st.integers(0, len(items)))
+        left = _fold(factory, items[:cut])
+        right = _fold(factory, items[cut:])
+        left.merge(right)
+        assert left.value == _fold(factory, items).value
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_map_merge_partitions(self, data):
+        items = data.draw(
+            st.lists(st.tuples(st.integers(0, 3), ints.map(float)), max_size=12)
+        )
+        cut = data.draw(st.integers(0, len(items)))
+        left = _fold(MapAccum, items[:cut])
+        right = _fold(MapAccum, items[cut:])
+        left.merge(right)
+        assert left.value == _fold(MapAccum, items).value

@@ -1,0 +1,129 @@
+"""Tests for the extensible accumulator registry (the Python analogue of
+the paper's user-defined C++ accumulator interface)."""
+
+import math
+
+import pytest
+
+from repro.accum import (
+    Accumulator,
+    SumAccum,
+    accumulator_from_combiner,
+    lookup_accumulator,
+    register_accumulator,
+    unregister_accumulator,
+)
+from repro.errors import AccumulatorError
+
+
+class TestLookup:
+    def test_builtins_resolvable(self):
+        for name in (
+            "SumAccum",
+            "MinAccum",
+            "MaxAccum",
+            "AvgAccum",
+            "OrAccum",
+            "AndAccum",
+            "SetAccum",
+            "BagAccum",
+            "ListAccum",
+            "ArrayAccum",
+            "MapAccum",
+            "HeapAccum",
+            "GroupByAccum",
+        ):
+            assert lookup_accumulator(name).type_name == name
+
+    def test_unknown_rejected_with_suggestions(self):
+        with pytest.raises(AccumulatorError, match="registered types"):
+            lookup_accumulator("FooAccum")
+
+
+class TestRegister:
+    def test_register_and_use(self):
+        class ProductAccum(Accumulator):
+            type_name = "ProductAccum"
+
+            def __init__(self):
+                self._value = 1
+
+            @property
+            def value(self):
+                return self._value
+
+            def assign(self, value):
+                self._value = value
+
+            def combine(self, item):
+                self._value *= item
+
+        try:
+            register_accumulator(ProductAccum)
+            acc = lookup_accumulator("ProductAccum")()
+            acc.combine(3)
+            acc.combine(4)
+            assert acc.value == 12
+        finally:
+            unregister_accumulator("ProductAccum")
+        with pytest.raises(AccumulatorError):
+            lookup_accumulator("ProductAccum")
+
+    def test_cannot_override_builtin(self):
+        with pytest.raises(AccumulatorError, match="builtin"):
+            register_accumulator(SumAccum, "MinAccum")
+
+    def test_cannot_unregister_builtin(self):
+        with pytest.raises(AccumulatorError):
+            unregister_accumulator("SumAccum")
+
+    def test_requires_accumulator_subclass(self):
+        with pytest.raises(AccumulatorError):
+            register_accumulator(dict)  # type: ignore[arg-type]
+
+
+class TestFromCombiner:
+    def test_gcd_accumulator(self):
+        try:
+            GcdAccum = accumulator_from_combiner("GcdAccum", math.gcd, 0)
+            acc = GcdAccum()
+            acc.combine(12)
+            acc.combine(18)
+            assert acc.value == 6
+            assert lookup_accumulator("GcdAccum") is GcdAccum
+        finally:
+            unregister_accumulator("GcdAccum")
+
+    def test_merge_uses_combiner(self):
+        try:
+            MaxLen = accumulator_from_combiner(
+                "MaxLenAccum", lambda a, b: max(a, b, key=len), ""
+            )
+            a, b = MaxLen(), MaxLen()
+            a.combine("xy")
+            b.combine("abcd")
+            a.merge(b)
+            assert a.value == "abcd"
+        finally:
+            unregister_accumulator("MaxLenAccum")
+
+    def test_order_dependent_merge_rejected(self):
+        try:
+            Weird = accumulator_from_combiner(
+                "WeirdAccum", lambda a, b: b, None, order_invariant=False
+            )
+            with pytest.raises(AccumulatorError):
+                Weird().merge(Weird())
+        finally:
+            unregister_accumulator("WeirdAccum")
+
+    def test_default_weighted_respects_sensitivity(self):
+        try:
+            Count = accumulator_from_combiner(
+                "CountishAccum", lambda a, b: a + 1, 0
+            )
+            acc = Count()
+            acc.combine_weighted("anything", 5)
+            assert acc.value == 5
+        finally:
+            unregister_accumulator("CountishAccum")

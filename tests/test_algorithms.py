@@ -1,0 +1,135 @@
+"""Tests for the algorithm library, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    bfs_levels,
+    component_sizes,
+    hop_distances_reference,
+    pagerank,
+    path_count,
+    recommend,
+    triangle_count,
+    weakly_connected_components,
+)
+from repro.graph import Graph, builders
+from repro.ldbc import generate_snb_graph
+
+
+@pytest.fixture(scope="module")
+def snb():
+    return generate_snb_graph(scale_factor=0.1, seed=9)
+
+
+class TestPageRank:
+    def test_matches_networkx_on_snb_knows(self, snb):
+        # Project the KNOWS graph to a directed graph for PageRank.
+        g = Graph(name="K")
+        for p in snb.vertices("Person"):
+            g.add_vertex(p.vid, "Page")
+        for e in snb.edges("Knows"):
+            g.add_edge(e.source, e.target, "LinkTo")
+            g.add_edge(e.target, e.source, "LinkTo")
+        scores = pagerank(g, "Page", "LinkTo", max_change=1e-8, max_iteration=300)
+        G = nx.DiGraph()
+        G.add_nodes_from(v.vid for v in g.vertices())
+        G.add_edges_from((e.source, e.target) for e in g.edges())
+        expected = nx.pagerank(G, alpha=0.85, tol=1e-10)
+        n = g.num_vertices
+        for vid in G.nodes:
+            assert scores[vid] == pytest.approx(expected[vid] * n, rel=1e-3)
+
+    def test_damping_zero_uniform(self):
+        g = builders.cycle_graph(4)
+        scores = pagerank(g, "V", "E", damping_factor=0.0)
+        assert all(s == pytest.approx(1.0) for s in scores.values())
+
+    def test_dangling_untouched_vertices_keep_default(self):
+        g = Graph()
+        g.add_vertex("a", "Page")
+        g.add_vertex("b", "Page")
+        g.add_vertex("isolated", "Page")
+        g.add_edge("a", "b", "LinkTo")
+        scores = pagerank(g, "Page", "LinkTo", max_iteration=5)
+        assert "isolated" in scores
+
+
+class TestComponents:
+    def test_matches_networkx(self, snb):
+        labels = weakly_connected_components(snb)
+        G = nx.Graph()
+        G.add_nodes_from(v.vid for v in snb.vertices())
+        for e in snb.edges():
+            G.add_edge(e.source, e.target)
+        expected = list(nx.connected_components(G))
+        # Same partition: two vertices share a label iff they share a
+        # networkx component.
+        by_label = {}
+        for vid, label in labels.items():
+            by_label.setdefault(label, set()).add(vid)
+        assert sorted(map(sorted, by_label.values())) == sorted(
+            map(sorted, expected)
+        )
+
+    def test_component_sizes(self):
+        g = builders.from_edge_list([(1, 2), (2, 3), (10, 11)])
+        assert component_sizes(g) == {1: 3, 10: 2}
+
+    def test_isolated_vertices_singletons(self):
+        g = Graph()
+        g.add_vertex(1, "V")
+        g.add_vertex(2, "V")
+        assert weakly_connected_components(g) == {1: 1, 2: 2}
+
+    def test_undirected_edges_connect(self):
+        g = Graph()
+        g.add_vertex(1, "V")
+        g.add_vertex(2, "V")
+        g.add_edge(1, 2, "K", directed=False)
+        assert len(component_sizes(g)) == 1
+
+
+class TestBfs:
+    def test_matches_sdmc_reference(self):
+        g = builders.grid_graph(4, 4)
+        assert bfs_levels(g, (0, 0), "E>") == hop_distances_reference(
+            g, (0, 0), "E>"
+        )
+
+    def test_reverse_direction(self):
+        g = builders.path_graph(4)
+        assert bfs_levels(g, 3, "<_") == {3: 0, 2: 1, 1: 2, 0: 3}
+
+    def test_undirected_over_knows(self, snb):
+        levels = bfs_levels(snb, "person:0", "Knows", "Person")
+        assert levels["person:0"] == 0
+        assert max(levels.values()) >= 2
+
+
+class TestTriangles:
+    def test_matches_networkx(self, snb):
+        G = nx.Graph(
+            (e.source, e.target) for e in snb.edges("Knows")
+        )
+        expected = sum(nx.triangles(G).values()) // 3
+        assert triangle_count(snb, "Person", "Knows") == expected
+
+    def test_no_triangles_in_path(self):
+        g = builders.path_graph(5, directed=False)
+        assert triangle_count(g, "V", "E") == 0
+
+
+class TestPathCountAndRecommend:
+    def test_path_count_diamond(self):
+        g = builders.diamond_chain(8)
+        assert path_count(g, "v0", "v8") == 256
+
+    def test_path_count_no_path(self):
+        g = builders.diamond_chain(3)
+        assert path_count(g, "v3", "v0") == 0
+
+    def test_recommend_excludes_unliked_category(self):
+        g = builders.likes_graph()
+        names = [n for n, _ in recommend(g, "c0", k=10)]
+        assert "novel" not in names  # Books, not Toys

@@ -1,0 +1,142 @@
+"""Tests for the extended algorithm library: centrality, communities,
+k-core, weighted shortest paths — all cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    closeness_centrality,
+    community_sizes,
+    core_numbers,
+    degree_centrality,
+    harmonic_centrality,
+    k_core,
+    label_propagation,
+    shortest_path_lengths,
+)
+from repro.graph import Graph, builders
+from repro.ldbc import generate_snb_graph
+
+
+@pytest.fixture(scope="module")
+def karate_like():
+    """A two-cluster undirected graph with a single bridge."""
+    edges = [
+        (0, 1), (0, 2), (1, 2), (2, 3), (0, 3),
+        (3, 4),  # bridge
+        (4, 5), (4, 6), (5, 6), (6, 7), (4, 7),
+    ]
+    return builders.from_edge_list(edges, directed=False), nx.Graph(edges)
+
+
+class TestDegreeCentrality:
+    def test_matches_networkx_undirected(self, karate_like):
+        g, G = karate_like
+        ours = degree_centrality(g)
+        theirs = nx.degree_centrality(G)
+        for vid, value in theirs.items():
+            assert ours[vid] == pytest.approx(value)
+
+    def test_tiny_graph(self):
+        g = Graph()
+        g.add_vertex(1, "V")
+        assert degree_centrality(g) == {1: 0.0}
+
+
+class TestClosenessCentrality:
+    def test_matches_networkx(self, karate_like):
+        g, G = karate_like
+        ours = closeness_centrality(g, edge_darpe="_")
+        theirs = nx.closeness_centrality(G)
+        for vid, value in theirs.items():
+            assert ours[vid] == pytest.approx(value)
+
+    def test_directed_path(self):
+        g = builders.path_graph(3)
+        values = closeness_centrality(g, edge_darpe="_>")
+        assert values[2] == 0.0  # nothing reachable forward
+        assert values[0] > 0
+
+
+class TestHarmonicCentrality:
+    def test_matches_networkx(self, karate_like):
+        g, G = karate_like
+        ours = harmonic_centrality(g, edge_darpe="_")
+        theirs = nx.harmonic_centrality(G)
+        for vid, value in theirs.items():
+            assert ours[vid] == pytest.approx(value)
+
+
+class TestKCore:
+    def test_matches_networkx_on_snb(self):
+        snb = generate_snb_graph(0.1, seed=21)
+        G = nx.Graph((e.source, e.target) for e in snb.edges("Knows"))
+        expected = nx.core_number(G)
+        ours = core_numbers(snb, "Person", "Knows")
+        for vid, value in expected.items():
+            assert ours[vid] == value
+
+    def test_k_core_membership(self, karate_like):
+        g, G = karate_like
+        expected = set(nx.k_core(G, 2).nodes)
+        assert k_core(g, 2) == expected
+
+    def test_k_too_large_empty(self, karate_like):
+        g, _ = karate_like
+        assert k_core(g, 10) == set()
+
+
+class TestLabelPropagation:
+    def test_two_communities(self, karate_like):
+        g, _ = karate_like
+        labels = label_propagation(g)
+        sizes = community_sizes(labels)
+        assert sum(sizes.values()) == 8
+        # the bridge may merge them, but propagation must terminate with
+        # every vertex labeled
+        assert all(label is not None for label in labels.values())
+
+    def test_disconnected_cliques_separate(self):
+        edges = [(1, 2), (2, 3), (1, 3), (10, 11), (11, 12), (10, 12)]
+        g = builders.from_edge_list(edges, directed=False)
+        labels = label_propagation(g)
+        assert labels[1] == labels[2] == labels[3]
+        assert labels[10] == labels[11] == labels[12]
+        assert labels[1] != labels[10]
+
+    def test_deterministic(self):
+        edges = [(i, (i + 1) % 9) for i in range(9)]
+        g1 = builders.from_edge_list(edges, directed=False)
+        g2 = builders.from_edge_list(edges, directed=False)
+        assert label_propagation(g1) == label_propagation(g2)
+
+
+class TestWeightedShortestPaths:
+    def test_matches_networkx_dijkstra(self):
+        edges = [
+            (0, 1, 4.0), (0, 2, 1.0), (2, 1, 2.0), (1, 3, 1.0),
+            (2, 3, 5.0), (3, 4, 3.0),
+        ]
+        g = Graph()
+        for i in range(5):
+            g.add_vertex(i, "V")
+        G = nx.DiGraph()
+        for s, t, w in edges:
+            g.add_edge(s, t, "E", weight=w)
+            G.add_edge(s, t, weight=w)
+        ours = shortest_path_lengths(g, 0)
+        theirs = nx.single_source_dijkstra_path_length(G, 0)
+        assert ours == pytest.approx(theirs)
+
+    def test_unreachable_absent(self):
+        g = Graph()
+        g.add_vertex(0, "V")
+        g.add_vertex(1, "V")
+        assert shortest_path_lengths(g, 0, "E") == {0: 0.0}
+
+    def test_source_distance_zero(self):
+        g = builders.path_graph(3)
+        for e in g.edges():
+            e.set("weight", 2.5)
+        dists = shortest_path_lengths(g, 0)
+        assert dists == {0: 0.0, 1: 2.5, 2: 5.0}

@@ -1,0 +1,78 @@
+"""Tests for the accumulator-based similarity measures."""
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    cosine_similarity,
+    jaccard_similarity,
+    log_cosine_similarity,
+)
+from repro.graph import Graph, builders
+
+
+@pytest.fixture
+def likes():
+    return builders.likes_graph()
+
+
+class TestJaccard:
+    def test_hand_checked_values(self, likes):
+        sims = jaccard_similarity(likes, "Customer", "Likes")
+        # out(c0)={t0,t1,b0}, out(c1)={t0,t1,t2}: 2 common over 4 union.
+        assert sims[("c0", "c1")] == pytest.approx(0.5)
+        # out(c2)={t1,t3}, out(c3)={b0,t3}: 1 common over 3 union.
+        assert sims[("c2", "c3")] == pytest.approx(1 / 3)
+
+    def test_no_shared_neighbors_absent(self):
+        g = Graph()
+        for c in ("a", "b"):
+            g.add_vertex(c, "C")
+        for p in ("x", "y"):
+            g.add_vertex(p, "P")
+        g.add_edge("a", "x", "L")
+        g.add_edge("b", "y", "L")
+        assert jaccard_similarity(g, "C", "L") == {}
+
+    def test_identical_neighborhoods_are_one(self):
+        g = Graph()
+        for c in ("a", "b"):
+            g.add_vertex(c, "C")
+        for p in ("x", "y"):
+            g.add_vertex(p, "P")
+        for c in ("a", "b"):
+            for p in ("x", "y"):
+                g.add_edge(c, p, "L")
+        sims = jaccard_similarity(g, "C", "L")
+        assert sims[("a", "b")] == pytest.approx(1.0)
+
+    def test_top_k(self, likes):
+        sims = jaccard_similarity(likes, "Customer", "Likes", top_k=2)
+        assert len(sims) == 2
+        assert max(sims.values()) == pytest.approx(0.5)
+
+
+class TestCosine:
+    def test_hand_checked(self, likes):
+        sims = cosine_similarity(likes, "Customer", "Likes")
+        assert sims[("c0", "c1")] == pytest.approx(2 / math.sqrt(9))
+
+    def test_bounded_by_one(self, likes):
+        for value in cosine_similarity(likes, "Customer", "Likes").values():
+            assert 0 < value <= 1.0
+
+
+class TestLogCosine:
+    def test_matches_example6_definition(self, likes):
+        sims = log_cosine_similarity(likes, "Customer", "Likes")
+        assert sims[("c0", "c1")] == pytest.approx(math.log(1 + 2))
+        assert sims[("c0", "c2")] == pytest.approx(math.log(1 + 1))
+
+    def test_on_snb_scale(self):
+        from repro.ldbc import generate_snb_graph
+
+        g = generate_snb_graph(0.05, seed=2)
+        sims = log_cosine_similarity(g, "Person", "LikesPost", top_k=5)
+        assert len(sims) <= 5
+        assert all(v > 0 for v in sims.values())

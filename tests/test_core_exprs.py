@@ -1,0 +1,298 @@
+"""Tests for the expression AST and evaluator."""
+
+import pytest
+
+from repro.accum import SetAccum, SumAccum
+from repro.core import (
+    AggCall,
+    ArrowExpr,
+    AttrRef,
+    Binary,
+    Call,
+    CaseExpr,
+    EvalEnv,
+    GlobalAccumRef,
+    Literal,
+    Method,
+    NameRef,
+    QueryContext,
+    TupleExpr,
+    Unary,
+    VertexAccumRef,
+    register_function,
+)
+from repro.core.context import GLOBAL, VERTEX, AccumDecl
+from repro.core.exprs import (
+    contains_aggregate,
+    primed_accum_names,
+    referenced_names,
+)
+from repro.errors import QueryRuntimeError
+from repro.graph import Graph
+
+
+@pytest.fixture
+def ctx():
+    g = Graph()
+    g.add_vertex(1, "V", name="one", weight=2.5)
+    g.add_vertex(2, "V", name="two", weight=1.0)
+    g.add_edge(1, 2, "E", w=3)
+    context = QueryContext(g, params={"k": 10})
+    context.declare(AccumDecl("total", GLOBAL, lambda: SumAccum(0.0)))
+    context.declare(AccumDecl("score", VERTEX, lambda: SumAccum(0.0)))
+    return context
+
+
+@pytest.fixture
+def env(ctx):
+    return EvalEnv(ctx, row={"v": ctx.graph.vertex(1)}, locals_={"x": 5})
+
+
+class TestNameResolution:
+    def test_local_wins(self, ctx):
+        env = EvalEnv(ctx, row={"x": ctx.graph.vertex(1)}, locals_={"x": 99})
+        assert NameRef("x").eval(env) == 99
+
+    def test_row_var(self, env, ctx):
+        assert NameRef("v").eval(env) is ctx.graph.vertex(1)
+
+    def test_param(self, env):
+        assert NameRef("k").eval(env) == 10
+
+    def test_unknown(self, env):
+        with pytest.raises(QueryRuntimeError, match="unknown name"):
+            NameRef("nope").eval(env)
+
+
+class TestAttrAndAccumRefs:
+    def test_vertex_attr(self, env):
+        assert AttrRef(NameRef("v"), "name").eval(env) == "one"
+
+    def test_missing_attr(self, env):
+        with pytest.raises(QueryRuntimeError):
+            AttrRef(NameRef("v"), "nope").eval(env)
+
+    def test_attr_on_scalar_rejected(self, env):
+        with pytest.raises(QueryRuntimeError):
+            AttrRef(Literal(5), "x").eval(env)
+
+    def test_global_accum(self, ctx):
+        ctx.global_accum("total").combine(4.0)
+        assert GlobalAccumRef("total").eval(EvalEnv(ctx)) == 4.0
+
+    def test_vertex_accum_default(self, env):
+        assert VertexAccumRef(NameRef("v"), "score").eval(env) == 0.0
+
+    def test_vertex_accum_value(self, ctx, env):
+        ctx.vertex_accum("score", 1).combine(7.0)
+        assert VertexAccumRef(NameRef("v"), "score").eval(env) == 7.0
+
+    def test_vertex_accum_through_non_vertex(self, env):
+        with pytest.raises(QueryRuntimeError):
+            VertexAccumRef(Literal(3), "score").eval(env)
+
+    def test_primed_read_uses_snapshot(self, ctx):
+        ctx.vertex_accum("score", 1).combine(5.0)
+        snap = {"score": ctx.snapshot_vertex_accum("score")}
+        ctx.vertex_accum("score", 1).combine(100.0)
+        env = EvalEnv(ctx, row={"v": ctx.graph.vertex(1)}, primed=snap)
+        assert VertexAccumRef(NameRef("v"), "score", primed=True).eval(env) == 5.0
+        assert VertexAccumRef(NameRef("v"), "score").eval(env) == 105.0
+
+    def test_primed_read_default_for_untouched_vertex(self, ctx):
+        snap = {"score": ctx.snapshot_vertex_accum("score")}
+        env = EvalEnv(ctx, row={"v": ctx.graph.vertex(2)}, primed=snap)
+        assert VertexAccumRef(NameRef("v"), "score", primed=True).eval(env) == 0.0
+
+    def test_primed_without_snapshot_raises(self, env):
+        with pytest.raises(QueryRuntimeError, match="snapshot"):
+            VertexAccumRef(NameRef("v"), "score", primed=True).eval(env)
+
+
+class TestOperators:
+    def test_arithmetic(self, env):
+        expr = Binary("+", Binary("*", Literal(2), Literal(3)), Literal(1))
+        assert expr.eval(env) == 7
+
+    def test_comparison_aliases(self, env):
+        assert Binary("<>", Literal(1), Literal(2)).eval(env) is True
+        assert Binary("!=", Literal(1), Literal(1)).eval(env) is False
+
+    def test_and_short_circuits(self, env):
+        boom = Call("log", [Literal(-1)])  # would raise if evaluated
+        assert Binary("AND", Literal(False), boom).eval(env) is False
+
+    def test_or_short_circuits(self, env):
+        boom = Call("log", [Literal(-1)])
+        assert Binary("OR", Literal(True), boom).eval(env) is True
+
+    def test_null_arithmetic_raises(self, env):
+        with pytest.raises(QueryRuntimeError, match="NULL"):
+            Binary("+", Literal(None), Literal(1)).eval(env)
+
+    def test_division_by_zero(self, env):
+        with pytest.raises(QueryRuntimeError, match="division by zero"):
+            Binary("/", Literal(1), Literal(0)).eval(env)
+
+    def test_in_operator(self, env):
+        assert Binary("IN", Literal(2), Literal((1, 2, 3))).eval(env) is True
+        assert Binary("NOT IN", Literal(5), Literal((1, 2))).eval(env) is True
+
+    def test_in_vertex_set(self, ctx):
+        from repro.core.values import VertexSet
+
+        vset = VertexSet(ctx.graph, [ctx.graph.vertex(1)])
+        ctx.set_vertex_set("S", vset)
+        env = EvalEnv(ctx, row={"v": ctx.graph.vertex(1)})
+        assert Binary("IN", NameRef("v"), NameRef("S")).eval(env) is True
+
+    def test_unary(self, env):
+        assert Unary("-", Literal(3)).eval(env) == -3
+        assert Unary("NOT", Literal(False)).eval(env) is True
+
+    def test_vertex_equality(self, ctx):
+        v1, v2 = ctx.graph.vertex(1), ctx.graph.vertex(2)
+        env = EvalEnv(ctx, row={"a": v1, "b": v2, "c": v1})
+        assert Binary("==", NameRef("a"), NameRef("c")).eval(env) is True
+        assert Binary("!=", NameRef("a"), NameRef("b")).eval(env) is True
+
+
+class TestCallsAndMethods:
+    def test_log(self, env):
+        assert Call("log", [Literal(1)]).eval(env) == 0.0
+
+    def test_unknown_function(self, env):
+        with pytest.raises(QueryRuntimeError, match="unknown function"):
+            Call("frobnicate", []).eval(env)
+
+    def test_bad_arguments_wrapped(self, env):
+        with pytest.raises(QueryRuntimeError, match="error in"):
+            Call("log", [Literal("x")]).eval(env)
+
+    def test_date_helpers(self, env):
+        assert Call("year", [Literal(20110305)]).eval(env) == 2011
+        assert Call("month", [Literal(20110305)]).eval(env) == 3
+        assert Call("day", [Literal(20110305)]).eval(env) == 5
+
+    def test_outdegree_method(self, env):
+        assert Method(NameRef("v"), "outdegree", []).eval(env) == 1
+
+    def test_outdegree_with_type(self, env):
+        assert Method(NameRef("v"), "outdegree", [Literal("E")]).eval(env) == 1
+        assert Method(NameRef("v"), "outdegree", [Literal("F")]).eval(env) == 0
+
+    def test_id_and_type(self, env):
+        assert Method(NameRef("v"), "id", []).eval(env) == 1
+        assert Method(NameRef("v"), "type", []).eval(env) == "V"
+
+    def test_unknown_vertex_method(self, env):
+        with pytest.raises(QueryRuntimeError):
+            Method(NameRef("v"), "fly", []).eval(env)
+
+    def test_size_on_collection(self, env):
+        assert Method(Literal((1, 2, 3)), "size", []).eval(env) == 3
+
+    def test_contains(self, env):
+        assert Method(Literal({1, 2}), "contains", [Literal(1)]).eval(env) is True
+
+    def test_register_function(self, env):
+        register_function("triple", lambda x: 3 * x)
+        assert Call("triple", [Literal(4)]).eval(env) == 12
+
+
+class TestCompositeExprs:
+    def test_tuple(self, env):
+        assert TupleExpr([Literal(1), Literal("a")]).eval(env) == (1, "a")
+
+    def test_arrow(self, env):
+        expr = ArrowExpr([Literal("k")], [Literal(1), Literal(2)])
+        assert expr.eval(env) == (("k",), (1, 2))
+
+    def test_case(self, env):
+        expr = CaseExpr(
+            [(Literal(False), Literal("no")), (Literal(True), Literal("yes"))],
+            Literal("default"),
+        )
+        assert expr.eval(env) == "yes"
+
+    def test_case_default(self, env):
+        expr = CaseExpr([(Literal(False), Literal(1))], Literal(9))
+        assert expr.eval(env) == 9
+
+    def test_case_no_default_is_none(self, env):
+        assert CaseExpr([(Literal(False), Literal(1))], None).eval(env) is None
+
+
+class TestAggCall:
+    def test_direct_eval_rejected(self, env):
+        with pytest.raises(QueryRuntimeError, match="outside"):
+            AggCall("count", None).eval(env)
+
+    def test_apply_count_weighted(self):
+        assert AggCall("count", None).apply([(1, 3), (1, 4)]) == 7
+
+    def test_apply_sum_weighted(self):
+        assert AggCall("sum", Literal(0)).apply([(2, 3), (5, 1)]) == 11
+
+    def test_apply_avg_weighted(self):
+        assert AggCall("avg", Literal(0)).apply([(10, 1), (0, 3)]) == 2.5
+
+    def test_apply_min_max(self):
+        assert AggCall("min", Literal(0)).apply([(5, 1), (2, 9)]) == 2
+        assert AggCall("max", Literal(0)).apply([(5, 1), (2, 9)]) == 5
+
+    def test_nulls_skipped(self):
+        assert AggCall("sum", Literal(0)).apply([(None, 5)]) is None
+        assert AggCall("min", Literal(0)).apply([(None, 1), (3, 1)]) == 3
+
+    def test_distinct(self):
+        assert AggCall("count", Literal(0), distinct=True).apply(
+            [(1, 5), (1, 2), (2, 9)]
+        ) == 2
+
+    def test_unknown_func(self):
+        with pytest.raises(QueryRuntimeError):
+            AggCall("median", None)
+
+
+class TestAnalysis:
+    def test_referenced_names(self):
+        expr = Binary("+", NameRef("a"), AttrRef(NameRef("b"), "x"))
+        assert set(referenced_names(expr)) == {"a", "b"}
+
+    def test_primed_names(self):
+        expr = Binary(
+            "-",
+            VertexAccumRef(NameRef("v"), "score", primed=True),
+            GlobalAccumRef("g", primed=True),
+        )
+        assert set(primed_accum_names(expr)) == {"score", "@@g"}
+
+    def test_contains_aggregate(self):
+        assert contains_aggregate(Binary("+", AggCall("count", None), Literal(1)))
+        assert not contains_aggregate(Binary("+", Literal(1), Literal(2)))
+
+
+class TestStringFunctions:
+    @pytest.mark.parametrize(
+        "name,args,expected",
+        [
+            ("trim", ["  x  "], "x"),
+            ("ltrim", ["  x"], "x"),
+            ("rtrim", ["x  "], "x"),
+            ("substr", ["hello", 1, 3], "ell"),
+            ("substr", ["hello", 2], "llo"),
+            ("find", ["hello", "ll"], 2),
+            ("find", ["hello", "zz"], -1),
+            ("replace", ["aba", "a", "c"], "cbc"),
+            ("contains", ["hello", "ell"], True),
+            ("starts_with", ["hello", "he"], True),
+            ("ends_with", ["hello", "lo"], True),
+            ("split", ["a,b,c", ","], ("a", "b", "c")),
+            ("concat", ["a", 1, "b"], "a1b"),
+            ("upper", ["abc"], "ABC"),
+        ],
+    )
+    def test_string_builtin(self, ctx, name, args, expected):
+        expr = Call(name, [Literal(a) for a in args])
+        assert expr.eval(EvalEnv(ctx)) == expected

@@ -1,0 +1,155 @@
+"""Tests for the parallel Map/Reduce executor and EXPLAIN output."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accum import AvgAccum, ListAccum, MaxAccum, SetAccum, SumAccum
+from repro.core import (
+    AccumTarget,
+    AccumUpdate,
+    AttrRef,
+    Binary,
+    EngineMode,
+    Literal,
+    LocalAssign,
+    NameRef,
+    QueryContext,
+    chain,
+    evaluate_pattern,
+    hop,
+)
+from repro.core.context import GLOBAL, VERTEX, AccumDecl
+from repro.core.explain import explain_query
+from repro.core.parallel import parallel_accum
+from repro.core.pattern import Pattern
+from repro.errors import QueryRuntimeError
+from repro.graph import builders
+from repro.gsql import parse_query
+
+
+def _sales_setup():
+    g = builders.sales_graph()
+    ctx = QueryContext(g)
+    ctx.declare(AccumDecl("total", GLOBAL, lambda: SumAccum(0.0)))
+    ctx.declare(AccumDecl("avgPrice", GLOBAL, AvgAccum))
+    ctx.declare(AccumDecl("spent", VERTEX, lambda: SumAccum(0.0)))
+    ctx.declare(AccumDecl("maxQty", VERTEX, MaxAccum))
+    pattern = Pattern(
+        [chain("Customer", "c", hop("Bought>", "Product", "p", edge_var="b"))]
+    )
+    rows = evaluate_pattern(ctx, pattern, EngineMode.counting()).rows
+    statements = [
+        LocalAssign("amount", Binary("*", AttrRef(NameRef("b"), "quantity"),
+                                     AttrRef(NameRef("p"), "price"))),
+        AccumUpdate(AccumTarget("total"), "+=", NameRef("amount")),
+        AccumUpdate(AccumTarget("avgPrice"), "+=", AttrRef(NameRef("p"), "price")),
+        AccumUpdate(AccumTarget("spent", NameRef("c")), "+=", NameRef("amount")),
+        AccumUpdate(
+            AccumTarget("maxQty", NameRef("c")), "+=", AttrRef(NameRef("b"), "quantity")
+        ),
+    ]
+    return ctx, rows, statements
+
+
+def _serial_reference():
+    from repro.core.stmts import InputBuffer, run_map_phase
+    from repro.core.exprs import EvalEnv
+
+    ctx, rows, statements = _sales_setup()
+    buffer = InputBuffer()
+    locals_ = {}
+    for row in rows:
+        run_map_phase(statements, EvalEnv(ctx, row.bindings, locals_), buffer,
+                      row.multiplicity)
+    buffer.flush()
+    return ctx
+
+
+class TestParallelAccum:
+    @pytest.mark.parametrize("partitions", [1, 2, 3, 8, 100])
+    def test_matches_serial(self, partitions):
+        serial = _serial_reference()
+        ctx, rows, statements = _sales_setup()
+        parallel_accum(ctx, statements, rows, partitions=partitions)
+        assert ctx.global_accum("total").value == serial.global_accum("total").value
+        assert ctx.global_accum("avgPrice").value == pytest.approx(
+            serial.global_accum("avgPrice").value
+        )
+        for cid in ("c0", "c1", "c2", "c3"):
+            assert (
+                ctx.vertex_accum("spent", cid).value
+                == serial.vertex_accum("spent", cid).value
+            )
+            assert (
+                ctx.vertex_accum("maxQty", cid).value
+                == serial.vertex_accum("maxQty", cid).value
+            )
+
+    def test_with_real_threads(self):
+        serial = _serial_reference()
+        ctx, rows, statements = _sales_setup()
+        parallel_accum(ctx, statements, rows, partitions=4, use_threads=True)
+        assert ctx.global_accum("total").value == serial.global_accum("total").value
+
+    def test_order_dependent_rejected(self):
+        g = builders.sales_graph()
+        ctx = QueryContext(g)
+        ctx.declare(AccumDecl("trace", GLOBAL, ListAccum))
+        statements = [AccumUpdate(AccumTarget("trace"), "+=", Literal(1))]
+        with pytest.raises(QueryRuntimeError, match="order-dependent"):
+            parallel_accum(ctx, statements, [], partitions=2)
+
+    def test_plain_assignment_rejected(self):
+        ctx, rows, _ = _sales_setup()
+        statements = [AccumUpdate(AccumTarget("total"), "=", Literal(1.0))]
+        with pytest.raises(QueryRuntimeError, match="race"):
+            parallel_accum(ctx, statements, rows, partitions=2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(partitions=st.integers(1, 16))
+    def test_partition_count_never_changes_result(self, partitions):
+        ctx, rows, statements = _sales_setup()
+        parallel_accum(ctx, statements, rows, partitions=partitions)
+        assert ctx.global_accum("total").value == pytest.approx(505.0)
+
+
+class TestExplain:
+    def test_explain_pagerank(self):
+        from repro.algorithms import pagerank_query
+
+        text = explain_query(pagerank_query("Page", "LinkTo"))
+        assert "QUERY PageRank" in text
+        assert "WHILE" in text
+        assert "adjacency expansion" in text
+        assert "tractable" in text
+
+    def test_explain_flags_intractable(self):
+        q = parse_query("""
+CREATE QUERY q() {
+  ListAccum<int> @trace;
+  S = SELECT t FROM V:s -(E>*)- V:t ACCUM t.@trace += 1;
+}""")
+        text = explain_query(q)
+        assert "OUTSIDE" in text
+        assert "order-dependent" in text
+
+    def test_explain_shows_pushdown_and_kleene(self):
+        q = parse_query("""
+CREATE QUERY q(string srcName) {
+  SumAccum<int> @n;
+  S = SELECT t FROM V:s -(E>*)- V:t
+      WHERE s.name == srcName AND s <> t
+      ACCUM t.@n += 1;
+}""")
+        text = explain_query(q)
+        assert "PUSHDOWN [s]" in text
+        assert "SDMC" in text
+        assert "WHERE" in text  # the residual s <> t
+
+    def test_explain_fixed_unique_length(self):
+        q = parse_query("""
+CREATE QUERY q() {
+  S = SELECT t FROM V:s -(A>.(B>|D>)._>.A>)- V:t;
+}""")
+        assert "fixed-unique-length 4" in explain_query(q)

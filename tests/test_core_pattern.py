@@ -1,0 +1,217 @@
+"""Tests for pattern evaluation: compressed binding tables, joins,
+multiplicities, the two engine modes."""
+
+import pytest
+
+from repro.core import EngineMode, QueryContext, chain, evaluate_pattern, hop
+from repro.core.pattern import Chain, Pattern, VertexSpec
+from repro.core.values import VertexSet
+from repro.errors import QueryCompileError, QueryRuntimeError
+from repro.graph import Graph, builders
+from repro.paths import PathSemantics
+
+
+def table_for(graph, pattern, mode=None, params=None, vertex_sets=None):
+    ctx = QueryContext(graph, params)
+    for name, vset in (vertex_sets or {}).items():
+        ctx.set_vertex_set(name, VertexSet(graph, vset))
+    return ctx, evaluate_pattern(ctx, pattern, mode or EngineMode.counting())
+
+
+class TestSingleEdgeHops:
+    def test_binds_edge_variable(self):
+        g = builders.sales_graph()
+        pattern = Pattern(
+            [chain("Customer", "c", hop("Bought>", "Product", "p", edge_var="b"))]
+        )
+        ctx, table = table_for(g, pattern)
+        assert len(table) == 9  # one row per purchase
+        row = table.rows[0]
+        assert row.bindings["b"].type == "Bought"
+        assert row.multiplicity == 1
+
+    def test_reverse_direction(self):
+        g = builders.sales_graph()
+        pattern = Pattern([chain("Product", "p", hop("<Bought", "Customer", "c"))])
+        _, table = table_for(g, pattern)
+        assert len(table) == 9
+
+    def test_undirected_single_edge(self):
+        g = Graph()
+        for v in "ab":
+            g.add_vertex(v, "V")
+        g.add_edge("a", "b", "K", directed=False)
+        pattern = Pattern([chain("V", "x", hop("K", "V", "y"))])
+        _, table = table_for(g, pattern)
+        # both orientations of the undirected edge
+        ends = sorted(
+            (r.bindings["x"].vid, r.bindings["y"].vid) for r in table.rows
+        )
+        assert ends == [("a", "b"), ("b", "a")]
+
+    def test_edge_var_on_kleene_rejected(self):
+        with pytest.raises(QueryCompileError, match="single-edge"):
+            hop("E>*", "V", "t", edge_var="e")
+
+    def test_target_type_filters(self):
+        g = builders.sales_graph()
+        pattern = Pattern([chain("Customer", "c", hop("Bought>", "Customer", "x"))])
+        _, table = table_for(g, pattern)
+        assert len(table) == 0
+
+
+class TestMultiplicities:
+    def test_kleene_hop_counts_shortest_paths(self):
+        g = builders.diamond_chain(6)
+        pattern = Pattern([chain("V", "s", hop("E>*", "V", "t"))])
+        _, table = table_for(g, pattern)
+        by_pair = {
+            (r.bindings["s"].vid, r.bindings["t"].vid): r.multiplicity
+            for r in table.rows
+        }
+        assert by_pair[("v0", "v6")] == 64
+        assert by_pair[("v0", "v3")] == 8
+
+    def test_total_multiplicity(self):
+        g = builders.diamond_chain(4)
+        pattern = Pattern([chain("V", "s", hop("E>*", "V", "t"))])
+        _, table = table_for(g, pattern)
+        assert table.total_multiplicity() > len(table)
+
+    def test_multiplicities_chain_multiply(self):
+        """Two consecutive Kleene hops multiply their path counts."""
+        g = builders.diamond_chain(4)
+        pattern = Pattern(
+            [chain("V", "s", hop("E>*", "V", "m"), hop("E>*", "V", "t"))]
+        )
+        _, table = table_for(g, pattern)
+        rows = [
+            r
+            for r in table.rows
+            if r.bindings["s"].vid == "v0"
+            and r.bindings["m"].vid == "v2"
+            and r.bindings["t"].vid == "v4"
+        ]
+        assert [r.multiplicity for r in rows] == [16]  # 4 * 4
+
+
+class TestJoins:
+    def test_shared_variable_join(self):
+        """Triangle pattern: two chains share variables a and c."""
+        g = Graph()
+        for v in "abc":
+            g.add_vertex(v, "V")
+        g.add_edge("a", "b", "E")
+        g.add_edge("b", "c", "E")
+        g.add_edge("a", "c", "E")
+        pattern = Pattern(
+            [
+                chain("V", "a", hop("E>", "V", "b"), hop("E>", "V", "c")),
+                chain("V", "a", hop("E>", "V", "c")),
+            ]
+        )
+        _, table = table_for(g, pattern)
+        assert len(table) == 1
+        bindings = table.rows[0].bindings
+        assert (bindings["a"].vid, bindings["b"].vid, bindings["c"].vid) == (
+            "a",
+            "b",
+            "c",
+        )
+
+    def test_repeated_variable_within_chain(self):
+        """x -E-> y -E-> x: the returning hop must rebind x identically."""
+        g = Graph()
+        g.add_vertex(1, "V")
+        g.add_vertex(2, "V")
+        g.add_vertex(3, "V")
+        g.add_edge(1, 2, "E")
+        g.add_edge(2, 1, "E")
+        g.add_edge(2, 3, "E")
+        pattern = Pattern(
+            [Chain(VertexSpec("V", "x"), [hop("E>", "V", "y"), hop("E>", "V", "x")])]
+        )
+        _, table = table_for(g, pattern)
+        pairs = sorted((r.bindings["x"].vid, r.bindings["y"].vid) for r in table.rows)
+        assert pairs == [(1, 2), (2, 1)]
+
+    def test_join_multiplicities_multiply(self):
+        g = builders.diamond_chain(3)
+        pattern = Pattern(
+            [
+                chain("V", "s", hop("E>*", "V", "t")),
+                chain("V", "s", hop("E>*", "V", "t")),
+            ]
+        )
+        _, table = table_for(g, pattern)
+        by_pair = {
+            (r.bindings["s"].vid, r.bindings["t"].vid): r.multiplicity
+            for r in table.rows
+        }
+        assert by_pair[("v0", "v3")] == 64  # 8 * 8
+
+
+class TestVertexSpecs:
+    def test_set_variable_source(self):
+        g = builders.sales_graph()
+        seed = [g.vertex("c0"), g.vertex("c1")]
+        pattern = Pattern([chain("S", "c", hop("Bought>", "Product", "p"))])
+        _, table = table_for(g, pattern, vertex_sets={"S": seed})
+        sources = {r.bindings["c"].vid for r in table.rows}
+        assert sources == {"c0", "c1"}
+
+    def test_param_pins_source(self):
+        g = builders.sales_graph()
+        pattern = Pattern([chain("Customer", "c", hop("Bought>", "Product", "p"))])
+        _, table = table_for(g, pattern, params={"c": g.vertex("c2")})
+        assert {r.bindings["c"].vid for r in table.rows} == {"c2"}
+
+    def test_wildcard_source(self):
+        g = builders.sales_graph()
+        pattern = Pattern([Chain(VertexSpec("_", "x"), [])])
+        _, table = table_for(g, pattern)
+        assert len(table) == g.num_vertices
+
+    def test_unknown_source_name(self):
+        g = builders.sales_graph()
+        pattern = Pattern([Chain(VertexSpec("Nonsense", "x"), [])])
+        with pytest.raises(QueryRuntimeError):
+            table_for(g, pattern)
+
+    def test_hidden_vars_excluded_from_visible(self):
+        pattern = Pattern([chain("V", "s", hop("E>", "V", None))])
+        assert pattern.visible_variables() == ["s"]
+        assert len(pattern.variables()) == 2
+
+
+class TestEngineModes:
+    def test_enumeration_mode_trail_semantics(self):
+        """On G1, trail semantics yields multiplicity 4 for (1, 5) where
+        counting mode yields 2."""
+        g = builders.example9_graph()
+        pattern = Pattern([chain("V", "s", hop("E>*", "V", "t"))])
+        ctx, counting = table_for(g, pattern, params={"s": g.vertex(1)})
+        c_mult = {
+            r.bindings["t"].vid: r.multiplicity for r in counting.rows
+        }
+        _, enumerated = table_for(
+            g,
+            pattern,
+            mode=EngineMode.enumeration(PathSemantics.NO_REPEATED_EDGE),
+            params={"s": g.vertex(1)},
+        )
+        e_mult = {r.bindings["t"].vid: r.multiplicity for r in enumerated.rows}
+        assert c_mult[5] == 2
+        assert e_mult[5] == 4
+
+    def test_max_length_bounds_counting(self):
+        g = builders.path_graph(10)
+        pattern = Pattern([chain("V", "s", hop("E>*", "V", "t"))])
+        ctx = QueryContext(g, {"s": g.vertex(0)})
+        table = evaluate_pattern(ctx, pattern, EngineMode.counting(max_length=2))
+        targets = {r.bindings["t"].vid for r in table.rows}
+        assert targets == {0, 1, 2}
+
+    def test_pattern_has_kleene(self):
+        assert Pattern([chain("V", "s", hop("E>*", "V", "t"))]).has_kleene()
+        assert not Pattern([chain("V", "s", hop("E>", "V", "t"))]).has_kleene()

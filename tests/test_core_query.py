@@ -1,0 +1,247 @@
+"""Tests for Query objects: parameters, control flow, results."""
+
+import pytest
+
+from repro.accum import MaxAccum, SumAccum
+from repro.core import (
+    AccumTarget,
+    AccumUpdate,
+    AttrRef,
+    Binary,
+    DeclareAccum,
+    GlobalAccumRef,
+    GlobalAccumUpdate,
+    If,
+    Literal,
+    NameRef,
+    Parameter,
+    Print,
+    PrintItem,
+    PrintSetProjection,
+    Query,
+    Return,
+    RunBlock,
+    SelectBlock,
+    SetAssign,
+    While,
+    chain,
+    hop,
+)
+from repro.core.context import GLOBAL, VERTEX
+from repro.core.pattern import Pattern
+from repro.errors import QueryCompileError, QueryRuntimeError
+from repro.graph import builders
+
+
+def counter_query(params=None, statements=None):
+    return Query(
+        "q",
+        [DeclareAccum("n", GLOBAL, lambda: SumAccum(0, int))] + (statements or []),
+        params or [],
+    )
+
+
+class TestParameters:
+    def test_missing_required_param(self):
+        q = counter_query(params=[Parameter("k", "int")])
+        with pytest.raises(QueryRuntimeError, match="missing required"):
+            q.run(builders.sales_graph())
+
+    def test_default_used(self):
+        q = counter_query(
+            params=[Parameter("k", "int", default=5)],
+            statements=[GlobalAccumUpdate("n", "+=", NameRef("k"))],
+        )
+        result = q.run(builders.sales_graph())
+        assert result.global_accum("n") == 5
+
+    def test_unknown_param_rejected(self):
+        q = counter_query()
+        with pytest.raises(QueryRuntimeError, match="no parameter"):
+            q.run(builders.sales_graph(), bogus=1)
+
+    def test_vertex_param_resolved_from_id(self):
+        q = Query("q", [], [Parameter("c", "vertex<Customer>")])
+        result = q.run(builders.sales_graph(), c="c0")
+        assert result.context.params["c"].type == "Customer"
+
+    def test_vertex_param_type_checked(self):
+        q = Query("q", [], [Parameter("c", "vertex<Customer>")])
+        with pytest.raises(QueryRuntimeError, match="expects a Customer"):
+            q.run(builders.sales_graph(), c="p0")
+
+    def test_untyped_vertex_param(self):
+        q = Query("q", [], [Parameter("v", "vertex")])
+        result = q.run(builders.sales_graph(), v="p0")
+        assert result.context.params["v"].vid == "p0"
+
+
+class TestControlFlow:
+    def test_while_with_limit(self):
+        q = counter_query(
+            statements=[
+                While(
+                    Literal(True),
+                    [GlobalAccumUpdate("n", "+=", Literal(1))],
+                    limit=Literal(7),
+                )
+            ]
+        )
+        assert q.run(builders.sales_graph()).global_accum("n") == 7
+
+    def test_while_condition_stops(self):
+        q = counter_query(
+            statements=[
+                While(
+                    Binary("<", GlobalAccumRef("n"), Literal(3)),
+                    [GlobalAccumUpdate("n", "+=", Literal(1))],
+                    limit=Literal(100),
+                )
+            ]
+        )
+        assert q.run(builders.sales_graph()).global_accum("n") == 3
+
+    def test_while_without_limit_guard(self):
+        q = counter_query(
+            statements=[
+                While(Literal(True), [GlobalAccumUpdate("n", "+=", Literal(1))])
+            ]
+        )
+        with pytest.raises(QueryRuntimeError, match="runaway"):
+            q.run(builders.sales_graph())
+
+    def test_if_else(self):
+        def branchy(flag):
+            return counter_query(
+                params=[Parameter("flag", "bool", default=flag)],
+                statements=[
+                    If(
+                        NameRef("flag"),
+                        [GlobalAccumUpdate("n", "+=", Literal(1))],
+                        [GlobalAccumUpdate("n", "+=", Literal(100))],
+                    )
+                ],
+            )
+
+        assert branchy(True).run(builders.sales_graph()).global_accum("n") == 1
+        assert branchy(False).run(builders.sales_graph()).global_accum("n") == 100
+
+
+class TestSetAssign:
+    def test_all_of_type(self):
+        q = Query("q", [SetAssign("S", "Customer.*")])
+        result = q.run(builders.sales_graph())
+        assert len(result.vertex_sets["S"]) == 4
+
+    def test_union_of_types(self):
+        q = Query("q", [SetAssign("S", ["Customer.*", "Product.*"])])
+        result = q.run(builders.sales_graph())
+        assert len(result.vertex_sets["S"]) == 9
+
+    def test_singleton_from_param(self):
+        q = Query(
+            "q",
+            [SetAssign("S", "c")],
+            [Parameter("c", "vertex<Customer>")],
+        )
+        result = q.run(builders.sales_graph(), c="c1")
+        assert [v.vid for v in result.vertex_sets["S"]] == ["c1"]
+
+    def test_copy_existing_set(self):
+        q = Query("q", [SetAssign("A", "Customer.*"), SetAssign("B", "A")])
+        result = q.run(builders.sales_graph())
+        assert len(result.vertex_sets["B"]) == 4
+
+    def test_unknown_source_rejected(self):
+        q = Query("q", [SetAssign("S", "Nothing")])
+        with pytest.raises(QueryRuntimeError):
+            q.run(builders.sales_graph())
+
+    def test_select_assignment(self):
+        block = SelectBlock(
+            pattern=Pattern([chain("Customer", "c", hop("Bought>", "Product", "p"))]),
+            select_var="p",
+        )
+        q = Query("q", [SetAssign("Bought", block)])
+        result = q.run(builders.sales_graph())
+        assert len(result.vertex_sets["Bought"]) == 5
+
+    def test_select_without_vertex_result_rejected(self):
+        block = SelectBlock(
+            pattern=Pattern([chain("Customer", "c", hop("Bought>", "Product", "p"))])
+        )
+        q = Query("q", [SetAssign("S", block)])
+        with pytest.raises(QueryCompileError):
+            q.run(builders.sales_graph())
+
+
+class TestPrintAndReturn:
+    def test_print_scalar(self):
+        q = counter_query(
+            statements=[
+                GlobalAccumUpdate("n", "+=", Literal(3)),
+                Print([PrintItem(GlobalAccumRef("n"), "n")]),
+            ]
+        )
+        assert q.run(builders.sales_graph()).printed == [{"n": 3}]
+
+    def test_print_set_projection(self):
+        q = Query(
+            "q",
+            [
+                SetAssign("R", "Customer.*"),
+                Print(
+                    [
+                        PrintSetProjection(
+                            "R", [PrintItem(AttrRef(NameRef("R"), "name"), "name")]
+                        )
+                    ]
+                ),
+            ],
+        )
+        rows = q.run(builders.sales_graph()).printed[0]["R"]
+        assert {r["name"] for r in rows} == {"alice", "bob", "carol", "dave"}
+
+    def test_return_value(self):
+        q = counter_query(
+            statements=[
+                GlobalAccumUpdate("n", "+=", Literal(9)),
+                Return(GlobalAccumRef("n")),
+            ]
+        )
+        assert q.run(builders.sales_graph()).returned == 9
+
+
+class TestDeclareAccum:
+    def test_initial_value_applies_to_every_instance(self):
+        block = SelectBlock(
+            pattern=Pattern([chain("Customer", "c", hop("Bought>", "Product", "p"))]),
+            select_var="c",
+            accum=[AccumUpdate(AccumTarget("score", NameRef("c")), "+=", Literal(0.0))],
+        )
+        q = Query(
+            "q",
+            [
+                DeclareAccum("score", VERTEX, lambda: SumAccum(0.0), Literal(10.0)),
+                RunBlock(block),
+            ],
+        )
+        result = q.run(builders.sales_graph())
+        assert all(v == 10.0 for v in result.vertex_accum("score").values())
+
+    def test_duplicate_declaration_rejected(self):
+        q = Query(
+            "q",
+            [
+                DeclareAccum("x", GLOBAL, MaxAccum),
+                DeclareAccum("x", GLOBAL, MaxAccum),
+            ],
+        )
+        with pytest.raises(QueryCompileError, match="already declared"):
+            q.run(builders.sales_graph())
+
+    def test_reruns_are_independent(self):
+        q = counter_query(statements=[GlobalAccumUpdate("n", "+=", Literal(1))])
+        g = builders.sales_graph()
+        assert q.run(g).global_accum("n") == 1
+        assert q.run(g).global_accum("n") == 1  # fresh context each run

@@ -1,0 +1,96 @@
+"""Tests for the static tractable-class analyzer (Section 7)."""
+
+from repro.accum import ListAccum, SetAccum, SumAccum
+from repro.core import (
+    AccumTarget,
+    AccumUpdate,
+    DeclareAccum,
+    Literal,
+    NameRef,
+    Query,
+    RunBlock,
+    SelectBlock,
+    While,
+    analyze_query,
+    chain,
+    hop,
+    is_tractable,
+)
+from repro.core.context import GLOBAL, VERTEX
+from repro.core.pattern import Pattern
+
+
+def kleene_block(accum_name):
+    return SelectBlock(
+        pattern=Pattern([chain("V", "s", hop("E>*", "V", "t"))]),
+        select_var="t",
+        accum=[AccumUpdate(AccumTarget(accum_name, NameRef("t")), "+=", Literal(1))],
+    )
+
+
+def test_sum_from_kleene_is_tractable():
+    q = Query(
+        "q",
+        [
+            DeclareAccum("n", VERTEX, lambda: SumAccum(0, int)),
+            RunBlock(kleene_block("n")),
+        ],
+    )
+    assert is_tractable(q)
+    assert analyze_query(q) == []
+
+
+def test_list_accum_flagged():
+    q = Query(
+        "q",
+        [DeclareAccum("trace", VERTEX, ListAccum), RunBlock(kleene_block("trace"))],
+    )
+    violations = analyze_query(q)
+    kinds = {v.kind for v in violations}
+    assert "order-dependent-accumulator" in kinds
+    assert "kleene-feeds-order-dependent" in kinds
+    assert not is_tractable(q)
+
+
+def test_string_sum_flagged():
+    q = Query(
+        "q",
+        [DeclareAccum("s", GLOBAL, lambda: SumAccum(element_type=str))],
+    )
+    assert not is_tractable(q)
+
+
+def test_set_accum_fine():
+    q = Query(
+        "q",
+        [DeclareAccum("seen", VERTEX, SetAccum), RunBlock(kleene_block("seen"))],
+    )
+    assert is_tractable(q)
+
+
+def test_blocks_inside_control_flow_analyzed():
+    q = Query(
+        "q",
+        [
+            DeclareAccum("trace", VERTEX, ListAccum),
+            While(Literal(False), [RunBlock(kleene_block("trace"))], Literal(1)),
+        ],
+    )
+    assert any(
+        v.kind == "kleene-feeds-order-dependent" for v in analyze_query(q)
+    )
+
+
+def test_kleene_free_list_accum_only_soft_flagged():
+    """A ListAccum fed from a single-edge pattern is reported (strict
+    class definition) but has no kleene-feeds violation."""
+    block = SelectBlock(
+        pattern=Pattern([chain("V", "s", hop("E>", "V", "t"))]),
+        select_var="t",
+        accum=[AccumUpdate(AccumTarget("trace", NameRef("t")), "+=", Literal(1))],
+    )
+    q = Query(
+        "q", [DeclareAccum("trace", VERTEX, ListAccum), RunBlock(block)]
+    )
+    kinds = [v.kind for v in analyze_query(q)]
+    assert kinds == ["order-dependent-accumulator"]

@@ -1,0 +1,114 @@
+"""Tests for static DARPE analysis: lengths, fixed-unique-length class,
+Kleene detection, normalization."""
+
+from repro.darpe import (
+    Alt,
+    Concat,
+    Epsilon,
+    Star,
+    Symbol,
+    contains_kleene,
+    fixed_unique_length,
+    length_range,
+    normalize,
+    parse_darpe,
+    symbols,
+)
+
+
+class TestLengthRange:
+    def test_symbol(self):
+        assert length_range(parse_darpe("E>")) == (1, 1)
+
+    def test_concat(self):
+        assert length_range(parse_darpe("E>.F>.G>")) == (3, 3)
+
+    def test_alt_uneven(self):
+        assert length_range(parse_darpe("E>|F>.G>")) == (1, 2)
+
+    def test_star(self):
+        assert length_range(parse_darpe("E>*")) == (0, None)
+
+    def test_bounded(self):
+        assert length_range(parse_darpe("E>*2..4")) == (2, 4)
+
+    def test_bounded_open(self):
+        assert length_range(parse_darpe("E>*2..")) == (2, None)
+
+    def test_mixed(self):
+        assert length_range(parse_darpe("A>.(B>|C>)*.D>")) == (2, None)
+
+
+class TestFixedUniqueLength:
+    def test_paper_example(self):
+        """Section 6.1: A>.(B>|D>)._>.A> has fixed unique length 4."""
+        assert fixed_unique_length(parse_darpe("A>.(B>|D>)._>.A>")) == 4
+
+    def test_kleene_not_fixed(self):
+        assert fixed_unique_length(parse_darpe("E>*")) is None
+
+    def test_uneven_alt_not_fixed(self):
+        assert fixed_unique_length(parse_darpe("E>|F>.G>")) is None
+
+    def test_single_symbol(self):
+        assert fixed_unique_length(parse_darpe("E>")) == 1
+
+    def test_uniform_alt(self):
+        assert fixed_unique_length(parse_darpe("A>.B>|C>.D>")) == 2
+
+    def test_nested_uneven_alt_same_total(self):
+        # (A>|B>.C>).D> has lengths {2, 3}: not fixed.
+        assert fixed_unique_length(parse_darpe("(A>|B>.C>).D>")) is None
+
+    def test_exact_bounds_are_fixed(self):
+        assert fixed_unique_length(parse_darpe("E>*3")) == 3
+
+    def test_range_bounds_not_fixed(self):
+        assert fixed_unique_length(parse_darpe("E>*2..3")) is None
+
+
+class TestContainsKleene:
+    def test_star(self):
+        assert contains_kleene(parse_darpe("E>*"))
+
+    def test_bounded_is_not_kleene(self):
+        assert not contains_kleene(parse_darpe("E>*1..4"))
+
+    def test_unbounded_repeat_is_kleene(self):
+        assert contains_kleene(parse_darpe("E>*2.."))
+
+    def test_nested(self):
+        assert contains_kleene(parse_darpe("A>.(B>*).C>"))
+
+    def test_plain(self):
+        assert not contains_kleene(parse_darpe("A>.B>|C>.D>"))
+
+
+class TestNormalize:
+    def test_bounded_repeat_lowers_to_core(self):
+        node = normalize(parse_darpe("E>*1..3"))
+
+        def only_core(n):
+            assert isinstance(n, (Symbol, Epsilon, Concat, Alt, Star))
+            for child in getattr(n, "parts", ()) or ():
+                only_core(child)
+            if isinstance(n, Star):
+                only_core(n.inner)
+
+        only_core(node)
+
+    def test_zero_repeat_is_epsilon(self):
+        assert normalize(parse_darpe("E>*0..0")) == Epsilon()
+
+    def test_open_repeat_keeps_star(self):
+        node = normalize(parse_darpe("E>*2.."))
+        assert isinstance(node, Concat)
+        assert isinstance(node.parts[-1], Star)
+
+
+class TestSymbols:
+    def test_iterates_leaves(self):
+        names = sorted(
+            s.edge_type or "_" for s in symbols(parse_darpe("E>.(F>|<G)*.H.<J"))
+        )
+        assert names == ["E", "F", "G", "H", "J"]

@@ -1,0 +1,175 @@
+"""Tests for the DARPE parser (grammar of Section 2)."""
+
+import pytest
+
+from repro.darpe import (
+    Alt,
+    Concat,
+    Repeat,
+    Star,
+    Symbol,
+    parse_darpe,
+)
+from repro.errors import DarpeSyntaxError
+from repro.graph.elements import FORWARD, REVERSE, UNDIRECTED
+
+
+class TestSymbols:
+    def test_forward(self):
+        node = parse_darpe("E>")
+        assert node == Symbol("E", FORWARD)
+
+    def test_reverse(self):
+        assert parse_darpe("<E") == Symbol("E", REVERSE)
+
+    def test_undirected(self):
+        assert parse_darpe("E") == Symbol("E", UNDIRECTED)
+
+    def test_wildcards(self):
+        assert parse_darpe("_") == Symbol(None, UNDIRECTED)
+        assert parse_darpe("_>") == Symbol(None, FORWARD)
+        assert parse_darpe("<_") == Symbol(None, REVERSE)
+
+    def test_underscored_names(self):
+        assert parse_darpe("my_edge>") == Symbol("my_edge", FORWARD)
+
+
+class TestOperators:
+    def test_concat(self):
+        node = parse_darpe("E>.F>")
+        assert node == Concat((Symbol("E", FORWARD), Symbol("F", FORWARD)))
+
+    def test_alternation(self):
+        node = parse_darpe("E>|<F")
+        assert node == Alt((Symbol("E", FORWARD), Symbol("F", REVERSE)))
+
+    def test_precedence_concat_over_alt(self):
+        node = parse_darpe("A>.B>|C>")
+        assert isinstance(node, Alt)
+        assert isinstance(node.parts[0], Concat)
+
+    def test_parentheses(self):
+        node = parse_darpe("A>.(B>|C>)")
+        assert isinstance(node, Concat)
+        assert isinstance(node.parts[1], Alt)
+
+    def test_star(self):
+        node = parse_darpe("E>*")
+        assert node == Star(Symbol("E", FORWARD))
+
+    def test_star_on_group(self):
+        node = parse_darpe("(E>|<F)*")
+        assert isinstance(node, Star)
+        assert isinstance(node.inner, Alt)
+
+    def test_example2_pattern(self):
+        """The paper's Example 2 DARPE parses and round-trips."""
+        node = parse_darpe("E>.(F>|<G)*.H.<J")
+        assert repr(node) == "E>.(F>|<G)*.H.<J"
+
+    def test_whitespace_insignificant(self):
+        assert parse_darpe(" E> . F> ") == parse_darpe("E>.F>")
+
+
+class TestBounds:
+    def test_full_bounds(self):
+        assert parse_darpe("E>*2..4") == Repeat(Symbol("E", FORWARD), 2, 4)
+
+    def test_lower_only(self):
+        assert parse_darpe("E>*2..") == Repeat(Symbol("E", FORWARD), 2, None)
+
+    def test_upper_only(self):
+        assert parse_darpe("E>*..3") == Repeat(Symbol("E", FORWARD), 0, 3)
+
+    def test_exact_shorthand(self):
+        assert parse_darpe("E>*3") == Repeat(Symbol("E", FORWARD), 3, 3)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(DarpeSyntaxError, match="inverted"):
+            parse_darpe("E>*4..2")
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(DarpeSyntaxError, match="empty"):
+            parse_darpe("")
+
+    def test_trailing_junk(self):
+        with pytest.raises(DarpeSyntaxError, match="trailing"):
+            parse_darpe("E> F>")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(DarpeSyntaxError):
+            parse_darpe("(E>.F>")
+
+    def test_dangling_dot(self):
+        with pytest.raises(DarpeSyntaxError):
+            parse_darpe("E>.")
+
+    def test_dangling_pipe(self):
+        with pytest.raises(DarpeSyntaxError):
+            parse_darpe("E>|")
+
+    def test_bad_char(self):
+        with pytest.raises(DarpeSyntaxError, match="unexpected character"):
+            parse_darpe("E>$")
+
+    def test_lone_angle(self):
+        with pytest.raises(DarpeSyntaxError):
+            parse_darpe("<")
+
+    def test_error_carries_position(self):
+        try:
+            parse_darpe("E>|")
+        except DarpeSyntaxError as exc:
+            assert exc.position >= 0
+        else:  # pragma: no cover
+            pytest.fail("expected DarpeSyntaxError")
+
+
+class TestRoundTripProperty:
+    """repr() of a DARPE AST is valid concrete syntax that re-parses to
+    an equal AST — for arbitrary generated patterns."""
+
+    @staticmethod
+    def _ast_strategy():
+        from hypothesis import strategies as st
+        from repro.darpe import Alt, Concat, Repeat, Star, Symbol
+        from repro.graph.elements import FORWARD, REVERSE, UNDIRECTED
+
+        leaves = st.builds(
+            Symbol,
+            st.sampled_from([None, "E", "F", "Knows"]),
+            st.sampled_from([FORWARD, REVERSE, UNDIRECTED]),
+        )
+
+        def extend(children):
+            return st.one_of(
+                st.lists(children, min_size=2, max_size=3).map(
+                    lambda p: Concat(tuple(p))
+                ),
+                st.lists(children, min_size=2, max_size=3).map(
+                    lambda p: Alt(tuple(p))
+                ),
+                children.map(Star),
+                st.tuples(
+                    children, st.integers(0, 3), st.integers(0, 3)
+                ).map(lambda t: Repeat(t[0], min(t[1], t[2]), max(t[1], t[2]))),
+            )
+
+        from hypothesis import strategies as st2
+
+        return st2.recursive(leaves, extend, max_leaves=8)
+
+    def test_round_trip(self):
+        from hypothesis import given, settings
+
+        strategy = self._ast_strategy()
+
+        @settings(max_examples=150, deadline=None)
+        @given(ast=strategy)
+        def check(ast):
+            reparsed = parse_darpe(repr(ast))
+            assert repr(reparsed) == repr(ast)
+
+        check()

@@ -1,0 +1,138 @@
+"""Tests for the enumeration baselines: legality flavors, budgets,
+and agreement with counting where semantics coincide."""
+
+import pytest
+
+from repro.darpe import CompiledDarpe
+from repro.enumeration import enumerate_matches, match_counts
+from repro.errors import EvaluationBudgetExceeded, QueryRuntimeError
+from repro.graph import builders
+from repro.paths import PathSemantics
+
+E_STAR = CompiledDarpe.parse("E>*")
+
+
+class TestFlavors:
+    def test_unrestricted_requires_bound(self):
+        g = builders.example9_graph()
+        with pytest.raises(QueryRuntimeError, match="max_length"):
+            list(enumerate_matches(g, 1, E_STAR, PathSemantics.UNRESTRICTED))
+
+    def test_unrestricted_with_bound_counts_walks(self):
+        """On the cyclic G1, longer bounds admit more walks to 5."""
+        g = builders.example9_graph()
+        short = match_counts(
+            g, 1, E_STAR, PathSemantics.UNRESTRICTED, targets={5}, max_length=7
+        )
+        longer = match_counts(
+            g, 1, E_STAR, PathSemantics.UNRESTRICTED, targets={5}, max_length=10
+        )
+        assert longer[5] > short[5]
+
+    def test_trail_finds_cycle_path(self):
+        """G1's fourth non-repeated-edge path (1-2-3-7-8-3-4-5) repeats
+        vertex 3 but no edge."""
+        g = builders.example9_graph()
+        matches = list(
+            enumerate_matches(
+                g, 1, E_STAR, PathSemantics.NO_REPEATED_EDGE, targets={5}
+            )
+        )
+        vertex_seqs = {m.vertices for m in matches}
+        assert (1, 2, 3, 7, 8, 3, 4, 5) in vertex_seqs
+        assert len(matches) == 4
+
+    def test_simple_paths_exclude_vertex_repeats(self):
+        g = builders.example9_graph()
+        matches = list(
+            enumerate_matches(
+                g, 1, E_STAR, PathSemantics.NO_REPEATED_VERTEX, targets={5}
+            )
+        )
+        assert len(matches) == 3
+        for m in matches:
+            assert len(set(m.vertices)) == len(m.vertices)
+
+    def test_shortest_only_shortest(self):
+        g = builders.example9_graph()
+        matches = list(
+            enumerate_matches(g, 1, E_STAR, PathSemantics.ALL_SHORTEST, targets={5})
+        )
+        assert {m.length for m in matches} == {4}
+        assert len(matches) == 2
+
+    def test_existence_multiplicity_one(self):
+        g = builders.diamond_chain(5)
+        counts = match_counts(g, "v0", E_STAR, PathSemantics.EXISTENCE)
+        assert set(counts.values()) == {1}
+
+    def test_existence_cannot_enumerate(self):
+        g = builders.path_graph(2)
+        with pytest.raises(QueryRuntimeError):
+            list(enumerate_matches(g, 0, E_STAR, PathSemantics.EXISTENCE))
+
+
+class TestPathMatches:
+    def test_match_structure(self):
+        g = builders.path_graph(3)
+        (match,) = enumerate_matches(
+            g, 0, CompiledDarpe.parse("E>.E>"), PathSemantics.NO_REPEATED_EDGE
+        )
+        assert match.source == 0
+        assert match.target == 2
+        assert match.length == 2
+        assert match.vertices == (0, 1, 2)
+
+    def test_empty_path_match(self):
+        g = builders.path_graph(2)
+        matches = list(
+            enumerate_matches(g, 0, E_STAR, PathSemantics.NO_REPEATED_EDGE, targets={0})
+        )
+        assert any(m.length == 0 for m in matches)
+
+    def test_all_targets_when_unfiltered(self):
+        g = builders.path_graph(4)
+        targets = {m.target for m in enumerate_matches(
+            g, 0, E_STAR, PathSemantics.NO_REPEATED_EDGE
+        )}
+        assert targets == {0, 1, 2, 3}
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises(self):
+        g = builders.diamond_chain(12)
+        with pytest.raises(EvaluationBudgetExceeded) as info:
+            match_counts(
+                g,
+                "v0",
+                E_STAR,
+                PathSemantics.NO_REPEATED_EDGE,
+                budget=1000,
+            )
+        assert info.value.expanded > 1000
+
+    def test_budget_not_hit_for_small_graph(self):
+        g = builders.diamond_chain(3)
+        counts = match_counts(
+            g, "v0", E_STAR, PathSemantics.NO_REPEATED_EDGE, budget=10_000
+        )
+        assert counts["v3"] == 8
+
+
+class TestAgreementOnDiamond:
+    """Example 11: on the diamond chain the three legality flavors
+    coincide — 2^k paths to hub k under every one of them."""
+
+    @pytest.mark.parametrize(
+        "semantics",
+        [
+            PathSemantics.NO_REPEATED_VERTEX,
+            PathSemantics.NO_REPEATED_EDGE,
+            PathSemantics.ALL_SHORTEST,
+        ],
+    )
+    @pytest.mark.parametrize("k", [1, 3, 6])
+    def test_counts_coincide(self, semantics, k):
+        g = builders.diamond_chain(k)
+        counts = match_counts(g, "v0", E_STAR, semantics, targets={f"v{k}"})
+        assert counts[f"v{k}"] == 2 ** k

@@ -1,0 +1,70 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AccumulatorError,
+    DarpeSyntaxError,
+    EvaluationBudgetExceeded,
+    GraphError,
+    GSQLSyntaxError,
+    QueryCompileError,
+    QueryRuntimeError,
+    ReproError,
+    SchemaError,
+    TractabilityError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            SchemaError,
+            GraphError,
+            DarpeSyntaxError,
+            GSQLSyntaxError,
+            QueryCompileError,
+            QueryRuntimeError,
+            AccumulatorError,
+            TractabilityError,
+            EvaluationBudgetExceeded,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_one_catch_for_everything(self):
+        from repro.darpe import parse_darpe
+
+        with pytest.raises(ReproError):
+            parse_darpe("((")
+
+
+class TestDarpeSyntaxError:
+    def test_renders_pointer(self):
+        err = DarpeSyntaxError("bad", "E>$", 2)
+        assert "^" in str(err)
+        assert "E>$" in str(err)
+
+    def test_without_context(self):
+        err = DarpeSyntaxError("bad")
+        assert str(err) == "bad"
+        assert err.position == -1
+
+
+class TestGSQLSyntaxError:
+    def test_carries_position(self):
+        err = GSQLSyntaxError("oops", 3, 7)
+        assert "line 3" in str(err)
+        assert err.line == 3
+        assert err.column == 7
+
+    def test_without_position(self):
+        assert str(GSQLSyntaxError("oops")) == "oops"
+
+
+class TestBudgetExceeded:
+    def test_carries_expansion_count(self):
+        err = EvaluationBudgetExceeded("too big", expanded=123)
+        assert err.expanded == 123

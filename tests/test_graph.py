@@ -1,0 +1,163 @@
+"""Tests for the Graph container: construction, adjacency, traversal."""
+
+import pytest
+
+from repro.errors import GraphError, SchemaError
+from repro.graph import FORWARD, REVERSE, UNDIRECTED, Graph, GraphSchema
+from repro.graph.graph import induced_subgraph
+
+
+@pytest.fixture
+def mixed_graph():
+    """a --E--> b, a --U-- c (U undirected)."""
+    g = Graph()
+    for v in "abc":
+        g.add_vertex(v, "V")
+    g.add_edge("a", "b", "E", directed=True)
+    g.add_edge("a", "c", "U", directed=False)
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_vertex_rejected(self):
+        g = Graph()
+        g.add_vertex(1, "V")
+        with pytest.raises(GraphError, match="already exists"):
+            g.add_vertex(1, "V")
+
+    def test_edge_requires_vertices(self):
+        g = Graph()
+        g.add_vertex(1, "V")
+        with pytest.raises(GraphError, match="unknown vertex"):
+            g.add_edge(1, 2, "E")
+
+    def test_schema_validation_applies(self):
+        schema = GraphSchema().vertex("V", name="STRING").edge("E", "V", "V")
+        g = Graph(schema)
+        with pytest.raises(SchemaError):
+            g.add_vertex(1, "W")
+        g.add_vertex(1, "V", name="a")
+        with pytest.raises(SchemaError):
+            g.add_vertex(2, "V", name=42)
+
+    def test_schema_directedness_enforced(self):
+        schema = GraphSchema().vertex("V").undirected_edge("U", "V", "V")
+        g = Graph(schema)
+        g.add_vertex(1, "V")
+        g.add_vertex(2, "V")
+        with pytest.raises(SchemaError, match="undirected"):
+            g.add_edge(1, 2, "U", directed=True)
+
+    def test_schema_free_directedness_consistency(self):
+        g = Graph()
+        g.add_vertex(1, "V")
+        g.add_vertex(2, "V")
+        g.add_edge(1, 2, "E", directed=True)
+        with pytest.raises(GraphError, match="inconsistent"):
+            g.add_edge(2, 1, "E", directed=False)
+
+    def test_counts(self, mixed_graph):
+        assert mixed_graph.num_vertices == 3
+        assert mixed_graph.num_edges == 2
+
+
+class TestTraversal:
+    def test_forward_steps(self, mixed_graph):
+        steps = list(mixed_graph.steps("a", direction=FORWARD))
+        assert [s.neighbor for s in steps] == ["b"]
+        assert steps[0].adorned_symbol == "E>"
+
+    def test_reverse_steps(self, mixed_graph):
+        steps = list(mixed_graph.steps("b", direction=REVERSE))
+        assert [s.neighbor for s in steps] == ["a"]
+        assert steps[0].adorned_symbol == "<E"
+
+    def test_undirected_steps_both_sides(self, mixed_graph):
+        from_a = list(mixed_graph.steps("a", direction=UNDIRECTED))
+        from_c = list(mixed_graph.steps("c", direction=UNDIRECTED))
+        assert [s.neighbor for s in from_a] == ["c"]
+        assert [s.neighbor for s in from_c] == ["a"]
+
+    def test_all_steps(self, mixed_graph):
+        symbols = sorted(s.adorned_symbol for s in mixed_graph.steps("a"))
+        assert symbols == ["E>", "U"]
+
+    def test_etype_filter(self, mixed_graph):
+        assert [s.neighbor for s in mixed_graph.steps("a", etype="E")] == ["b"]
+        assert list(mixed_graph.steps("a", etype="Nope")) == []
+
+    def test_unknown_vertex(self, mixed_graph):
+        with pytest.raises(GraphError):
+            list(mixed_graph.steps("z"))
+
+    def test_self_loop_undirected_counted_once(self):
+        g = Graph()
+        g.add_vertex(1, "V")
+        g.add_edge(1, 1, "U", directed=False)
+        assert len(list(g.steps(1))) == 1
+
+
+class TestDegrees:
+    def test_outdegree_counts_forward_and_undirected(self, mixed_graph):
+        assert mixed_graph.outdegree("a") == 2  # E> plus U
+        assert mixed_graph.outdegree("b") == 0
+        assert mixed_graph.outdegree("c") == 1  # the U edge
+
+    def test_indegree(self, mixed_graph):
+        assert mixed_graph.indegree("b") == 1
+        assert mixed_graph.indegree("a") == 1  # the undirected incidence
+
+    def test_outdegree_etype(self, mixed_graph):
+        assert mixed_graph.outdegree("a", "E") == 1
+        assert mixed_graph.outdegree("a", "U") == 1
+
+
+class TestLookups:
+    def test_vertices_by_type(self):
+        g = Graph()
+        g.add_vertex(1, "A")
+        g.add_vertex(2, "B")
+        g.add_vertex(3, "A")
+        assert [v.vid for v in g.vertices("A")] == [1, 3]
+        assert len(list(g.vertices())) == 3
+
+    def test_edges_by_type(self, mixed_graph):
+        assert len(list(mixed_graph.edges("E"))) == 1
+        assert len(list(mixed_graph.edges())) == 2
+
+    def test_find_vertex(self):
+        g = Graph()
+        g.add_vertex(1, "V", name="x")
+        g.add_vertex(2, "V", name="y")
+        assert g.find_vertex("V", "name", "y").vid == 2
+        assert g.find_vertex("V", "name", "z") is None
+
+    def test_neighbors_distinct(self):
+        g = Graph()
+        g.add_vertex(1, "V")
+        g.add_vertex(2, "V")
+        g.add_edge(1, 2, "E")
+        g.add_edge(1, 2, "F")
+        assert [v.vid for v in g.neighbors(1)] == [2]
+
+    def test_contains(self, mixed_graph):
+        assert "a" in mixed_graph
+        assert "z" not in mixed_graph
+
+    def test_summary(self, mixed_graph):
+        summary = mixed_graph.summary()
+        assert summary["vertices"] == 3
+        assert summary["edges"] == 2
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, mixed_graph):
+        sub = induced_subgraph(mixed_graph, ["a", "b"])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+        assert next(sub.edges()).type == "E"
+
+    def test_empty(self, mixed_graph):
+        sub = induced_subgraph(mixed_graph, [])
+        assert sub.num_vertices == 0
+        assert sub.num_edges == 0

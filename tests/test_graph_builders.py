@@ -1,0 +1,99 @@
+"""Tests for the paper's example-graph builders."""
+
+import pytest
+
+from repro.graph import builders
+
+
+class TestDiamondChain:
+    def test_paper_sizes(self):
+        """The paper's 30-diamond instance: 91 vertices, 120 edges."""
+        g = builders.diamond_chain(30)
+        assert g.num_vertices == 91
+        assert g.num_edges == 120
+
+    def test_zero_diamonds(self):
+        g = builders.diamond_chain(0)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            builders.diamond_chain(-1)
+
+    def test_names(self):
+        g = builders.diamond_chain(2)
+        assert g.vertex("v0")["name"] == "v0"
+        assert g.vertex("v2")["name"] == "v2"
+
+    def test_hub_degrees(self):
+        g = builders.diamond_chain(3)
+        assert g.outdegree("v0") == 2
+        assert g.outdegree("v1") == 2
+        assert g.outdegree("v3") == 0
+        assert g.indegree("v3") == 2
+
+
+class TestExampleGraphs:
+    def test_g1_shape(self):
+        g = builders.example9_graph()
+        assert g.num_vertices == 12
+        assert g.num_edges == 14
+
+    def test_g2_shape(self):
+        g = builders.example10_graph()
+        assert g.num_vertices == 6
+        assert g.num_edges == 6
+        assert len(list(g.edges("F"))) == 1
+
+    def test_cycle3(self):
+        g = builders.fixed_length_cycle_graph()
+        assert {e.type for e in g.edges()} == {"A", "B", "C"}
+
+    def test_mixed_kind_graph_has_undirected_edge(self):
+        g = builders.mixed_kind_graph()
+        kinds = {e.type: e.directed for e in g.edges()}
+        assert kinds["H"] is False
+        assert kinds["E"] is True
+
+
+class TestGenericBuilders:
+    def test_path_graph(self):
+        g = builders.path_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 4
+
+    def test_cycle_graph(self):
+        g = builders.cycle_graph(4)
+        assert g.num_edges == 4
+        assert g.outdegree(0) == 1
+
+    def test_cycle_graph_rejects_empty(self):
+        with pytest.raises(ValueError):
+            builders.cycle_graph(0)
+
+    def test_complete_graph(self):
+        g = builders.complete_graph(4)
+        assert g.num_edges == 12
+
+    def test_grid_graph(self):
+        g = builders.grid_graph(3, 4)
+        assert g.num_vertices == 12
+        # right edges: 3 rows * 3; down edges: 2 * 4
+        assert g.num_edges == 9 + 8
+
+    def test_from_edge_list_with_types(self):
+        g = builders.from_edge_list([(1, 2), (2, 3, "F")])
+        types = sorted(e.type for e in g.edges())
+        assert types == ["E", "F"]
+
+    def test_sales_graph_schema(self):
+        g = builders.sales_graph()
+        assert len(list(g.vertices("Customer"))) == 4
+        assert len(list(g.vertices("Product"))) == 5
+        assert all(e.type == "Bought" for e in g.edges())
+
+    def test_likes_graph(self):
+        g = builders.likes_graph()
+        assert len(list(g.vertices("Product"))) == 5
+        assert len(list(g.edges("Likes"))) == 10

@@ -1,0 +1,93 @@
+"""Tests for vertices, edges and traversal steps."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.elements import (
+    FORWARD,
+    REVERSE,
+    UNDIRECTED,
+    Edge,
+    Step,
+    Vertex,
+    adorn,
+)
+
+
+class TestAdorn:
+    def test_forward(self):
+        assert adorn("E", FORWARD) == "E>"
+
+    def test_reverse(self):
+        assert adorn("E", REVERSE) == "<E"
+
+    def test_undirected(self):
+        assert adorn("E", UNDIRECTED) == "E"
+
+    def test_invalid_direction(self):
+        with pytest.raises(GraphError):
+            adorn("E", "x")
+
+
+class TestVertex:
+    def test_attributes(self):
+        v = Vertex(1, "Person", {"name": "ann"})
+        assert v["name"] == "ann"
+        assert v.get("name") == "ann"
+        assert "name" in v
+        assert "age" not in v
+
+    def test_missing_attribute_raises(self):
+        v = Vertex(1, "Person")
+        with pytest.raises(GraphError, match="no attribute"):
+            v["name"]
+
+    def test_get_default(self):
+        assert Vertex(1, "V").get("x", 7) == 7
+
+    def test_set(self):
+        v = Vertex(1, "V")
+        v.set("x", 3)
+        assert v["x"] == 3
+
+    def test_equality_by_type_and_id(self):
+        assert Vertex(1, "V") == Vertex(1, "V")
+        assert Vertex(1, "V") != Vertex(1, "W")
+        assert Vertex(1, "V") != Vertex(2, "V")
+
+    def test_hashable(self):
+        assert len({Vertex(1, "V"), Vertex(1, "V"), Vertex(2, "V")}) == 2
+
+
+class TestEdge:
+    def test_other_endpoint(self):
+        e = Edge(0, "E", "a", "b")
+        assert e.other("a") == "b"
+        assert e.other("b") == "a"
+
+    def test_other_rejects_non_endpoint(self):
+        e = Edge(0, "E", "a", "b")
+        with pytest.raises(GraphError):
+            e.other("c")
+
+    def test_attrs(self):
+        e = Edge(0, "E", "a", "b", attrs={"w": 2})
+        assert e["w"] == 2
+        with pytest.raises(GraphError):
+            e["missing"]
+
+    def test_equality_by_id(self):
+        assert Edge(0, "E", "a", "b") == Edge(0, "F", "x", "y")
+        assert Edge(0, "E", "a", "b") != Edge(1, "E", "a", "b")
+
+
+class TestStep:
+    def test_adorned_symbol(self):
+        e = Edge(0, "E", "a", "b")
+        assert Step(e, FORWARD, "b").adorned_symbol == "E>"
+        assert Step(e, REVERSE, "a").adorned_symbol == "<E"
+
+    def test_invalid_direction(self):
+        e = Edge(0, "E", "a", "b")
+        with pytest.raises(GraphError):
+            Step(e, "sideways", "b")

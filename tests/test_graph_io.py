@@ -1,0 +1,134 @@
+"""Tests for CSV/JSON graph loading and saving."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, GraphSchema, builders
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_edges_csv,
+    load_graph_csv,
+    load_graph_json,
+    load_vertices_csv,
+    save_graph_csv,
+    save_graph_json,
+)
+
+
+@pytest.fixture
+def csv_files(tmp_path):
+    vertices = tmp_path / "vertices.csv"
+    vertices.write_text(
+        "id,type,name,age\n"
+        "1,Person,ann,30\n"
+        "2,Person,ben,25\n"
+        "3,City,berlin,\n"
+    )
+    edges = tmp_path / "edges.csv"
+    edges.write_text(
+        "source,target,type,since\n"
+        "1,2,Knows,2019\n"
+        "1,3,LivesIn,2020\n"
+    )
+    return vertices, edges
+
+
+class TestCsvLoading:
+    def test_load_graph(self, csv_files):
+        vertices, edges = csv_files
+        g = load_graph_csv(vertices, edges, name="csv")
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.vertex(1)["name"] == "ann"
+        assert g.vertex(1)["age"] == 30  # coerced to int
+
+    def test_empty_cell_is_none(self, csv_files):
+        vertices, edges = csv_files
+        g = load_graph_csv(vertices, edges)
+        assert g.vertex(3).get("age") is None
+
+    def test_edge_attrs_coerced(self, csv_files):
+        vertices, edges = csv_files
+        g = load_graph_csv(vertices, edges)
+        knows = next(g.edges("Knows"))
+        assert knows["since"] == 2019
+
+    def test_fixed_type_override(self, tmp_path):
+        path = tmp_path / "v.csv"
+        path.write_text("id,name\nx,ann\n")
+        g = Graph()
+        assert load_vertices_csv(g, path, vertex_type="Person") == 1
+        assert g.vertex("x").type == "Person"
+
+    def test_missing_id_column(self, tmp_path):
+        path = tmp_path / "v.csv"
+        path.write_text("name\nann\n")
+        with pytest.raises(GraphError, match="id"):
+            load_vertices_csv(Graph(), path)
+
+    def test_missing_type_errors(self, tmp_path):
+        path = tmp_path / "v.csv"
+        path.write_text("id,name\n1,ann\n")
+        with pytest.raises(GraphError, match="type"):
+            load_vertices_csv(Graph(), path)
+
+    def test_missing_edge_columns(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("from,to\n1,2\n")
+        with pytest.raises(GraphError, match="source"):
+            load_edges_csv(Graph(), path)
+
+    def test_bool_coercion(self, tmp_path):
+        path = tmp_path / "v.csv"
+        path.write_text("id,type,active\n1,V,true\n2,V,false\n")
+        g = Graph()
+        load_vertices_csv(g, path)
+        assert g.vertex(1)["active"] is True
+        assert g.vertex(2)["active"] is False
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        original = builders.sales_graph()
+        vpath, epath = tmp_path / "v.csv", tmp_path / "e.csv"
+        save_graph_csv(original, vpath, epath)
+        loaded = load_graph_csv(vpath, epath)
+        assert loaded.num_vertices == original.num_vertices
+        assert loaded.num_edges == original.num_edges
+        assert loaded.vertex("p0")["price"] == 50.0
+
+    def test_round_trip_mixed_directedness(self, tmp_path):
+        original = builders.mixed_kind_graph()
+        vpath, epath = tmp_path / "v.csv", tmp_path / "e.csv"
+        save_graph_csv(original, vpath, epath)
+        loaded = load_graph_csv(vpath, epath)
+        directed = {e.type: e.directed for e in loaded.edges()}
+        assert directed["H"] is False
+        assert directed["E"] is True
+
+
+class TestJson:
+    def test_dict_round_trip(self):
+        original = builders.likes_graph()
+        data = graph_to_dict(original)
+        rebuilt = graph_from_dict(data)
+        assert rebuilt.num_vertices == original.num_vertices
+        assert rebuilt.num_edges == original.num_edges
+        assert rebuilt.vertex("t0")["category"] == "Toys"
+
+    def test_file_round_trip(self, tmp_path):
+        original = builders.example9_graph()
+        path = tmp_path / "g.json"
+        save_graph_json(original, path)
+        loaded = load_graph_json(path)
+        assert loaded.num_edges == 14
+
+    def test_schema_applied_on_load(self, tmp_path):
+        schema = GraphSchema("S").vertex("V", name="STRING")
+        g = Graph(schema)
+        g.add_vertex(1, "V", name="x")
+        path = tmp_path / "g.json"
+        save_graph_json(g, path)
+        loaded = load_graph_json(path, schema=schema)
+        assert loaded.schema is schema

@@ -1,0 +1,111 @@
+"""Tests for graph schemas and attribute validation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.graph.schema import AttributeDecl, EdgeType, GraphSchema, VertexType
+
+
+class TestAttributeDecl:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError, match="unknown attribute type"):
+            AttributeDecl("x", "BLOB")
+
+    def test_case_insensitive_type(self):
+        assert AttributeDecl("x", "float").type_name == "FLOAT"
+
+    def test_int_accepts_int(self):
+        AttributeDecl("x", "INT").validate(5)
+
+    def test_int_rejects_str(self):
+        with pytest.raises(SchemaError):
+            AttributeDecl("x", "INT").validate("5")
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            AttributeDecl("x", "INT").validate(True)
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(SchemaError):
+            AttributeDecl("x", "BOOL").validate(1)
+
+    def test_uint_rejects_negative(self):
+        with pytest.raises(SchemaError):
+            AttributeDecl("x", "UINT").validate(-1)
+
+    def test_float_accepts_int(self):
+        AttributeDecl("x", "FLOAT").validate(3)
+
+    def test_none_always_allowed(self):
+        AttributeDecl("x", "STRING").validate(None)
+
+
+class TestVertexType:
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            VertexType("V", [AttributeDecl("x", "INT"), AttributeDecl("x", "INT")])
+
+    def test_validate_unknown_attr(self):
+        vt = VertexType("V", [AttributeDecl("x", "INT")])
+        with pytest.raises(SchemaError, match="no attribute"):
+            vt.validate_attrs({"y": 1})
+
+    def test_defaults_filled(self):
+        vt = VertexType("V", [AttributeDecl("x", "INT", default=7)])
+        assert vt.validate_attrs({}) == {"x": 7}
+
+
+class TestEdgeType:
+    def test_directed_endpoint_check(self):
+        et = EdgeType("E", directed=True, from_types=["A"], to_types=["B"])
+        et.validate_endpoints("A", "B")
+        with pytest.raises(SchemaError):
+            et.validate_endpoints("B", "A")
+
+    def test_undirected_endpoints_symmetric(self):
+        et = EdgeType("E", directed=False, from_types=["A"], to_types=["B"])
+        et.validate_endpoints("A", "B")
+        et.validate_endpoints("B", "A")
+        with pytest.raises(SchemaError):
+            et.validate_endpoints("A", "C")
+
+    def test_unconstrained_endpoints(self):
+        EdgeType("E").validate_endpoints("Anything", "Else")
+
+
+class TestGraphSchema:
+    def test_fluent_build(self):
+        schema = (
+            GraphSchema("S")
+            .vertex("Customer", name="STRING")
+            .vertex("Product", price="FLOAT")
+            .edge("Bought", "Customer", "Product", quantity="INT")
+        )
+        assert schema.has_vertex_type("Customer")
+        assert schema.has_edge_type("Bought")
+        assert schema.edge_type("Bought").directed
+
+    def test_undirected_edge_helper(self):
+        schema = GraphSchema().vertex("P").undirected_edge("Knows", "P", "P")
+        assert not schema.edge_type("Knows").directed
+
+    def test_duplicate_vertex_type(self):
+        schema = GraphSchema().vertex("V")
+        with pytest.raises(SchemaError):
+            schema.vertex("V")
+
+    def test_duplicate_edge_type(self):
+        schema = GraphSchema().vertex("V").edge("E", "V", "V")
+        with pytest.raises(SchemaError):
+            schema.edge("E", "V", "V")
+
+    def test_edge_requires_declared_endpoints(self):
+        with pytest.raises(SchemaError, match="undeclared"):
+            GraphSchema().edge("E", "Nope", None)
+
+    def test_unknown_lookups(self):
+        schema = GraphSchema()
+        with pytest.raises(SchemaError):
+            schema.vertex_type("V")
+        with pytest.raises(SchemaError):
+            schema.edge_type("E")

@@ -1,0 +1,100 @@
+"""Tests for graph statistics, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import Graph, builders
+from repro.graph.stats import (
+    average_clustering,
+    average_degree,
+    clustering_coefficient,
+    density,
+    describe,
+    diameter,
+    distance_histogram,
+    eccentricity,
+)
+from repro.ldbc import generate_snb_graph
+
+
+@pytest.fixture(scope="module")
+def knows_pair():
+    snb = generate_snb_graph(0.08, seed=17)
+    G = nx.Graph()
+    G.add_nodes_from(v.vid for v in snb.vertices())
+    G.add_edges_from((e.source, e.target) for e in snb.edges("Knows"))
+    return snb, G
+
+
+class TestBasicStats:
+    def test_density(self):
+        g = builders.complete_graph(4)
+        assert density(g) == pytest.approx(1.0)
+        assert density(builders.path_graph(1)) == 0.0
+
+    def test_average_degree(self):
+        g = builders.cycle_graph(5)
+        assert average_degree(g) == pytest.approx(2.0)
+
+    def test_average_degree_empty(self):
+        assert average_degree(Graph()) == 0.0
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        g = builders.from_edge_list([(1, 2), (2, 3), (1, 3)], directed=False)
+        for v in (1, 2, 3):
+            assert clustering_coefficient(g, v) == pytest.approx(1.0)
+
+    def test_path_has_zero_clustering(self):
+        g = builders.path_graph(4)
+        assert average_clustering(g) == 0.0
+
+    def test_matches_networkx_on_knows(self, knows_pair):
+        snb, G = knows_pair
+        ours_vertices = [v.vid for v in snb.vertices("Person")]
+        expected = nx.average_clustering(G, nodes=ours_vertices)
+        ours = sum(
+            clustering_coefficient(snb, v, "Knows") for v in ours_vertices
+        ) / len(ours_vertices)
+        assert ours == pytest.approx(expected)
+
+
+class TestDistances:
+    def test_eccentricity_path(self):
+        g = builders.path_graph(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+
+    def test_diameter_matches_networkx(self, knows_pair):
+        snb, G = knows_pair
+        giant = G.subgraph(max(nx.connected_components(G), key=len))
+        assert diameter(snb, "Knows") >= nx.diameter(giant)
+
+    def test_diameter_of_cycle(self):
+        g = builders.cycle_graph(6)
+        assert diameter(g) == 3
+
+    def test_distance_histogram(self):
+        g = builders.path_graph(4)
+        assert distance_histogram(g, 0) == {0: 1, 1: 1, 2: 1, 3: 1}
+
+    def test_isolated_vertex(self):
+        g = Graph()
+        g.add_vertex(1, "V")
+        assert eccentricity(g, 1) == 0
+        assert diameter(g) == 0
+
+
+class TestDescribe:
+    def test_keys_present(self):
+        summary = describe(builders.diamond_chain(3))
+        assert set(summary) == {
+            "vertices",
+            "edges",
+            "density",
+            "avg_degree",
+            "avg_clustering",
+            "diameter",
+        }
+        assert summary["vertices"] == 10

@@ -1,0 +1,90 @@
+"""Tests for the GSQL-text algorithm library, cross-checked against the
+programmatic implementations and direct computation."""
+
+import pytest
+
+from repro.algorithms import (
+    common_neighbor_counts,
+    degree_histogram,
+    k_hop_reach,
+    wcc_labels_gsql,
+    weakly_connected_components,
+)
+from repro.graph import builders
+from repro.ldbc import generate_snb_graph
+
+
+class TestWccGsql:
+    def test_matches_programmatic_wcc(self):
+        g = builders.from_edge_list([(1, 2), (2, 3), (10, 11), (12, 12)])
+        assert wcc_labels_gsql(g) == weakly_connected_components(g)
+
+    def test_undirected_edges_connect(self):
+        g = builders.from_edge_list([(1, 2), (3, 4)], directed=False)
+        labels = wcc_labels_gsql(g)
+        assert labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[1] != labels[3]
+
+    def test_on_snb(self):
+        snb = generate_snb_graph(0.05, seed=13)
+        gsql_labels = wcc_labels_gsql(snb)
+        prog_labels = weakly_connected_components(snb)
+        assert gsql_labels == prog_labels
+
+
+class TestDegreeHistogram:
+    def test_matches_direct_computation(self):
+        g = builders.sales_graph()
+        hist = degree_histogram(g)
+        assert hist == g.degree_histogram()
+
+    def test_per_edge_type(self):
+        g = builders.likes_graph()
+        hist = degree_histogram(g, "Likes")
+        # 4 customers with out-degrees 3,3,2,2; products have 0.
+        assert hist[3] == 2
+        assert hist[2] == 2
+        assert hist[0] == 5
+
+    def test_total_is_vertex_count(self):
+        g = builders.diamond_chain(4)
+        assert sum(degree_histogram(g).values()) == g.num_vertices
+
+
+class TestCommonNeighbors:
+    def test_hand_checked(self):
+        g = builders.likes_graph()
+        counts = common_neighbor_counts(g, "Customer", "Likes")
+        assert counts[("c0", "c1")] == 2  # robot and ball
+        assert counts[("c2", "c3")] == 1  # yo-yo
+
+    def test_ordered_pairs_only(self):
+        g = builders.likes_graph()
+        for a, b in common_neighbor_counts(g, "Customer", "Likes"):
+            assert a < b
+
+
+class TestKHopReach:
+    def test_diamond_profile(self):
+        g = builders.diamond_chain(5)
+        # from v0: 2 intermediates at hop 1, hub v1 at hop 2, etc.
+        reach = k_hop_reach(g, "v0", 10, "E>")
+        assert reach[1] == 2
+        assert reach[2] == 1
+        assert sum(reach.values()) == g.num_vertices - 1
+
+    def test_k_truncates(self):
+        g = builders.path_graph(10)
+        reach = k_hop_reach(g, 0, 3, "E>")
+        assert set(reach) == {1, 2, 3}
+
+    def test_matches_bfs_level_sizes(self):
+        from repro.algorithms import bfs_levels
+
+        snb = generate_snb_graph(0.05, seed=4)
+        levels = bfs_levels(snb, "person:0", "Knows", "Person")
+        reach = k_hop_reach(snb, "person:0", 3, "Knows")
+        for hop in (1, 2, 3):
+            expected = sum(1 for d in levels.values() if d == hop)
+            assert reach.get(hop, 0) == expected

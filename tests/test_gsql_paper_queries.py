@@ -1,0 +1,295 @@
+"""Every GSQL query the paper displays, as text, compiled and executed.
+
+Figure 1 (relational join variant adapted to the graph-only engine),
+Figure 2 (single-pass three-way aggregation), Figure 3 (TopKToys),
+Figure 4 (PageRank) and the Qn family of Section 7.1.
+"""
+
+import pytest
+
+from repro.core.pattern import EngineMode
+from repro.graph import Graph, builders
+from repro.gsql import parse_query
+from repro.paths import PathSemantics
+
+
+class TestFigure1LinkedIn:
+    """Example 1's shape: persons connected OUTSIDE their company since
+    2016, aggregated per employee.  The paper joins a relational table;
+    here the employer is a vertex, which preserves the pattern/aggregation
+    structure (the undirected Connected edge and the GROUP BY count)."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        g = Graph(name="LinkedIn")
+        companies = ["acme", "globex"]
+        for c in companies:
+            g.add_vertex(c, "Company", name=c)
+        people = [
+            ("p0", "acme"), ("p1", "acme"), ("p2", "globex"),
+            ("p3", "globex"), ("p4", "acme"),
+        ]
+        for pid, comp in people:
+            g.add_vertex(pid, "Person", name=pid, company=comp)
+        connections = [
+            ("p0", "p2", 2017), ("p0", "p3", 2018), ("p0", "p1", 2019),
+            ("p1", "p2", 2015), ("p4", "p3", 2020), ("p1", "p3", 2017),
+        ]
+        for a, b, year in connections:
+            g.add_edge(a, b, "Connected", directed=False, since=year)
+        return g
+
+    def test_outside_connections_since_2016(self, graph):
+        q = parse_query("""
+CREATE QUERY OutsideConnections(string comp, int sinceYear) FOR GRAPH LinkedIn {
+  SELECT p.name AS name, count(*) AS outside INTO PerEmployee
+  FROM Person:p -(Connected:c)- Person:outsider
+  WHERE p.company == comp AND outsider.company != comp AND c.since >= sinceYear
+  GROUP BY p.name
+  ORDER BY count(*) DESC;
+  RETURN PerEmployee;
+}""")
+        rows = q.run(graph, comp="acme", sinceYear=2016).returned.rows
+        assert rows == [("p0", 2), ("p1", 1), ("p4", 1)]
+
+
+class TestFigure2SalesRevenue:
+    QUERY = """
+CREATE QUERY ToyRevenue() FOR GRAPH SalesGraph {
+  SumAccum<float> @@totalRevenue;
+  SumAccum<float> @revenuePerToy, @revenuePerCust;
+
+  SELECT c
+  FROM   Customer:c -(Bought>:b)- Product:p
+  WHERE  p.category == 'toy'
+  ACCUM  FLOAT salesPrice = b.quantity * p.price * (1.0 - b.discount),
+         c.@revenuePerCust += salesPrice,
+         p.@revenuePerToy += salesPrice,
+         @@totalRevenue += salesPrice;
+}"""
+
+    def test_three_aggregations_single_pass(self):
+        result = parse_query(self.QUERY).run(builders.sales_graph())
+        per_cust = result.vertex_accum("revenuePerCust")
+        per_toy = result.vertex_accum("revenuePerToy")
+        assert per_cust == pytest.approx(
+            {"c0": 86.0, "c1": 44.0, "c2": 110.0, "c3": 10.0}
+        )
+        assert per_toy["p0"] == pytest.approx(145.0)
+        assert result.global_accum("totalRevenue") == pytest.approx(250.0)
+        # Consistency: both groupings sum to the global total.
+        assert sum(per_cust.values()) == pytest.approx(250.0)
+        assert sum(per_toy.values()) == pytest.approx(250.0)
+
+    def test_example5_multi_output(self):
+        """Example 5 swaps the SELECT clause for a three-table output."""
+        q = parse_query("""
+CREATE QUERY ToyRevenueTables() FOR GRAPH SalesGraph {
+  SumAccum<float> @@totalRevenue;
+  SumAccum<float> @revenuePerToy, @revenuePerCust;
+
+  S = SELECT c
+  FROM   Customer:c -(Bought>:b)- Product:p
+  WHERE  p.category == 'toy'
+  ACCUM  FLOAT salesPrice = b.quantity * p.price * (1.0 - b.discount),
+         c.@revenuePerCust += salesPrice,
+         p.@revenuePerToy += salesPrice,
+         @@totalRevenue += salesPrice;
+
+  SELECT c.name, c.@revenuePerCust INTO PerCust;
+         t.name, t.@revenuePerToy INTO PerToy;
+         @@totalRevenue AS rev INTO Total
+  FROM Customer:c -(Bought>)- Product:t
+  WHERE t.category == 'toy';
+}""")
+        result = q.run(builders.sales_graph())
+        per_cust = dict(result.tables["PerCust"].rows)
+        assert per_cust["alice"] == pytest.approx(86.0)
+        assert len(result.tables["PerToy"]) == 4
+        assert result.tables["Total"].rows == [(pytest.approx(250.0),)]
+
+
+class TestFigure3TopKToys:
+    def test_ranking(self):
+        q = parse_query("""
+CREATE QUERY TopKToys (vertex<Customer> c, int k) FOR GRAPH LikesGraph {
+  SumAccum<float> @lc, @inCommon, @rank;
+
+  SELECT DISTINCT o INTO OthersWithCommonLikes
+  FROM   Customer:c -(Likes>)- Product:t -(<Likes)- Customer:o
+  WHERE  o <> c AND t.category == 'Toys'
+  ACCUM  o.@inCommon += 1
+  POST_ACCUM o.@lc = log(1 + o.@inCommon);
+
+  SELECT t.name, t.@rank AS rank INTO Recommended
+  FROM   OthersWithCommonLikes:o -(Likes>)- Product:t
+  WHERE  t.category == 'Toys' AND c <> o
+  ACCUM  t.@rank += o.@lc
+  ORDER BY t.@rank DESC
+  LIMIT k;
+
+  RETURN Recommended;
+}""")
+        import math
+
+        result = q.run(builders.likes_graph(), c="c0", k=2)
+        rows = result.returned.rows
+        assert len(rows) == 2
+        # ben shares 2 toys (lc=log 3), cam shares 1 (lc=log 2);
+        # 'ball' is liked by both -> rank log3 + log2.
+        assert rows[0][0] == "ball"
+        assert rows[0][1] == pytest.approx(math.log(3) + math.log(2))
+
+    def test_k_limits_output(self):
+        from repro.algorithms import recommend
+
+        assert len(recommend(builders.likes_graph(), "c0", k=1)) == 1
+
+
+class TestFigure4PageRank:
+    QUERY = """
+CREATE QUERY PageRank (float maxChange, int maxIteration, float dampingFactor) {
+  MaxAccum<float> @@maxDifference = 9999.0;
+  SumAccum<float> @received_score;
+  SumAccum<float> @score = 1;
+
+  AllV = {Page.*};
+
+  WHILE @@maxDifference > maxChange LIMIT maxIteration DO
+     @@maxDifference = 0;
+     S = SELECT v
+         FROM       AllV:v -(LinkTo>)- Page:n
+         ACCUM      n.@received_score += v.@score / v.outdegree()
+         POST-ACCUM v.@score = 1 - dampingFactor + dampingFactor * v.@received_score,
+                    v.@received_score = 0,
+                    @@maxDifference += abs(v.@score - v.@score');
+  END;
+}"""
+
+    @pytest.fixture(scope="class")
+    def web(self):
+        g = Graph(name="Web")
+        for p in "ABCD":
+            g.add_vertex(p, "Page")
+        for s, t in [("A", "B"), ("A", "C"), ("B", "C"), ("C", "A"), ("D", "C")]:
+            g.add_edge(s, t, "LinkTo")
+        return g
+
+    def test_matches_networkx(self, web):
+        import networkx as nx
+
+        result = parse_query(self.QUERY).run(
+            web, maxChange=1e-7, maxIteration=200, dampingFactor=0.85
+        )
+        scores = result.vertex_accum("score")
+        G = nx.DiGraph(
+            [(e.source, e.target) for e in web.edges("LinkTo")]
+        )
+        expected = nx.pagerank(G, alpha=0.85, tol=1e-10)
+        n = web.num_vertices
+        for page, score in scores.items():
+            assert score == pytest.approx(expected[page] * n, rel=1e-4)
+
+    def test_iteration_limit_respected(self, web):
+        """With maxIteration=1 the loop body runs exactly once."""
+        result = parse_query(self.QUERY).run(
+            web, maxChange=0.0, maxIteration=1, dampingFactor=0.85
+        )
+        # After one iteration, A's score: 0.15 + 0.85 * (1/1) from C.
+        assert result.vertex_accum("score")["A"] == pytest.approx(1.0)
+
+    def test_early_convergence(self, web):
+        """A loose threshold stops well before the iteration cap."""
+        loose = parse_query(self.QUERY).run(
+            web, maxChange=10.0, maxIteration=50, dampingFactor=0.85
+        )
+        tight = parse_query(self.QUERY).run(
+            web, maxChange=1e-9, maxIteration=50, dampingFactor=0.85
+        )
+        assert loose.global_accum("maxDifference") > tight.global_accum(
+            "maxDifference"
+        )
+
+
+class TestQnFamily:
+    QUERY = """
+CREATE QUERY Qn(string srcName, string tgtName) {
+  SumAccum<int> @pathCount;
+
+  R = SELECT t
+      FROM V:s -(E>*)- V:t
+      WHERE s.name == srcName AND t.name == tgtName
+      ACCUM t.@pathCount += 1;
+
+  PRINT R[R.name, R.@pathCount];
+}"""
+
+    @pytest.mark.parametrize("n", [1, 4, 10, 15])
+    def test_counting_engine_2_to_n(self, n):
+        g = builders.diamond_chain(max(n, 10))
+        result = parse_query(self.QUERY).run(g, srcName="v0", tgtName=f"v{n}")
+        assert result.printed[0]["R"] == [
+            {"name": f"v{n}", "pathCount": 2 ** n}
+        ]
+
+    def test_enumeration_engine_agrees_on_small_n(self):
+        g = builders.diamond_chain(6)
+        mode = EngineMode.enumeration(PathSemantics.NO_REPEATED_EDGE)
+        result = parse_query(self.QUERY).run(
+            g, mode=mode, srcName="v0", tgtName="v6"
+        )
+        assert result.printed[0]["R"] == [{"name": "v6", "pathCount": 64}]
+
+    def test_no_match_empty_result(self):
+        g = builders.diamond_chain(3)
+        result = parse_query(self.QUERY).run(g, srcName="v3", tgtName="v0")
+        assert result.printed[0]["R"] == []
+
+
+class TestFigure1RelationalJoin:
+    """The actual Figure 1 shape: a FROM clause joining a relational
+    Employee table against the LinkedIn graph pattern, with SQL-style
+    GROUP BY aggregation of the matches."""
+
+    def test_table_graph_join(self):
+        from repro.core.values import Table
+
+        g = Graph(name="LinkedIn")
+        members = ["m0", "m1", "m2", "m3"]
+        emails = {"m0": "ann@acme.com", "m1": "ben@acme.com",
+                  "m2": "cam@other.org", "m3": "deb@other.org"}
+        for m in members:
+            g.add_vertex(m, "Person", email=emails[m])
+        for a, b, year in [("m0", "m2", 2017), ("m0", "m3", 2018),
+                           ("m1", "m2", 2015), ("m1", "m3", 2019)]:
+            g.add_edge(a, b, "Connected", directed=False, since=year)
+
+        employees = Table("Employee", ["email", "name"])
+        employees.append(("ann@acme.com", "Ann"))
+        employees.append(("ben@acme.com", "Ben"))
+
+        q = parse_query("""
+CREATE QUERY MostOutsideConnections(int sinceYear) FOR GRAPH LinkedIn {
+  SELECT e.name AS name, count(*) AS contacts INTO Result
+  FROM Employee:e, Person:p -(Connected:c)- Person:outsider
+  WHERE e.email == p.email AND c.since >= sinceYear
+  GROUP BY e.name
+  ORDER BY count(*) DESC;
+  RETURN Result;
+}""")
+        result = q.run(g, tables={"Employee": employees}, sinceYear=2016)
+        assert result.returned.rows == [("Ann", 2), ("Ben", 1)]
+
+    def test_unregistered_table_with_schema_is_an_error(self):
+        from repro.errors import QueryRuntimeError
+        from repro.graph import GraphSchema
+
+        schema = GraphSchema("G").vertex("Person", email="STRING")
+        g = Graph(schema)
+        g.add_vertex(1, "Person", email="x")
+        q = parse_query("""
+CREATE QUERY q() {
+  SELECT e.email AS m INTO R FROM Employee:e;
+}""")
+        with pytest.raises(QueryRuntimeError, match="Employee"):
+            q.run(g)

@@ -1,0 +1,366 @@
+"""Tests for the GSQL parser/compiler: statements, declarations,
+patterns, expressions, error reporting."""
+
+import pytest
+
+from repro.errors import GSQLSyntaxError, QueryCompileError
+from repro.graph import Graph, GraphSchema, builders
+from repro.gsql import parse_queries, parse_query
+
+
+def run(text, graph=None, **params):
+    return parse_query(text).run(graph or builders.sales_graph(), **params)
+
+
+class TestQueryHeader:
+    def test_name_params_graph(self):
+        q = parse_query(
+            "CREATE QUERY foo(int a, float b = 1.5, string s = 'x') FOR GRAPH G {}"
+        )
+        assert q.name == "foo"
+        assert q.graph_name == "G"
+        assert [p.name for p in q.params] == ["a", "b", "s"]
+        assert q.params[1].default == 1.5
+
+    def test_vertex_param_type(self):
+        q = parse_query("CREATE QUERY foo(vertex<Customer> c) {}")
+        assert q.params[0].vertex_type == "Customer"
+
+    def test_negative_default(self):
+        q = parse_query("CREATE QUERY foo(int a = -3) {}")
+        assert q.params[0].default == -3
+
+    def test_multiple_queries(self):
+        queries = parse_queries(
+            "CREATE QUERY a() {} CREATE QUERY b() {}"
+        )
+        assert set(queries) == {"a", "b"}
+
+    def test_single_expected(self):
+        with pytest.raises(QueryCompileError, match="one query"):
+            parse_query("CREATE QUERY a() {} CREATE QUERY b() {}")
+
+    def test_empty_input(self):
+        with pytest.raises(GSQLSyntaxError):
+            parse_query("")
+
+
+class TestAccumDeclarations:
+    def test_multiple_names_one_type(self):
+        result = run("""
+CREATE QUERY q() {
+  SumAccum<float> @@a, @@b = 2.5;
+  @@a += 1.0;
+  PRINT @@a AS a, @@b AS b;
+}""")
+        assert result.printed == [{"a": 1.0, "b": 2.5}]
+
+    def test_min_max_avg(self):
+        result = run("""
+CREATE QUERY q() {
+  MinAccum<int> @@lo;
+  MaxAccum<int> @@hi;
+  AvgAccum @@avg;
+  @@lo += 5; @@lo += 2;
+  @@hi += 5; @@hi += 9;
+  @@avg += 4; @@avg += 6;
+  PRINT @@lo AS lo, @@hi AS hi, @@avg AS avg;
+}""")
+        assert result.printed == [{"lo": 2, "hi": 9, "avg": 5.0}]
+
+    def test_set_and_map(self):
+        result = run("""
+CREATE QUERY q() {
+  SetAccum<int> @@s;
+  MapAccum<string, SumAccum<int>> @@m;
+  @@s += 1; @@s += 1; @@s += 2;
+  @@m += ('x', 3); @@m += ('x', 4);
+  PRINT @@s.size() AS n, @@m.get('x') AS x;
+}""")
+        assert result.printed == [{"n": 2, "x": 7}]
+
+    def test_sum_string(self):
+        result = run("""
+CREATE QUERY q() {
+  SumAccum<string> @@s;
+  @@s += 'a'; @@s += 'b';
+  PRINT @@s AS s;
+}""")
+        assert result.printed == [{"s": "ab"}]
+
+    def test_heap_with_typedef(self):
+        result = run("""
+CREATE QUERY q() {
+  TYPEDEF TUPLE <INT score, STRING name> Entry;
+  HeapAccum<Entry>(2, score DESC) @@top;
+  @@top += (5, 'a'); @@top += (9, 'b'); @@top += (1, 'c');
+  PRINT @@top.size() AS n, @@top.top() AS best;
+}""")
+        assert result.printed[0]["n"] == 2
+        assert result.printed[0]["best"].name == "b"
+
+    def test_heap_capacity_from_param(self):
+        result = run("""
+CREATE QUERY q(int k) {
+  TYPEDEF TUPLE <INT score> E;
+  HeapAccum<E>(k, score DESC) @@top;
+  @@top += 1; @@top += 2; @@top += 3;
+  PRINT @@top.size() AS n;
+}""", k=2)
+        assert result.printed == [{"n": 2}]
+
+    def test_heap_unknown_tuple_type(self):
+        with pytest.raises(QueryCompileError, match="TYPEDEF"):
+            parse_query("""
+CREATE QUERY q() { HeapAccum<Nope>(3, x ASC) @@h; }""")
+
+    def test_groupby_accum(self):
+        result = run("""
+CREATE QUERY q() {
+  GroupByAccum<string k, SumAccum<float>, MaxAccum<float>> @@g;
+  @@g += ('a' -> 1.0, 5.0);
+  @@g += ('a' -> 2.0, 3.0);
+  PRINT @@g.size() AS n;
+}""")
+        assert result.printed == [{"n": 1}]
+
+    def test_unknown_accum_type(self):
+        with pytest.raises(Exception):
+            run("CREATE QUERY q() { FrobAccum<int> @@x; }")
+
+
+class TestSelectParsing:
+    def test_vertex_set_assignment(self):
+        result = run("""
+CREATE QUERY q() {
+  S = SELECT p FROM Customer:c -(Bought>)- Product:p;
+  PRINT S.size() AS n;
+}""")
+        assert result.printed == [{"n": 5}]
+
+    def test_where_and_edge_var(self):
+        result = run("""
+CREATE QUERY q() {
+  SumAccum<int> @@n;
+  S = SELECT c FROM Customer:c -(Bought>:b)- Product:p
+      WHERE b.quantity > 1
+      ACCUM @@n += 1;
+  PRINT @@n AS n;
+}""")
+        assert result.printed == [{"n": 4}]
+
+    def test_multi_output_into(self):
+        result = run("""
+CREATE QUERY q() {
+  SELECT c.name INTO Names;
+         p.name AS product INTO Products
+  FROM Customer:c -(Bought>)- Product:p;
+  PRINT Names.size() AS a, Products.size() AS b;
+}""")
+        assert result.printed == [{"a": 4, "b": 5}]
+
+    def test_group_by_having(self):
+        result = run("""
+CREATE QUERY q() {
+  SELECT p.category AS cat, count(*) AS n INTO Cats
+  FROM Customer:c -(Bought>)- Product:p
+  GROUP BY p.category
+  HAVING count(*) > 2;
+}""")
+        assert result.tables["Cats"].rows == [("toy", 7)]
+
+    def test_order_limit(self):
+        result = run("""
+CREATE QUERY q() {
+  SELECT p.name AS name INTO Cheap
+  FROM Customer:c -(Bought>)- Product:p
+  ORDER BY p.price ASC
+  LIMIT 2;
+}""")
+        assert result.tables["Cheap"].column("name") == ["puzzle", "kite"]
+
+    def test_multi_column_without_into_rejected(self):
+        with pytest.raises(GSQLSyntaxError, match="INTO"):
+            parse_query("""
+CREATE QUERY q() { SELECT a, b FROM V:a -(E>)- V:b; }""")
+
+    def test_distinct_keyword_accepted(self):
+        result = run("""
+CREATE QUERY q() {
+  S = SELECT DISTINCT p FROM Customer:c -(Bought>)- Product:p;
+  PRINT S.size() AS n;
+}""")
+        assert result.printed == [{"n": 5}]
+
+    def test_multi_hop_chain(self):
+        result = run("""
+CREATE QUERY q() {
+  SumAccum<int> @@n;
+  S = SELECT o FROM Customer:c -(Bought>)- Product:p -(<Bought)- Customer:o
+      WHERE o <> c
+      ACCUM @@n += 1;
+  PRINT @@n AS n;
+}""")
+        assert result.printed[0]["n"] > 0
+
+    def test_comma_join_pattern(self):
+        g = Graph()
+        for v in (1, 2, 3):
+            g.add_vertex(v, "V", name=str(v))
+        g.add_edge(1, 2, "E")
+        g.add_edge(2, 3, "E")
+        g.add_edge(1, 3, "E")
+        result = run("""
+CREATE QUERY q() {
+  SumAccum<int> @@n;
+  S = SELECT a FROM V:a -(E>)- V:b -(E>)- V:c, V:a -(E>)- V:c
+      ACCUM @@n += 1;
+  PRINT @@n AS n;
+}""", graph=g)
+        assert result.printed == [{"n": 1}]
+
+
+class TestControlFlowParsing:
+    def test_while_limit(self):
+        result = run("""
+CREATE QUERY q() {
+  SumAccum<int> @@i;
+  WHILE @@i < 100 LIMIT 5 DO
+    @@i += 1;
+  END;
+  PRINT @@i AS i;
+}""")
+        assert result.printed == [{"i": 5}]
+
+    def test_if_else(self):
+        result = run("""
+CREATE QUERY q(bool flag = TRUE) {
+  SumAccum<int> @@x;
+  IF flag THEN @@x += 1; ELSE @@x += 2; END
+  PRINT @@x AS x;
+}""")
+        assert result.printed == [{"x": 1}]
+
+    def test_nested_while_if(self):
+        result = run("""
+CREATE QUERY q() {
+  SumAccum<int> @@i, @@odd;
+  WHILE @@i < 6 LIMIT 10 DO
+    @@i += 1;
+    IF @@i % 2 == 1 THEN @@odd += 1; END
+  END;
+  PRINT @@odd AS odd;
+}""")
+        assert result.printed == [{"odd": 3}]
+
+
+class TestExpressionParsing:
+    def test_precedence(self):
+        result = run("""
+CREATE QUERY q() {
+  SumAccum<float> @@x;
+  @@x += 2 + 3 * 4;
+  PRINT @@x AS x, 10 - 2 - 3 AS y, (2 + 3) * 4 AS z;
+}""")
+        assert result.printed == [{"x": 14.0, "y": 5, "z": 20}]
+
+    def test_comparison_chain_with_logic(self):
+        result = run("""
+CREATE QUERY q() {
+  PRINT 1 < 2 AND NOT (3 <= 2) AS t, 1 == 2 OR 2 <> 3 AS u;
+}""")
+        assert result.printed == [{"t": True, "u": True}]
+
+    def test_case_expression(self):
+        result = run("""
+CREATE QUERY q(int v = 7) {
+  PRINT CASE WHEN v > 10 THEN 'big' WHEN v > 5 THEN 'mid' ELSE 'small' END AS size;
+}""")
+        assert result.printed == [{"size": "mid"}]
+
+    def test_function_calls(self):
+        result = run("""
+CREATE QUERY q() {
+  PRINT abs(-3) AS a, log(1) AS b, pow(2, 10) AS c;
+}""")
+        assert result.printed == [{"a": 3, "b": 0.0, "c": 1024}]
+
+    def test_equals_means_comparison_in_where(self):
+        result = run("""
+CREATE QUERY q() {
+  S = SELECT c FROM Customer:c -(Bought>)- Product:p WHERE p.category = 'toy';
+  PRINT S.size() AS n;
+}""")
+        assert result.printed == [{"n": 4}]
+
+
+class TestErrorReporting:
+    def test_error_has_line_info(self):
+        try:
+            parse_query("CREATE QUERY q() {\n  PRINT ;\n}")
+        except GSQLSyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected GSQLSyntaxError")
+
+    def test_unterminated_block(self):
+        with pytest.raises(GSQLSyntaxError):
+            parse_query("CREATE QUERY q() { PRINT 1;")
+
+    def test_bad_statement(self):
+        with pytest.raises(GSQLSyntaxError, match="statement"):
+            parse_query("CREATE QUERY q() { 42; }")
+
+    def test_empty_edge_pattern(self):
+        with pytest.raises(GSQLSyntaxError):
+            parse_query("CREATE QUERY q() { S = SELECT a FROM V:a -()- V:b; }")
+
+
+class TestAttributeWrites:
+    def test_post_accum_attribute_write(self):
+        from repro.graph import GraphSchema
+
+        schema = (
+            GraphSchema("G")
+            .vertex("Page", rank="FLOAT")
+            .edge("LinkTo", "Page", "Page")
+        )
+        g = Graph(schema)
+        for p in "AB":
+            g.add_vertex(p, "Page", rank=0.0)
+        g.add_edge("A", "B", "LinkTo")
+        q = parse_query("""
+CREATE QUERY Persist() {
+  SumAccum<float> @s;
+  X = SELECT v FROM Page:v -(LinkTo>)- Page:n
+      ACCUM n.@s += 1.0
+      POST_ACCUM n.rank = n.@s * 10.0;
+}""")
+        q.run(g)
+        assert g.vertex("B")["rank"] == 10.0
+        assert g.vertex("A")["rank"] == 0.0
+
+    def test_attribute_write_in_accum_rejected(self):
+        g = builders.sales_graph()
+        q = parse_query("""
+CREATE QUERY Bad() {
+  S = SELECT c FROM Customer:c -(Bought>)- Product:p
+      ACCUM c.name = 'nope';
+}""")
+        from repro.errors import QueryRuntimeError
+
+        with pytest.raises(QueryRuntimeError, match="POST_ACCUM"):
+            q.run(g)
+
+    def test_schema_validates_written_value(self):
+        from repro.errors import SchemaError
+
+        schema = GraphSchema("G").vertex("V", count="INT")
+        g = Graph(schema)
+        g.add_vertex(1, "V", count=0)
+        q = parse_query("""
+CREATE QUERY Bad() {
+  S = SELECT v FROM V:v POST_ACCUM v.count = 'text';
+}""")
+        with pytest.raises(SchemaError, match="INT"):
+            q.run(g)

@@ -1,0 +1,207 @@
+"""Round-trip tests for the GSQL pretty-printer: printing a parsed query
+and re-parsing the output must yield behaviorally identical queries."""
+
+import pytest
+
+from repro.graph import Graph, builders
+from repro.gsql import parse_query
+from repro.gsql.printer import print_query
+
+FIGURE2 = """
+CREATE QUERY ToyRevenue() FOR GRAPH SalesGraph {
+  SumAccum<float> @@totalRevenue;
+  SumAccum<float> @revenuePerToy, @revenuePerCust;
+
+  S = SELECT c
+  FROM   Customer:c -(Bought>:b)- Product:p
+  WHERE  p.category == 'toy'
+  ACCUM  FLOAT salesPrice = b.quantity * p.price * (1.0 - b.discount),
+         c.@revenuePerCust += salesPrice,
+         p.@revenuePerToy += salesPrice,
+         @@totalRevenue += salesPrice;
+  PRINT @@totalRevenue;
+}"""
+
+PAGERANK = """
+CREATE QUERY PageRank (float maxChange, int maxIteration, float dampingFactor) {
+  MaxAccum<float> @@maxDifference = 9999.0;
+  SumAccum<float> @received_score;
+  SumAccum<float> @score = 1;
+  AllV = {Page.*};
+  WHILE @@maxDifference > maxChange LIMIT maxIteration DO
+     @@maxDifference = 0;
+     S = SELECT v
+         FROM       AllV:v -(LinkTo>)- Page:n
+         ACCUM      n.@received_score += v.@score / v.outdegree()
+         POST_ACCUM v.@score = 1 - dampingFactor + dampingFactor * v.@received_score,
+                    v.@received_score = 0,
+                    @@maxDifference += abs(v.@score - v.@score');
+  END;
+}"""
+
+QN = """
+CREATE QUERY Qn(string srcName, string tgtName) {
+  SumAccum<int> @pathCount;
+  R = SELECT t
+      FROM V:s -(E>*)- V:t
+      USING SEMANTICS 'all-shortest-paths'
+      WHERE s.name == srcName AND t.name == tgtName
+      ACCUM t.@pathCount += 1;
+  PRINT R[R.name, R.@pathCount];
+}"""
+
+HEAPY = """
+CREATE QUERY Heapy(int x = 3) {
+  TYPEDEF TUPLE <INT score, STRING name> Entry;
+  HeapAccum<Entry>(2, score DESC, name ASC) @@top;
+  SetAccum<int> @@seen;
+  MapAccum<string, SumAccum<int>> @@tally;
+  FOREACH i IN (1, 2, 3) DO
+    @@top += (i, 'v');
+    @@seen += i;
+    @@tally += ('k', i);
+  END;
+  IF x > 2 THEN @@seen += 99; ELSE @@seen += 0; END
+  PRINT @@top.size() AS h, @@seen.size() AS s, @@tally.get('k') AS t;
+}"""
+
+
+def round_trip(text):
+    original = parse_query(text)
+    printed = print_query(original)
+    reparsed = parse_query(printed)
+    return original, printed, reparsed
+
+
+class TestRoundTrip:
+    def test_figure2_same_results(self):
+        original, printed, reparsed = round_trip(FIGURE2)
+        graph = builders.sales_graph()
+        a = original.run(graph)
+        b = reparsed.run(graph)
+        assert a.printed == b.printed
+        assert a.vertex_accum("revenuePerCust") == b.vertex_accum("revenuePerCust")
+
+    def test_pagerank_same_scores(self):
+        original, printed, reparsed = round_trip(PAGERANK)
+        g = Graph(name="Web")
+        for p in "ABCD":
+            g.add_vertex(p, "Page")
+        for s, t in [("A", "B"), ("B", "C"), ("C", "A"), ("D", "C")]:
+            g.add_edge(s, t, "LinkTo")
+        kwargs = dict(maxChange=1e-6, maxIteration=50, dampingFactor=0.85)
+        assert original.run(g, **kwargs).vertex_accum("score") == pytest.approx(
+            reparsed.run(g, **kwargs).vertex_accum("score")
+        )
+
+    def test_qn_preserves_semantics_clause(self):
+        original, printed, reparsed = round_trip(QN)
+        assert "USING SEMANTICS 'all-shortest-paths'" in printed
+        graph = builders.diamond_chain(6)
+        assert original.run(graph, srcName="v0", tgtName="v6").printed == reparsed.run(
+            graph, srcName="v0", tgtName="v6"
+        ).printed
+
+    def test_heap_map_foreach_round_trip(self):
+        original, printed, reparsed = round_trip(HEAPY)
+        assert "TYPEDEF TUPLE" in printed
+        graph = builders.sales_graph()
+        assert original.run(graph).printed == reparsed.run(graph).printed
+
+    def test_printed_text_is_stable(self):
+        """Printing the reparse of a print reproduces the same text
+        (idempotence after one normalization pass)."""
+        _, printed, reparsed = round_trip(FIGURE2)
+        assert print_query(reparsed) == printed
+
+    def test_multi_output_select_round_trip(self):
+        text = """
+CREATE QUERY Multi() {
+  SumAccum<float> @spent;
+  S = SELECT c FROM Customer:c -(Bought>:b)- Product:p
+      ACCUM c.@spent += b.quantity * p.price;
+  SELECT c.name AS name, c.@spent AS spent INTO PerCust;
+         p.name AS product INTO Products
+  FROM Customer:c -(Bought>)- Product:p;
+}"""
+        original, printed, reparsed = round_trip(text)
+        graph = builders.sales_graph()
+        a, b = original.run(graph), reparsed.run(graph)
+        assert sorted(a.tables["PerCust"].rows) == sorted(b.tables["PerCust"].rows)
+        assert sorted(a.tables["Products"].rows) == sorted(b.tables["Products"].rows)
+
+    def test_set_ops_round_trip(self):
+        text = """
+CREATE QUERY Ops() {
+  A = {Customer.*};
+  B = {Product.*};
+  U = A UNION B;
+  I = A INTERSECT U;
+  M = U MINUS B;
+  PRINT U.size() AS u, I.size() AS i, M.size() AS m;
+}"""
+        original, printed, reparsed = round_trip(text)
+        graph = builders.sales_graph()
+        assert original.run(graph).printed == reparsed.run(graph).printed
+
+
+class TestAlgorithmLibraryRoundTrips:
+    """Every GSQL-text query in the algorithm library survives a
+    print -> parse round trip with identical behavior."""
+
+    def test_pagerank(self):
+        from repro.algorithms import pagerank_query
+
+        original = pagerank_query("Page", "LinkTo")
+        reparsed = parse_query(print_query(original))
+        g = Graph(name="W")
+        for p in "ABC":
+            g.add_vertex(p, "Page")
+        for s, t in [("A", "B"), ("B", "C"), ("C", "A")]:
+            g.add_edge(s, t, "LinkTo")
+        kwargs = dict(maxChange=1e-6, maxIteration=30, dampingFactor=0.85)
+        assert original.run(g, **kwargs).vertex_accum("score") == pytest.approx(
+            reparsed.run(g, **kwargs).vertex_accum("score")
+        )
+
+    def test_qn(self):
+        from repro.algorithms import path_count_query
+
+        original = path_count_query("E", "V")
+        reparsed = parse_query(print_query(original))
+        g = builders.diamond_chain(5)
+        kwargs = dict(srcName="v0", tgtName="v5")
+        assert original.run(g, **kwargs).printed == reparsed.run(g, **kwargs).printed
+
+    def test_recommender(self):
+        from repro.algorithms import topk_query
+
+        original = topk_query("Toys")
+        reparsed = parse_query(print_query(original))
+        g = builders.likes_graph()
+        assert (
+            original.run(g, c="c0", k=3).returned.rows
+            == reparsed.run(g, c="c0", k=3).returned.rows
+        )
+
+    def test_wcc(self):
+        from repro.algorithms.gsql_library import wcc_gsql
+
+        original = wcc_gsql()
+        reparsed = parse_query(print_query(original))
+        g = builders.from_edge_list([(1, 2), (3, 4), (2, 3)])
+        assert original.run(g).vertex_accum("cc") == reparsed.run(g).vertex_accum("cc")
+
+    def test_ic_queries(self):
+        from repro.ldbc import IC_QUERIES, default_parameters, generate_snb_graph
+
+        g = generate_snb_graph(0.05, seed=6)
+        for name, factory in sorted(IC_QUERIES.items()):
+            original = factory(2)
+            reparsed = parse_query(print_query(original))
+            params = default_parameters(g, name)
+            a, b = original.run(g, **params), reparsed.run(g, **params)
+            if a.returned is not None:
+                assert a.returned.rows == b.returned.rows, name
+            else:
+                assert a.printed == b.printed, name

@@ -1,0 +1,158 @@
+"""Tests for the LDBC-SNB-like substrate: generator determinism and
+shape, IC queries under both engines, and the Appendix B query pair."""
+
+import pytest
+
+from repro.core.pattern import EngineMode
+from repro.ldbc import (
+    IC_QUERIES,
+    SnbSizes,
+    build_q_acc,
+    build_q_gs,
+    default_parameters,
+    generate_snb_graph,
+)
+from repro.ldbc.grouping import HEAP_SPECS, separate_grouping_sets
+from repro.paths import PathSemantics
+
+
+@pytest.fixture(scope="module")
+def snb():
+    return generate_snb_graph(scale_factor=0.15, seed=11)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_snb_graph(0.05, seed=3)
+        b = generate_snb_graph(0.05, seed=3)
+        assert a.summary() == b.summary()
+        assert [e.source for e in a.edges("Knows")] == [
+            e.source for e in b.edges("Knows")
+        ]
+
+    def test_seed_changes_graph(self):
+        a = generate_snb_graph(0.05, seed=3)
+        b = generate_snb_graph(0.05, seed=4)
+        assert [e.source for e in a.edges("Knows")] != [
+            e.source for e in b.edges("Knows")
+        ]
+
+    def test_scale_factor_scales_persons(self):
+        small = generate_snb_graph(0.1, seed=1)
+        large = generate_snb_graph(0.4, seed=1)
+        assert len(list(large.vertices("Person"))) > len(
+            list(small.vertices("Person"))
+        )
+
+    def test_knows_is_undirected(self, snb):
+        assert all(not e.directed for e in snb.edges("Knows"))
+
+    def test_every_person_has_city(self, snb):
+        for person in snb.vertices("Person"):
+            cities = [
+                s.neighbor for s in snb.steps(person.vid, etype="IsLocatedIn")
+            ]
+            assert len(cities) == 1
+
+    def test_messages_have_dates_in_range(self, snb):
+        for comment in snb.vertices("Comment"):
+            year = comment["creationDate"] // 10000
+            assert 2010 <= year <= 2012
+
+    def test_schema_validated(self, snb):
+        # The generator goes through the schema; spot-check an edge attr.
+        e = next(snb.edges("WorkAt"))
+        assert isinstance(e["workFrom"], int)
+
+    def test_sizes_reject_nonpositive(self):
+        with pytest.raises(ValueError):
+            SnbSizes(0)
+
+
+class TestICQueries:
+    @pytest.mark.parametrize("name", sorted(IC_QUERIES))
+    def test_runs_under_counting_engine(self, snb, name):
+        query = IC_QUERIES[name](2)
+        result = query.run(snb, **default_parameters(snb, name))
+        if result.returned is not None:
+            assert len(result.returned.columns) >= 2
+        else:
+            assert result.printed
+
+    @pytest.mark.parametrize("name", ["ic3", "ic11"])
+    def test_results_identical_across_engines(self, snb, name):
+        """The paper: 'the results of the queries are the same under both
+        semantics for this data set'."""
+        query = IC_QUERIES[name](2)
+        params = default_parameters(snb, name)
+        counting = query.run(snb, **params)
+        enumerated = query.run(
+            snb,
+            mode=EngineMode.enumeration(PathSemantics.NO_REPEATED_EDGE),
+            **params,
+        )
+        assert counting.returned.rows == enumerated.returned.rows
+
+    def test_more_hops_more_friends(self, snb):
+        q2, q4 = IC_QUERIES["ic3"](2), IC_QUERIES["ic3"](4)
+        params = default_parameters(snb, "ic3")
+        r2 = q2.run(snb, **params)
+        r4 = q4.run(snb, **params)
+        assert len(r4.context.vertex_set("F")) >= len(r2.context.vertex_set("F"))
+
+    def test_ic9_heap_sorted_descending(self, snb):
+        result = IC_QUERIES["ic9"](2).run(snb, **default_parameters(snb, "ic9"))
+        heap = result.printed[0]["recent"]
+        dates = [t.creationDate for t in heap]
+        assert dates == sorted(dates, reverse=True)
+        assert len(heap) <= 20
+
+    def test_ic11_workfrom_filter(self, snb):
+        result = IC_QUERIES["ic11"](2).run(snb, **default_parameters(snb, "ic11"))
+        for _, _, work_from in result.returned.rows:
+            assert work_from < 2010
+
+
+class TestAppendixBQueries:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generate_snb_graph(scale_factor=0.1, seed=5)
+
+    def test_q_acc_structure(self, graph):
+        result = build_q_acc().run(graph)
+        per_year = result.global_accum("perYear")
+        assert set(k[0] for k in per_year) <= {2010, 2011, 2012}
+        for values in per_year.values():
+            assert len(values) == len(HEAP_SPECS)
+            most_recent = values[0]
+            assert len(most_recent) <= 20
+
+    def test_q_gs_computes_all_aggregates_per_set(self, graph):
+        result = build_q_gs().run(graph)
+        for index in range(3):
+            union = result.global_accum(f"gs{index}")
+            for values in union.values():
+                assert len(values) == 8  # 6 heaps + count + avg
+
+    def test_wanted_results_agree(self, graph):
+        """Q_gs (after separation) and Q_acc must produce identical wanted
+        aggregates — the efficiency differs, not the answer."""
+        acc_result = build_q_acc().run(graph)
+        gs_result = build_q_gs().run(graph)
+        separated = separate_grouping_sets(gs_result)
+        # grouping set (i): the six heaps per year
+        assert separated[0] == acc_result.global_accum("perYear")
+        # grouping set (ii): counts
+        counts = {k: v for k, v in acc_result.global_accum("counts").items()}
+        assert separated[1] == counts
+        # grouping set (iii): averages
+        assert separated[2] == acc_result.global_accum("avgLength")
+
+    def test_heap_tiebreaks(self, graph):
+        """'most recent favoring longest': dates descend, and among equal
+        dates lengths descend."""
+        result = build_q_acc().run(graph)
+        for values in result.global_accum("perYear").values():
+            tuples = values[0]
+            keys = [(-t.creationDate, -t.length) for t in tuples]
+            assert keys == sorted(keys)

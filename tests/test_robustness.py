@@ -1,0 +1,155 @@
+"""Robustness tests: every user mistake should fail with a clear,
+specific error — never a bare Python traceback from deep inside the
+engine."""
+
+import pytest
+
+from repro.errors import (
+    GSQLSyntaxError,
+    QueryCompileError,
+    QueryRuntimeError,
+    ReproError,
+)
+from repro.graph import Graph, GraphSchema, builders
+from repro.gsql import parse_query
+
+
+def run(text, graph=None, **params):
+    return parse_query(text).run(graph or builders.sales_graph(), **params)
+
+
+class TestRuntimeErrors:
+    def test_undeclared_accumulator(self):
+        with pytest.raises(QueryRuntimeError, match="unknown global accumulator"):
+            run("CREATE QUERY q() { @@ghost += 1; }")
+
+    def test_vertex_accum_without_vertex(self):
+        with pytest.raises(QueryRuntimeError):
+            run("""
+CREATE QUERY q() {
+  SumAccum<int> @x;
+  S = SELECT c FROM Customer:c -(Bought>:b)- Product:p
+      ACCUM b.@x += 1;
+}""")
+
+    def test_unknown_attribute_in_where(self):
+        with pytest.raises(ReproError, match="no attribute"):
+            run("""
+CREATE QUERY q() {
+  S = SELECT c FROM Customer:c -(Bought>)- Product:p WHERE p.weight > 1;
+}""")
+
+    def test_division_by_zero_in_accum(self):
+        with pytest.raises(QueryRuntimeError, match="division by zero"):
+            run("""
+CREATE QUERY q() {
+  SumAccum<float> @@x;
+  S = SELECT c FROM Customer:c -(Bought>)- Product:p
+      ACCUM @@x += 1.0 / (p.price - p.price);
+}""")
+
+    def test_unknown_vertex_set_in_from(self):
+        schema = GraphSchema("G").vertex("V")
+        g = Graph(schema)
+        g.add_vertex(1, "V")
+        with pytest.raises(QueryRuntimeError, match="neither"):
+            run("CREATE QUERY q() { S = SELECT x FROM Mystery:x; }", graph=g)
+
+    def test_unknown_edge_type_matches_nothing(self):
+        """Unknown edge types in DARPEs are not errors — the pattern just
+        has no matches (consistent with regex semantics over the adorned
+        alphabet)."""
+        result = run("""
+CREATE QUERY q() {
+  S = SELECT p FROM Customer:c -(Teleports>)- Product:p;
+  PRINT S.size() AS n;
+}""")
+        assert result.printed == [{"n": 0}]
+
+    def test_select_var_not_in_pattern(self):
+        with pytest.raises(QueryRuntimeError, match="not bound"):
+            run("CREATE QUERY q() { S = SELECT zzz FROM Customer:c; }")
+
+    def test_while_over_uninitialized_comparison(self):
+        """Comparing a never-fed MinAccum (None) is a clear error."""
+        with pytest.raises(QueryRuntimeError, match="NULL"):
+            run("""
+CREATE QUERY q() {
+  MinAccum<int> @@m;
+  WHILE @@m < 5 LIMIT 3 DO @@m += 1; END;
+}""")
+
+    def test_heap_input_arity(self):
+        with pytest.raises(ReproError):
+            run("""
+CREATE QUERY q() {
+  TYPEDEF TUPLE <INT a, INT b> T;
+  HeapAccum<T>(3, a ASC) @@h;
+  @@h += (1, 2, 3);
+}""")
+
+
+class TestSyntaxErrorQuality:
+    @pytest.mark.parametrize(
+        "text,needle",
+        [
+            ("CREATE QUERY q { }", r"expected '\('"),
+            ("CREATE QUERY q() { SELECT FROM V:v; }", "expected an expression"),
+            ("CREATE QUERY q() { WHILE TRUE DO }", "statement"),
+            ("CREATE QUERY q() { S = SELECT v FROM V:v WHERE ; }", "expression"),
+            ("CREATE QUERY q() { PRINT 1 + ; }", "expression"),
+            ("CREATE QUERY q() { SumAccum<> @@x; }", "statement|type"),
+        ],
+    )
+    def test_message_mentions_problem(self, text, needle):
+        with pytest.raises(GSQLSyntaxError, match=needle):
+            parse_query(text)
+
+    def test_error_position_points_at_token(self):
+        try:
+            parse_query("CREATE QUERY q() {\n  S = SELECT v\n  FROM ;\n}")
+        except GSQLSyntaxError as exc:
+            assert exc.line == 3
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")
+
+
+class TestEngineLimits:
+    def test_deep_pattern_is_fine(self):
+        """A 4-hop explicit chain pattern parses and runs.  (Longer
+        chains are better expressed with bounded DARPEs — an explicit
+        k-hop chain materializes every k-walk, which is the point of
+        the compressed Kleene evaluation.)"""
+        hops = " ".join("-(Knows)- Person:v%d" % i for i in range(4))
+        text = f"""
+CREATE QUERY q(vertex<Person> p) {{
+  S = SELECT v3 FROM Person:p {hops};
+  PRINT S.size() AS n;
+}}"""
+        from repro.ldbc import generate_snb_graph
+
+        g = generate_snb_graph(0.05, seed=1)
+        result = parse_query(text).run(g, p="person:0")
+        assert result.printed[0]["n"] >= 0
+
+    def test_empty_graph(self):
+        schema = GraphSchema("G").vertex("V", name="STRING").edge("E", "V", "V")
+        g = Graph(schema)
+        result = run("""
+CREATE QUERY q() {
+  SumAccum<int> @@n;
+  S = SELECT t FROM V:s -(E>*)- V:t ACCUM @@n += 1;
+  PRINT @@n AS n;
+}""", graph=g)
+        assert result.printed == [{"n": 0}]
+
+    def test_post_accum_on_empty_binding_table(self):
+        result = run("""
+CREATE QUERY q() {
+  SumAccum<int> @@n;
+  S = SELECT c FROM Customer:c -(Bought>)- Product:p
+      WHERE p.price > 1000000
+      POST_ACCUM @@n += 1;
+  PRINT @@n AS n;
+}""")
+        assert result.printed == [{"n": 0}]

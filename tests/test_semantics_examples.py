@@ -1,0 +1,191 @@
+"""Experiment E4: the paper's semantics-contrast examples, end to end.
+
+Reproduces Examples 8-11 and the Section 6.1 fixed-unique-length
+discussion as executable checks: each assertion corresponds to a claim in
+the running text.
+"""
+
+import pytest
+
+from repro.darpe import CompiledDarpe, fixed_unique_length, parse_darpe
+from repro.enumeration import match_counts
+from repro.graph import builders
+from repro.paths import PathSemantics, single_pair_sdmc
+
+E_STAR = CompiledDarpe.parse("E>*")
+
+
+class TestExample8InfinitePaths:
+    def test_cyclic_graph_has_unbounded_walks(self):
+        """Person:p1 -(Knows>*)- Person:p2 matches an infinity of distinct
+        paths in a cyclic graph: every extra bound admits more walks."""
+        g = builders.cycle_graph(3)
+        d = CompiledDarpe.parse("E>*")
+        counts = [
+            match_counts(
+                g, 0, d, PathSemantics.UNRESTRICTED, targets={0}, max_length=bound
+            )[0]
+            for bound in (3, 6, 9)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+
+
+class TestExample9MultiplicityPerSemantics:
+    """Pattern :s -(E>*)- :t on G1, binding (s->1, t->5): multiplicity
+    3, 4, 2 and 1 under the four finite semantics."""
+
+    @pytest.fixture(scope="class")
+    def g1(self):
+        return builders.example9_graph()
+
+    def test_non_repeated_vertex_three(self, g1):
+        assert match_counts(
+            g1, 1, E_STAR, PathSemantics.NO_REPEATED_VERTEX, targets={5}
+        ) == {5: 3}
+
+    def test_non_repeated_edge_four(self, g1):
+        assert match_counts(
+            g1, 1, E_STAR, PathSemantics.NO_REPEATED_EDGE, targets={5}
+        ) == {5: 4}
+
+    def test_all_shortest_two(self, g1):
+        assert single_pair_sdmc(g1, 1, 5, E_STAR) == (4, 2)
+
+    def test_sparql_existence_one(self, g1):
+        assert match_counts(
+            g1, 1, E_STAR, PathSemantics.EXISTENCE, targets={5}
+        ) == {5: 1}
+
+
+class TestExample10ShortestBeatsNonRepeating:
+    """On G2 with E>*.F>.E>*, only all-shortest-paths matches 1 -> 4."""
+
+    @pytest.fixture(scope="class")
+    def g2(self):
+        return builders.example10_graph()
+
+    @pytest.fixture(scope="class")
+    def darpe(self):
+        return CompiledDarpe.parse("E>*.F>.E>*")
+
+    def test_shortest_matches(self, g2, darpe):
+        result = single_pair_sdmc(g2, 1, 4, darpe)
+        assert result == (7, 1)
+
+    def test_witness_path_repeats_vertices_and_edge(self, g2, darpe):
+        from repro.paths import enumerate_shortest_paths
+
+        (path,) = enumerate_shortest_paths(g2, 1, 4, darpe)
+        visited = [1] + [e.target for e in path]
+        assert visited == [1, 2, 3, 5, 6, 2, 3, 4]
+        edge_ids = [e.eid for e in path]
+        assert len(set(edge_ids)) < len(edge_ids)  # an edge repeats
+
+    def test_non_repeating_find_nothing(self, g2, darpe):
+        for semantics in (
+            PathSemantics.NO_REPEATED_VERTEX,
+            PathSemantics.NO_REPEATED_EDGE,
+        ):
+            assert match_counts(g2, 1, darpe, semantics, targets={4}) == {}
+
+
+class TestExample11DiamondCoincidence:
+    """On the diamond chain the three flavors coincide with 2^k paths."""
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 8])
+    def test_two_to_the_k_everywhere(self, k):
+        g = builders.diamond_chain(8)
+        target = {f"v{k}"}
+        expected = {f"v{k}": 2 ** k}
+        assert (
+            match_counts(g, "v0", E_STAR, PathSemantics.NO_REPEATED_VERTEX, targets=target)
+            == expected
+        )
+        assert (
+            match_counts(g, "v0", E_STAR, PathSemantics.NO_REPEATED_EDGE, targets=target)
+            == expected
+        )
+        assert single_pair_sdmc(g, "v0", f"v{k}", E_STAR).count == 2 ** k
+
+
+class TestFixedUniqueLength:
+    """Section 6.1: for fixed-unique-length patterns, all-shortest-paths
+    equals unrestricted semantics — even across cycles — while both
+    non-repeating flavors miss cycle-crossing matches."""
+
+    def test_pattern_is_fixed_unique_length(self):
+        assert fixed_unique_length(parse_darpe("A>.(B>|D>)._>.A>")) == 4
+
+    def test_all_shortest_finds_cycle_match(self):
+        g = builders.fixed_length_cycle_graph()
+        d = CompiledDarpe.parse("A>.(B>|D>)._>.A>")
+        assert single_pair_sdmc(g, "v", "u", d) == (4, 1)
+
+    def test_unrestricted_agrees(self):
+        g = builders.fixed_length_cycle_graph()
+        d = CompiledDarpe.parse("A>.(B>|D>)._>.A>")
+        counts = match_counts(
+            g, "v", d, PathSemantics.UNRESTRICTED, targets={"u"}, max_length=4
+        )
+        assert counts == {"u": 1}
+
+    @pytest.mark.parametrize(
+        "semantics",
+        [PathSemantics.NO_REPEATED_VERTEX, PathSemantics.NO_REPEATED_EDGE],
+    )
+    def test_non_repeating_miss_it(self, semantics):
+        g = builders.fixed_length_cycle_graph()
+        d = CompiledDarpe.parse("A>.(B>|D>)._>.A>")
+        assert match_counts(g, "v", d, semantics, targets={"u"}) == {}
+
+
+class TestSemanticsMetadata:
+    def test_tractability_flags(self):
+        assert PathSemantics.ALL_SHORTEST.is_tractable
+        assert PathSemantics.EXISTENCE.is_tractable
+        assert not PathSemantics.NO_REPEATED_EDGE.is_tractable
+        assert not PathSemantics.NO_REPEATED_VERTEX.is_tractable
+        assert not PathSemantics.UNRESTRICTED.is_tractable
+
+    def test_aggregation_friendliness(self):
+        assert PathSemantics.ALL_SHORTEST.is_aggregation_friendly
+        assert not PathSemantics.EXISTENCE.is_aggregation_friendly
+
+    def test_reference_systems_named(self):
+        assert "TigerGraph" in PathSemantics.ALL_SHORTEST.reference_system
+        assert "Neo4j" in PathSemantics.NO_REPEATED_EDGE.reference_system
+
+
+class TestExample2MixedKindGsql:
+    """Example 2's DARPE, end to end through the GSQL engine on a graph
+    mixing directed and undirected edges — the capability DARPEs exist
+    for ("GSQL is the only product to feature an extension of the RPE
+    formalism to support mixed-kind edges")."""
+
+    def test_mixed_kind_traversal(self):
+        from repro.gsql import parse_query
+
+        g = builders.mixed_kind_graph()
+        q = parse_query("""
+CREATE QUERY q() {
+  SumAccum<int> @hits;
+  S = SELECT t FROM V:s -(E>.(F>|<G)*.H.<J)- V:t
+      ACCUM t.@hits += 1;
+  PRINT S.size() AS n;
+}""")
+        result = q.run(g)
+        assert result.printed == [{"n": 1}]
+        assert result.vertex_accum("hits") == {"f": 1}
+
+    def test_direction_flip_changes_matches(self):
+        from repro.gsql import parse_query
+
+        g = builders.mixed_kind_graph()
+        q = parse_query("""
+CREATE QUERY q() {
+  S = SELECT t FROM V:s -(E>.(F>|<G)*.H.J>)- V:t;
+  PRINT S.size() AS n;
+}""")
+        # The final J edge points f -> e; requiring J> forward from e
+        # matches nothing.
+        assert q.run(g).printed == [{"n": 0}]

@@ -1,0 +1,95 @@
+"""Tests for per-block matching-semantics selection — the Section 6.1
+future-work feature ("allowing users to select the desired matching
+semantics on a per-query basis"), here as ``USING SEMANTICS``."""
+
+import pytest
+
+from repro.core.pattern import EngineMode
+from repro.errors import GSQLSyntaxError, QueryCompileError
+from repro.graph import builders
+from repro.gsql import parse_query
+from repro.paths import PathSemantics
+
+QN = """
+CREATE QUERY Qn(string srcName, string tgtName) {{
+  SumAccum<int> @pathCount;
+  R = SELECT t
+      FROM V:s -(E>*)- V:t
+      USING SEMANTICS '{semantics}'
+      WHERE s.name == srcName AND t.name == tgtName
+      ACCUM t.@pathCount += 1;
+  PRINT R[R.@pathCount];
+}}
+"""
+
+
+def count_paths(semantics, source=1, target=5, graph=None):
+    graph = graph or builders.example9_graph()
+    # G1 vertices carry no name attribute; add names on the fly.
+    for v in graph.vertices():
+        if "name" not in v:
+            v.set("name", str(v.vid))
+    q = parse_query(QN.format(semantics=semantics))
+    result = q.run(graph, srcName=str(source), tgtName=str(target))
+    rows = result.printed[0]["R"]
+    return rows[0]["pathCount"] if rows else 0
+
+
+class TestUsingSemantics:
+    def test_example9_multiplicities(self):
+        """One GSQL query, four semantics, the paper's four answers."""
+        assert count_paths("all-shortest-paths") == 2
+        assert count_paths("no-repeated-edge") == 4
+        assert count_paths("no-repeated-vertex") == 3
+        assert count_paths("existence") == 1
+
+    def test_default_engine_still_selectable(self):
+        """The override wins over the session engine mode."""
+        g = builders.example9_graph()
+        for v in g.vertices():
+            v.set("name", str(v.vid))
+        q = parse_query(QN.format(semantics="no-repeated-edge"))
+        result = q.run(
+            g, mode=EngineMode.counting(), srcName="1", tgtName="5"
+        )
+        assert result.printed[0]["R"][0]["pathCount"] == 4
+
+    def test_unknown_semantics_rejected(self):
+        with pytest.raises(GSQLSyntaxError, match="unknown semantics"):
+            parse_query(QN.format(semantics="quantum"))
+
+    def test_diamond_agreement(self):
+        g = builders.diamond_chain(6)
+        for name in ("all-shortest-paths", "no-repeated-edge", "no-repeated-vertex"):
+            assert count_paths(name, "v0", "v6", builders.diamond_chain(6)) == 64
+
+
+class TestExistenceCountingMode:
+    def test_counting_mode_with_existence(self):
+        g = builders.diamond_chain(5)
+        q = parse_query("""
+CREATE QUERY q(string srcName) {
+  SumAccum<int> @reach;
+  R = SELECT t FROM V:s -(E>*)- V:t
+      WHERE s.name == srcName
+      ACCUM t.@reach += 1;
+  PRINT R[R.@reach];
+}""")
+        result = q.run(
+            g,
+            mode=EngineMode.counting(semantics=PathSemantics.EXISTENCE),
+            srcName="v0",
+        )
+        counts = {row["reach"] for row in result.printed[0]["R"]}
+        assert counts == {1}  # every reachable vertex has multiplicity 1
+
+    def test_counting_rejects_enumeration_semantics(self):
+        with pytest.raises(QueryCompileError):
+            EngineMode.counting(semantics=PathSemantics.NO_REPEATED_EDGE)
+
+    def test_for_semantics_round_trip(self):
+        base = EngineMode.enumeration(PathSemantics.NO_REPEATED_EDGE, budget=7)
+        asp = base.for_semantics(PathSemantics.ALL_SHORTEST)
+        assert asp.kind == EngineMode.COUNTING
+        back = asp.for_semantics(PathSemantics.NO_REPEATED_VERTEX)
+        assert back.kind == EngineMode.ENUMERATION

@@ -1,0 +1,175 @@
+"""Tests for the SQL-style baseline: GROUP BY, GROUPING SETS, CUBE,
+ROLLUP, match-table materialization, and the Example 12 equivalence
+(accumulator-based aggregation subsumes conventional aggregation)."""
+
+import pytest
+
+from repro.accum import AvgAccum, GroupByAccum, MinAccum, SumAccum
+from repro.core import AttrRef, NameRef, QueryContext, chain, hop
+from repro.core.pattern import Pattern
+from repro.errors import EvaluationBudgetExceeded, QueryRuntimeError
+from repro.graph import builders
+from repro.sqlstyle import (
+    Aggregate,
+    MatchTable,
+    cube,
+    group_by,
+    grouping_sets,
+    materialize_match_table,
+    rollup,
+    split_grouping_result,
+)
+
+ROWS = [
+    {"k1": 1, "k2": "a", "v": 10},
+    {"k1": 1, "k2": "a", "v": 20},
+    {"k1": 1, "k2": "b", "v": 5},
+    {"k1": 2, "k2": "a", "v": 7},
+]
+
+
+@pytest.fixture
+def table():
+    return MatchTable([dict(r) for r in ROWS])
+
+
+class TestAggregates:
+    def test_count_star(self, table):
+        assert Aggregate("count", None).fold(table.rows) == 4
+
+    def test_count_column_skips_none(self):
+        rows = [{"v": 1}, {"v": None}]
+        assert Aggregate("count", "v").fold(rows) == 1
+
+    def test_sum_min_max_avg(self, table):
+        assert Aggregate("sum", "v").fold(table.rows) == 42
+        assert Aggregate("min", "v").fold(table.rows) == 5
+        assert Aggregate("max", "v").fold(table.rows) == 20
+        assert Aggregate("avg", "v").fold(table.rows) == 10.5
+
+    def test_empty_aggregates_none(self):
+        assert Aggregate("sum", "v").fold([]) is None
+
+    def test_unknown_func(self):
+        with pytest.raises(QueryRuntimeError):
+            Aggregate("median", "v")
+
+
+class TestGroupBy:
+    def test_basic(self, table):
+        out = group_by(table, ["k1"], [Aggregate("sum", "v", "s")])
+        assert {(r["k1"], r["s"]) for r in out} == {(1, 35), (2, 7)}
+
+    def test_composite_key(self, table):
+        out = group_by(table, ["k1", "k2"], [Aggregate("count", None, "n")])
+        assert len(out) == 3
+
+    def test_empty_key_single_group(self, table):
+        out = group_by(table, [], [Aggregate("sum", "v", "s")])
+        assert out.rows == [{"s": 42}]
+
+
+class TestGroupingSets:
+    def test_all_aggregates_per_set(self, table):
+        """The paper's structural point: every aggregate column appears in
+        every grouping set's rows, wanted or not."""
+        out = grouping_sets(
+            table,
+            [["k1"], ["k2"]],
+            [Aggregate("sum", "v", "s"), Aggregate("min", "v", "lo")],
+        )
+        for row in out:
+            assert "s" in row and "lo" in row
+
+    def test_null_padding_and_set_index(self, table):
+        out = grouping_sets(table, [["k1"], ["k2"]], [Aggregate("count", None, "n")])
+        k1_rows = [r for r in out if r["__grouping_set"] == 0]
+        assert all(r["k2"] is None for r in k1_rows)
+        assert {r["k1"] for r in k1_rows} == {1, 2}
+
+    def test_split_separation_pass(self, table):
+        sets = [["k1"], ["k2"]]
+        out = grouping_sets(
+            table, sets, [Aggregate("sum", "v", "s"), Aggregate("min", "v", "lo")]
+        )
+        per_k1, per_k2 = split_grouping_result(out, sets, [["s"], ["lo"]])
+        assert {(r["k1"], r["s"]) for r in per_k1} == {(1, 35), (2, 7)}
+        assert {(r["k2"], r["lo"]) for r in per_k2} == {("a", 7), ("b", 5)}
+        # the separation keeps only the wanted aggregate per set
+        assert "lo" not in per_k1.rows[0]
+
+
+class TestCubeRollup:
+    def test_cube_set_count(self, table):
+        out = cube(table, ["k1", "k2"], [Aggregate("count", None, "n")])
+        sets = {r["__grouping_set"] for r in out}
+        assert len(sets) == 4  # 2^2 subsets
+
+    def test_cube_grand_total(self, table):
+        out = cube(table, ["k1", "k2"], [Aggregate("sum", "v", "s")])
+        totals = [
+            r for r in out if r["k1"] is None and r["k2"] is None
+        ]
+        assert [t["s"] for t in totals] == [42]
+
+    def test_rollup_prefixes(self, table):
+        out = rollup(table, ["k1", "k2"], [Aggregate("count", None, "n")])
+        sets = {r["__grouping_set"] for r in out}
+        assert len(sets) == 3  # (k1,k2), (k1), ()
+
+
+class TestMaterialization:
+    def test_expands_multiplicities(self):
+        g = builders.diamond_chain(5)
+        pattern = Pattern([chain("V", "s", hop("E>*", "V", "t"))])
+        table = materialize_match_table(
+            g,
+            pattern,
+            columns={"t": AttrRef(NameRef("t"), "name")},
+        )
+        names = [r["t"] for r in table]
+        assert names.count("v5") >= 32  # 32 rows for v0->v5 alone
+
+    def test_max_rows_guard(self):
+        g = builders.diamond_chain(30)
+        pattern = Pattern([chain("V", "s", hop("E>*", "V", "t"))])
+        with pytest.raises(EvaluationBudgetExceeded):
+            materialize_match_table(
+                g,
+                pattern,
+                columns={"t": AttrRef(NameRef("t"), "name")},
+                max_rows=10_000,
+            )
+
+
+class TestExample12Equivalence:
+    """Accumulator-based aggregation subsumes SQL GROUP BY: a
+    GroupByAccum fed per-row produces exactly the group_by result."""
+
+    def test_groupby_accum_equals_sql_group_by(self, table):
+        acc = GroupByAccum(
+            ["k1", "k2"], [lambda: SumAccum(0, int), MinAccum, AvgAccum]
+        )
+        for row in table:
+            acc.combine(((row["k1"], row["k2"]), (row["v"], row["v"], row["v"])))
+        sql = group_by(
+            table,
+            ["k1", "k2"],
+            [
+                Aggregate("sum", "v", "s"),
+                Aggregate("min", "v", "lo"),
+                Aggregate("avg", "v", "a"),
+            ],
+        )
+        for row in sql:
+            assert acc.get(row["k1"], row["k2"]) == (row["s"], row["lo"], row["a"])
+
+    def test_grouping_sets_simulation(self, table):
+        """Example 12's GROUPING SETS ((k1,k2),(k3)) simulation: one
+        accumulator input per set, with null-padded keys."""
+        acc = GroupByAccum(["k1", "k2"], [lambda: SumAccum(0, int)])
+        for row in table:
+            acc.combine(((row["k1"], None), (row["v"],)))
+            acc.combine(((None, row["k2"]), (row["v"],)))
+        assert acc.get(1, None) == (35,)
+        assert acc.get(None, "a") == (37,)
