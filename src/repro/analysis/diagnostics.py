@@ -1,0 +1,192 @@
+"""Diagnostics: what the analyzer reports and how it is rendered.
+
+Every finding is a :class:`Diagnostic` — a stable rule code
+(``GSQL-E001``, ``GSQL-W012``, ...), a severity, a human message and an
+optional :class:`~repro.core.span.Span` locating it in the query text.
+When the source text is available a diagnostic renders as a
+compiler-style excerpt with a caret underline::
+
+    queries.gsql:7:13: error[GSQL-E001]: @@total updated but never declared
+      |
+    7 |       ACCUM @@total += 1
+      |             ^^^^^^^
+
+Inline suppressions use ``// lint: disable=GSQL-W012`` (or a
+comma-separated list) on the offending line or the line just above it;
+``// lint: disable-file=CODE`` silences a code for the whole text.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.span import Span
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering puts errors above warnings."""
+
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return "error" if self is Severity.ERROR else "warning"
+
+
+class Diagnostic:
+    """One analyzer finding.
+
+    ``seq`` is the emission sequence number the analyzer assigns; it
+    keeps output deterministic for programmatically built queries whose
+    nodes carry no spans.
+    """
+
+    __slots__ = ("code", "severity", "message", "span", "rule_name", "seq")
+
+    def __init__(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        span: Optional[Span] = None,
+        rule_name: str = "",
+        seq: int = 0,
+    ):
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.span = span
+        self.rule_name = rule_name
+        self.seq = seq
+
+    # ------------------------------------------------------------------
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def sort_key(self) -> Tuple[int, int, str, int]:
+        line = self.span.line if self.span is not None else 1 << 30
+        column = self.span.column if self.span is not None else 0
+        return (line, column, self.code, self.seq)
+
+    def location(self) -> str:
+        if self.span is None:
+            return ""
+        return f"{self.span.line}:{self.span.column}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "rule": self.rule_name,
+        }
+        if self.span is not None:
+            data["line"] = self.span.line
+            data["column"] = self.span.column
+            data["end_line"] = self.span.end_line
+            data["end_column"] = self.span.end_column
+        return data
+
+    def render(self, source: Optional[str] = None, filename: str = "<query>") -> str:
+        """Compiler-style text: header line plus a caret excerpt when the
+        source text and span are available."""
+        where = f"{filename}:{self.location()}: " if self.span else f"{filename}: "
+        header = f"{where}{self.severity.label}[{self.code}]: {self.message}"
+        excerpt = caret_excerpt(source, self.span) if source else ""
+        return header + (("\n" + excerpt) if excerpt else "")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Diagnostic({self.code}, {self.message!r}, {self.location() or 'nospan'})"
+
+
+def caret_excerpt(source: Optional[str], span: Optional[Span]) -> str:
+    """The source line(s) a span covers, caret-underlined.
+
+    Multi-line spans underline from the start column to the end of the
+    first line only — enough to anchor the eye without quoting the whole
+    construct.
+    """
+    if source is None or span is None:
+        return ""
+    lines = source.splitlines()
+    if not 1 <= span.line <= len(lines):
+        return ""
+    text = lines[span.line - 1]
+    gutter = str(span.line)
+    pad = " " * len(gutter)
+    start = max(span.column - 1, 0)
+    if span.end_line == span.line:
+        width = max(span.end_column - span.column, 1)
+    else:
+        width = max(len(text) - start, 1)
+    width = min(width, max(len(text) - start, 1))
+    underline = " " * start + "^" * width
+    return f"{pad} |\n{gutter} | {text}\n{pad} | {underline}"
+
+
+# ----------------------------------------------------------------------
+# Inline suppressions
+# ----------------------------------------------------------------------
+_SUPPRESS_RE = re.compile(
+    r"//\s*lint:\s*disable(?P<file>-file)?\s*=\s*(?P<codes>[A-Za-z0-9_,\s-]+)"
+)
+
+
+def collect_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Per-line and file-level suppressed rule codes in ``source``.
+
+    A line-level suppression applies to its own line and to the line
+    directly below it (so it can sit on its own comment line above the
+    flagged statement).
+    """
+    per_line: Dict[int, Set[str]] = {}
+    file_level: Set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        codes = {c.strip() for c in match.group("codes").split(",") if c.strip()}
+        if match.group("file"):
+            file_level |= codes
+        else:
+            per_line.setdefault(lineno, set()).update(codes)
+            per_line.setdefault(lineno + 1, set()).update(codes)
+    return per_line, file_level
+
+
+def is_suppressed(
+    diag: Diagnostic,
+    per_line: Dict[int, Set[str]],
+    file_level: Set[str],
+) -> bool:
+    if diag.code in file_level:
+        return True
+    if diag.span is None:
+        return False
+    return diag.code in per_line.get(diag.span.line, set())
+
+
+def apply_suppressions(
+    diagnostics: Sequence[Diagnostic], source: Optional[str]
+) -> List[Diagnostic]:
+    """Diagnostics that survive the source's inline suppressions."""
+    if not source:
+        return list(diagnostics)
+    per_line, file_level = collect_suppressions(source)
+    if not per_line and not file_level:
+        return list(diagnostics)
+    return [d for d in diagnostics if not is_suppressed(d, per_line, file_level)]
+
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "caret_excerpt",
+    "collect_suppressions",
+    "is_suppressed",
+    "apply_suppressions",
+]

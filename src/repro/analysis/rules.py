@@ -1,0 +1,535 @@
+"""The rule catalog: every check the analyzer knows, one class each.
+
+A rule pattern-matches over the :class:`~repro.analysis.model.QueryModel`
+fact stream and yields :class:`~repro.analysis.diagnostics.Diagnostic`
+objects.  Rules carry a stable code (``GSQL-Exxx`` for errors,
+``GSQL-Wxxx`` for warnings) that inline suppressions and the JSON output
+key off; the codes never change meaning once assigned.
+
+Error rules (wrong programs)
+    E001 undeclared accumulator            E002 accumulator scope confusion
+    E003 duplicate accumulator             E004 unknown vertex set
+    E005 unknown vertex type               E006 unknown edge type
+    E013 Kleene star feeds an order-dependent accumulator (Section 7)
+    E101 accumulator input type mismatch   E102 map key/value type conflict
+    E103 heap tuple arity/type mismatch
+
+Warning rules (suspicious programs)
+    W010 snapshot read hazard (Section 4.3)
+    W012 order-dependent accumulator (Section 7 tractable class)
+    W020 WHILE without LIMIT or convergent condition
+    W021 unused accumulator                W022 unused vertex set
+    W023 INTO shadows an existing name     W024 FOREACH shadows a name
+    W025 unknown bare identifier
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Type
+
+from ..core.exprs import NameRef
+from .diagnostics import Diagnostic, Severity
+from .model import (
+    AccumReadFact,
+    AccumWriteFact,
+    QueryModel,
+)
+from .types import TypeEnv, check_accum_input
+
+_REGISTRY: List[Type["Rule"]] = []
+
+
+def register(cls: Type["Rule"]) -> Type["Rule"]:
+    _REGISTRY.append(cls)
+    return cls
+
+
+def all_rules() -> List["Rule"]:
+    """Fresh instances of every registered rule, in registration order."""
+    return [cls() for cls in _REGISTRY]
+
+
+def rule_catalog() -> List[Type["Rule"]]:
+    return list(_REGISTRY)
+
+
+class Rule:
+    """Base rule. Subclasses set ``code``/``severity``/``name`` and
+    implement :meth:`check`."""
+
+    code: str = ""
+    name: str = ""
+    severity: Severity = Severity.WARNING
+    description: str = ""
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, message: str, fact=None, span=None, seq=0) -> Diagnostic:
+        if fact is not None:
+            span = span if span is not None else fact.span
+            seq = seq or fact.seq
+        return Diagnostic(
+            self.code, self.severity, message, span,
+            rule_name=self.name, seq=seq,
+        )
+
+
+def _sigil(is_global: bool) -> str:
+    return "@@" if is_global else "@"
+
+
+# ======================================================================
+# Errors ported from core.validate (E001-E006)
+# ======================================================================
+@register
+class DuplicateAccumulatorRule(Rule):
+    code = "GSQL-E003"
+    name = "duplicate-accumulator"
+    severity = Severity.ERROR
+    description = "An accumulator name is declared more than once."
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        for decl in model.decls:
+            if decl.duplicate:
+                yield self.diag(f"@{decl.name} declared twice", decl)
+
+
+@register
+class AccumulatorResolutionRule(Rule):
+    """E001/E002 combined: every accumulator read and write must resolve
+    to a declaration of the matching scope.  Iterates the unified fact
+    stream so diagnostics come out in source order."""
+
+    code = "GSQL-E001"
+    name = "undeclared-accumulator"
+    severity = Severity.ERROR
+    description = "An accumulator is used but never declared (or used at the wrong scope)."
+
+    SCOPE_CODE = "GSQL-E002"
+    SCOPE_NAME = "accumulator-scope"
+
+    def scope_diag(self, message: str, fact) -> Diagnostic:
+        return Diagnostic(
+            self.SCOPE_CODE, Severity.ERROR, message, fact.span,
+            rule_name=self.SCOPE_NAME, seq=fact.seq,
+        )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        for fact in model.facts:
+            if isinstance(fact, AccumWriteFact):
+                yield from self._check_write(fact)
+            elif isinstance(fact, AccumReadFact):
+                yield from self._check_read(fact)
+
+    def _check_write(self, fact: AccumWriteFact) -> Iterator[Diagnostic]:
+        if fact.context == "top":
+            if not fact.declared_global:
+                yield self.diag(
+                    f"@@{fact.name} updated but never declared", fact
+                )
+            return
+        if fact.is_global and fact.declared_vertex and not fact.declared_global:
+            yield self.scope_diag(
+                f"@@{fact.name} used globally but declared as a vertex "
+                f"accumulator",
+                fact,
+            )
+        elif not fact.is_global and fact.declared_global and not fact.declared_vertex:
+            yield self.scope_diag(
+                f"@{fact.name} used per-vertex but declared as a global "
+                f"accumulator",
+                fact,
+            )
+        elif not (fact.declared_global or fact.declared_vertex):
+            yield self.diag(
+                f"@{fact.name} receives inputs but was never declared", fact
+            )
+
+    def _check_read(self, fact: AccumReadFact) -> Iterator[Diagnostic]:
+        if fact.is_global:
+            if not fact.declared_global:
+                if fact.declared_vertex:
+                    yield self.scope_diag(
+                        f"@@{fact.name} read globally but declared per-vertex",
+                        fact,
+                    )
+                else:
+                    yield self.diag(
+                        f"@@{fact.name} read but never declared", fact
+                    )
+        else:
+            if not fact.declared_vertex:
+                if fact.declared_global:
+                    yield self.scope_diag(
+                        f"@{fact.name} read per-vertex but declared globally",
+                        fact,
+                    )
+                else:
+                    yield self.diag(
+                        f"@{fact.name} read but never declared", fact
+                    )
+
+
+@register
+class UnknownVertexSetRule(Rule):
+    code = "GSQL-E004"
+    name = "unknown-vertex-set"
+    severity = Severity.ERROR
+    description = "A vertex set is read before any statement defines it."
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        for use in model.set_uses:
+            if use.known:
+                continue
+            if use.context == "setop":
+                yield self.diag(
+                    f"set operation reads undefined set {use.name!r}", use
+                )
+            elif use.context == "print":
+                yield self.diag(
+                    f"PRINT projects undefined set {use.name!r}", use
+                )
+            elif use.context == "copy":
+                yield self.diag(
+                    f"assignment copies undefined set {use.name!r}", use
+                )
+
+
+@register
+class UnknownVertexTypeRule(Rule):
+    code = "GSQL-E005"
+    name = "unknown-vertex-type"
+    severity = Severity.ERROR
+    description = "A pattern position names neither a vertex type nor a defined set."
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        if model.schema is None:
+            return
+        for pos in model.pattern_positions:
+            if not pos.is_set and not pos.schema_known:
+                yield self.diag(
+                    f"pattern position {pos.name!r} is neither a declared "
+                    f"vertex type nor a known vertex set",
+                    pos,
+                )
+
+
+@register
+class UnknownEdgeTypeRule(Rule):
+    code = "GSQL-E006"
+    name = "unknown-edge-type"
+    severity = Severity.ERROR
+    description = "A DARPE names an edge type the schema does not declare."
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        for fact in model.edge_types:
+            if not fact.known:
+                yield self.diag(
+                    f"DARPE {fact.darpe_text!r} names undeclared edge type "
+                    f"{fact.edge_type!r}",
+                    fact,
+                )
+
+
+# ======================================================================
+# Section 7 tractability (ported from core.tractable)
+# ======================================================================
+@register
+class OrderDependentAccumulatorRule(Rule):
+    code = "GSQL-W012"
+    name = "order-dependent-accumulator"
+    severity = Severity.WARNING
+    description = (
+        "An order-dependent accumulator (ListAccum, ArrayAccum, "
+        "SumAccum<STRING>) places the query outside the Section 7 "
+        "tractable class."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        for decl in model.decls:
+            if decl.order_dependent:
+                yield self.diag(
+                    f"@{decl.name} has order-dependent type {decl.type_text}",
+                    decl,
+                )
+
+
+@register
+class KleeneFeedsOrderDependentRule(Rule):
+    code = "GSQL-E013"
+    name = "kleene-feeds-order-dependent"
+    severity = Severity.ERROR
+    description = (
+        "A Kleene-starred pattern feeds an order-dependent accumulator; "
+        "evaluation would require materializing every path."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        order_dependent = {d.name for d in model.decls if d.order_dependent}
+        for block_fact in model.blocks:
+            if not block_fact.has_kleene:
+                continue
+            for write in block_fact.writes:
+                if write.context != "accum":
+                    continue
+                if write.name in order_dependent:
+                    yield self.diag(
+                        f"@{write.name} receives inputs from a Kleene "
+                        f"pattern ({block_fact.block.pattern!r}); evaluation "
+                        f"would require per-path materialization",
+                        write,
+                    )
+
+
+# ======================================================================
+# Type inference over the accumulator lattice (E101-E103)
+# ======================================================================
+@register
+class AccumulatorInputTypeRule(Rule):
+    """E101/E102/E103: ``+=`` inputs (and declaration initializers) must
+    match the declared accumulator type."""
+
+    code = "GSQL-E101"
+    name = "accum-input-type"
+    severity = Severity.ERROR
+    description = "An accumulator receives a value its declared type cannot fold."
+
+    MAP_CODE = "GSQL-E102"
+    MAP_NAME = "map-type-conflict"
+    HEAP_CODE = "GSQL-E103"
+    HEAP_NAME = "heap-input-shape"
+
+    _NAMES = {"GSQL-E101": "accum-input-type",
+              "GSQL-E102": "map-type-conflict",
+              "GSQL-E103": "heap-input-shape"}
+
+    def _emit(self, code: str, message: str, fact) -> Diagnostic:
+        return Diagnostic(
+            code, Severity.ERROR, message, fact.span,
+            rule_name=self._NAMES[code], seq=fact.seq,
+        )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        infos = model.accum_types()
+        decl_env = TypeEnv(accums=infos, names=dict(model.params))
+        for decl in model.decls:
+            initial = getattr(decl.node, "initial", None)
+            if decl.type_info is None or initial is None:
+                continue
+            found = check_accum_input(decl.type_info, initial, decl_env)
+            if found:
+                code, message = found
+                yield self._emit(code, f"initializer mismatch: {message}", decl)
+        for write in model.writes:
+            if write.op != "+=":
+                continue
+            info = infos.get((write.is_global, write.name))
+            found = check_accum_input(info, write.expr, write.env)
+            if found:
+                code, message = found
+                yield self._emit(
+                    code,
+                    f"{_sigil(write.is_global)}{write.name} += : {message}",
+                    write,
+                )
+
+
+# ======================================================================
+# Paper-grounded warnings
+# ======================================================================
+@register
+class SnapshotReadHazardRule(Rule):
+    """W010: Section 4.3 — inside an ACCUM clause every accumulator read
+    sees the snapshot taken *before* the clause.  Reading an accumulator
+    the same clause updates (same target for vertex accumulators) is a
+    classic source of off-by-one-superstep bugs."""
+
+    code = "GSQL-W010"
+    name = "snapshot-read-hazard"
+    severity = Severity.WARNING
+    description = (
+        "An ACCUM clause reads an accumulator it also updates; the read "
+        "sees the pre-clause snapshot (Section 4.3)."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        for block_fact in model.blocks:
+            global_writes: Set[str] = set()
+            vertex_writes: Dict[str, Set[Optional[str]]] = {}
+            for write in block_fact.writes:
+                if write.context != "accum":
+                    continue
+                if write.is_global:
+                    global_writes.add(write.name)
+                else:
+                    base = write.node.target.base
+                    var = base.name if isinstance(base, NameRef) else None
+                    vertex_writes.setdefault(write.name, set()).add(var)
+            for read in block_fact.reads:
+                if read.context != "accum" or read.primed:
+                    continue
+                if read.is_global:
+                    hazard = read.name in global_writes
+                else:
+                    base = getattr(read.node, "base", None)
+                    var = base.name if isinstance(base, NameRef) else None
+                    hazard = var is not None and var in vertex_writes.get(
+                        read.name, set()
+                    )
+                if hazard:
+                    yield self.diag(
+                        f"{_sigil(read.is_global)}{read.name} is read in the "
+                        f"same ACCUM clause that updates it; the read sees "
+                        f"the snapshot taken before the clause (move it to "
+                        f"POST_ACCUM or read the primed value)",
+                        read,
+                    )
+
+
+@register
+class WhileWithoutLimitRule(Rule):
+    code = "GSQL-W020"
+    name = "while-without-limit"
+    severity = Severity.WARNING
+    description = (
+        "A WHILE loop has no LIMIT and its condition depends on nothing "
+        "the body can change."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        for loop in model.whiles:
+            if loop.has_limit or loop.cond_reads_accum:
+                continue
+            if loop.cond_set_names & loop.body_assigned_sets:
+                continue
+            yield self.diag(
+                "WHILE has no LIMIT and its condition references no "
+                "accumulator or reassigned vertex set; the loop may never "
+                "terminate",
+                loop,
+            )
+
+
+@register
+class UnusedAccumulatorRule(Rule):
+    code = "GSQL-W021"
+    name = "unused-accumulator"
+    severity = Severity.WARNING
+    description = "An accumulator is declared but never read or updated."
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        used: Set[Tuple[bool, str]] = set()
+        for write in model.writes:
+            used.add((write.is_global, write.name))
+        for read in model.reads:
+            used.add((read.is_global, read.name))
+        for decl in model.decls:
+            key = (decl.scope == "global", decl.name)
+            if key not in used:
+                yield self.diag(
+                    f"{_sigil(key[0])}{decl.name} is declared but never used",
+                    decl,
+                )
+
+
+@register
+class UnusedVertexSetRule(Rule):
+    code = "GSQL-W022"
+    name = "unused-vertex-set"
+    severity = Severity.WARNING
+    description = "An explicitly assigned vertex set is never read."
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        used = {use.name for use in model.set_uses}
+        seen: Set[str] = set()
+        for def_fact in model.set_defs:
+            if def_fact.origin != "assign" or def_fact.name in seen:
+                continue
+            seen.add(def_fact.name)
+            if def_fact.name not in used:
+                yield self.diag(
+                    f"vertex set {def_fact.name!r} is assigned but never "
+                    f"used",
+                    def_fact,
+                )
+
+
+@register
+class ShadowedIntoRule(Rule):
+    code = "GSQL-W023"
+    name = "shadowed-into"
+    severity = Severity.WARNING
+    description = "An INTO table reuses the name of an existing set or table."
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        for into in model.intos:
+            if into.shadows:
+                yield self.diag(
+                    f"INTO {into.name} shadows an existing {into.shadows}",
+                    into,
+                )
+
+
+@register
+class ForeachShadowRule(Rule):
+    code = "GSQL-W024"
+    name = "foreach-shadows-name"
+    severity = Severity.WARNING
+    description = "A FOREACH loop variable shadows a vertex set or parameter."
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        for var in model.foreach_vars:
+            if var.shadows:
+                yield self.diag(
+                    f"FOREACH variable {var.var!r} shadows a {var.shadows}",
+                    var,
+                )
+
+
+@register
+class UnknownNameRule(Rule):
+    code = "GSQL-W025"
+    name = "unknown-name"
+    severity = Severity.WARNING
+    description = (
+        "A bare identifier outside any SELECT resolves to no parameter, "
+        "set, table or loop variable."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        for use in model.name_uses:
+            if not use.known:
+                yield self.diag(
+                    f"{use.name!r} is not a parameter, vertex set, table or "
+                    f"loop variable",
+                    use,
+                )
+
+
+#: Codes whose diagnostics the legacy ``validate_query`` shim reports,
+#: mapped to the original issue kinds.
+LEGACY_VALIDATE_KINDS: Dict[str, str] = {
+    "GSQL-E001": "undeclared-accumulator",
+    "GSQL-E002": "accumulator-scope",
+    "GSQL-E003": "duplicate-accumulator",
+    "GSQL-E004": "unknown-vertex-set",
+    "GSQL-E005": "unknown-vertex-type",
+    "GSQL-E006": "unknown-edge-type",
+}
+
+#: Codes the legacy ``core.tractable`` shim reports, mapped to its kinds.
+LEGACY_TRACTABLE_KINDS: Dict[str, str] = {
+    "GSQL-W012": "order-dependent-accumulator",
+    "GSQL-E013": "kleene-feeds-order-dependent",
+}
+
+
+__all__ = [
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_catalog",
+    "LEGACY_VALIDATE_KINDS",
+    "LEGACY_TRACTABLE_KINDS",
+]

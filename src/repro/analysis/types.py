@@ -1,0 +1,358 @@
+"""Expression type inference for the accumulator lattice.
+
+A deliberately shallow, *conservative* inference: every expression maps
+to a scalar family name (``"INT"``, ``"FLOAT"``, ``"STRING"``,
+``"BOOL"``, ``"VERTEX"``, ...) or ``None`` for "unknown".  Rules only
+fire when two *known* types land in different families, so dynamic
+constructs the analyzer cannot see through never produce noise.
+
+The interesting consumers are the accumulator-input checks: the ``+=``
+operator is the paper's polymorphic fold (Section 3), and each
+accumulator kind constrains what it folds —
+
+* ``SumAccum<INT> += "a"`` mixes the numeric and string families
+  (GSQL-E101);
+* ``MapAccum<STRING, SumAccum<FLOAT>>`` fed ``(v.age -> x)`` mis-keys
+  the map (GSQL-E102);
+* ``HeapAccum<Pair>`` fed a tuple of the wrong arity or field types
+  cannot be ordered (GSQL-E103).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.acctypes import (
+    AccumTypeInfo,
+    COLLECTION_KINDS,
+    SCALAR_INPUT_KINDS,
+)
+from ..core.exprs import (
+    AggCall,
+    ArrowExpr,
+    AttrRef,
+    Binary,
+    Call,
+    CaseExpr,
+    Expr,
+    GlobalAccumRef,
+    Literal,
+    Method,
+    NameRef,
+    TupleExpr,
+    Unary,
+    VertexAccumRef,
+)
+
+#: Scalar families: types within one family mix freely, across families
+#: they do not.
+_FAMILIES = {
+    "INT": "numeric",
+    "UINT": "numeric",
+    "FLOAT": "numeric",
+    "DOUBLE": "numeric",
+    "DATETIME": "numeric",
+    "TIMESTAMP": "numeric",
+    "DATE": "numeric",
+    "STRING": "string",
+    "BOOL": "bool",
+    "VERTEX": "vertex",
+    "EDGE": "edge",
+}
+
+_COMPARISONS = {"==", "!=", "<>", "<", "<=", ">", ">=", "IN", "NOT IN"}
+
+
+def family(type_name: Optional[str]) -> Optional[str]:
+    """The mixing family of a scalar type name (None = unknown)."""
+    if type_name is None:
+        return None
+    return _FAMILIES.get(type_name.upper())
+
+
+def compatible(expected: Optional[str], actual: Optional[str]) -> bool:
+    """Whether ``actual`` may flow into a slot declared ``expected``.
+
+    Unknown on either side is compatible (benefit of the doubt); known
+    types are compatible exactly when their families coincide.
+    """
+    exp_family, act_family = family(expected), family(actual)
+    if exp_family is None or act_family is None:
+        return True
+    return exp_family == act_family
+
+
+class TypeEnv:
+    """Name-to-type bindings visible to an expression.
+
+    ``accums`` maps ``(is_global, name)`` to the declared
+    :class:`AccumTypeInfo`; ``names`` maps parameters and typed locals to
+    scalar type names; ``vertex_vars`` are pattern aliases and FOREACH
+    loop variables known to range over vertices.
+    """
+
+    def __init__(
+        self,
+        accums: Optional[Dict[Tuple[bool, str], AccumTypeInfo]] = None,
+        names: Optional[Dict[str, str]] = None,
+        vertex_vars: Optional[set] = None,
+    ):
+        self.accums = accums or {}
+        self.names = names or {}
+        self.vertex_vars = vertex_vars or set()
+
+    def accum_info(self, is_global: bool, name: str) -> Optional[AccumTypeInfo]:
+        return self.accums.get((is_global, name))
+
+
+def accum_value_type(info: Optional[AccumTypeInfo]) -> Optional[str]:
+    """The scalar type reading an accumulator yields, when determinable."""
+    if info is None:
+        return None
+    kind = info.kind
+    if kind == "AvgAccum":
+        return "FLOAT"
+    if kind in ("OrAccum", "AndAccum"):
+        return "BOOL"
+    if kind in ("SumAccum", "MinAccum", "MaxAccum"):
+        return info.element or ("FLOAT" if kind == "SumAccum" else None)
+    return None  # collections/maps/heaps read as containers
+
+
+def infer_type(expr: Expr, env: TypeEnv) -> Optional[str]:
+    """Best-effort scalar type of ``expr`` (None = unknown/container)."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        if isinstance(value, bool):
+            return "BOOL"
+        if isinstance(value, int):
+            return "INT"
+        if isinstance(value, float):
+            return "FLOAT"
+        if isinstance(value, str):
+            return "STRING"
+        return None
+    if isinstance(expr, NameRef):
+        if expr.name in env.names:
+            declared = env.names[expr.name].upper()
+            if declared.startswith("VERTEX"):
+                return "VERTEX"
+            return declared
+        if expr.name in env.vertex_vars:
+            return "VERTEX"
+        return None
+    if isinstance(expr, GlobalAccumRef):
+        return accum_value_type(env.accum_info(True, expr.name))
+    if isinstance(expr, VertexAccumRef):
+        return accum_value_type(env.accum_info(False, expr.name))
+    if isinstance(expr, Unary):
+        if expr.op == "NOT":
+            return "BOOL"
+        return infer_type(expr.operand, env)
+    if isinstance(expr, Binary):
+        if expr.op in ("AND", "OR") or expr.op in _COMPARISONS:
+            return "BOOL"
+        left = infer_type(expr.left, env)
+        right = infer_type(expr.right, env)
+        if expr.op == "+" and (family(left) == "string" or family(right) == "string"):
+            return "STRING"
+        if expr.op == "/":
+            return "FLOAT"
+        if family(left) == "numeric" and family(right) == "numeric":
+            if "FLOAT" in (left, right) or "DOUBLE" in (left, right):
+                return "FLOAT"
+            return left
+        if left is not None and left == right:
+            return left
+        return None
+    if isinstance(expr, AggCall):
+        if expr.func == "count":
+            return "INT"
+        if expr.func == "avg":
+            return "FLOAT"
+        if expr.arg is not None:
+            return infer_type(expr.arg, env)
+        return None
+    if isinstance(expr, Method):
+        if expr.name.lower() in ("size", "count"):
+            return "INT"
+        if expr.name.lower() in ("contains",):
+            return "BOOL"
+        return None
+    if isinstance(expr, CaseExpr):
+        branch_types = {infer_type(value, env) for _, value in expr.whens}
+        if expr.default is not None:
+            branch_types.add(infer_type(expr.default, env))
+        branch_types.discard(None)
+        if len(branch_types) == 1:
+            return branch_types.pop()
+        return None
+    if isinstance(expr, (TupleExpr, ArrowExpr, Call, AttrRef)):
+        # Tuples/arrows are structural (handled by the rules directly);
+        # attribute types would need per-alias vertex-type tracking.
+        return None
+    return None
+
+
+# ----------------------------------------------------------------------
+# Accumulator-input checks (shared by the E101/E102/E103 rules)
+# ----------------------------------------------------------------------
+def check_scalar_input(
+    info: AccumTypeInfo, expr: Expr, env: TypeEnv
+) -> Optional[str]:
+    """A mismatch message when ``expr`` cannot feed a scalar-input
+    accumulator of type ``info`` (None = fine)."""
+    expected = info.element
+    if expected is None:
+        if info.kind in ("OrAccum", "AndAccum"):
+            expected = "BOOL"
+        elif info.kind == "AvgAccum":
+            expected = None  # any numeric; flag only string/bool below
+    actual = infer_type(expr, env)
+    if isinstance(expr, (TupleExpr, ArrowExpr)):
+        return (
+            f"{info.describe()} folds scalar inputs but receives a "
+            f"{'tuple' if isinstance(expr, TupleExpr) else 'key->value pair'}"
+        )
+    if info.kind in ("SumAccum", "AvgAccum") and expected is None:
+        # Default SumAccum/AvgAccum element is numeric.
+        if family(actual) in ("string", "bool"):
+            return (
+                f"{info.describe()} accumulates numbers but receives a "
+                f"{family(actual)} value"
+            )
+        return None
+    if not compatible(expected, actual):
+        return (
+            f"{info.describe()} accumulates {family(expected)} values "
+            f"but receives a {family(actual)} value"
+        )
+    return None
+
+
+def check_collection_input(
+    info: AccumTypeInfo, expr: Expr, env: TypeEnv
+) -> Optional[str]:
+    """Element-type mismatch for Set/Bag/List/Array inputs (None = fine)."""
+    actual = infer_type(expr, env)
+    if not compatible(info.element, actual):
+        return (
+            f"{info.describe()} collects {family(info.element)} elements "
+            f"but receives a {family(actual)} value"
+        )
+    return None
+
+
+def check_map_input(
+    info: AccumTypeInfo, expr: Expr, env: TypeEnv
+) -> Optional[str]:
+    """Key/value mismatch for MapAccum ``+=`` inputs (None = fine)."""
+    if isinstance(expr, ArrowExpr):
+        keys, values = expr.keys, expr.values
+    elif isinstance(expr, TupleExpr) and len(expr.items) == 2:
+        keys, values = [expr.items[0]], [expr.items[1]]
+    else:
+        actual = infer_type(expr, env)
+        if actual is not None:
+            return (
+                f"{info.describe()} needs a (key -> value) input but "
+                f"receives a bare {family(actual)} value"
+            )
+        return None  # opaque expression: may be a map merge
+    for key in keys:
+        key_type = infer_type(key, env)
+        if not compatible(info.key, key_type):
+            return (
+                f"{info.describe()} keys are {family(info.key)} but the "
+                f"input key is a {family(key_type)} value"
+            )
+    declared_value = info.value
+    if isinstance(declared_value, AccumTypeInfo):
+        nested = declared_value
+        for value in values:
+            if nested.kind in SCALAR_INPUT_KINDS:
+                message = check_scalar_input(nested, value, env)
+            elif nested.kind in COLLECTION_KINDS:
+                message = check_collection_input(nested, value, env)
+            else:
+                message = None
+            if message:
+                return f"map value mismatch: {message}"
+    elif isinstance(declared_value, str):
+        for value in values:
+            value_type = infer_type(value, env)
+            if not compatible(declared_value, value_type):
+                return (
+                    f"{info.describe()} values are {family(declared_value)} "
+                    f"but the input value is a {family(value_type)} value"
+                )
+    return None
+
+
+def check_heap_input(
+    info: AccumTypeInfo, expr: Expr, env: TypeEnv
+) -> Optional[str]:
+    """Arity/field-type mismatch for HeapAccum ``+=`` inputs."""
+    fields: List[Tuple[str, str]] = info.tuple_fields or []
+    if not fields:
+        return None
+    if isinstance(expr, Call) and expr.name == info.tuple_name:
+        args = expr.args
+    elif isinstance(expr, TupleExpr):
+        args = expr.items
+    else:
+        actual = infer_type(expr, env)
+        if actual is not None:
+            return (
+                f"{info.describe()} collects {info.tuple_name} tuples but "
+                f"receives a bare {family(actual)} value"
+            )
+        return None
+    if len(args) != len(fields):
+        return (
+            f"{info.tuple_name} has {len(fields)} fields but the input "
+            f"supplies {len(args)}"
+        )
+    for arg, (fname, ftype) in zip(args, fields):
+        arg_type = infer_type(arg, env)
+        if not compatible(ftype, arg_type):
+            return (
+                f"{info.tuple_name}.{fname} is {ftype} but receives a "
+                f"{family(arg_type)} value"
+            )
+    return None
+
+
+def check_accum_input(
+    info: Optional[AccumTypeInfo], expr: Expr, env: TypeEnv
+) -> Optional[Tuple[str, str]]:
+    """Dispatch an ``+=`` input check; returns ``(code, message)``."""
+    if info is None:
+        return None
+    if info.kind in SCALAR_INPUT_KINDS:
+        message = check_scalar_input(info, expr, env)
+        return ("GSQL-E101", message) if message else None
+    if info.kind in COLLECTION_KINDS:
+        message = check_collection_input(info, expr, env)
+        return ("GSQL-E101", message) if message else None
+    if info.kind == "MapAccum":
+        message = check_map_input(info, expr, env)
+        return ("GSQL-E102", message) if message else None
+    if info.kind == "HeapAccum":
+        message = check_heap_input(info, expr, env)
+        return ("GSQL-E103", message) if message else None
+    return None
+
+
+__all__ = [
+    "TypeEnv",
+    "family",
+    "compatible",
+    "infer_type",
+    "accum_value_type",
+    "check_accum_input",
+    "check_scalar_input",
+    "check_collection_input",
+    "check_map_input",
+    "check_heap_input",
+]

@@ -4,20 +4,28 @@ Subcommands::
 
     python -m repro run QUERY.gsql --graph graph.json [--param k=5] ...
     python -m repro explain QUERY.gsql
+    python -m repro lint PATH... [--graph graph.json] [--format json]
     python -m repro generate-snb out.json --scale 0.5 --seed 42
     python -m repro semantics GRAPH.json SOURCE DARPE [--semantics ...]
 
 ``run`` executes a ``CREATE QUERY`` file against a JSON graph (see
 ``repro.graph.io``), prints PRINT output and result tables, and can
 switch engines with ``--engine counting|nre|nrv|asp-enum``.
+
+``lint`` runs the :mod:`repro.analysis` rule set over ``.gsql`` files,
+Python files embedding GSQL in triple-quoted strings, or directories of
+either; it exits non-zero when any *error*-severity diagnostic (or parse
+failure) is found, so it slots into CI.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import re
 import sys
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Tuple
 
 from .core.explain import explain_query
 from .core.validate import validate_query
@@ -124,6 +132,121 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if issues else 0
 
 
+# ----------------------------------------------------------------------
+# lint
+# ----------------------------------------------------------------------
+_TRIPLE_QUOTED = re.compile(r'("""|\'\'\')(.*?)\1', re.S)
+
+
+def _gsql_units(path: str) -> List[Tuple[str, str]]:
+    """(label, gsql_text) units found at ``path``.
+
+    ``.gsql`` files contribute their whole text; ``.py`` files contribute
+    every triple-quoted string containing ``CREATE QUERY``; directories
+    are walked recursively for both.
+    """
+    units: List[Tuple[str, str]] = []
+    if os.path.isdir(path):
+        for root, _dirs, files in sorted(os.walk(path)):
+            for fname in sorted(files):
+                if fname.endswith((".gsql", ".py")):
+                    units.extend(_gsql_units(os.path.join(root, fname)))
+        return units
+    with open(path) as fh:
+        text = fh.read()
+    if path.endswith(".py"):
+        for index, match in enumerate(_TRIPLE_QUOTED.finditer(text)):
+            body = match.group(2)
+            if "CREATE QUERY" in body:
+                units.append((f"{path}[{index}]", body))
+    elif "CREATE QUERY" in text:
+        units.append((path, text))
+    return units
+
+
+def _load_lint_schema(graph_path: Optional[str]):
+    if not graph_path:
+        return None
+    from .graph.schema import GraphSchema
+
+    graph = load_graph_json(graph_path)
+    schema = graph.schema or GraphSchema(graph.name)
+    if graph.schema is None:
+        for vtype in graph.vertex_types():
+            schema.vertex(vtype)
+        for etype in graph.edge_types():
+            schema.edge(etype)
+    return schema
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import Severity, analyze
+    from .analysis.diagnostics import Diagnostic
+    from .core.span import Span
+    from .errors import GSQLSyntaxError, QueryCompileError
+    from .gsql import parse_queries
+
+    schema = _load_lint_schema(args.graph)
+    units: List[Tuple[str, str]] = []
+    missing = False
+    for path in args.paths:
+        if not os.path.exists(path):
+            print(f"{path}: no such file or directory", file=sys.stderr)
+            missing = True
+            continue
+        found = _gsql_units(path)
+        if not found and not os.path.isdir(path):
+            print(f"{path}: no GSQL found", file=sys.stderr)
+        units.extend(found)
+    if missing:
+        return 2
+
+    records: List[dict] = []
+    errors = warnings = 0
+    rendered: List[str] = []
+    for label, source in units:
+        try:
+            queries = parse_queries(source)
+        except (GSQLSyntaxError, QueryCompileError) as exc:
+            span = None
+            if isinstance(exc, GSQLSyntaxError) and exc.line > 0:
+                span = Span.at(exc.line, max(exc.column, 1))
+            diag = Diagnostic(
+                "GSQL-E000", Severity.ERROR, str(exc), span,
+                rule_name="syntax-error",
+            )
+            errors += 1
+            rendered.append(diag.render(source, label))
+            records.append({"file": label, "query": None, **diag.to_dict()})
+            continue
+        for name, query in queries.items():
+            for diag in analyze(query, schema=schema, source=source):
+                if diag.is_error:
+                    errors += 1
+                else:
+                    warnings += 1
+                rendered.append(diag.render(source, f"{label}:{name}"))
+                records.append(
+                    {"file": label, "query": name, **diag.to_dict()}
+                )
+
+    if args.format == "json":
+        print(json.dumps(
+            {"errors": errors, "warnings": warnings, "diagnostics": records},
+            indent=2,
+        ))
+    else:
+        for text in rendered:
+            print(text)
+        checked = len(units)
+        print(
+            f"{checked} source{'s' if checked != 1 else ''} checked: "
+            f"{errors} error{'s' if errors != 1 else ''}, "
+            f"{warnings} warning{'s' if warnings != 1 else ''}"
+        )
+    return 1 if errors else 0
+
+
 def cmd_generate_snb(args: argparse.Namespace) -> int:
     graph = generate_snb_graph(scale_factor=args.scale, seed=args.seed)
     save_graph_json(graph, args.output)
@@ -178,6 +301,19 @@ def build_parser() -> argparse.ArgumentParser:
     validate_p.add_argument("query_file")
     validate_p.add_argument("--graph", default=None)
     validate_p.set_defaults(fn=cmd_validate)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="run the static-analysis rules over GSQL files or directories",
+    )
+    lint_p.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help=".gsql file, .py file with embedded GSQL, or a directory",
+    )
+    lint_p.add_argument("--graph", default=None,
+                        help="JSON graph for schema-aware checks")
+    lint_p.add_argument("--format", choices=("text", "json"), default="text")
+    lint_p.set_defaults(fn=cmd_lint)
 
     gen_p = sub.add_parser("generate-snb", help="write an SNB-like graph as JSON")
     gen_p.add_argument("output")

@@ -1,0 +1,138 @@
+"""Structured descriptors of declared accumulator types.
+
+The GSQL parser compiles accumulator declarations straight to instance
+factories (what execution needs), which erases the declared type.  This
+module preserves that type as data: an :class:`AccumTypeInfo` mirrors the
+polymorphic accumulator lattice of Section 3 — ``SumAccum<INT>``,
+``MapAccum<STRING, SumAccum<FLOAT>>``, ``HeapAccum<MyTuple>(k, ...)`` —
+so the static analyzer (:mod:`repro.analysis`) can type-check ``+=``
+inputs, map/heap accesses and projections without re-parsing anything.
+
+Only data lives here; the inference rules live in
+:mod:`repro.analysis.types`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+#: Scalar type names the lattice distinguishes, normalized to upper case.
+NUMERIC_SCALARS = frozenset(
+    {"INT", "UINT", "FLOAT", "DOUBLE", "DATETIME", "TIMESTAMP", "DATE"}
+)
+#: INT-like members of the numeric family (exact arithmetic).
+INTEGRAL_SCALARS = frozenset({"INT", "UINT", "DATETIME", "TIMESTAMP", "DATE"})
+
+#: Accumulator kinds whose ``+=`` input is a single scalar element.
+SCALAR_INPUT_KINDS = frozenset(
+    {"SumAccum", "MinAccum", "MaxAccum", "AvgAccum", "OrAccum", "AndAccum"}
+)
+#: Collection kinds with one element type.
+COLLECTION_KINDS = frozenset({"SetAccum", "BagAccum", "ListAccum", "ArrayAccum"})
+
+#: Kinds whose fold is order-dependent (the Section 7 tractability
+#: boundary): lists/arrays append, string concatenation is ordered.
+ORDER_DEPENDENT_KINDS = frozenset({"ListAccum", "ArrayAccum"})
+
+
+class AccumTypeInfo:
+    """One parsed accumulator type expression.
+
+    ``kind``
+        The accumulator class name (``"SumAccum"``, ``"MapAccum"``, ...).
+    ``element``
+        Scalar element type for numeric/logical/collection kinds
+        (upper-cased), or None when the declaration omitted it.
+    ``key`` / ``value``
+        Key scalar and value type of a ``MapAccum`` — the value is a
+        scalar name or a nested :class:`AccumTypeInfo`.
+    ``tuple_name`` / ``tuple_fields``
+        The TYPEDEF TUPLE backing a ``HeapAccum``: its name and
+        ``(field_name, field_type)`` pairs.
+    ``group_keys`` / ``nested``
+        GroupByAccum key ``(type, name)`` pairs and nested accumulator
+        types.
+    """
+
+    __slots__ = (
+        "kind",
+        "element",
+        "key",
+        "value",
+        "tuple_name",
+        "tuple_fields",
+        "group_keys",
+        "nested",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        element: Optional[str] = None,
+        key: Optional[str] = None,
+        value: Optional[Union[str, "AccumTypeInfo"]] = None,
+        tuple_name: Optional[str] = None,
+        tuple_fields: Optional[Sequence[Tuple[str, str]]] = None,
+        group_keys: Optional[Sequence[Tuple[str, str]]] = None,
+        nested: Optional[Sequence["AccumTypeInfo"]] = None,
+    ):
+        self.kind = kind
+        self.element = element.upper() if element else None
+        self.key = key.upper() if key else None
+        self.value = value
+        self.tuple_name = tuple_name
+        self.tuple_fields = list(tuple_fields) if tuple_fields else None
+        self.group_keys = list(group_keys) if group_keys else None
+        self.nested = list(nested) if nested else None
+
+    # ------------------------------------------------------------------
+    @property
+    def order_dependent(self) -> bool:
+        """Whether folds into this type depend on input order."""
+        if self.kind in ORDER_DEPENDENT_KINDS:
+            return True
+        if self.kind == "SumAccum" and self.element == "STRING":
+            return True  # string concatenation
+        if self.kind == "MapAccum" and isinstance(self.value, AccumTypeInfo):
+            return self.value.order_dependent
+        if self.nested:
+            return any(n.order_dependent for n in self.nested)
+        return False
+
+    def describe(self) -> str:
+        """A GSQL-like rendering for diagnostics."""
+        if self.kind == "MapAccum":
+            value = (
+                self.value.describe()
+                if isinstance(self.value, AccumTypeInfo)
+                else (self.value or "?")
+            )
+            return f"MapAccum<{self.key or '?'}, {value}>"
+        if self.kind == "HeapAccum":
+            return f"HeapAccum<{self.tuple_name or '?'}>"
+        if self.kind == "GroupByAccum":
+            keys = ", ".join(f"{t} {n}" for t, n in (self.group_keys or []))
+            nested = ", ".join(n.describe() for n in (self.nested or []))
+            return f"GroupByAccum<{keys}, {nested}>"
+        if self.element:
+            return f"{self.kind}<{self.element}>"
+        return self.kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AccumTypeInfo({self.describe()})"
+
+
+def heap_field_types(info: AccumTypeInfo) -> List[str]:
+    """Declared field types of a heap's tuple, upper-cased."""
+    return [ftype.upper() for _, ftype in (info.tuple_fields or [])]
+
+
+__all__ = [
+    "AccumTypeInfo",
+    "NUMERIC_SCALARS",
+    "INTEGRAL_SCALARS",
+    "SCALAR_INPUT_KINDS",
+    "COLLECTION_KINDS",
+    "ORDER_DEPENDENT_KINDS",
+    "heap_field_types",
+]

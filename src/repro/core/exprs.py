@@ -50,9 +50,14 @@ class EvalEnv:
 
 
 class Expr:
-    """Base expression node."""
+    """Base expression node.
 
-    __slots__ = ()
+    ``span`` (a :class:`repro.core.span.Span`) is set by the GSQL parser
+    on nodes built from query text; programmatically built expressions
+    leave it unset and ``getattr(expr, "span", None)`` reads None.
+    """
+
+    __slots__ = ("span",)
 
     def eval(self, env: EvalEnv) -> Any:
         raise NotImplementedError

@@ -26,7 +26,13 @@ DEFAULT_WHILE_CEILING = 10_000
 
 
 class Statement:
-    """Base class for query-body statements."""
+    """Base class for query-body statements.
+
+    ``span`` carries the statement's source range when the statement was
+    parsed from GSQL text (None for programmatically built queries).
+    """
+
+    span = None
 
     def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
         raise NotImplementedError
@@ -46,11 +52,16 @@ class DeclareAccum(Statement):
         scope: str,
         factory: Callable[[], Accumulator],
         initial: Optional[Expr] = None,
+        type_info: Any = None,
     ):
         self.name = name
         self.scope = scope
         self.base_factory = factory
         self.initial = initial
+        #: Declared-type descriptor (:class:`repro.core.acctypes.AccumTypeInfo`)
+        #: preserved by the GSQL parser for the static analyzer; None for
+        #: programmatically built declarations.
+        self.type_info = type_info
 
     def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
         factory = self.base_factory
@@ -170,7 +181,7 @@ class GlobalAccumUpdate(Statement):
 
     def __init__(self, name: str, op: str, expr: Expr):
         if op not in ("=", "+="):
-            raise QueryCompileError(f"global accumulator updates use = or +=")
+            raise QueryCompileError("global accumulator updates use = or +=")
         self.name = name
         self.op = op
         self.expr = expr
@@ -394,6 +405,9 @@ class Query:
         self.statements = statements
         self.params = params or []
         self.graph_name = graph_name
+        #: Original GSQL text when the query came from the parser; lets
+        #: diagnostics render caret-underlined source excerpts.
+        self.source: Optional[str] = None
 
     def run(
         self,

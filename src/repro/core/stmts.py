@@ -127,6 +127,71 @@ class AttributeUpdate(AccStatement):
         return f"{self.base!r}.{self.attr} = {self.expr!r}"
 
 
+class AccumIf(AccStatement):
+    """``IF cond THEN ... [ELSE ...] END`` inside an ACCUM/POST_ACCUM
+    clause: conditionally generate accumulator inputs per acc-execution.
+
+    Snapshot semantics carry through unchanged — the condition and both
+    branches read block-entry accumulator values, and any ``+=`` inputs
+    the taken branch generates are buffered for the Reduce phase exactly
+    like top-level clause statements.
+    """
+
+    def __init__(
+        self,
+        cond: Expr,
+        then: List["AccStatement"],
+        otherwise: Optional[List["AccStatement"]] = None,
+    ):
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise or []
+
+    def referenced_names(self) -> Iterator[str]:
+        yield from referenced_names(self.cond)
+        for stmt in self.then + self.otherwise:
+            yield from stmt.referenced_names()
+
+    def primed_names(self) -> Iterator[str]:
+        yield from primed_accum_names(self.cond)
+        for stmt in self.then + self.otherwise:
+            yield from stmt.primed_names()
+
+    def __repr__(self) -> str:
+        then = ", ".join(map(repr, self.then))
+        tail = f" ELSE {', '.join(map(repr, self.otherwise))}" if self.otherwise else ""
+        return f"IF {self.cond!r} THEN {then}{tail} END"
+
+
+class AccumForeach(AccStatement):
+    """``FOREACH x IN collection DO ... END`` inside an ACCUM/POST_ACCUM
+    clause: fold every element of a collection-valued expression (a
+    ListAccum's entries, a map, a split string) within one acc-execution.
+
+    The loop variable is an acc-execution-local binding that shadows any
+    same-named local for the loop's duration.
+    """
+
+    def __init__(self, var: str, collection: Expr, body: List["AccStatement"]):
+        self.var = var
+        self.collection = collection
+        self.body = body
+
+    def referenced_names(self) -> Iterator[str]:
+        yield from referenced_names(self.collection)
+        for stmt in self.body:
+            yield from stmt.referenced_names()
+
+    def primed_names(self) -> Iterator[str]:
+        yield from primed_accum_names(self.collection)
+        for stmt in self.body:
+            yield from stmt.primed_names()
+
+    def __repr__(self) -> str:
+        body = ", ".join(map(repr, self.body))
+        return f"FOREACH {self.var} IN {self.collection!r} DO {body} END"
+
+
 class InputBuffer:
     """The Map-phase output: buffered accumulator inputs.
 
@@ -172,6 +237,15 @@ def run_map_phase(
     multiplicity μ is buffered once with weight μ instead of μ times.
     """
     env.locals.clear()
+    _run_accum_statements(statements, env, buffer, multiplicity)
+
+
+def _run_accum_statements(
+    statements: List[AccStatement],
+    env: EvalEnv,
+    buffer: InputBuffer,
+    multiplicity: int,
+) -> None:
     for stmt in statements:
         if isinstance(stmt, LocalAssign):
             env.locals[stmt.name] = stmt.expr.eval(env)
@@ -182,6 +256,11 @@ def run_map_phase(
                 buffer.add(acc, value, multiplicity)
             else:
                 buffer.set(acc, value)
+        elif isinstance(stmt, AccumIf):
+            branch = stmt.then if bool(stmt.cond.eval(env)) else stmt.otherwise
+            _run_accum_statements(branch, env, buffer, multiplicity)
+        elif isinstance(stmt, AccumForeach):
+            _run_accum_foreach(stmt, env, buffer, multiplicity)
         elif isinstance(stmt, AttributeUpdate):
             raise QueryRuntimeError(
                 "attribute assignments are only allowed in POST_ACCUM "
@@ -189,6 +268,32 @@ def run_map_phase(
             )
         else:
             raise QueryRuntimeError(f"unknown ACCUM statement {stmt!r}")
+
+
+def _run_accum_foreach(
+    stmt: AccumForeach, env: EvalEnv, buffer: InputBuffer, multiplicity: int
+) -> None:
+    value = stmt.collection.eval(env)
+    if isinstance(value, dict):
+        items = list(value.items())
+    else:
+        try:
+            items = list(value)
+        except TypeError:
+            raise QueryRuntimeError(
+                f"FOREACH needs an iterable, got {type(value).__name__}"
+            ) from None
+    had_prior = stmt.var in env.locals
+    prior = env.locals.get(stmt.var)
+    try:
+        for item in items:
+            env.locals[stmt.var] = item
+            _run_accum_statements(stmt.body, env, buffer, multiplicity)
+    finally:
+        if had_prior:
+            env.locals[stmt.var] = prior
+        else:
+            env.locals.pop(stmt.var, None)
 
 
 def run_post_accum(
@@ -218,39 +323,67 @@ def run_post_accum(
         for binding in executions:
             env = EvalEnv(ctx, binding, locals_, primed)
             locals_.clear()
-            if isinstance(stmt, LocalAssign):
-                raise QueryRuntimeError(
-                    "local variables are not allowed in POST_ACCUM "
-                    "(each statement runs per distinct vertex)"
-                )
-            if isinstance(stmt, AttributeUpdate):
-                vertex = stmt.base.eval(env)
-                if not isinstance(vertex, Vertex):
-                    raise QueryRuntimeError(
-                        f"attribute assignment needs a vertex, got "
-                        f"{type(vertex).__name__}"
-                    )
-                value = stmt.expr.eval(env)
-                schema = ctx.graph.schema
-                if schema is not None:
-                    decl = schema.vertex_type(vertex.type).attributes.get(stmt.attr)
-                    if decl is None:
-                        raise QueryRuntimeError(
-                            f"vertex type {vertex.type!r} has no attribute "
-                            f"{stmt.attr!r}"
-                        )
-                    decl.validate(value)
-                vertex.set(stmt.attr, value)
-                continue
-            if not isinstance(stmt, AccumUpdate):
-                raise QueryRuntimeError(f"unknown POST_ACCUM statement {stmt!r}")
-            value = stmt.expr.eval(env)
-            acc = stmt.target.resolve(env)
-            if stmt.op == "=":
-                acc.assign(value)
-            else:
-                buffer.add(acc, value, 1)
+            _run_post_statement(stmt, ctx, env, buffer)
     buffer.flush()
+
+
+def _run_post_statement(
+    stmt: AccStatement, ctx: QueryContext, env: EvalEnv, buffer: InputBuffer
+) -> None:
+    """One POST_ACCUM statement for one distinct-vertex execution."""
+    if isinstance(stmt, LocalAssign):
+        raise QueryRuntimeError(
+            "local variables are not allowed in POST_ACCUM "
+            "(each statement runs per distinct vertex)"
+        )
+    if isinstance(stmt, AccumIf):
+        branch = stmt.then if bool(stmt.cond.eval(env)) else stmt.otherwise
+        for inner in branch:
+            _run_post_statement(inner, ctx, env, buffer)
+        return
+    if isinstance(stmt, AccumForeach):
+        value = stmt.collection.eval(env)
+        items = list(value.items()) if isinstance(value, dict) else list(value)
+        had_prior = stmt.var in env.locals
+        prior = env.locals.get(stmt.var)
+        try:
+            for item in items:
+                env.locals[stmt.var] = item
+                for inner in stmt.body:
+                    _run_post_statement(inner, ctx, env, buffer)
+        finally:
+            if had_prior:
+                env.locals[stmt.var] = prior
+            else:
+                env.locals.pop(stmt.var, None)
+        return
+    if isinstance(stmt, AttributeUpdate):
+        vertex = stmt.base.eval(env)
+        if not isinstance(vertex, Vertex):
+            raise QueryRuntimeError(
+                f"attribute assignment needs a vertex, got "
+                f"{type(vertex).__name__}"
+            )
+        value = stmt.expr.eval(env)
+        schema = ctx.graph.schema
+        if schema is not None:
+            decl = schema.vertex_type(vertex.type).attributes.get(stmt.attr)
+            if decl is None:
+                raise QueryRuntimeError(
+                    f"vertex type {vertex.type!r} has no attribute "
+                    f"{stmt.attr!r}"
+                )
+            decl.validate(value)
+        vertex.set(stmt.attr, value)
+        return
+    if not isinstance(stmt, AccumUpdate):
+        raise QueryRuntimeError(f"unknown POST_ACCUM statement {stmt!r}")
+    value = stmt.expr.eval(env)
+    acc = stmt.target.resolve(env)
+    if stmt.op == "=":
+        acc.assign(value)
+    else:
+        buffer.add(acc, value, 1)
 
 
 def _distinct_projections(rows: List, variables: List[str]) -> List[Dict[str, Any]]:
@@ -286,13 +419,32 @@ def collect_primed_names(statements: List[AccStatement]) -> set:
     return names
 
 
+def walk_acc_statements(statements: List[AccStatement]) -> Iterator[AccStatement]:
+    """Every statement in a clause, recursing into IF/FOREACH bodies.
+
+    The old validator iterated only the top level, which silently skipped
+    nested statement lists — the analyzer walks through this instead.
+    """
+    for stmt in statements:
+        yield stmt
+        if isinstance(stmt, AccumIf):
+            yield from walk_acc_statements(stmt.then)
+            yield from walk_acc_statements(stmt.otherwise)
+        elif isinstance(stmt, AccumForeach):
+            yield from walk_acc_statements(stmt.body)
+
+
 __all__ = [
     "AccumTarget",
     "AccStatement",
     "LocalAssign",
     "AccumUpdate",
+    "AccumIf",
+    "AccumForeach",
+    "AttributeUpdate",
     "InputBuffer",
     "run_map_phase",
     "run_post_accum",
     "collect_primed_names",
+    "walk_acc_statements",
 ]

@@ -1,4 +1,4 @@
-"""Static tractability analysis (Section 7's "tractable class").
+"""Static tractability analysis — Section 7's "tractable class" (shim).
 
 A query is in the tractable class when:
 
@@ -11,19 +11,19 @@ A query is in the tractable class when:
   SumAccum<string>) — these would need one entry per *path*, defeating
   the compressed binding table.
 
-:func:`analyze_query` reports violations; the engine additionally refuses
-at runtime the genuinely dangerous combination (order-dependent
-accumulator fed from a Kleene pattern) — see
-:meth:`repro.core.block.SelectBlock._check_tractability`.
+The checks themselves are rules GSQL-W012 and GSQL-E013 in
+:mod:`repro.analysis`; this module keeps the original
+:func:`analyze_query`/:func:`is_tractable` API on top of them.  The
+engine additionally refuses at runtime the genuinely dangerous
+combination (order-dependent accumulator fed from a Kleene pattern) —
+see :meth:`repro.core.block.SelectBlock._check_tractability`.
 """
 
 from __future__ import annotations
 
 from typing import List, NamedTuple
 
-from .block import SelectBlock
-from .query import DeclareAccum, If, Query, RunBlock, SetAssign, Statement, While
-from .stmts import AccumUpdate
+from .query import Query
 
 
 class TractabilityViolation(NamedTuple):
@@ -33,63 +33,35 @@ class TractabilityViolation(NamedTuple):
     detail: str
 
 
-def _iter_blocks(statements: List[Statement]):
-    for stmt in statements:
-        if isinstance(stmt, RunBlock):
-            yield stmt.block
-        elif isinstance(stmt, SetAssign) and isinstance(stmt.source, SelectBlock):
-            yield stmt.source
-        elif isinstance(stmt, While):
-            yield from _iter_blocks(stmt.body)
-        elif isinstance(stmt, If):
-            yield from _iter_blocks(stmt.then)
-            yield from _iter_blocks(stmt.otherwise)
-
-
-def _iter_decls(statements: List[Statement]):
-    for stmt in statements:
-        if isinstance(stmt, DeclareAccum):
-            yield stmt
-        elif isinstance(stmt, While):
-            yield from _iter_decls(stmt.body)
-        elif isinstance(stmt, If):
-            yield from _iter_decls(stmt.then)
-            yield from _iter_decls(stmt.otherwise)
-
-
 def analyze_query(query: Query) -> List[TractabilityViolation]:
     """All tractability violations of a query (empty list = tractable).
 
     The check is conservative in the paper's direction: *any* use of an
     order-dependent accumulator is reported, matching Section 7's class
     definition, even though only the Kleene-fed uses actually blow up.
+    Declaration violations precede block violations, as they always did.
     """
-    violations: List[TractabilityViolation] = []
-    order_dependent = set()
-    for decl in _iter_decls(query.statements):
-        probe = decl.base_factory()
-        if not probe.order_invariant:
-            order_dependent.add(decl.name)
-            violations.append(
-                TractabilityViolation(
-                    "order-dependent-accumulator",
-                    f"@{decl.name} has order-dependent type {probe.type_name}",
-                )
-            )
-    for block in _iter_blocks(query.statements):
-        if not block.pattern.has_kleene():
-            continue
-        for stmt in block.accum:
-            if isinstance(stmt, AccumUpdate) and stmt.target.name in order_dependent:
-                violations.append(
-                    TractabilityViolation(
-                        "kleene-feeds-order-dependent",
-                        f"@{stmt.target.name} receives inputs from a Kleene "
-                        f"pattern ({block.pattern!r}); evaluation would "
-                        f"require per-path materialization",
-                    )
-                )
-    return violations
+    # Imported lazily: repro.analysis imports core submodules, and this
+    # module is itself imported by the core package init.
+    from ..analysis import build_model, run_rules
+    from ..analysis.rules import LEGACY_TRACTABLE_KINDS
+
+    model = build_model(query)
+    diagnostics = [
+        d for d in run_rules(model) if d.code in LEGACY_TRACTABLE_KINDS
+    ]
+    decls = sorted(
+        (d for d in diagnostics if d.code == "GSQL-W012"),
+        key=lambda d: d.seq,
+    )
+    blocks = sorted(
+        (d for d in diagnostics if d.code == "GSQL-E013"),
+        key=lambda d: d.seq,
+    )
+    return [
+        TractabilityViolation(LEGACY_TRACTABLE_KINDS[d.code], d.message)
+        for d in decls + blocks
+    ]
 
 
 def is_tractable(query: Query) -> bool:

@@ -1,41 +1,22 @@
-"""Static validation of compiled queries.
+"""Static validation of compiled queries (compatibility shim).
 
-Catches, before execution, the mistakes that would otherwise surface as
-mid-query runtime errors: references to undeclared accumulators, scope
-confusion (``@@x`` vs ``v.@x``), vertex-set names that are never
-defined, and — when a schema is supplied — pattern positions naming
-unknown vertex types and DARPEs naming unknown edge types.
+The checks that used to live here are now rules in the
+:mod:`repro.analysis` subsystem, which adds source spans, caret
+excerpts, accumulator type inference and a dozen further rules on top
+(see ``docs/static_analysis.md``).  This module keeps the original
+:func:`validate_query` API alive: it runs the full analyzer and
+projects the diagnostics of the ported rules back onto the historic
+``(kind, detail)`` issue tuples, in the original traversal order.
 
-The checker is *advisory and conservative*: it only reports what is
-provably wrong from the query text alone; dynamic constructs it cannot
-see through are given the benefit of the doubt.
+New code should call :func:`repro.analysis.analyze` directly.
 """
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional, Set
+from typing import List, NamedTuple, Optional
 
-from ..darpe.ast import symbols
 from ..graph.schema import GraphSchema
-from .block import SelectBlock
-from .exprs import Expr, GlobalAccumRef, VertexAccumRef
-from .pattern import Pattern, TableSource
-from .query import (
-    DeclareAccum,
-    Foreach,
-    GlobalAccumUpdate,
-    If,
-    Print,
-    PrintSetProjection,
-    Query,
-    Return,
-    RunBlock,
-    SetAssign,
-    SetOpAssign,
-    Statement,
-    While,
-)
-from .stmts import AccumUpdate, AttributeUpdate, LocalAssign
+from .query import Query
 
 
 class ValidationIssue(NamedTuple):
@@ -48,193 +29,30 @@ class ValidationIssue(NamedTuple):
         return f"[{self.kind}] {self.detail}"
 
 
-class _Scope:
-    def __init__(self) -> None:
-        self.global_accums: Set[str] = set()
-        self.vertex_accums: Set[str] = set()
-        self.vertex_sets: Set[str] = set()
-        self.issues: List[ValidationIssue] = []
+def validate_query(
+    query: Query, schema: Optional[GraphSchema] = None
+) -> List[ValidationIssue]:
+    """All statically detectable problems in ``query`` (empty = clean).
 
-    def problem(self, kind: str, detail: str) -> None:
-        self.issues.append(ValidationIssue(kind, detail))
+    Reports the historic error kinds only (undeclared/duplicate
+    accumulators, scope confusion, unknown sets and schema names); the
+    full diagnostic set — warnings, type mismatches, spans — comes from
+    :func:`repro.analysis.analyze`.
+    """
+    # Imported lazily: repro.analysis imports core submodules, and this
+    # module is itself imported by the core package init.
+    from ..analysis import build_model, run_rules
+    from ..analysis.rules import LEGACY_VALIDATE_KINDS
 
-
-def validate_query(query: Query, schema: Optional[GraphSchema] = None) -> List[ValidationIssue]:
-    """All statically detectable problems in ``query`` (empty = clean)."""
-    scope = _Scope()
-    _walk_statements(query.statements, scope, schema)
-    return scope.issues
-
-
-def _walk_statements(
-    statements: List[Statement], scope: _Scope, schema: Optional[GraphSchema]
-) -> None:
-    for stmt in statements:
-        if isinstance(stmt, DeclareAccum):
-            target = (
-                scope.global_accums if stmt.scope == "global" else scope.vertex_accums
-            )
-            if stmt.name in scope.global_accums | scope.vertex_accums:
-                scope.problem(
-                    "duplicate-accumulator", f"@{stmt.name} declared twice"
-                )
-            target.add(stmt.name)
-        elif isinstance(stmt, SetAssign):
-            if isinstance(stmt.source, SelectBlock):
-                _check_block(stmt.source, scope, schema)
-            scope.vertex_sets.add(stmt.name)
-        elif isinstance(stmt, SetOpAssign):
-            for operand in (stmt.left, stmt.right):
-                if operand not in scope.vertex_sets:
-                    scope.problem(
-                        "unknown-vertex-set",
-                        f"set operation reads undefined set {operand!r}",
-                    )
-            scope.vertex_sets.add(stmt.name)
-        elif isinstance(stmt, RunBlock):
-            _check_block(stmt.block, scope, schema)
-            if stmt.assign_to:
-                scope.vertex_sets.add(stmt.assign_to)
-            for fragment in stmt.block.fragments:
-                # INTO names double as FROM-able sets (Figure 3 idiom).
-                scope.vertex_sets.add(fragment.into)
-        elif isinstance(stmt, GlobalAccumUpdate):
-            if stmt.name not in scope.global_accums:
-                scope.problem(
-                    "undeclared-accumulator",
-                    f"@@{stmt.name} updated but never declared",
-                )
-            _check_expr(stmt.expr, scope)
-        elif isinstance(stmt, While):
-            _check_expr(stmt.cond, scope)
-            _walk_statements(stmt.body, scope, schema)
-        elif isinstance(stmt, Foreach):
-            _check_expr(stmt.collection, scope)
-            _walk_statements(stmt.body, scope, schema)
-        elif isinstance(stmt, If):
-            _check_expr(stmt.cond, scope)
-            _walk_statements(stmt.then, scope, schema)
-            _walk_statements(stmt.otherwise, scope, schema)
-        elif isinstance(stmt, Print):
-            for item in stmt.items:
-                if isinstance(item, PrintSetProjection):
-                    if item.set_name not in scope.vertex_sets:
-                        scope.problem(
-                            "unknown-vertex-set",
-                            f"PRINT projects undefined set {item.set_name!r}",
-                        )
-                    for col in item.columns:
-                        _check_expr(col.expr, scope)
-                else:
-                    _check_expr(item.expr, scope)
-        elif isinstance(stmt, Return):
-            _check_expr(stmt.expr, scope)
-        else:
-            inner = getattr(stmt, "statements", None)
-            if inner is not None:
-                _walk_statements(inner, scope, schema)
-
-
-def _check_block(block: SelectBlock, scope: _Scope, schema: Optional[GraphSchema]) -> None:
-    _check_pattern(block.pattern, scope, schema)
-    for expr in _block_exprs(block):
-        _check_expr(expr, scope)
-    for stmt in block.accum + block.post_accum:
-        if isinstance(stmt, (AccumUpdate,)):
-            declared_global = stmt.target.name in scope.global_accums
-            declared_vertex = stmt.target.name in scope.vertex_accums
-            if stmt.target.is_global and declared_vertex and not declared_global:
-                scope.problem(
-                    "accumulator-scope",
-                    f"@@{stmt.target.name} used globally but declared as a "
-                    f"vertex accumulator",
-                )
-            elif not stmt.target.is_global and declared_global and not declared_vertex:
-                scope.problem(
-                    "accumulator-scope",
-                    f"@{stmt.target.name} used per-vertex but declared as a "
-                    f"global accumulator",
-                )
-            elif not (declared_global or declared_vertex):
-                scope.problem(
-                    "undeclared-accumulator",
-                    f"@{stmt.target.name} receives inputs but was never declared",
-                )
-            _check_expr(stmt.expr, scope)
-        elif isinstance(stmt, LocalAssign):
-            _check_expr(stmt.expr, scope)
-        elif isinstance(stmt, AttributeUpdate):
-            _check_expr(stmt.expr, scope)
-
-
-def _block_exprs(block: SelectBlock):
-    if block.where is not None:
-        yield block.where
-    for fragment in block.fragments:
-        for col in fragment.columns:
-            yield col.expr
-    yield from block.group_by
-    if block.having is not None:
-        yield block.having
-    for expr, _ in block.order_by:
-        yield expr
-    if block.limit is not None:
-        yield block.limit
-
-
-def _check_expr(expr: Expr, scope: _Scope) -> None:
-    for node in expr.walk():
-        if isinstance(node, GlobalAccumRef):
-            if node.name not in scope.global_accums:
-                if node.name in scope.vertex_accums:
-                    scope.problem(
-                        "accumulator-scope",
-                        f"@@{node.name} read globally but declared per-vertex",
-                    )
-                else:
-                    scope.problem(
-                        "undeclared-accumulator",
-                        f"@@{node.name} read but never declared",
-                    )
-        elif isinstance(node, VertexAccumRef):
-            if node.name not in scope.vertex_accums:
-                if node.name in scope.global_accums:
-                    scope.problem(
-                        "accumulator-scope",
-                        f"@{node.name} read per-vertex but declared globally",
-                    )
-                else:
-                    scope.problem(
-                        "undeclared-accumulator",
-                        f"@{node.name} read but never declared",
-                    )
-
-
-def _check_pattern(pattern: Pattern, scope: _Scope, schema: Optional[GraphSchema]) -> None:
-    for chain in pattern.chains:
-        if isinstance(chain, TableSource):
-            continue
-        positions = [chain.source] + [hop.target for hop in chain.hops]
-        for spec in positions:
-            if spec.name in ("_", "ANY") or spec.name in scope.vertex_sets:
-                continue
-            if schema is not None and not schema.has_vertex_type(spec.name):
-                scope.problem(
-                    "unknown-vertex-type",
-                    f"pattern position {spec.name!r} is neither a declared "
-                    f"vertex type nor a known vertex set",
-                )
-        if schema is not None:
-            for hop in chain.hops:
-                for symbol in symbols(hop.darpe.ast):
-                    if symbol.edge_type is not None and not schema.has_edge_type(
-                        symbol.edge_type
-                    ):
-                        scope.problem(
-                            "unknown-edge-type",
-                            f"DARPE {hop.darpe.text!r} names undeclared edge "
-                            f"type {symbol.edge_type!r}",
-                        )
+    model = build_model(query, schema)
+    diagnostics = [
+        d for d in run_rules(model) if d.code in LEGACY_VALIDATE_KINDS
+    ]
+    diagnostics.sort(key=lambda d: d.seq)
+    return [
+        ValidationIssue(LEGACY_VALIDATE_KINDS[d.code], d.message)
+        for d in diagnostics
+    ]
 
 
 __all__ = ["ValidationIssue", "validate_query"]

@@ -31,8 +31,10 @@ from ..accum import (
 from ..darpe.automaton import CompiledDarpe
 from ..darpe.parser import parse_darpe
 from ..errors import GSQLSyntaxError, QueryCompileError
+from ..core.acctypes import AccumTypeInfo
 from ..core.block import OutputColumn, OutputFragment, SelectBlock
 from ..core.context import GLOBAL, VERTEX
+from ..core.span import Span
 from ..core.exprs import (
     AggCall,
     ArrowExpr,
@@ -69,6 +71,8 @@ from ..core.query import (
 )
 from ..core.stmts import (
     AccStatement,
+    AccumForeach,
+    AccumIf,
     AccumTarget,
     AccumUpdate,
     AttributeUpdate,
@@ -154,6 +158,20 @@ class _Parser:
         raise self.error("expected an identifier")
 
     # ------------------------------------------------------------------
+    # Span helpers
+    # ------------------------------------------------------------------
+    def _prev(self) -> Token:
+        """The most recently consumed token (end anchor for spans)."""
+        return self.tokens[self.i - 1] if self.i > 0 else self.tokens[0]
+
+    def _close(self, node: Any, start: Token) -> Any:
+        """Stamp ``node`` with the span from ``start`` through the last
+        consumed token, unless a more precise span was already set."""
+        if getattr(node, "span", None) is None:
+            node.span = Span.between(start, self._prev())
+        return node
+
+    # ------------------------------------------------------------------
     # Top level
     # ------------------------------------------------------------------
     def parse_queries(self) -> List[Query]:
@@ -162,6 +180,8 @@ class _Parser:
             queries.append(self.parse_query_decl())
         if not queries:
             raise GSQLSyntaxError("no CREATE QUERY found", 1, 1)
+        for query in queries:
+            query.source = self.text
         return queries
 
     def parse_query_decl(self) -> Query:
@@ -241,6 +261,10 @@ class _Parser:
                 break
             stmt = self.parse_statement()
             if stmt is not None:
+                self._close(stmt, token)
+                if isinstance(stmt, _StatementGroup):
+                    for member in stmt.statements:
+                        self._close(member, token)
                 statements.append(stmt)
         return statements
 
@@ -270,11 +294,14 @@ class _Parser:
             return stmt
         if token.kind == "ATAT":
             self.advance()
+            name_tok = self.peek()
             name = self.expect_name()
             op = self._expect_assign_op()
             expr = self.parse_expr()
             self.expect_op(";")
-            return GlobalAccumUpdate(name, op, expr)
+            stmt = GlobalAccumUpdate(name, op, expr)
+            stmt.span = Span.between(token, name_tok)
+            return stmt
         if token.kind == "NAME":
             nxt = self.peek(1)
             if nxt.is_op("<") or nxt.kind in ("AT", "ATAT") or (
@@ -313,7 +340,7 @@ class _Parser:
 
     # -- accumulator declarations -----------------------------------------
     def parse_accum_decl(self) -> Statement:
-        factory = self.parse_accum_type()
+        factory, type_info = self.parse_accum_type()
         decls: List[DeclareAccum] = []
         while True:
             token = self.peek()
@@ -324,19 +351,23 @@ class _Parser:
             else:
                 raise self.error("expected @name or @@name")
             self.advance()
+            name_tok = self.peek()
             name = self.expect_name()
             initial = None
             if self.accept_op("="):
                 initial = self.parse_expr()
-            decls.append(DeclareAccum(name, scope, factory, initial))
+            decl = DeclareAccum(name, scope, factory, initial, type_info)
+            decl.span = Span.between(token, name_tok)
+            decls.append(decl)
             if not self.accept_op(","):
                 break
         if len(decls) == 1:
             return decls[0]
         return _StatementGroup(decls)
 
-    def parse_accum_type(self) -> Callable:
-        """Parse an accumulator type expression into an instance factory."""
+    def parse_accum_type(self) -> Tuple[Callable, AccumTypeInfo]:
+        """Parse an accumulator type expression into an instance factory
+        plus the declared-type descriptor the analyzer consumes."""
         name = self.expect_name()
         args: List[Any] = []
         if self.accept_op("<"):
@@ -356,7 +387,8 @@ class _Parser:
             self.advance()
             ctor_args = [int(size_token.value)]
             self.expect_op(")")
-        return self._build_factory(name, args, ctor_args)
+        factory = self._build_factory(name, args, ctor_args)
+        return factory, self._type_info(name, args)
 
     def parse_type_arg(self) -> Any:
         """One generic argument: a nested accumulator type, or a scalar
@@ -365,13 +397,38 @@ class _Parser:
         if token.kind != "NAME":
             raise self.error("expected a type name")
         if token.value.endswith("Accum"):
-            return ("accum", self.parse_accum_type())
+            factory, info = self.parse_accum_type()
+            return ("accum", factory, info)
         self.advance()
         type_name = token.value
         if self.peek().kind == "NAME":
             key_name = self.advance().value
             return ("keyed", type_name, key_name)
         return ("scalar", type_name)
+
+    def _type_info(self, name: str, args: List[Any]) -> AccumTypeInfo:
+        """The declared-type descriptor for a parsed accumulator type."""
+        if name == "MapAccum" and len(args) == 2:
+            key = args[0][1] if args[0][0] in ("scalar", "keyed") else None
+            value: Any = None
+            if args[1][0] == "accum":
+                value = args[1][2]
+            elif args[1][0] in ("scalar", "keyed"):
+                value = args[1][1].upper()
+            return AccumTypeInfo(name, key=key, value=value)
+        if name == "HeapAccum":
+            tuple_name = args[0][1] if args else None
+            ttype = self.tuple_types.get(tuple_name) if tuple_name else None
+            fields = list(ttype.fields) if ttype is not None else None
+            return AccumTypeInfo(name, tuple_name=tuple_name, tuple_fields=fields)
+        if name == "GroupByAccum":
+            group_keys = [(a[1], a[2]) for a in args if a[0] == "keyed"]
+            nested = [a[2] for a in args if a[0] == "accum"]
+            return AccumTypeInfo(name, group_keys=group_keys, nested=nested)
+        element = None
+        if args and args[0][0] == "scalar":
+            element = args[0][1]
+        return AccumTypeInfo(name, element=element)
 
     def parse_heap_args(self) -> List[Any]:
         self.expect_op("(")
@@ -508,8 +565,11 @@ class _Parser:
         while True:
             columns = self.parse_output_columns()
             if self.accept_kw("INTO"):
+                into_tok = self.peek()
                 into = self.expect_name()
-                fragments.append(OutputFragment(columns, into))
+                fragment = OutputFragment(columns, into)
+                fragment.span = Span.from_token(into_tok)
+                fragments.append(fragment)
                 if (
                     len(columns) == 1
                     and isinstance(columns[0].expr, NameRef)
@@ -637,19 +697,25 @@ class _Parser:
         while self.peek().is_op("-") and self.peek(1).is_op("("):
             self.advance()  # '-'
             self.advance()  # '('
+            darpe_start = self.peek()
             darpe_text, edge_var = self.parse_darpe_tokens()
             self.expect_op("-")
             target = self.parse_vertex_spec()
             compiled = CompiledDarpe(parse_darpe(darpe_text), darpe_text)
-            hops.append(Hop(compiled, target, edge_var))
+            hop = Hop(compiled, target, edge_var)
+            hop.span = Span.between(darpe_start, self._prev())
+            hops.append(hop)
         return Chain(source, hops)
 
     def parse_vertex_spec(self) -> VertexSpec:
+        start = self.peek()
         name = self.expect_name()
         var = None
         if self.accept_op(":"):
             var = self.expect_name()
-        return VertexSpec(name, var)
+        spec = VertexSpec(name, var)
+        spec.span = Span.between(start, self._prev())
+        return spec
 
     def parse_darpe_tokens(self) -> Tuple[str, Optional[str]]:
         """Consume tokens up to the hop's closing ')' and slice the DARPE
@@ -689,6 +755,11 @@ class _Parser:
 
     def parse_acc_statement(self) -> AccStatement:
         token = self.peek()
+        # Control flow inside ACCUM/POST_ACCUM bodies.
+        if token.is_keyword("IF"):
+            return self.parse_acc_if()
+        if token.is_keyword("FOREACH"):
+            return self.parse_acc_foreach()
         # Typed local declaration: FLOAT salesPrice = ...
         if (
             token.kind == "NAME"
@@ -699,29 +770,63 @@ class _Parser:
             type_name = self.advance().value
             name = self.expect_name()
             self.expect_op("=")
-            return LocalAssign(name, self.parse_expr(), type_name)
+            return self._close(
+                LocalAssign(name, self.parse_expr(), type_name), token
+            )
         # Global accumulator target.
         if token.kind == "ATAT":
             self.advance()
+            name_tok = self.peek()
             name = self.expect_name()
             op = self._expect_assign_op()
-            return AccumUpdate(AccumTarget(name), op, self.parse_expr())
+            stmt = AccumUpdate(AccumTarget(name), op, self.parse_expr())
+            stmt.span = Span.between(token, name_tok)
+            return stmt
         # Untyped local: name = expr (no '.' before '=').
         if token.kind == "NAME" and self.peek(1).is_op("="):
             name = self.advance().value
             self.expect_op("=")
-            return LocalAssign(name, self.parse_expr())
+            return self._close(LocalAssign(name, self.parse_expr()), token)
         # Vertex accumulator target: <postfix>.@name op expr.
         expr = self.parse_postfix()
         if isinstance(expr, VertexAccumRef) and not expr.primed:
             op = self._expect_assign_op()
-            return AccumUpdate(
+            stmt = AccumUpdate(
                 AccumTarget(expr.name, expr.base), op, self.parse_expr()
             )
+            stmt.span = getattr(expr, "span", None)
+            return self._close(stmt, token)
         if isinstance(expr, AttrRef) and self.accept_op("="):
             # v.attr = expr: attribute write-back (POST_ACCUM only).
-            return AttributeUpdate(expr.base, expr.attr, self.parse_expr())
+            return self._close(
+                AttributeUpdate(expr.base, expr.attr, self.parse_expr()), token
+            )
         raise self.error("expected an accumulator or local-variable statement")
+
+    def parse_acc_if(self) -> AccStatement:
+        """IF cond THEN stmt, ... [ELSE stmt, ...] END inside an ACCUM or
+        POST_ACCUM clause (branch bodies are comma-separated)."""
+        start = self.expect_kw("IF")
+        cond = self.parse_expr()
+        self.expect_kw("THEN")
+        then = self.parse_acc_statements()
+        otherwise: List[AccStatement] = []
+        if self.accept_kw("ELSE"):
+            otherwise = self.parse_acc_statements()
+        self.expect_kw("END")
+        return self._close(AccumIf(cond, then, otherwise), start)
+
+    def parse_acc_foreach(self) -> AccStatement:
+        """FOREACH var IN expr DO stmt, ... END inside an ACCUM or
+        POST_ACCUM clause."""
+        start = self.expect_kw("FOREACH")
+        var = self.expect_name()
+        self.expect_kw("IN")
+        collection = self.parse_expr()
+        self.expect_kw("DO")
+        body = self.parse_acc_statements()
+        self.expect_kw("END")
+        return self._close(AccumForeach(var, collection, body), start)
 
     # -- control flow -----------------------------------------------------
     def parse_while(self) -> Statement:
@@ -797,57 +902,69 @@ class _Parser:
         return self.parse_or()
 
     def parse_or(self) -> Expr:
+        start = self.peek()
         left = self.parse_and()
         while self.accept_kw("OR"):
-            left = Binary("OR", left, self.parse_and())
+            left = self._spanned(Binary("OR", left, self.parse_and()), start)
         return left
 
     def parse_and(self) -> Expr:
+        start = self.peek()
         left = self.parse_not()
         while self.accept_kw("AND"):
-            left = Binary("AND", left, self.parse_not())
+            left = self._spanned(Binary("AND", left, self.parse_not()), start)
         return left
 
     def parse_not(self) -> Expr:
+        start = self.peek()
         if self.accept_kw("NOT"):
             if self.peek().is_keyword("IN"):
                 raise self.error("NOT IN must follow an expression")
-            return Unary("NOT", self.parse_not())
+            return self._spanned(Unary("NOT", self.parse_not()), start)
         return self.parse_comparison()
 
     def parse_comparison(self) -> Expr:
+        start = self.peek()
         left = self.parse_additive()
         token = self.peek()
         if token.kind == "OP" and token.value in ("==", "=", "!=", "<>", "<", "<=", ">", ">="):
             self.advance()
             op = "==" if token.value == "=" else token.value
-            return Binary(op, left, self.parse_additive())
+            return self._spanned(Binary(op, left, self.parse_additive()), start)
         if token.is_keyword("IN"):
             self.advance()
-            return Binary("IN", left, self.parse_additive())
+            return self._spanned(Binary("IN", left, self.parse_additive()), start)
         if token.is_keyword("NOT") and self.peek(1).is_keyword("IN"):
             self.advance()
             self.advance()
-            return Binary("NOT IN", left, self.parse_additive())
+            return self._spanned(
+                Binary("NOT IN", left, self.parse_additive()), start
+            )
         return left
 
     def parse_additive(self) -> Expr:
+        start = self.peek()
         left = self.parse_multiplicative()
         while True:
             token = self.peek()
             if token.is_op("+") or token.is_op("-"):
                 self.advance()
-                left = Binary(token.value, left, self.parse_multiplicative())
+                left = self._spanned(
+                    Binary(token.value, left, self.parse_multiplicative()), start
+                )
             else:
                 return left
 
     def parse_multiplicative(self) -> Expr:
+        start = self.peek()
         left = self.parse_unary()
         while True:
             token = self.peek()
             if token.kind == "OP" and token.value in ("*", "/", "%"):
                 self.advance()
-                left = Binary(token.value, left, self.parse_unary())
+                left = self._spanned(
+                    Binary(token.value, left, self.parse_unary()), start
+                )
             else:
                 return left
 
@@ -855,10 +972,17 @@ class _Parser:
         token = self.peek()
         if token.is_op("-") or token.is_op("+"):
             self.advance()
-            return Unary(token.value, self.parse_unary())
+            return self._spanned(Unary(token.value, self.parse_unary()), token)
         return self.parse_postfix()
 
+    def _spanned(self, expr: Expr, start: Token) -> Expr:
+        """Stamp a freshly built expression node with the span from
+        ``start`` through the last consumed token."""
+        expr.span = Span.between(start, self._prev())
+        return expr
+
     def parse_postfix(self) -> Expr:
+        start = self.peek()
         expr = self.parse_primary()
         while self.accept_op("."):
             if self.peek().kind == "AT":
@@ -868,14 +992,14 @@ class _Parser:
                 if self.peek().kind == "PRIME":
                     self.advance()
                     primed = True
-                expr = VertexAccumRef(expr, name, primed)
+                expr = self._spanned(VertexAccumRef(expr, name, primed), start)
                 continue
             member = self.expect_name()
             if self.accept_op("("):
                 args = self.parse_call_args()
-                expr = Method(expr, member, args)
+                expr = self._spanned(Method(expr, member, args), start)
             else:
-                expr = AttrRef(expr, member)
+                expr = self._spanned(AttrRef(expr, member), start)
         return expr
 
     def parse_call_args(self) -> List[Expr]:
@@ -893,16 +1017,16 @@ class _Parser:
         token = self.peek()
         if token.kind == "NUMBER":
             self.advance()
-            return Literal(_number(token.value))
+            return self._spanned(Literal(_number(token.value)), token)
         if token.kind == "STRING":
             self.advance()
-            return Literal(token.value)
+            return self._spanned(Literal(token.value), token)
         if token.is_keyword("TRUE"):
             self.advance()
-            return Literal(True)
+            return self._spanned(Literal(True), token)
         if token.is_keyword("FALSE"):
             self.advance()
-            return Literal(False)
+            return self._spanned(Literal(False), token)
         if token.is_keyword("CASE"):
             return self.parse_case()
         if token.kind == "ATAT":
@@ -912,23 +1036,24 @@ class _Parser:
             if self.peek().kind == "PRIME":
                 self.advance()
                 primed = True
-            return GlobalAccumRef(name, primed)
+            return self._spanned(GlobalAccumRef(name, primed), token)
         if token.kind == "NAME":
             if self.peek(1).is_op("("):
                 return self.parse_call_or_aggregate()
             self.advance()
-            return NameRef(token.value)
+            return self._spanned(NameRef(token.value), token)
         if token.is_op("("):
             return self.parse_parenthesized()
         raise self.error("expected an expression")
 
     def parse_call_or_aggregate(self) -> Expr:
+        start = self.peek()
         name = self.expect_name()
         self.expect_op("(")
         lower = name.lower()
         if lower == "count" and self.accept_op("*"):
             self.expect_op(")")
-            return AggCall("count", None)
+            return self._spanned(AggCall("count", None), start)
         distinct = False
         if self.peek().is_keyword("DISTINCT"):
             self.advance()
@@ -941,15 +1066,15 @@ class _Parser:
                     break
             self.expect_op(")")
         if lower in ("count", "sum", "avg") and len(args) == 1:
-            return AggCall(lower, args[0], distinct)
+            return self._spanned(AggCall(lower, args[0], distinct), start)
         if lower in ("min", "max") and len(args) == 1:
-            return AggCall(lower, args[0], distinct)
+            return self._spanned(AggCall(lower, args[0], distinct), start)
         if distinct:
-            raise self.error(f"DISTINCT is only valid inside aggregates")
-        return Call(name, args)
+            raise self.error("DISTINCT is only valid inside aggregates")
+        return self._spanned(Call(name, args), start)
 
     def parse_parenthesized(self) -> Expr:
-        self.expect_op("(")
+        start = self.expect_op("(")
         exprs = [self.parse_expr()]
         while self.accept_op(","):
             exprs.append(self.parse_expr())
@@ -958,14 +1083,14 @@ class _Parser:
             while self.accept_op(","):
                 values.append(self.parse_expr())
             self.expect_op(")")
-            return ArrowExpr(exprs, values)
+            return self._spanned(ArrowExpr(exprs, values), start)
         self.expect_op(")")
         if len(exprs) == 1:
             return exprs[0]
-        return TupleExpr(exprs)
+        return self._spanned(TupleExpr(exprs), start)
 
     def parse_case(self) -> Expr:
-        self.expect_kw("CASE")
+        start = self.expect_kw("CASE")
         whens: List[Tuple[Expr, Expr]] = []
         while self.accept_kw("WHEN"):
             cond = self.parse_expr()
@@ -975,7 +1100,7 @@ class _Parser:
         self.expect_kw("END")
         if not whens:
             raise self.error("CASE needs at least one WHEN branch")
-        return CaseExpr(whens, default)
+        return self._spanned(CaseExpr(whens, default), start)
 
 
 class _StatementGroup(Statement):

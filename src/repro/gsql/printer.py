@@ -35,9 +35,7 @@ from ..core.query import (
     Foreach,
     GlobalAccumUpdate,
     If,
-    Parameter,
     Print,
-    PrintItem,
     PrintSetProjection,
     Query,
     Return,
@@ -47,7 +45,14 @@ from ..core.query import (
     Statement,
     While,
 )
-from ..core.stmts import AccStatement, AccumUpdate, AttributeUpdate, LocalAssign
+from ..core.stmts import (
+    AccStatement,
+    AccumForeach,
+    AccumIf,
+    AccumUpdate,
+    AttributeUpdate,
+    LocalAssign,
+)
 from ..errors import QueryCompileError
 
 _INDENT = "  "
@@ -195,24 +200,35 @@ class _Printer:
         return text
 
     def acc_statements(self, statements: List[AccStatement], pad: str) -> str:
-        rendered = []
-        for stmt in statements:
-            if isinstance(stmt, LocalAssign):
-                type_name = stmt.type_name or "FLOAT"
-                rendered.append(f"{type_name} {stmt.name} = {expr_text(stmt.expr)}")
-            elif isinstance(stmt, AccumUpdate):
-                rendered.append(
-                    f"{stmt.target!r} {stmt.op} {expr_text(stmt.expr)}"
-                )
-            elif isinstance(stmt, AttributeUpdate):
-                rendered.append(
-                    f"{expr_text(stmt.base)}.{stmt.attr} = {expr_text(stmt.expr)}"
-                )
-            else:
-                raise QueryCompileError(
-                    f"cannot print ACCUM statement {type(stmt).__name__}"
-                )
+        rendered = [self.acc_statement(stmt) for stmt in statements]
         return f",\n{pad}      ".join(rendered)
+
+    def acc_statement(self, stmt: AccStatement) -> str:
+        if isinstance(stmt, LocalAssign):
+            type_name = stmt.type_name or "FLOAT"
+            return f"{type_name} {stmt.name} = {expr_text(stmt.expr)}"
+        if isinstance(stmt, AccumUpdate):
+            return f"{stmt.target!r} {stmt.op} {expr_text(stmt.expr)}"
+        if isinstance(stmt, AttributeUpdate):
+            return f"{expr_text(stmt.base)}.{stmt.attr} = {expr_text(stmt.expr)}"
+        if isinstance(stmt, AccumIf):
+            body = ", ".join(self.acc_statement(s) for s in stmt.then)
+            text = f"IF {expr_text(stmt.cond)} THEN {body}"
+            if stmt.otherwise:
+                else_body = ", ".join(
+                    self.acc_statement(s) for s in stmt.otherwise
+                )
+                text += f" ELSE {else_body}"
+            return text + " END"
+        if isinstance(stmt, AccumForeach):
+            body = ", ".join(self.acc_statement(s) for s in stmt.body)
+            return (
+                f"FOREACH {stmt.var} IN {expr_text(stmt.collection)} DO "
+                f"{body} END"
+            )
+        raise QueryCompileError(
+            f"cannot print ACCUM statement {type(stmt).__name__}"
+        )
 
     def print_items(self, items) -> str:
         rendered = []

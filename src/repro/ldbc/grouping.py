@@ -35,7 +35,7 @@ from ..accum import (
     TupleType,
 )
 from ..core.block import SelectBlock
-from ..core.context import GLOBAL, QueryContext
+from ..core.context import GLOBAL
 from ..core.exprs import (
     ArrowExpr,
     AttrRef,
@@ -46,7 +46,7 @@ from ..core.exprs import (
     NameRef,
     TupleExpr,
 )
-from ..core.pattern import Chain, EngineMode, Pattern, hop
+from ..core.pattern import Chain, Pattern, hop
 from ..core.query import DeclareAccum, Query, QueryResult, RunBlock
 from ..core.stmts import AccumTarget, AccumUpdate
 from ..graph.graph import Graph

@@ -11,7 +11,6 @@ from repro.accum import (
     ListAccum,
     OrAccum,
     SetAccum,
-    SumAccum,
 )
 from repro.errors import AccumulatorError
 

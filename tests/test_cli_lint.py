@@ -1,0 +1,108 @@
+"""The ``repro lint`` subcommand: exit codes, rendering, JSON output."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BROKEN = """CREATE QUERY demo() FOR GRAPH G {
+  S = {Person.*};
+  R = SELECT p FROM S:p -(Knows>)- Person:q
+      ACCUM @@total += 1;
+  PRINT R;
+}
+"""
+
+CLEAN = """CREATE QUERY demo() FOR GRAPH G {
+  SumAccum<int> @@total;
+  S = {Person.*};
+  R = SELECT p FROM S:p -(Knows>)- Person:q
+      ACCUM @@total += 1;
+  PRINT R;
+}
+"""
+
+WARN_ONLY = """CREATE QUERY demo() FOR GRAPH G {
+  SumAccum<int> @@lonely;
+  PRINT 1;
+}
+"""
+
+
+@pytest.fixture()
+def write(tmp_path):
+    def _write(name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return _write
+
+
+def test_error_exits_nonzero_with_caret(write, capsys):
+    path = write("bad.gsql", BROKEN)
+    assert main(["lint", path]) == 1
+    out = capsys.readouterr().out
+    assert "error[GSQL-E001]" in out
+    assert "@total receives inputs but was never declared" in out
+    assert "^" in out  # caret excerpt rendered
+    assert "1 error" in out
+
+
+def test_clean_file_exits_zero(write, capsys):
+    path = write("good.gsql", CLEAN)
+    assert main(["lint", path]) == 0
+    assert "0 errors, 0 warnings" in capsys.readouterr().out
+
+
+def test_warnings_only_exit_zero(write, capsys):
+    path = write("warn.gsql", WARN_ONLY)
+    assert main(["lint", path]) == 0
+    out = capsys.readouterr().out
+    assert "warning[GSQL-W021]" in out
+    assert "0 errors, 1 warning" in out
+
+
+def test_syntax_error_reported_as_e000(write, capsys):
+    path = write("syntax.gsql", "CREATE QUERY broken( FOR GRAPH G { }")
+    assert main(["lint", path]) == 1
+    assert "GSQL-E000" in capsys.readouterr().out
+
+
+def test_json_format(write, capsys):
+    path = write("bad.gsql", BROKEN)
+    assert main(["lint", "--format", "json", path]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] == 1
+    assert payload["warnings"] == 0
+    (record,) = payload["diagnostics"]
+    assert record["code"] == "GSQL-E001"
+    assert record["severity"] == "error"
+    assert record["query"] == "demo"
+    assert record["line"] == 4
+    assert record["column"] == 13
+
+
+def test_python_file_extraction(write, capsys):
+    source = 'GSQL = """\n' + BROKEN + '"""\nOTHER = """not a query"""\n'
+    path = write("embed.py", source)
+    assert main(["lint", path]) == 1
+    out = capsys.readouterr().out
+    assert "GSQL-E001" in out
+    assert f"{path}[0]:demo" in out
+
+
+def test_directory_walk(tmp_path, write, capsys):
+    write("a.gsql", CLEAN)
+    write("b.gsql", BROKEN)
+    assert main(["lint", str(tmp_path)]) == 1
+    assert "2 sources checked: 1 error" in capsys.readouterr().out
+
+
+def test_examples_tree_is_clean(capsys):
+    from pathlib import Path
+
+    examples = Path(__file__).resolve().parent.parent / "examples"
+    assert main(["lint", str(examples)]) == 0
+    assert "0 errors, 0 warnings" in capsys.readouterr().out

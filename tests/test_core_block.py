@@ -3,7 +3,7 @@ POST_ACCUM, multi-output fragments, GROUP BY / ORDER BY / LIMIT."""
 
 import pytest
 
-from repro.accum import ListAccum, MaxAccum, SumAccum
+from repro.accum import ListAccum, SumAccum
 from repro.core import (
     AccumTarget,
     AccumUpdate,

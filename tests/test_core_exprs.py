@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.accum import SetAccum, SumAccum
+from repro.accum import SumAccum
 from repro.core import (
     AggCall,
     ArrowExpr,

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.accum import AvgAccum, ListAccum, MaxAccum, SetAccum, SumAccum
+from repro.accum import AvgAccum, ListAccum, MaxAccum, SumAccum
 from repro.core import (
     AccumTarget,
     AccumUpdate,

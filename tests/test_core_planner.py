@@ -22,7 +22,6 @@ from repro.core.planner import (
     split_conjuncts,
 )
 from repro.darpe import CompiledDarpe, parse_darpe
-from repro.errors import EvaluationBudgetExceeded
 from repro.graph import builders
 from repro.paths import PathSemantics
 

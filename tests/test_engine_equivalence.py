@@ -8,7 +8,6 @@ graphs through both engines end to end (pattern evaluation and full GSQL
 queries) to pin the equivalence down.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for the GSQL-text algorithm library, cross-checked against the
 programmatic implementations and direct computation."""
 
-import pytest
 
 from repro.algorithms import (
     common_neighbor_counts,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import (
     GSQLSyntaxError,
-    QueryCompileError,
     QueryRuntimeError,
     ReproError,
 )

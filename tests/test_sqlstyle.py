@@ -5,7 +5,7 @@ ROLLUP, match-table materialization, and the Example 12 equivalence
 import pytest
 
 from repro.accum import AvgAccum, GroupByAccum, MinAccum, SumAccum
-from repro.core import AttrRef, NameRef, QueryContext, chain, hop
+from repro.core import AttrRef, NameRef, chain, hop
 from repro.core.pattern import Pattern
 from repro.errors import EvaluationBudgetExceeded, QueryRuntimeError
 from repro.graph import builders
