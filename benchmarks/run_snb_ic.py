@@ -6,14 +6,20 @@ paths) and the enumeration engine ("Neo", non-repeated-edge), each over
 (scale factor) x (hops 2/3/4) x (ic3, ic5, ic6, ic9, ic11).  Enumeration
 cells that exceed the timeout print ``-`` — the paper's dashes.
 
+With ``--counters``, a third table profiles the counting engine with
+:mod:`repro.obs` and reports acc-executions per cell — the engine work
+that stays proportional to the compressed binding table (Theorem 7.1)
+rather than to the number of matching paths.
+
 Usage:  python benchmarks/run_snb_ic.py [--timeout 30] [--scales 0.1 0.4 1.6]
+        [--counters]
 """
 
 import argparse
 import sys
 import time
 
-from repro.bench import TimeoutBudget, format_seconds, render_table
+from repro.bench import TimeoutBudget, format_seconds, profile_call, render_table
 from repro.core.pattern import EngineMode
 from repro.ldbc import IC_QUERIES, default_parameters, generate_snb_graph
 from repro.paths import PathSemantics
@@ -45,12 +51,33 @@ def table_for_engine(graphs, mode, timeout):
     return rows
 
 
+def counter_table(graphs, mode):
+    """acc-executions per (scale, hops, query) cell on the counting engine."""
+    rows = []
+    for sf, graph in graphs.items():
+        for hops in HOPS:
+            cells = [sf, hops]
+            for name in QUERIES:
+                query = IC_QUERIES[name](hops)
+                params = default_parameters(graph, name)
+                _, col = profile_call(
+                    lambda q=query, p=params: q.run(graph, mode=mode, **p)
+                )
+                cells.append(col.counter("block.acc_executions"))
+            rows.append(cells)
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--timeout", type=float, default=30.0)
     parser.add_argument(
         "--scales", type=float, nargs="+", default=[0.1, 0.4, 1.6],
         help="scale factors standing in for the paper's SF 1/10/100",
+    )
+    parser.add_argument(
+        "--counters", action="store_true",
+        help="also print acc-executions for the counting engine",
     )
     args = parser.parse_args(argv)
 
@@ -71,6 +98,13 @@ def main(argv=None) -> int:
     print(render_table(headers, enumerated,
                        title="Neo (enumeration engine, non-repeated-edge)"))
     print()
+    if args.counters:
+        counters = counter_table(graphs, EngineMode.counting())
+        print(render_table(
+            headers, counters,
+            title="Counting engine acc-executions (repro.obs)",
+        ))
+        print()
     print(
         "Expected shape: the counting engine grows mildly with hops; the\n"
         "enumeration engine grows steeply on the hop-sensitive queries\n"

@@ -30,6 +30,7 @@ from abc import ABC, abstractmethod
 from typing import Any
 
 from ..errors import AccumulatorError
+from ..obs import metrics as _obs
 
 
 class Accumulator(ABC):
@@ -71,6 +72,12 @@ class Accumulator(ABC):
         if not self.multiplicity_sensitive:
             self.combine(item)
             return
+        col = _obs._ACTIVE
+        if col is not None:
+            # O(μ) fallback work: types with a closed form (Sum, Avg,
+            # Bag) override this method and never hit the counter —
+            # exactly the O(1)-vs-O(μ) split docs/accumulators.md tables.
+            col.count("accum.weighted_fallback_combines", multiplicity)
         for _ in range(multiplicity):
             self.combine(item)
 

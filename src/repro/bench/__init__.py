@@ -7,6 +7,7 @@ from .harness import (
     fit_exponent,
     fit_power,
     format_seconds,
+    profile_call,
     render_table,
     sweep,
     time_call,
@@ -19,6 +20,7 @@ __all__ = [
     "fit_exponent",
     "fit_power",
     "format_seconds",
+    "profile_call",
     "render_table",
     "sweep",
     "time_call",

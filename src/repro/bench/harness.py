@@ -56,6 +56,21 @@ def time_call(
     return timings, result
 
 
+def profile_call(fn: Callable[[], Any]) -> Tuple[Any, Any]:
+    """Run ``fn`` once under a fresh :mod:`repro.obs` collector.
+
+    Returns ``(result, collector)`` — the collector's counters let the
+    harness scripts report engine work (acc-executions, product states)
+    alongside wall-clock columns.
+    """
+    from ..obs import Collector, collect
+
+    collector = Collector()
+    with collect(collector):
+        result = fn()
+    return result, collector
+
+
 class TimeoutBudget:
     """Per-point wall-clock cutoff for sweeps over exponential baselines.
 
@@ -193,6 +208,7 @@ def render_table(
 __all__ = [
     "Measurement",
     "time_call",
+    "profile_call",
     "TimeoutBudget",
     "sweep",
     "doubling_ratios",

@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro run QUERY.gsql --graph graph.json [--param k=5] ...
     python -m repro explain QUERY.gsql
+    python -m repro profile QUERY.gsql --graph graph.json [--format json]
     python -m repro lint PATH... [--graph graph.json] [--format json]
     python -m repro generate-snb out.json --scale 0.5 --seed 42
     python -m repro semantics GRAPH.json SOURCE DARPE [--semantics ...]
@@ -11,6 +12,12 @@ Subcommands::
 ``run`` executes a ``CREATE QUERY`` file against a JSON graph (see
 ``repro.graph.io``), prints PRINT output and result tables, and can
 switch engines with ``--engine counting|nre|nrv|asp-enum``.
+
+``profile`` is EXPLAIN ANALYZE: it runs the query under the
+:mod:`repro.obs` collector and renders the span tree (per-block,
+per-hop timings with binding-table rows/multiplicity) plus the engine
+counter table, as text or JSON (``--output`` also writes the JSON trace
+to a file for offline analysis).
 
 ``lint`` runs the :mod:`repro.analysis` rule set over ``.gsql`` files,
 Python files embedding GSQL in triple-quoted strings, or directories of
@@ -62,6 +69,19 @@ def _parse_param(text: str) -> tuple:
     return name, raw
 
 
+def _load_query(path: str):
+    """Read and parse a ``CREATE QUERY`` file, or exit 1 with a one-line
+    error on an unreadable path (no traceback — mirrors ``repro lint``)."""
+    try:
+        with open(path) as fh:
+            source = fh.read()
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"{path}: {reason}", file=sys.stderr)
+        raise SystemExit(1)
+    return parse_query(source)
+
+
 def _print_value(value: Any) -> str:
     if isinstance(value, Table):
         lines = ["  " + " | ".join(value.columns)]
@@ -73,8 +93,7 @@ def _print_value(value: Any) -> str:
 
 def cmd_run(args: argparse.Namespace) -> int:
     graph = load_graph_json(args.graph)
-    with open(args.query_file) as fh:
-        query = parse_query(fh.read())
+    query = _load_query(args.query_file)
     mode = _ENGINES[args.engine]()
     params = dict(args.param or [])
     result = query.run(graph, mode=mode, **params)
@@ -96,8 +115,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    with open(args.query_file) as fh:
-        query = parse_query(fh.read())
+    query = _load_query(args.query_file)
     print(explain_query(query))
     issues = validate_query(query)
     if issues:
@@ -105,6 +123,25 @@ def cmd_explain(args: argparse.Namespace) -> int:
         for issue in issues:
             print(f"  {issue}")
         return 1
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import profile_query
+
+    graph = load_graph_json(args.graph)
+    query = _load_query(args.query_file)
+    mode = _ENGINES[args.engine]()
+    params = dict(args.param or [])
+    report = profile_query(query, graph, mode=mode, **params)
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
     return 0
 
 
@@ -122,8 +159,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
                 schema.vertex(vtype)
             for etype in graph.edge_types():
                 schema.edge(etype)
-    with open(args.query_file) as fh:
-        query = parse_query(fh.read())
+    query = _load_query(args.query_file)
     issues = validate_query(query, schema)
     for issue in issues:
         print(issue)
@@ -294,6 +330,24 @@ def build_parser() -> argparse.ArgumentParser:
     explain_p = sub.add_parser("explain", help="print a query's evaluation plan")
     explain_p.add_argument("query_file")
     explain_p.set_defaults(fn=cmd_explain)
+
+    profile_p = sub.add_parser(
+        "profile",
+        help="EXPLAIN ANALYZE: run a query and report per-block timings "
+             "and engine counters",
+    )
+    profile_p.add_argument("query_file")
+    profile_p.add_argument("--graph", required=True)
+    profile_p.add_argument("--engine", choices=sorted(_ENGINES), default="counting")
+    profile_p.add_argument(
+        "--param", action="append", type=_parse_param, metavar="NAME=VALUE"
+    )
+    profile_p.add_argument("--format", choices=("text", "json"), default="text")
+    profile_p.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the JSON trace to PATH",
+    )
+    profile_p.set_defaults(fn=cmd_profile)
 
     validate_p = sub.add_parser(
         "validate", help="statically check a query (optionally against a graph)"

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import QueryRuntimeError, TractabilityError
 from ..graph.elements import Vertex
+from ..obs import metrics as _obs
 from ..paths.semantics import PathSemantics
 from .context import QueryContext
 from .exprs import (
@@ -115,6 +116,20 @@ class SelectBlock:
 
     # ------------------------------------------------------------------
     def execute(self, ctx: QueryContext, mode: EngineMode) -> Optional[VertexSet]:
+        col = _obs._ACTIVE
+        if col is None:
+            return self._execute(ctx, mode, None)
+        span = col.span(
+            "select_block", label=f"SELECT  FROM {self.pattern!r}"
+        )
+        try:
+            return self._execute(ctx, mode, col)
+        finally:
+            col.close(span)
+
+    def _execute(
+        self, ctx: QueryContext, mode: EngineMode, col
+    ) -> Optional[VertexSet]:
         from .planner import and_all, push_down_filters
 
         if self.semantics is not None:
@@ -128,26 +143,67 @@ class SelectBlock:
             self.where, set(self.pattern.variables())
         )
         residual = and_all(residual_conjuncts)
-        table = evaluate_pattern(ctx, self.pattern, mode, var_filters)
+        if col is not None:
+            pattern_span = col.span("pattern")
+        try:
+            table = evaluate_pattern(ctx, self.pattern, mode, var_filters)
+        finally:
+            if col is not None:
+                col.close(pattern_span)
         rows = table.rows
+        if col is not None:
+            # Appendix A in two numbers: compressed size vs. the
+            # conceptual (path-weighted) size it stands in for.
+            pattern_span.set(
+                rows=len(rows), multiplicity=table.total_multiplicity()
+            )
+            col.count("block.binding_rows", len(rows))
+            col.count("block.binding_multiplicity", table.total_multiplicity())
         if residual is not None:
+            before = len(rows)
             rows = [
                 row
                 for row in rows
                 if residual.eval(EvalEnv(ctx, row.bindings, None, primed))
             ]
+            if col is not None:
+                col.count("block.rows_filtered_residual", before - len(rows))
 
         if self.accum:
+            if col is not None:
+                map_span = col.span("accum_map", statements=len(self.accum))
             buffer = InputBuffer()
             locals_: Dict[str, Any] = {}
-            for row in rows:
-                env = EvalEnv(ctx, row.bindings, locals_, primed)
-                run_map_phase(self.accum, env, buffer, row.multiplicity)
-            buffer.flush()
+            try:
+                for row in rows:
+                    env = EvalEnv(ctx, row.bindings, locals_, primed)
+                    run_map_phase(self.accum, env, buffer, row.multiplicity)
+            finally:
+                if col is not None:
+                    # One acc-execution per *compressed* row — the count
+                    # that stays flat while path multiplicities explode.
+                    map_span.set(acc_executions=len(rows))
+                    col.count("block.acc_executions", len(rows))
+                    col.close(map_span)
+            if col is not None:
+                reduce_span = col.span("accum_reduce", inputs=len(buffer))
+            try:
+                buffer.flush()
+            finally:
+                if col is not None:
+                    col.close(reduce_span)
 
         if self.post_accum:
             pattern_vars = set(self.pattern.variables())
-            run_post_accum(self.post_accum, ctx, rows, pattern_vars, primed)
+            if col is not None:
+                post_span = col.span(
+                    "post_accum", statements=len(self.post_accum)
+                )
+            try:
+                run_post_accum(self.post_accum, ctx, rows, pattern_vars, primed)
+            finally:
+                if col is not None:
+                    col.close(post_span)
 
         for fragment in self.fragments:
             self._emit_fragment(ctx, fragment, rows, primed)

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..accum.base import Accumulator
 from ..errors import QueryRuntimeError
+from ..obs import metrics as _obs
 from .context import QueryContext
 from .exprs import EvalEnv
 from .pattern import BindingRow
@@ -124,11 +125,17 @@ def parallel_accum(
         partials = [_run_partition(ctx, statements, chunk, primed) for chunk in chunks]
 
     # Reduce: merge worker partials into the live accumulators.
+    merges = 0
     for partial in partials:
         for name, acc in partial.globals.items():
             ctx.global_accum(name).merge(acc)
         for (name, vid), acc in partial.vertex.items():
             ctx.vertex_accum(name, vid).merge(acc)
+        merges += len(partial.globals) + len(partial.vertex)
+    col = _obs._ACTIVE
+    if col is not None:
+        col.count("accum.merges", merges)
+        col.count("parallel.partitions", len(partials))
 
 
 __all__ = ["parallel_accum"]

@@ -32,6 +32,7 @@ from ..darpe.automaton import CompiledDarpe
 from ..darpe.parser import parse_darpe
 from ..errors import QueryCompileError, QueryRuntimeError
 from ..graph.elements import Vertex
+from ..obs import metrics as _obs
 from ..paths.sdmc import single_source_sdmc
 from ..paths.semantics import PathSemantics
 from ..enumeration.engine import match_counts
@@ -383,75 +384,124 @@ def evaluate_chain(
 ) -> List[BindingRow]:
     graph = ctx.graph
     var_filters = var_filters or {}
+    col = _obs._ACTIVE
     rows: List[BindingRow] = [
         BindingRow({chain.source.var: v}, 1)
         for v in chain.source.seed(ctx)
         if _passes_filters(ctx, chain.source.var, v, var_filters)
     ]
     current_var = chain.source.var
+    if col is not None:
+        # Seed width after pushdown: the Qn query of Section 7.1 seeds
+        # from 1 vertex instead of all 91 thanks to the planner.
+        col.count("pattern.seed_vertices", len(rows))
     for hop in chain.hops:
-        new_rows: List[BindingRow] = []
-        target_var = hop.target.var
-        if hop.is_single_symbol:
-            # One-edge hops expand directly over the adjacency index and
-            # can bind an edge variable.
+        if col is not None:
+            hop_span = col.span(
+                "hop",
+                label=f"hop -({hop.darpe.text})- {hop.target!r}",
+                rows_in=len(rows),
+            )
+        try:
+            new_rows, plan = _evaluate_hop(
+                ctx, graph, hop, rows, mode, var_filters, current_var, col
+            )
+        finally:
+            if col is not None:
+                col.close(hop_span)
+        if col is not None:
+            hop_span.set(
+                plan=plan,
+                rows_out=len(new_rows),
+                multiplicity_out=sum(r.multiplicity for r in new_rows),
+            )
+        rows = new_rows
+        current_var = hop.target.var
+    return rows
+
+
+def _evaluate_hop(
+    ctx: QueryContext,
+    graph,
+    hop: Hop,
+    rows: List[BindingRow],
+    mode: EngineMode,
+    var_filters: Dict[str, List[Any]],
+    current_var: str,
+    col,
+) -> Tuple[List[BindingRow], str]:
+    """Expand one hop; returns (new rows, plan label for observability)."""
+    new_rows: List[BindingRow] = []
+    target_var = hop.target.var
+    if hop.is_single_symbol:
+        # One-edge hops expand directly over the adjacency index and
+        # can bind an edge variable.
+        plan = "adjacency"
+        for row in rows:
+            source_vertex = row.bindings[current_var]
+            for edge, nbr in _expand_single_symbol(
+                graph, source_vertex.vid, hop.darpe.ast
+            ):
+                target_vertex = graph.vertex(nbr)
+                if not hop.target.allows(ctx, target_vertex):
+                    continue
+                if not _passes_filters(ctx, target_var, target_vertex, var_filters):
+                    continue
+                if hop.edge_var is not None and not _passes_filters(
+                    ctx, hop.edge_var, edge, var_filters
+                ):
+                    continue
+                new_rows.extend(
+                    _bind(row, hop, target_vertex, edge, 1)
+                )
+    else:
+        reverse_targets = _reverse_targets(
+            ctx, hop, rows, mode, var_filters, current_var
+        )
+        if reverse_targets is not None:
+            # Pinned-target hop: expand from the (smaller) target side
+            # over the reversed DARPE — the plan shape whose cost the
+            # paper's Table 1 measures on Neo4j.
+            plan = f"{mode.kind}-reversed"
+            if col is not None:
+                col.count("planner.hops_reversed")
+            counts_by_target = {
+                t.vid: _hop_counts(graph, t.vid, hop, mode, reverse=True)
+                for t in reverse_targets
+            }
+            for row in rows:
+                source_vid = row.bindings[current_var].vid
+                for target in reverse_targets:
+                    mult = counts_by_target[target.vid].get(source_vid, 0)
+                    if mult:
+                        new_rows.extend(_bind(row, hop, target, None, mult))
+        else:
+            # Forward expansion; the per-source result is cached since
+            # many rows share a source vertex.
+            plan = (
+                "sdmc-counting"
+                if mode.kind == EngineMode.COUNTING
+                else "enumeration"
+            )
+            if col is not None:
+                col.count("planner.hops_forward")
+            cache: Dict[Any, Dict[Any, int]] = {}
             for row in rows:
                 source_vertex = row.bindings[current_var]
-                for edge, nbr in _expand_single_symbol(
-                    graph, source_vertex.vid, hop.darpe.ast
-                ):
-                    target_vertex = graph.vertex(nbr)
+                counts = cache.get(source_vertex.vid)
+                if counts is None:
+                    counts = _hop_counts(graph, source_vertex.vid, hop, mode)
+                    cache[source_vertex.vid] = counts
+                for target_vid, mult in counts.items():
+                    target_vertex = graph.vertex(target_vid)
                     if not hop.target.allows(ctx, target_vertex):
                         continue
-                    if not _passes_filters(ctx, target_var, target_vertex, var_filters):
-                        continue
-                    if hop.edge_var is not None and not _passes_filters(
-                        ctx, hop.edge_var, edge, var_filters
+                    if not _passes_filters(
+                        ctx, target_var, target_vertex, var_filters
                     ):
                         continue
-                    new_rows.extend(
-                        _bind(row, hop, target_vertex, edge, 1)
-                    )
-        else:
-            reverse_targets = _reverse_targets(
-                ctx, hop, rows, mode, var_filters, current_var
-            )
-            if reverse_targets is not None:
-                # Pinned-target hop: expand from the (smaller) target side
-                # over the reversed DARPE — the plan shape whose cost the
-                # paper's Table 1 measures on Neo4j.
-                counts_by_target = {
-                    t.vid: _hop_counts(graph, t.vid, hop, mode, reverse=True)
-                    for t in reverse_targets
-                }
-                for row in rows:
-                    source_vid = row.bindings[current_var].vid
-                    for target in reverse_targets:
-                        mult = counts_by_target[target.vid].get(source_vid, 0)
-                        if mult:
-                            new_rows.extend(_bind(row, hop, target, None, mult))
-            else:
-                # Forward expansion; the per-source result is cached since
-                # many rows share a source vertex.
-                cache: Dict[Any, Dict[Any, int]] = {}
-                for row in rows:
-                    source_vertex = row.bindings[current_var]
-                    counts = cache.get(source_vertex.vid)
-                    if counts is None:
-                        counts = _hop_counts(graph, source_vertex.vid, hop, mode)
-                        cache[source_vertex.vid] = counts
-                    for target_vid, mult in counts.items():
-                        target_vertex = graph.vertex(target_vid)
-                        if not hop.target.allows(ctx, target_vertex):
-                            continue
-                        if not _passes_filters(
-                            ctx, target_var, target_vertex, var_filters
-                        ):
-                            continue
-                        new_rows.extend(_bind(row, hop, target_vertex, None, mult))
-        rows = new_rows
-        current_var = target_var
-    return rows
+                    new_rows.extend(_bind(row, hop, target_vertex, None, mult))
+    return new_rows, plan
 
 
 def _reverse_targets(

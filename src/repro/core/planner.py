@@ -37,6 +37,7 @@ from ..darpe.ast import (
     Symbol,
 )
 from ..graph.elements import FORWARD, REVERSE
+from ..obs import metrics as _obs
 from .exprs import Binary, Expr, primed_accum_names, referenced_names
 
 
@@ -70,6 +71,12 @@ def push_down_filters(
             per_var.setdefault(next(iter(free)), []).append(conjunct)
         else:
             residual.append(conjunct)
+    col = _obs._ACTIVE
+    if col is not None and (per_var or residual):
+        col.count(
+            "planner.pushdown_conjuncts", sum(len(f) for f in per_var.values())
+        )
+        col.count("planner.residual_conjuncts", len(residual))
     return per_var, residual
 
 

@@ -14,6 +14,7 @@ from ..accum.base import Accumulator
 from ..errors import QueryCompileError, QueryRuntimeError
 from ..graph.elements import Vertex
 from ..graph.graph import Graph
+from ..obs import metrics as _obs
 from .block import SelectBlock
 from .context import AccumDecl, QueryContext
 from .exprs import EvalEnv, Expr
@@ -448,8 +449,20 @@ class Query:
             ctx.tables.update(tables)
         if subqueries:
             ctx.subqueries.update(subqueries)
-        for stmt in self.statements:
-            stmt.execute(ctx, mode)
+        col = _obs._ACTIVE
+        if col is None:
+            for stmt in self.statements:
+                stmt.execute(ctx, mode)
+            return QueryResult(ctx)
+        span = col.span(
+            "query", label=f"QUERY {self.name}", engine=mode.kind,
+            semantics=mode.semantics.value,
+        )
+        try:
+            for stmt in self.statements:
+                stmt.execute(ctx, mode)
+        finally:
+            col.close(span)
         return QueryResult(ctx)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

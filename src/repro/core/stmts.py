@@ -17,6 +17,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from ..accum.base import Accumulator
 from ..errors import QueryCompileError, QueryRuntimeError
 from ..graph.elements import Vertex
+from ..obs import metrics as _obs
 from .context import QueryContext
 from .exprs import EvalEnv, Expr, primed_accum_names, referenced_names
 
@@ -212,6 +213,11 @@ class InputBuffer:
         self._sets.append((acc, value))
 
     def flush(self) -> None:
+        col = _obs._ACTIVE
+        if col is not None and (self._sets or self._adds):
+            # Batched: one count per Reduce phase, not per input.
+            col.count("accum.assigns", len(self._sets))
+            col.count("accum.combine_weighted", len(self._adds))
         for acc, value in self._sets:
             acc.assign(value)
         for acc, value, multiplicity in self._adds:
@@ -313,12 +319,15 @@ def run_post_accum(
     ``+=`` inputs are buffered and folded in after the whole clause, which
     keeps the phase order-invariant.
     """
+    col = _obs._ACTIVE
     buffer = InputBuffer()
     for stmt in statements:
         deps = sorted(
             {name for name in stmt.referenced_names() if name in pattern_vars}
         )
         executions = _distinct_projections(rows, deps)
+        if col is not None:
+            col.count("block.post_accum_executions", len(executions))
         locals_: Dict[str, Any] = {}
         for binding in executions:
             env = EvalEnv(ctx, binding, locals_, primed)

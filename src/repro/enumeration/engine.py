@@ -25,6 +25,7 @@ from ..darpe.automaton import CompiledDarpe, LazyDFA
 from ..errors import EvaluationBudgetExceeded, QueryRuntimeError
 from ..graph.elements import Edge
 from ..graph.graph import Graph
+from ..obs import metrics as _obs
 from ..paths.sdmc import single_source_sdmc
 from ..paths.semantics import PathSemantics
 
@@ -96,13 +97,28 @@ def enumerate_matches(
         )
     tracker = _Budget(budget)
     if semantics is PathSemantics.ALL_SHORTEST:
-        yield from _enumerate_shortest(
+        inner = _enumerate_shortest(
             graph, source, darpe, targets, max_length, tracker
         )
     else:
-        yield from _enumerate_dfs(
+        inner = _enumerate_dfs(
             graph, source, darpe, semantics, targets, max_length, tracker
         )
+    col = _obs._ACTIVE
+    if col is None:
+        yield from inner
+        return
+    # Report once per evaluation (also on budget blow-up or early close):
+    # expanded search nodes is the paper's exponential-cost witness.
+    emitted = 0
+    try:
+        for match in inner:
+            emitted += 1
+            yield match
+    finally:
+        col.count("enum.calls")
+        col.count("enum.nodes_expanded", tracker.expanded)
+        col.count("enum.paths_emitted", emitted)
 
 
 def _emit(source: Any, vid: Any, path: List[Edge], path_vertices: List[Any]) -> PathMatch:

@@ -29,6 +29,7 @@ from typing import Any, Dict, Iterable, Iterator, List, NamedTuple, Optional, Se
 
 from ..darpe.automaton import CompiledDarpe, LazyDFA
 from ..graph.graph import Graph
+from ..obs import metrics as _obs
 
 
 class SdmcResult(NamedTuple):
@@ -87,6 +88,8 @@ def single_source_sdmc(
                 if remaining is not None:
                     remaining.discard(vid)
 
+    col = _obs._ACTIVE
+    peak_frontier = 1
     record_level(frontier)
     while frontier:
         if remaining is not None and not remaining:
@@ -107,6 +110,16 @@ def single_source_sdmc(
         visited.update(next_frontier)
         record_level(next_frontier)
         frontier = next_frontier
+        if col is not None and len(frontier) > peak_frontier:
+            peak_frontier = len(frontier)
+
+    if col is not None:
+        # Batched per call, never per edge: |visited| product states is
+        # the work bound Theorem 6.1 argues about.
+        col.count("sdmc.calls")
+        col.count("sdmc.product_states", len(visited))
+        col.count("sdmc.bfs_levels", level)
+        col.record_max("sdmc.frontier_peak", peak_frontier)
 
     if targets is not None:
         return {vid: res for vid, res in results.items() if vid in targets}

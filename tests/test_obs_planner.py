@@ -1,0 +1,105 @@
+"""Planner rewrite coverage via repro.obs counters.
+
+The planner's two binding-time decisions on a Kleene hop are invisible
+in query results (both plans compute the same table); the obs counters
+make them assertable:
+
+* a bound *source* (``WHERE s.name == ...``) becomes a pushed-down seed
+  filter, so the chain seeds from exactly one vertex instead of all of
+  them (``pattern.seed_vertices``);
+* a bound *target* under the enumeration engine flips the hop to expand
+  from the target side over the reversed DARPE
+  (``planner.hops_reversed`` vs ``planner.hops_forward``).
+"""
+
+from repro.core.pattern import EngineMode
+from repro.graph import builders
+from repro.gsql import parse_query
+from repro.obs import profile_query
+from repro.paths import PathSemantics
+
+N = 6
+
+
+def bound_source_query():
+    return parse_query("""
+CREATE QUERY BoundSource(string srcName) {
+  SumAccum<int> @@reached;
+  R = SELECT t
+      FROM V:s -(E>*)- V:t
+      WHERE s.name == srcName
+      ACCUM @@reached += 1;
+  PRINT @@reached;
+}
+""")
+
+
+def bound_target_query():
+    return parse_query("""
+CREATE QUERY BoundTarget(string tgtName) {
+  SumAccum<int> @@reaching;
+  R = SELECT s
+      FROM V:s -(E>*)- V:t
+      WHERE t.name == tgtName
+      ACCUM @@reaching += 1;
+  PRINT @@reaching;
+}
+""")
+
+
+class TestBoundSourceSeeding:
+    def test_counting_engine_seeds_from_one_vertex(self):
+        graph = builders.diamond_chain(N)
+        report = profile_query(bound_source_query(), graph, srcName="v0")
+        col = report.collector
+        # pushdown pinned the seed: 1 vertex, not the graph's 3N+1
+        assert col.counter("pattern.seed_vertices") == 1
+        assert col.counter("planner.hops_forward") == 1
+        assert col.counter("planner.hops_reversed") == 0
+        # the seed filter is a pushed-down conjunct, not a residual one
+        assert col.counter("planner.pushdown_conjuncts") == 1
+        assert col.counter("planner.residual_conjuncts") == 0
+        # one SDMC call from the single seed resolves the whole hop
+        assert col.counter("sdmc.calls") == 1
+
+    def test_unbound_source_seeds_from_every_vertex(self):
+        graph = builders.diamond_chain(N)
+        report = profile_query(bound_target_query(), graph, tgtName=f"v{N}")
+        # no filter on s: the chain seeds from all 3N+1 vertices
+        assert report.collector.counter("pattern.seed_vertices") == graph.num_vertices
+
+
+class TestBoundTargetReversal:
+    def test_enumeration_engine_reverses_the_hop(self):
+        graph = builders.diamond_chain(N)
+        mode = EngineMode.enumeration(PathSemantics.NO_REPEATED_EDGE)
+        report = profile_query(
+            bound_target_query(), graph, mode=mode, tgtName=f"v{N}"
+        )
+        col = report.collector
+        # one pinned target vs 3N+1 sources: the planner expands from the
+        # target side over reverse(E>*)
+        assert col.counter("planner.hops_reversed") == 1
+        assert col.counter("planner.hops_forward") == 0
+        hop = next(s for s in col.spans() if s.name == "hop")
+        assert hop.attrs["plan"] == "enumeration-reversed"
+
+    def test_counting_engine_never_reverses(self):
+        # SDMC's per-source BFS is already polynomial; the rewrite only
+        # pays off for enumeration (see _reverse_targets).
+        graph = builders.diamond_chain(N)
+        report = profile_query(bound_target_query(), graph, tgtName=f"v{N}")
+        col = report.collector
+        assert col.counter("planner.hops_reversed") == 0
+        assert col.counter("planner.hops_forward") == 1
+
+    def test_reversed_plan_agrees_with_forward_counts(self):
+        graph = builders.diamond_chain(N)
+        mode = EngineMode.enumeration(PathSemantics.NO_REPEATED_EDGE)
+        reversed_run = profile_query(
+            bound_target_query(), graph, mode=mode, tgtName=f"v{N}"
+        )
+        assert reversed_run.result.printed[0]["reaching"] > 0
+        forward_run = profile_query(bound_target_query(), graph, tgtName=f"v{N}")
+        assert (reversed_run.result.printed[0]["reaching"]
+                == forward_run.result.printed[0]["reaching"])
