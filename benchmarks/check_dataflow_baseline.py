@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Guard the flow-sensitive analysis output over the GSQL corpus.
+
+Runs ``repro check``'s analysis (via :func:`repro.cli.check_units`) over
+the example corpus plus the paper-query test file and compares the
+diagnostics against the committed baseline
+(``benchmarks/dataflow_baseline.json``).  The job fails when:
+
+1. a *new* diagnostic appears that the baseline does not record — a
+   regression in either the corpus or the analyzer,
+2. the dataflow solver fails to converge on any corpus query, or
+3. the diamond-chain query (``examples/qn_diamond.gsql``) loses its
+   static TRACTABLE certificate — the planner's licence to pick the
+   counting engine without a runtime probe.
+
+Stale baseline entries (recorded diagnostics that no longer fire) are
+reported as warnings, not failures, so fixing a corpus query never
+breaks CI; refresh with ``--write-baseline``.
+
+Exit status 0 = clean, 1 = regression.
+
+Usage:  python benchmarks/check_dataflow_baseline.py [--write-baseline]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.cli import _collect_units, check_units
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = Path(__file__).resolve().parent / "dataflow_baseline.json"
+CORPUS = ["examples", "tests/test_gsql_paper_queries.py"]
+
+
+def diagnostic_key(record):
+    return (
+        record.get("file"),
+        record.get("query"),
+        record.get("code"),
+        record.get("line"),
+        record.get("message"),
+    )
+
+
+def collect_payload():
+    units = _collect_units([str(REPO / p) for p in CORPUS])
+    # Normalise labels to repo-relative paths so the baseline is stable
+    # across checkouts.
+    rel = [(str(Path(label).resolve().relative_to(REPO)), src)
+           for label, src in units]
+    payload, _rendered, _dot = check_units(rel)
+    return payload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    args = parser.parse_args(argv)
+
+    payload = collect_payload()
+    current = sorted(diagnostic_key(r) for r in payload["diagnostics"])
+
+    if args.write_baseline:
+        BASELINE.write_text(json.dumps(
+            {"diagnostics": [list(k) for k in current]}, indent=2,
+        ) + "\n")
+        print(f"wrote {len(current)} baseline diagnostics to {BASELINE}")
+        return 0
+
+    baseline = {tuple(k) for k in
+                json.loads(BASELINE.read_text())["diagnostics"]}
+
+    failures = 0
+
+    new = [k for k in current if k not in baseline]
+    for key in new:
+        file, query, code, line, message = key
+        print(f"NEW DIAGNOSTIC {file}:{query}:{line}: {code} {message}")
+        failures += 1
+
+    stale = baseline - set(current)
+    for key in sorted(stale):
+        print(f"warning: stale baseline entry {key}", file=sys.stderr)
+
+    diverged = [q for q in payload["queries"] if not q["converged"]]
+    for q in diverged:
+        print(f"SOLVER DIVERGED {q['file']}:{q['query']} "
+              f"after {q['iterations']} iterations")
+        failures += 1
+
+    qn = [c for c in payload["certificates"]
+          if c["file"].endswith("qn_diamond.gsql") and c["query"] == "Qn"]
+    if not qn:
+        print("MISSING certificate for examples/qn_diamond.gsql:Qn")
+        failures += 1
+    elif qn[0]["status"] != "tractable":
+        print(f"qn_diamond certificate regressed: {qn[0]['status']} "
+              f"(witnesses: {qn[0]['witnesses']})")
+        failures += 1
+
+    n_queries = len(payload["queries"])
+    n_certs = len(payload["certificates"])
+    if failures:
+        print(f"{failures} dataflow regression(s) over "
+              f"{n_queries} queries / {n_certs} certificates")
+        return 1
+    print(f"dataflow baseline clean: {n_queries} queries converged, "
+          f"{n_certs} certificates, {len(current)} known diagnostics, "
+          f"qn_diamond is {qn[0]['status']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,18 +13,21 @@ descriptors without an import cycle.
 """
 
 from .analyzer import analyze, error_count, run_rules
+from .cfg import CFG, CFGNode, build_cfg
+from .dataflow import DataflowResult, analyze_dataflow, block_certificates
 from .diagnostics import (
     Diagnostic,
     Severity,
     apply_suppressions,
     caret_excerpt,
 )
-from .model import QueryModel, build_model
+from .model import QueryModel, build_model, cached_model
 from .rules import (
     LEGACY_TRACTABLE_KINDS,
     LEGACY_VALIDATE_KINDS,
     Rule,
     all_rules,
+    catalog_codes,
     register,
     rule_catalog,
 )
@@ -40,10 +43,18 @@ __all__ = [
     "caret_excerpt",
     "QueryModel",
     "build_model",
+    "cached_model",
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "DataflowResult",
+    "analyze_dataflow",
+    "block_certificates",
     "Rule",
     "all_rules",
     "register",
     "rule_catalog",
+    "catalog_codes",
     "LEGACY_VALIDATE_KINDS",
     "LEGACY_TRACTABLE_KINDS",
     "TypeEnv",

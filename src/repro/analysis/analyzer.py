@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from .diagnostics import Diagnostic, apply_suppressions
-from .model import QueryModel, build_model
+from .model import QueryModel, cached_model
 from .rules import Rule, all_rules
 
 
@@ -49,7 +49,7 @@ def analyze(
     code), with the source text's inline suppressions applied.  Pass
     ``source`` explicitly for queries whose ``.source`` is unset.
     """
-    model = build_model(query, schema)
+    model = cached_model(query, schema)
     diagnostics = run_rules(model, rules)
     text = source if source is not None else model.source
     diagnostics = apply_suppressions(diagnostics, text)

@@ -1,0 +1,495 @@
+"""Control-flow graph over query statements.
+
+The graph the flow-sensitive rules run over (:mod:`.dataflow`) is built
+from a :class:`~repro.analysis.model.QueryModel`, one node per
+statement: plain statements and whole ``SELECT`` blocks are single
+nodes, ``IF``/``WHILE``/``FOREACH`` conditions get their own node with
+labelled out-edges (``true``/``false``/``back``), and ``WHILE`` bodies
+close a back-edge onto the loop header.  ``RETURN`` falls through — the
+runtime (:meth:`repro.core.query.Return.execute`) only records the
+value and keeps executing, so the CFG must too.
+
+Each node carries an ordered list of *events* — the model's facts in
+evaluation order, not source order.  Inside a SELECT block that means:
+FROM-pattern set uses, then WHERE reads, then ACCUM-clause reads
+(snapshot semantics: every ACCUM read sees pre-block values, so all
+reads precede all writes), then ACCUM writes, then POST_ACCUM
+reads/writes interleaved with each update's right-hand-side reads
+*before* its write (``@x = @x + 1`` reads the old value first), then
+output-expression reads, then the result-set definition.
+
+Literal ``IF``/``WHILE`` conditions are constant-folded: the impossible
+edge is dropped, which is what makes W034 (unreachable statement) a
+reachability query and keeps ``WHILE (FALSE)`` bodies out of the
+loop-carried states.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.exprs import Binary, Literal, Unary
+from ..core.query import (
+    DeclareAccum,
+    Foreach,
+    GlobalAccumUpdate,
+    If,
+    Print,
+    Return,
+    RunBlock,
+    SetAssign,
+    SetOpAssign,
+    Statement,
+    While,
+)
+from ..core.span import Span, span_of
+from .model import (
+    AccumReadFact,
+    AccumWriteFact,
+    BlockFact,
+    DeclFact,
+    QueryModel,
+    SetDefFact,
+    SetUseFact,
+    _Fact,
+)
+
+# Event kinds, in the order the transfer functions interpret them.
+DECL = "decl"
+READ = "read"
+WRITE = "write"
+SET_DEF = "set_def"
+SET_USE = "set_use"
+
+Event = Tuple[str, _Fact]
+
+
+class CFGNode:
+    """One statement (or condition) in the control-flow graph."""
+
+    __slots__ = ("id", "kind", "stmt", "label", "events", "succs", "preds",
+                 "span", "block_fact")
+
+    def __init__(self, node_id: int, kind: str, stmt: Optional[Statement],
+                 label: str, span: Optional[Span]):
+        self.id = node_id
+        self.kind = kind  # "entry" | "exit" | "stmt" | "cond" | "loop"
+        self.stmt = stmt
+        self.label = label
+        self.span = span
+        self.events: List[Event] = []
+        self.succs: List[Tuple["CFGNode", str]] = []
+        self.preds: List[Tuple["CFGNode", str]] = []
+        self.block_fact: Optional[BlockFact] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CFGNode {self.id} {self.kind} {self.label!r}>"
+
+
+class LoopInfo:
+    """A ``WHILE``/``FOREACH`` region: header node plus its body nodes."""
+
+    __slots__ = ("stmt", "kind", "head", "body_nodes")
+
+    def __init__(self, stmt: Statement, kind: str, head: CFGNode):
+        self.stmt = stmt
+        self.kind = kind  # "while" | "foreach"
+        self.head = head
+        self.body_nodes: List[CFGNode] = []
+
+
+class CFG:
+    """The built graph: entry/exit sentinels, nodes, loops."""
+
+    def __init__(self, query_name: str):
+        self.query_name = query_name
+        self.nodes: List[CFGNode] = []
+        self.entry: CFGNode = self._new("entry", None, "ENTRY", None)
+        self.exit: CFGNode = self._new("exit", None, "EXIT", None)
+        self.loops: List[LoopInfo] = []
+
+    # ------------------------------------------------------------------
+    def _new(self, kind: str, stmt: Optional[Statement], label: str,
+             span: Optional[Span]) -> CFGNode:
+        node = CFGNode(len(self.nodes), kind, stmt, label, span)
+        self.nodes.append(node)
+        return node
+
+    def _edge(self, src: CFGNode, dst: CFGNode, label: str) -> None:
+        src.succs.append((dst, label))
+        dst.preds.append((src, label))
+
+    # ------------------------------------------------------------------
+    def reachable(self) -> Set[int]:
+        """Node ids reachable from entry along CFG edges."""
+        seen: Set[int] = set()
+        stack = [self.entry]
+        while stack:
+            node = stack.pop()
+            if node.id in seen:
+                continue
+            seen.add(node.id)
+            for succ, _ in node.succs:
+                if succ.id not in seen:
+                    stack.append(succ)
+        return seen
+
+    def node_for(self, stmt: Statement) -> Optional[CFGNode]:
+        for node in self.nodes:
+            if node.stmt is stmt:
+                return node
+        return None
+
+    # ------------------------------------------------------------------
+    def to_dot(self, name: Optional[str] = None) -> str:
+        """Graphviz rendering (``repro check --dot``)."""
+        title = name or self.query_name or "query"
+        out = [f'digraph "{title}" {{']
+        out.append('  rankdir=TB; node [fontname="monospace" fontsize=10];')
+        reachable = self.reachable()
+        for node in self.nodes:
+            shape = {
+                "entry": "circle", "exit": "doublecircle",
+                "cond": "diamond", "loop": "diamond",
+            }.get(node.kind, "box")
+            label = node.label.replace("\\", "\\\\").replace('"', '\\"')
+            if node.span is not None:
+                label += f"\\nL{node.span.line}"
+            style = "" if node.id in reachable else ' style=dashed color=gray'
+            out.append(f'  n{node.id} [shape={shape} label="{label}"{style}];')
+        for node in self.nodes:
+            for succ, edge_label in node.succs:
+                attrs = ""
+                if edge_label != "seq":
+                    attrs = f' [label="{edge_label}"'
+                    if edge_label == "back":
+                        attrs += " style=dashed"
+                    attrs += "]"
+                out.append(f"  n{node.id} -> n{succ.id}{attrs};")
+        out.append("}")
+        return "\n".join(out)
+
+
+def const_value(expr: Any) -> Optional[Any]:
+    """Statically evaluate an expression, or None when it is not constant.
+
+    Only literal-driven boolean structure folds — enough to prove
+    ``IF (FALSE)`` bodies dead without pretending to know runtime data.
+    """
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Unary) and expr.op == "NOT":
+        inner = const_value(expr.operand)
+        return None if inner is None else (not inner)
+    if isinstance(expr, Binary) and expr.op in ("AND", "OR"):
+        left = const_value(expr.left)
+        right = const_value(expr.right)
+        if expr.op == "AND":
+            if left is False or right is False:
+                return False
+            if left is True and right is True:
+                return True
+        else:
+            if left is True or right is True:
+                return True
+            if left is False and right is False:
+                return False
+    return None
+
+
+# ----------------------------------------------------------------------
+# Event assembly
+
+
+def _rhs_reorder(facts: List[_Fact]) -> List[Event]:
+    """Interleaved write/read facts -> events with RHS reads first.
+
+    The model records an :class:`AccumWriteFact` *before* the reads its
+    right-hand side produces; evaluation order is the reverse (the RHS
+    is computed, then stored).  Without this, ``@@x += 1; @@x = @@x * 2``
+    would make the first write look dead.
+    """
+    events: List[Event] = []
+    pending: Optional[Tuple[AccumWriteFact, Set[int]]] = None
+
+    def flush() -> None:
+        nonlocal pending
+        if pending is not None:
+            events.append((WRITE, pending[0]))
+            pending = None
+
+    for fact in facts:
+        if isinstance(fact, AccumWriteFact):
+            flush()
+            pending = (fact, {id(n) for n in fact.expr.walk()})
+        elif isinstance(fact, AccumReadFact):
+            if pending is not None and id(fact.node) in pending[1]:
+                events.append((READ, fact))
+            else:
+                flush()
+                events.append((READ, fact))
+        else:
+            flush()
+            events.append((_plain_kind(fact), fact))
+    flush()
+    return events
+
+
+def _plain_kind(fact: _Fact) -> str:
+    if isinstance(fact, DeclFact):
+        return DECL
+    if isinstance(fact, AccumWriteFact):
+        return WRITE
+    if isinstance(fact, AccumReadFact):
+        return READ
+    if isinstance(fact, SetDefFact):
+        return SET_DEF
+    if isinstance(fact, SetUseFact):
+        return SET_USE
+    return "info"
+
+
+def _where_nodes(block) -> Set[int]:
+    if block.where is None:
+        return set()
+    return {id(n) for n in block.where.walk()}
+
+
+def _block_events(stmt: Statement, facts: List[_Fact]) -> List[Event]:
+    """Evaluation-order events for a SELECT-block statement."""
+    block_fact = next((f for f in facts if isinstance(f, BlockFact)), None)
+    block = block_fact.block if block_fact is not None else None
+    where_ids = _where_nodes(block) if block is not None else set()
+
+    set_uses: List[_Fact] = []
+    where_reads: List[_Fact] = []
+    accum_reads: List[_Fact] = []
+    accum_writes: List[_Fact] = []
+    post_facts: List[_Fact] = []
+    output_reads: List[_Fact] = []
+    set_defs: List[_Fact] = []
+    rest: List[Event] = []
+
+    for fact in facts:
+        if isinstance(fact, SetUseFact):
+            set_uses.append(fact)
+        elif isinstance(fact, SetDefFact):
+            set_defs.append(fact)
+        elif isinstance(fact, AccumReadFact):
+            if fact.context == "accum":
+                accum_reads.append(fact)
+            elif fact.context == "post_accum":
+                post_facts.append(fact)
+            elif id(fact.node) in where_ids:
+                where_reads.append(fact)
+            else:
+                output_reads.append(fact)
+        elif isinstance(fact, AccumWriteFact):
+            if fact.context == "post_accum":
+                post_facts.append(fact)
+            else:
+                accum_writes.append(fact)
+        elif isinstance(fact, BlockFact):
+            continue
+        else:
+            rest.append((_plain_kind(fact), fact))
+
+    events: List[Event] = []
+    events.extend((SET_USE, f) for f in set_uses)
+    events.extend((READ, f) for f in where_reads)
+    # ACCUM snapshot semantics (Section 4): reads before writes.
+    events.extend((READ, f) for f in accum_reads)
+    events.extend((WRITE, f) for f in accum_writes)
+    # POST_ACCUM runs sequentially per vertex: keep statement order but
+    # put each update's RHS reads before its write.
+    events.extend(_rhs_reorder(post_facts))
+    events.extend((READ, f) for f in output_reads)
+    events.extend((SET_DEF, f) for f in set_defs)
+    events.extend(rest)
+    return events
+
+
+def _stmt_events(stmt: Statement, facts: List[_Fact]) -> List[Event]:
+    if isinstance(stmt, (RunBlock,)) or (
+        isinstance(stmt, SetAssign) and any(
+            isinstance(f, BlockFact) for f in facts
+        )
+    ):
+        return _block_events(stmt, facts)
+    if isinstance(stmt, GlobalAccumUpdate):
+        return _rhs_reorder(facts)
+    return [(_plain_kind(f), f) for f in facts]
+
+
+def _stmt_label(stmt: Statement) -> str:
+    if isinstance(stmt, DeclareAccum):
+        sigil = "@@" if stmt.scope == "global" else "@"
+        return f"DECL {sigil}{stmt.name}"
+    if isinstance(stmt, SetAssign):
+        from ..core.block import SelectBlock
+        if isinstance(stmt.source, SelectBlock):
+            return f"{stmt.name} = SELECT"
+        return f"{stmt.name} = ..."
+    if isinstance(stmt, SetOpAssign):
+        return f"{stmt.name} = {stmt.left} {stmt.op} {stmt.right}"
+    if isinstance(stmt, RunBlock):
+        if stmt.assign_to:
+            return f"{stmt.assign_to} = SELECT"
+        return "SELECT"
+    if isinstance(stmt, GlobalAccumUpdate):
+        return f"@@{stmt.name} {stmt.op} ..."
+    if isinstance(stmt, Print):
+        return "PRINT"
+    if isinstance(stmt, Return):
+        return "RETURN"
+    return type(stmt).__name__
+
+
+# ----------------------------------------------------------------------
+# Builder
+
+
+class _CFGBuilder:
+    def __init__(self, model: QueryModel):
+        self.model = model
+        self.cfg = CFG(getattr(model.query, "name", "") or "query")
+        self._open_loops: List[LoopInfo] = []
+        self.facts_by_owner: Dict[int, List[_Fact]] = {}
+        for fact in model.facts:
+            if fact.owner is not None:
+                self.facts_by_owner.setdefault(id(fact.owner), []).append(fact)
+
+    # A *frontier* is the set of dangling (node, edge-label) pairs that
+    # flow into whatever comes next.
+    Frontier = List[Tuple[CFGNode, str]]
+
+    def build(self) -> CFG:
+        frontier: _CFGBuilder.Frontier = [(self.cfg.entry, "seq")]
+        frontier = self._build_seq(self.model.query.statements, frontier)
+        self._connect(frontier, self.cfg.exit, default="seq")
+        return self.cfg
+
+    def _connect(self, frontier: Frontier, dst: CFGNode,
+                 default: str = "seq") -> None:
+        for src, label in frontier:
+            self.cfg._edge(src, dst, label or default)
+
+    def _own_facts(self, stmt: Statement) -> List[_Fact]:
+        return self.facts_by_owner.get(id(stmt), [])
+
+    def _build_seq(self, statements: Iterable[Statement],
+                   frontier: Frontier) -> Frontier:
+        for stmt in statements:
+            frontier = self._build_stmt(stmt, frontier)
+        return frontier
+
+    def _build_stmt(self, stmt: Statement, frontier: Frontier) -> Frontier:
+        inner = getattr(stmt, "statements", None)
+        if inner is not None and not isinstance(
+            stmt, (While, Foreach, If)
+        ):
+            # Statement groups (e.g. multi-declaration lines) flatten.
+            return self._build_seq(inner, frontier)
+        if isinstance(stmt, If):
+            return self._build_if(stmt, frontier)
+        if isinstance(stmt, While):
+            return self._build_while(stmt, frontier)
+        if isinstance(stmt, Foreach):
+            return self._build_foreach(stmt, frontier)
+
+        node = self.cfg._new("stmt", stmt, _stmt_label(stmt), span_of(stmt))
+        facts = self._own_facts(stmt)
+        node.events = _stmt_events(stmt, facts)
+        node.block_fact = next(
+            (f for f in facts if isinstance(f, BlockFact)), None
+        )
+        self._connect(frontier, node)
+        for loop in self._open_loops:
+            loop.body_nodes.append(node)
+        return [(node, "seq")]
+
+    def _build_if(self, stmt: If, frontier: Frontier) -> Frontier:
+        cond = self.cfg._new("cond", stmt, "IF", span_of(stmt))
+        cond.events = [
+            (_plain_kind(f), f) for f in self._own_facts(stmt)
+        ]
+        self._connect(frontier, cond)
+        for loop in self._open_loops:
+            loop.body_nodes.append(cond)
+        value = const_value(stmt.cond)
+        then_start: _CFGBuilder.Frontier = (
+            [(cond, "true")] if value is not False else []
+        )
+        else_start: _CFGBuilder.Frontier = (
+            [(cond, "false")] if value is not True else []
+        )
+        out: _CFGBuilder.Frontier = []
+        out.extend(self._build_seq(stmt.then, then_start))
+        if stmt.otherwise:
+            out.extend(self._build_seq(stmt.otherwise, else_start))
+        else:
+            out.extend(else_start)
+        return out
+
+    def _build_while(self, stmt: While, frontier: Frontier) -> Frontier:
+        head = self.cfg._new("loop", stmt, "WHILE", span_of(stmt))
+        head.events = [
+            (_plain_kind(f), f) for f in self._own_facts(stmt)
+        ]
+        self._connect(frontier, head)
+        for loop in self._open_loops:
+            loop.body_nodes.append(head)
+        info = LoopInfo(stmt, "while", head)
+        self.cfg.loops.append(info)
+        value = const_value(stmt.cond)
+        body_start: _CFGBuilder.Frontier = (
+            [(head, "true")] if value is not False else []
+        )
+        self._open_loops.append(info)
+        try:
+            body_end = self._build_seq(stmt.body, body_start)
+        finally:
+            self._open_loops.pop()
+        for src, _ in body_end:
+            self.cfg._edge(src, head, "back")
+        # A statically-TRUE condition only exits through LIMIT.
+        if value is not True or stmt.limit is not None:
+            return [(head, "false")]
+        return []
+
+    def _build_foreach(self, stmt: Foreach, frontier: Frontier) -> Frontier:
+        head = self.cfg._new("loop", stmt, f"FOREACH {stmt.var}", span_of(stmt))
+        head.events = [
+            (_plain_kind(f), f) for f in self._own_facts(stmt)
+        ]
+        self._connect(frontier, head)
+        for loop in self._open_loops:
+            loop.body_nodes.append(head)
+        info = LoopInfo(stmt, "foreach", head)
+        self.cfg.loops.append(info)
+        self._open_loops.append(info)
+        try:
+            body_end = self._build_seq(stmt.body, [(head, "true")])
+        finally:
+            self._open_loops.pop()
+        for src, _ in body_end:
+            self.cfg._edge(src, head, "back")
+        return [(head, "false")]
+
+def build_cfg(model: QueryModel) -> CFG:
+    """The control-flow graph for a model (cached by :mod:`.dataflow`)."""
+    return _CFGBuilder(model).build()
+
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "LoopInfo",
+    "build_cfg",
+    "const_value",
+    "DECL",
+    "READ",
+    "WRITE",
+    "SET_DEF",
+    "SET_USE",
+]

@@ -50,14 +50,21 @@ from .types import TypeEnv
 
 
 class _Fact:
-    """Base record: every fact knows its AST node and source span."""
+    """Base record: every fact knows its AST node and source span.
 
-    __slots__ = ("node", "span", "seq")
+    ``owner`` is the innermost *statement* being walked when the fact was
+    recorded (None for top-level walks) — the unit the control-flow graph
+    of :mod:`repro.analysis.cfg` is built over, so the flow-sensitive
+    rules can group facts per CFG node.
+    """
+
+    __slots__ = ("node", "span", "seq", "owner")
 
     def __init__(self, node: Any, span: Optional[Span], seq: int):
         self.node = node
         self.span = span
         self.seq = seq
+        self.owner: Any = None
 
 
 class DeclFact(_Fact):
@@ -243,12 +250,16 @@ class QueryModel:
         }
 
 
-def _decl_order_dependence(decl: DeclareAccum) -> Tuple[bool, str]:
+def _decl_order_dependence(decl: DeclareAccum) -> Tuple[Optional[bool], str]:
     """(order_dependent, type description) for a declaration.
 
     Prefers the parser-preserved :class:`AccumTypeInfo`; programmatic
     declarations are probed by instantiating the factory (guarding the
-    parameter-dependent factories that need a runtime context).
+    parameter-dependent factories that need a runtime context).  When the
+    probe itself fails the answer is ``None`` — *unknown* — so the
+    tractability certificate can refuse to classify rather than guess
+    (the flow-insensitive W012/E013 rules treat unknown as clean, which
+    preserves their historical behaviour).
     """
     info = decl.type_info
     if info is not None:
@@ -259,7 +270,7 @@ def _decl_order_dependence(decl: DeclareAccum) -> Tuple[bool, str]:
     try:
         probe = factory()
     except Exception:
-        return False, type(factory).__name__
+        return None, type(factory).__name__
     return (not probe.order_invariant), probe.type_name
 
 
@@ -274,6 +285,7 @@ class _ModelBuilder:
         self.vertex_sets: Set[str] = set()
         self.tables: Set[str] = set()
         self.loop_vars: List[str] = []
+        self._owner_stack: List[Statement] = []
 
     # ------------------------------------------------------------------
     def _next(self) -> int:
@@ -281,6 +293,7 @@ class _ModelBuilder:
         return self.seq
 
     def _add(self, fact: _Fact, bucket: List) -> None:
+        fact.owner = self._owner_stack[-1] if self._owner_stack else None
         self.model.facts.append(fact)
         bucket.append(fact)
 
@@ -308,6 +321,13 @@ class _ModelBuilder:
             self._walk_statement(stmt)
 
     def _walk_statement(self, stmt: Statement) -> None:
+        self._owner_stack.append(stmt)
+        try:
+            self._dispatch_statement(stmt)
+        finally:
+            self._owner_stack.pop()
+
+    def _dispatch_statement(self, stmt: Statement) -> None:
         model = self.model
         if isinstance(stmt, DeclareAccum):
             duplicate = stmt.name in self.global_accums | self.vertex_accums
@@ -703,9 +723,30 @@ def build_model(query: Query, schema=None) -> QueryModel:
     return _ModelBuilder(query, schema).build()
 
 
+def cached_model(query: Query, schema=None) -> QueryModel:
+    """The model for ``query``, cached on the query object.
+
+    The ``core.validate`` shim, the ``core.tractable`` shim, certificate
+    attachment and ``repro lint``/``repro check`` all want the same
+    model; building it once per (query, schema) pair keeps a CLI
+    invocation at one walk instead of three.  ``Query.invalidate_analysis``
+    drops the cache after a recompile.
+    """
+    cache = getattr(query, "_analysis_cache", None)
+    if cache is not None and cache[0] is schema:
+        return cache[1]
+    model = build_model(query, schema)
+    try:
+        query._analysis_cache = (schema, model)
+    except AttributeError:
+        pass  # exotic Query subclasses with __slots__ stay uncached
+    return model
+
+
 __all__ = [
     "QueryModel",
     "build_model",
+    "cached_model",
     "DeclFact",
     "AccumWriteFact",
     "AccumReadFact",

@@ -21,6 +21,11 @@ Warning rules (suspicious programs)
     W021 unused accumulator                W022 unused vertex set
     W023 INTO shadows an existing name     W024 FOREACH shadows a name
     W025 unknown bare identifier
+
+Flow-sensitive rules (over the :mod:`.dataflow` fixed point)
+    E030 read before first write           W031 dead accumulator write
+    W032 loop-invariant SELECT block       E033 WHILE that cannot converge
+    W034 unreachable statement
 """
 
 from __future__ import annotations
@@ -51,6 +56,22 @@ def all_rules() -> List["Rule"]:
 
 def rule_catalog() -> List[Type["Rule"]]:
     return list(_REGISTRY)
+
+
+def catalog_codes() -> List[str]:
+    """Every diagnostic code the registry can emit, sub-codes included.
+
+    The doc-drift golden test pins this list against the tables in
+    ``docs/static_analysis.md``.
+    """
+    codes: Set[str] = set()
+    for cls in _REGISTRY:
+        codes.add(cls.code)
+        for attr in ("SCOPE_CODE", "MAP_CODE", "HEAP_CODE"):
+            sub = getattr(cls, attr, None)
+            if sub:
+                codes.add(sub)
+    return sorted(codes)
 
 
 class Rule:
@@ -507,6 +528,143 @@ class UnknownNameRule(Rule):
                 )
 
 
+# ======================================================================
+# Flow-sensitive rules (E030-W034) — thin reporters over the dataflow
+# fixed point; all the graph reasoning lives in repro.analysis.dataflow.
+# ======================================================================
+@register
+class ReadBeforeWriteRule(Rule):
+    """E030: a read that *no* write can reach.
+
+    Flow-sensitive: fires only when every CFG path from entry to the
+    read is write-free **and** the accumulator is written somewhere
+    later, so read-only accumulators (query inputs/outputs) and
+    declarations with initializers stay clean."""
+
+    code = "GSQL-E030"
+    name = "read-before-write"
+    severity = Severity.ERROR
+    description = (
+        "An accumulator is read before any path has written it; the "
+        "read yields the type's default value."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        from .dataflow import analyze_dataflow
+
+        for read in analyze_dataflow(model).reads_before_write:
+            yield self.diag(
+                f"{_sigil(read.is_global)}{read.name} is read before any "
+                f"write can reach this point; its first write comes later, "
+                f"so this read sees the type's default value",
+                read,
+            )
+
+
+@register
+class DeadWriteRule(Rule):
+    """W031: a write that every path overwrites with ``=`` before any
+    read.  Backward liveness with *all* accumulators live at exit, so a
+    final write (the query's output) is never flagged."""
+
+    code = "GSQL-W031"
+    name = "dead-accumulator-write"
+    severity = Severity.WARNING
+    description = (
+        "An accumulator write is overwritten by a plain '=' assignment "
+        "on every path before anything reads it."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        from .dataflow import analyze_dataflow
+
+        for write in analyze_dataflow(model).dead_writes:
+            yield self.diag(
+                f"this write to {_sigil(write.is_global)}{write.name} is "
+                f"dead: every following path overwrites it with '=' before "
+                f"any read",
+                write,
+            )
+
+
+@register
+class LoopInvariantSelectRule(Rule):
+    """W032: a SELECT block inside a WHILE that reads nothing the loop
+    changes — same result every iteration; hoist it out."""
+
+    code = "GSQL-W032"
+    name = "loop-invariant-select"
+    severity = Severity.WARNING
+    description = (
+        "A SELECT block inside a WHILE loop depends on nothing the loop "
+        "body changes; it recomputes the same result every iteration."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        from .dataflow import analyze_dataflow
+
+        for block_fact, _loop in analyze_dataflow(model).loop_invariant_blocks:
+            yield self.diag(
+                "SELECT block is loop-invariant: it reads no accumulator "
+                "or vertex set the enclosing WHILE body changes; hoist it "
+                "out of the loop",
+                block_fact,
+            )
+
+
+@register
+class WhileNeverConvergesRule(Rule):
+    """E033: a WHILE whose condition reads accumulators, none of which
+    the body updates — the condition is frozen, the loop cannot
+    terminate (W020 covers conditions that read *no* accumulator)."""
+
+    code = "GSQL-E033"
+    name = "while-never-converges"
+    severity = Severity.ERROR
+    description = (
+        "A WHILE without LIMIT tests accumulators its body never "
+        "updates; the condition can never change."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        from .dataflow import analyze_dataflow
+
+        for loop in analyze_dataflow(model).nonterminating_whiles:
+            yield self.diag(
+                "WHILE has no LIMIT and none of the accumulators its "
+                "condition reads is updated in the loop body; the "
+                "condition can never change and the loop cannot terminate",
+                loop,
+            )
+
+
+@register
+class UnreachableStatementRule(Rule):
+    """W034: a statement no CFG path reaches, because a statically
+    constant IF/WHILE condition cuts it off.  One diagnostic per
+    unreachable region (its entry node), not per statement."""
+
+    code = "GSQL-W034"
+    name = "unreachable-statement"
+    severity = Severity.WARNING
+    description = (
+        "A statement is unreachable: a statically constant condition "
+        "(e.g. IF FALSE) cuts off every path to it."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        from .dataflow import analyze_dataflow
+
+        for node in analyze_dataflow(model).unreachable_nodes:
+            seq = node.events[0][1].seq if node.events else node.id
+            yield self.diag(
+                "statement is unreachable: a statically constant "
+                "condition cuts off every path to it",
+                span=node.span,
+                seq=seq,
+            )
+
+
 #: Codes whose diagnostics the legacy ``validate_query`` shim reports,
 #: mapped to the original issue kinds.
 LEGACY_VALIDATE_KINDS: Dict[str, str] = {
@@ -530,6 +688,7 @@ __all__ = [
     "register",
     "all_rules",
     "rule_catalog",
+    "catalog_codes",
     "LEGACY_VALIDATE_KINDS",
     "LEGACY_TRACTABLE_KINDS",
 ]

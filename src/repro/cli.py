@@ -6,6 +6,7 @@ Subcommands::
     python -m repro explain QUERY.gsql
     python -m repro profile QUERY.gsql --graph graph.json [--format json]
     python -m repro lint PATH... [--graph graph.json] [--format json]
+    python -m repro check PATH... [--graph graph.json] [--format json] [--dot cfg.dot]
     python -m repro generate-snb out.json --scale 0.5 --seed 42
     python -m repro semantics GRAPH.json SOURCE DARPE [--semantics ...]
 
@@ -23,6 +24,13 @@ to a file for offline analysis).
 Python files embedding GSQL in triple-quoted strings, or directories of
 either; it exits non-zero when any *error*-severity diagnostic (or parse
 failure) is found, so it slots into CI.
+
+``check`` is ``lint`` plus the flow-sensitive layer: it builds each
+query's control-flow graph, solves the accumulator dataflow to a fixed
+point (E030–W034), prints one tractability certificate per SELECT
+block, and can export the CFGs as Graphviz dot (``--dot``).  The JSON
+payload adds ``certificates`` and per-query solver summaries to the
+lint shape.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ from .paths import PathSemantics, single_source_sdmc
 
 _ENGINES = {
     "counting": lambda: EngineMode.counting(),
+    "auto": lambda: EngineMode.auto(),
     "nre": lambda: EngineMode.enumeration(PathSemantics.NO_REPEATED_EDGE),
     "nrv": lambda: EngineMode.enumeration(PathSemantics.NO_REPEATED_VERTEX),
     "asp-enum": lambda: EngineMode.enumeration(PathSemantics.ALL_SHORTEST),
@@ -69,17 +78,21 @@ def _parse_param(text: str) -> tuple:
     return name, raw
 
 
-def _load_query(path: str):
-    """Read and parse a ``CREATE QUERY`` file, or exit 1 with a one-line
-    error on an unreadable path (no traceback — mirrors ``repro lint``)."""
+def _read_source(path: str) -> str:
+    """Read a file, or exit 1 with a one-line error on an unreadable
+    path (no traceback) — the shared error path for every subcommand."""
     try:
         with open(path) as fh:
-            source = fh.read()
+            return fh.read()
     except OSError as exc:
         reason = exc.strerror or str(exc)
         print(f"{path}: {reason}", file=sys.stderr)
         raise SystemExit(1)
-    return parse_query(source)
+
+
+def _load_query(path: str):
+    """Read and parse a ``CREATE QUERY`` file via :func:`_read_source`."""
+    return parse_query(_read_source(path))
 
 
 def _print_value(value: Any) -> str:
@@ -188,8 +201,7 @@ def _gsql_units(path: str) -> List[Tuple[str, str]]:
                 if fname.endswith((".gsql", ".py")):
                     units.extend(_gsql_units(os.path.join(root, fname)))
         return units
-    with open(path) as fh:
-        text = fh.read()
+    text = _read_source(path)
     if path.endswith(".py"):
         for index, match in enumerate(_TRIPLE_QUOTED.finditer(text)):
             body = match.group(2)
@@ -197,6 +209,18 @@ def _gsql_units(path: str) -> List[Tuple[str, str]]:
                 units.append((f"{path}[{index}]", body))
     elif "CREATE QUERY" in text:
         units.append((path, text))
+    return units
+
+
+def _collect_units(paths: List[str]) -> List[Tuple[str, str]]:
+    """All GSQL units under ``paths``; a missing path exits 1 with a
+    one-line message (via :func:`_read_source`), like every subcommand."""
+    units: List[Tuple[str, str]] = []
+    for path in paths:
+        found = _gsql_units(path)
+        if not found and not os.path.isdir(path):
+            print(f"{path}: no GSQL found", file=sys.stderr)
+        units.extend(found)
     return units
 
 
@@ -223,19 +247,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from .gsql import parse_queries
 
     schema = _load_lint_schema(args.graph)
-    units: List[Tuple[str, str]] = []
-    missing = False
-    for path in args.paths:
-        if not os.path.exists(path):
-            print(f"{path}: no such file or directory", file=sys.stderr)
-            missing = True
-            continue
-        found = _gsql_units(path)
-        if not found and not os.path.isdir(path):
-            print(f"{path}: no GSQL found", file=sys.stderr)
-        units.extend(found)
-    if missing:
-        return 2
+    units = _collect_units(args.paths)
 
     records: List[dict] = []
     errors = warnings = 0
@@ -281,6 +293,132 @@ def cmd_lint(args: argparse.Namespace) -> int:
             f"{warnings} warning{'s' if warnings != 1 else ''}"
         )
     return 1 if errors else 0
+
+
+# ----------------------------------------------------------------------
+# check (flow-sensitive analysis + certificates)
+# ----------------------------------------------------------------------
+def check_units(
+    units: List[Tuple[str, str]], schema=None
+) -> Tuple[dict, List[str], List[str]]:
+    """Run the full analyzer + dataflow over GSQL units.
+
+    Returns ``(payload, rendered_diagnostics, dot_graphs)`` where
+    ``payload`` is the JSON document ``repro check --format json``
+    prints; the CI baseline guard (``benchmarks/check_dataflow_baseline``)
+    imports this directly.
+    """
+    from .analysis import Severity, analyze
+    from .analysis.dataflow import analyze_dataflow, block_certificates
+    from .analysis.diagnostics import Diagnostic
+    from .analysis.model import cached_model
+    from .core.span import Span
+    from .errors import GSQLSyntaxError, QueryCompileError
+    from .gsql import parse_queries
+
+    records: List[dict] = []
+    certificates: List[dict] = []
+    query_summaries: List[dict] = []
+    rendered: List[str] = []
+    dot_graphs: List[str] = []
+    errors = warnings = 0
+    for label, source in units:
+        try:
+            queries = parse_queries(source)
+        except (GSQLSyntaxError, QueryCompileError) as exc:
+            span = None
+            if isinstance(exc, GSQLSyntaxError) and exc.line > 0:
+                span = Span.at(exc.line, max(exc.column, 1))
+            diag = Diagnostic(
+                "GSQL-E000", Severity.ERROR, str(exc), span,
+                rule_name="syntax-error",
+            )
+            errors += 1
+            rendered.append(diag.render(source, label))
+            records.append({"file": label, "query": None, **diag.to_dict()})
+            continue
+        for name, query in queries.items():
+            for diag in analyze(query, schema=schema, source=source):
+                if diag.is_error:
+                    errors += 1
+                else:
+                    warnings += 1
+                rendered.append(diag.render(source, f"{label}:{name}"))
+                records.append(
+                    {"file": label, "query": name, **diag.to_dict()}
+                )
+            model = cached_model(query, schema)
+            flow = analyze_dataflow(model)
+            for block_fact, cert in block_certificates(model):
+                certificates.append({
+                    "file": label,
+                    "query": name,
+                    "line": block_fact.span.line if block_fact.span else None,
+                    "pattern": repr(block_fact.block.pattern),
+                    "status": cert.status.value,
+                    "witnesses": list(cert.witnesses),
+                })
+            query_summaries.append({
+                "file": label,
+                "query": name,
+                "converged": flow.converged,
+                "iterations": flow.iterations,
+                "cfg_nodes": len(flow.cfg.nodes),
+                "accumulators": {
+                    ("@@" if key[0] else "@") + key[1]: flow.state_names(key)
+                    for key in sorted(flow.keys, key=lambda k: (not k[0], k[1]))
+                },
+            })
+            dot_graphs.append(flow.cfg.to_dot(f"{name}"))
+    payload = {
+        "errors": errors,
+        "warnings": warnings,
+        "diagnostics": records,
+        "certificates": certificates,
+        "queries": query_summaries,
+    }
+    return payload, rendered, dot_graphs
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    schema = _load_lint_schema(args.graph)
+    units = _collect_units(args.paths)
+    payload, rendered, dot_graphs = check_units(units, schema)
+
+    if args.dot:
+        with open(args.dot, "w") as fh:
+            fh.write("\n".join(dot_graphs))
+            fh.write("\n")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        for text in rendered:
+            print(text)
+        for cert in payload["certificates"]:
+            line = f":{cert['line']}" if cert["line"] else ""
+            print(
+                f"{cert['file']}:{cert['query']}{line}: certificate "
+                f"{cert['status']} [{cert['pattern']}]"
+            )
+            for witness in cert["witnesses"]:
+                print(f"  * {witness}")
+        diverged = [q for q in payload["queries"] if not q["converged"]]
+        for q in diverged:
+            print(
+                f"{q['file']}:{q['query']}: dataflow solver did NOT "
+                f"converge after {q['iterations']} iterations",
+                file=sys.stderr,
+            )
+        checked = len(units)
+        errors, warnings = payload["errors"], payload["warnings"]
+        print(
+            f"{checked} source{'s' if checked != 1 else ''} checked: "
+            f"{errors} error{'s' if errors != 1 else ''}, "
+            f"{warnings} warning{'s' if warnings != 1 else ''}, "
+            f"{len(payload['certificates'])} certificate"
+            f"{'s' if len(payload['certificates']) != 1 else ''}"
+        )
+    return 1 if payload["errors"] else 0
 
 
 def cmd_generate_snb(args: argparse.Namespace) -> int:
@@ -368,6 +506,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="JSON graph for schema-aware checks")
     lint_p.add_argument("--format", choices=("text", "json"), default="text")
     lint_p.set_defaults(fn=cmd_lint)
+
+    check_p = sub.add_parser(
+        "check",
+        help="flow-sensitive dataflow analysis: lint diagnostics plus "
+             "per-block tractability certificates and CFG export",
+    )
+    check_p.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help=".gsql file, .py file with embedded GSQL, or a directory",
+    )
+    check_p.add_argument("--graph", default=None,
+                         help="JSON graph for schema-aware checks")
+    check_p.add_argument("--format", choices=("text", "json"), default="text")
+    check_p.add_argument(
+        "--dot", default=None, metavar="PATH",
+        help="write the control-flow graphs as Graphviz dot to PATH",
+    )
+    check_p.set_defaults(fn=cmd_check)
 
     gen_p = sub.add_parser("generate-snb", help="write an SNB-like graph as JSON")
     gen_p.add_argument("output")

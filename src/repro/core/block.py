@@ -113,6 +113,11 @@ class SelectBlock:
         #: specifying semantic alternatives" Section 6.1 plans; GSQL text:
         #: ``USING SEMANTICS 'no-repeated-edge'`` after the FROM pattern).
         self.semantics = semantics
+        #: Static :class:`~repro.core.tractable.TractabilityCertificate`
+        #: stamped by the parser (None for programmatically built blocks).
+        #: A conclusive certificate lets ``EngineMode.auto()`` pick the
+        #: engine and ``_check_tractability`` skip the runtime probe.
+        self.certificate = None
 
     # ------------------------------------------------------------------
     def execute(self, ctx: QueryContext, mode: EngineMode) -> Optional[VertexSet]:
@@ -130,10 +135,14 @@ class SelectBlock:
     def _execute(
         self, ctx: QueryContext, mode: EngineMode, col
     ) -> Optional[VertexSet]:
-        from .planner import and_all, push_down_filters
+        from .planner import and_all, push_down_filters, select_engine
 
         if self.semantics is not None:
             mode = mode.for_semantics(self.semantics)
+        if mode.kind == EngineMode.AUTO:
+            mode = select_engine(self, ctx, mode)
+            if col is not None:
+                col.count(f"block.engine.{mode.kind}")
         self._check_tractability(ctx, mode)
         primed = self._capture_primed(ctx)
 
@@ -224,6 +233,20 @@ class SelectBlock:
         """
         if mode.kind != EngineMode.COUNTING or not self.pattern.has_kleene():
             return
+        cert = self.certificate
+        if cert is not None:
+            from .tractable import TractabilityStatus
+
+            if cert.status is TractabilityStatus.TRACTABLE:
+                return  # statically proven: skip the declaration probe
+            if cert.status is TractabilityStatus.ENUMERATION_REQUIRED:
+                raise TractabilityError(
+                    "this SELECT block is outside the tractable class "
+                    "(Section 7): " + "; ".join(cert.witnesses) +
+                    " — evaluate it with the enumeration engine "
+                    "(or EngineMode.auto() / --engine auto)"
+                )
+            # UNKNOWN: fall through to the runtime probe below.
         for stmt in self.accum:
             target = getattr(stmt, "target", None)
             if target is None:

@@ -101,6 +101,11 @@ def _explain_statements(statements: List[Statement], lines: List[str], indent: i
 
 def _explain_block(block: SelectBlock, lines: List[str], indent: int) -> None:
     pad = "  " * indent
+    cert = getattr(block, "certificate", None)
+    if cert is not None:
+        lines.append(f"{pad}CERTIFICATE {cert.status.value}")
+        for witness in cert.witnesses:
+            lines.append(f"{pad}  * {witness}")
     var_filters, residual = push_down_filters(
         block.where, set(block.pattern.variables())
     )

@@ -57,6 +57,7 @@ class EngineMode:
 
     COUNTING = "counting"
     ENUMERATION = "enumeration"
+    AUTO = "auto"
 
     def __init__(
         self,
@@ -106,6 +107,24 @@ class EngineMode:
         max_length: Optional[int] = None,
     ) -> "EngineMode":
         return cls(cls.ENUMERATION, semantics, budget, max_length)
+
+    @classmethod
+    def auto(
+        cls,
+        max_length: Optional[int] = None,
+        budget: Optional[int] = None,
+        semantics: PathSemantics = PathSemantics.ALL_SHORTEST,
+    ) -> "EngineMode":
+        """Engine selection deferred to the planner, per SELECT block.
+
+        Each block resolves to the counting engine when its static
+        :class:`~repro.core.tractable.TractabilityCertificate` proves it
+        tractable (falling back to a runtime probe of the declarations
+        when no certificate is attached), and to the enumeration engine
+        under the same all-shortest-paths semantics otherwise — see
+        :func:`repro.core.planner.select_engine`.
+        """
+        return cls(cls.AUTO, semantics, budget=budget, max_length=max_length)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EngineMode({self.kind}, {self.semantics.value})"

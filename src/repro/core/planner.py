@@ -39,6 +39,8 @@ from ..darpe.ast import (
 from ..graph.elements import FORWARD, REVERSE
 from ..obs import metrics as _obs
 from .exprs import Binary, Expr, primed_accum_names, referenced_names
+from .pattern import EngineMode
+from .tractable import TractabilityStatus
 
 
 def split_conjuncts(expr: Optional[Expr]) -> List[Expr]:
@@ -90,6 +92,61 @@ def and_all(conjuncts: List[Expr]) -> Optional[Expr]:
     return expr
 
 
+def _runtime_status(block, ctx) -> TractabilityStatus:
+    """Classify a block by probing live declarations (no certificate).
+
+    The same decision the static analysis makes, taken from the runtime
+    context instead: programmatically built queries never pass through
+    the parser, so they carry no certificate.
+    """
+    if not block.pattern.has_kleene():
+        return TractabilityStatus.TRACTABLE
+    for stmt in block.accum:
+        target = getattr(stmt, "target", None)
+        if target is None:
+            continue
+        if not ctx.has_accum(target.name):
+            continue
+        decl = ctx.declaration(target.name)
+        if decl is not None and not decl.order_invariant:
+            return TractabilityStatus.ENUMERATION_REQUIRED
+    return TractabilityStatus.TRACTABLE
+
+
+def select_engine(block, ctx, mode: EngineMode) -> EngineMode:
+    """Resolve an ``EngineMode.auto()`` to a concrete engine per block.
+
+    A static :class:`~repro.core.tractable.TractabilityCertificate`
+    (attached by the parser) decides when it is conclusive; UNKNOWN or
+    missing certificates fall back to probing the live declarations.
+    Intractable blocks run the enumeration engine under the same
+    all-shortest-paths semantics, which is result-equivalent, just
+    exponential instead of polynomial in path count.
+    """
+    if mode.kind != EngineMode.AUTO:
+        return mode
+    cert = getattr(block, "certificate", None)
+    status = cert.status if cert is not None else None
+    source = "certificate"
+    if status is None or status is TractabilityStatus.UNKNOWN:
+        status = _runtime_status(block, ctx)
+        source = "runtime-probe"
+    col = _obs._ACTIVE
+    if status is TractabilityStatus.ENUMERATION_REQUIRED:
+        if col is not None:
+            col.count("planner.auto_enumeration")
+            col.count(f"planner.auto_source.{source}")
+        return EngineMode.enumeration(
+            mode.semantics, budget=mode.budget, max_length=mode.max_length
+        )
+    if col is not None:
+        col.count("planner.auto_counting")
+        col.count(f"planner.auto_source.{source}")
+    return EngineMode.counting(
+        max_length=mode.max_length, semantics=mode.semantics
+    )
+
+
 def reverse_darpe(node: DarpeNode) -> DarpeNode:
     """The DARPE matching exactly the reversals of the original's paths.
 
@@ -115,4 +172,10 @@ def reverse_darpe(node: DarpeNode) -> DarpeNode:
     raise TypeError(f"unknown DARPE node {node!r}")
 
 
-__all__ = ["split_conjuncts", "push_down_filters", "and_all", "reverse_darpe"]
+__all__ = [
+    "split_conjuncts",
+    "push_down_filters",
+    "and_all",
+    "reverse_darpe",
+    "select_engine",
+]

@@ -409,6 +409,14 @@ class Query:
         #: Original GSQL text when the query came from the parser; lets
         #: diagnostics render caret-underlined source excerpts.
         self.source: Optional[str] = None
+        #: (schema, QueryModel) memo filled by
+        #: :func:`repro.analysis.model.cached_model` — one model build
+        #: shared by validate/tractable/lint instead of three.
+        self._analysis_cache: Optional[tuple] = None
+
+    def invalidate_analysis(self) -> None:
+        """Drop the cached analysis model (call after mutating the AST)."""
+        self._analysis_cache = None
 
     def run(
         self,

@@ -21,7 +21,8 @@ see :meth:`repro.core.block.SelectBlock._check_tractability`.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple
+import enum
+from typing import List, NamedTuple, Tuple
 
 from .query import Query
 
@@ -31,6 +32,37 @@ class TractabilityViolation(NamedTuple):
 
     kind: str
     detail: str
+
+
+class TractabilityStatus(enum.Enum):
+    """Per-SELECT-block verdict of the flow-sensitive analysis."""
+
+    TRACTABLE = "tractable"
+    ENUMERATION_REQUIRED = "enumeration-required"
+    UNKNOWN = "unknown"
+
+
+class TractabilityCertificate(NamedTuple):
+    """A static, per-block proof object for Section 7's tractable class.
+
+    ``status`` says whether the block's Kleene-starred pattern (if any)
+    feeds only order-invariant accumulators; ``witnesses`` are the
+    human-readable facts the verdict rests on.  The planner trusts a
+    TRACTABLE certificate to run the counting engine without probing
+    declarations at runtime, and an ENUMERATION_REQUIRED one to switch
+    the block to enumeration under ``EngineMode.auto()``.
+    """
+
+    status: TractabilityStatus
+    witnesses: Tuple[str, ...]
+
+    @property
+    def tractable(self) -> bool:
+        return self.status is TractabilityStatus.TRACTABLE
+
+    def describe(self) -> str:
+        body = "; ".join(self.witnesses) if self.witnesses else "no witnesses"
+        return f"{self.status.value} ({body})"
 
 
 def analyze_query(query: Query) -> List[TractabilityViolation]:
@@ -43,10 +75,11 @@ def analyze_query(query: Query) -> List[TractabilityViolation]:
     """
     # Imported lazily: repro.analysis imports core submodules, and this
     # module is itself imported by the core package init.
-    from ..analysis import build_model, run_rules
+    from ..analysis import run_rules
+    from ..analysis.model import cached_model
     from ..analysis.rules import LEGACY_TRACTABLE_KINDS
 
-    model = build_model(query)
+    model = cached_model(query)
     diagnostics = [
         d for d in run_rules(model) if d.code in LEGACY_TRACTABLE_KINDS
     ]
@@ -69,4 +102,36 @@ def is_tractable(query: Query) -> bool:
     return not analyze_query(query)
 
 
-__all__ = ["TractabilityViolation", "analyze_query", "is_tractable"]
+def certify_query(query: Query, schema=None) -> List[Tuple[object, TractabilityCertificate]]:
+    """(block fact, certificate) pairs for every SELECT block of ``query``.
+
+    Thin wrapper over :func:`repro.analysis.dataflow.block_certificates`
+    (lazy import — core must not depend on analysis at import time).
+    """
+    from ..analysis.dataflow import block_certificates
+    from ..analysis.model import cached_model
+
+    return block_certificates(cached_model(query, schema))
+
+
+def attach_certificates(query: Query, schema=None) -> None:
+    """Stamp each SELECT block with its static certificate.
+
+    Called by the GSQL parser after compilation, so by the time a query
+    runs, :meth:`SelectBlock._check_tractability` and the AUTO engine
+    planner can read ``block.certificate`` instead of re-probing
+    accumulator declarations on every execution.
+    """
+    for block_fact, cert in certify_query(query, schema):
+        block_fact.block.certificate = cert
+
+
+__all__ = [
+    "TractabilityViolation",
+    "TractabilityStatus",
+    "TractabilityCertificate",
+    "analyze_query",
+    "is_tractable",
+    "certify_query",
+    "attach_certificates",
+]

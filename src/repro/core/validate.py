@@ -41,10 +41,11 @@ def validate_query(
     """
     # Imported lazily: repro.analysis imports core submodules, and this
     # module is itself imported by the core package init.
-    from ..analysis import build_model, run_rules
+    from ..analysis import run_rules
+    from ..analysis.model import cached_model
     from ..analysis.rules import LEGACY_VALIDATE_KINDS
 
-    model = build_model(query, schema)
+    model = cached_model(query, schema)
     diagnostics = [
         d for d in run_rules(model) if d.code in LEGACY_VALIDATE_KINDS
     ]

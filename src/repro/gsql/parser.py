@@ -180,8 +180,14 @@ class _Parser:
             queries.append(self.parse_query_decl())
         if not queries:
             raise GSQLSyntaxError("no CREATE QUERY found", 1, 1)
+        from ..core.tractable import attach_certificates
+
         for query in queries:
             query.source = self.text
+            # Stamp every SELECT block with its static tractability
+            # certificate so the planner's EngineMode.auto() and the
+            # runtime guard never need to re-probe declarations.
+            attach_certificates(query)
         return queries
 
     def parse_query_decl(self) -> Query:

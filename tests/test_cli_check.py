@@ -1,0 +1,144 @@
+"""The ``repro check`` subcommand: certificates, JSON payload, exit
+codes, CFG dot export, and the shared missing-path error path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = """CREATE QUERY demo() {
+  SumAccum<int> @@total;
+  S = {Person.*};
+  R = SELECT p FROM S:p -(Knows>)- Person:q
+      ACCUM @@total += 1;
+  PRINT R;
+}
+"""
+
+FLOW_ERROR = """CREATE QUERY broken() {
+  SumAccum<int> @@i, @@other;
+  WHILE @@i < 3 DO
+    @@other += 1;
+  END;
+  PRINT @@other AS other;
+}
+"""
+
+KLEENE = """CREATE QUERY paths(string srcName, string tgtName) {
+  SumAccum<int> @pathCount;
+  R = SELECT t FROM V:s -(E>*)- V:t
+      WHERE s.name == srcName AND t.name == tgtName
+      ACCUM t.@pathCount += 1;
+  PRINT R[R.name, R.@pathCount];
+}
+"""
+
+SYNTAX_ERROR = "CREATE QUERY oops( {"
+
+
+@pytest.fixture()
+def write(tmp_path):
+    def _write(name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return _write
+
+
+def test_clean_query_reports_certificate(write, capsys):
+    path = write("clean.gsql", CLEAN)
+    assert main(["check", path]) == 0
+    out = capsys.readouterr().out
+    assert "certificate tractable" in out
+    assert "no Kleene star" in out
+    assert "0 errors, 0 warnings, 1 certificate" in out
+
+
+def test_kleene_certificate_names_the_accumulator(write, capsys):
+    path = write("paths.gsql", KLEENE)
+    assert main(["check", path]) == 0
+    out = capsys.readouterr().out
+    assert "certificate tractable" in out
+    assert "@pathCount" in out
+    assert "order-invariant" in out
+
+
+def test_flow_error_exits_one(write, capsys):
+    path = write("broken.gsql", FLOW_ERROR)
+    assert main(["check", path]) == 1
+    out = capsys.readouterr().out
+    assert "error[GSQL-E033]" in out
+    assert "cannot terminate" in out
+
+
+def test_syntax_error_reported_as_e000(write, capsys):
+    path = write("oops.gsql", SYNTAX_ERROR)
+    assert main(["check", path]) == 1
+    assert "GSQL-E000" in capsys.readouterr().out
+
+
+def test_json_payload_shape(write, capsys):
+    path = write("paths.gsql", KLEENE)
+    assert main(["check", path, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] == 0
+    assert payload["warnings"] == 0
+    assert payload["diagnostics"] == []
+    [cert] = payload["certificates"]
+    assert cert["query"] == "paths"
+    assert cert["status"] == "tractable"
+    assert cert["witnesses"]
+    [summary] = payload["queries"]
+    assert summary["converged"] is True
+    assert summary["iterations"] >= 1
+    assert summary["cfg_nodes"] >= 3
+    assert "@pathCount" in summary["accumulators"]
+
+
+def test_json_flow_diagnostics_have_spans(write, capsys):
+    path = write("broken.gsql", FLOW_ERROR)
+    assert main(["check", path, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] == 1
+    [diag] = payload["diagnostics"]
+    assert diag["code"] == "GSQL-E033"
+    assert diag["line"] >= 1
+
+
+def test_dot_export(write, tmp_path, capsys):
+    path = write("clean.gsql", CLEAN)
+    dot_path = tmp_path / "cfg.dot"
+    assert main(["check", path, "--dot", str(dot_path)]) == 0
+    dot = dot_path.read_text()
+    assert dot.startswith("digraph")
+    assert "ENTRY" in dot and "EXIT" in dot
+
+
+def test_missing_path_exits_one_with_one_line(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["check", "/no/such/file.gsql"])
+    assert exc.value.code == 1
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "/no/such/file.gsql" in err
+
+
+def test_lint_missing_path_exits_one_with_one_line(capsys):
+    # the lint command shares the same _read_source error path
+    with pytest.raises(SystemExit) as exc:
+        main(["lint", "/no/such/file.gsql"])
+    assert exc.value.code == 1
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "/no/such/file.gsql" in err
+
+
+def test_directory_walk(write, tmp_path, capsys):
+    write("a.gsql", CLEAN)
+    write("b.gsql", KLEENE)
+    assert main(["check", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 sources checked" in out
+    assert "2 certificates" in out

@@ -1,0 +1,603 @@
+"""Flow-sensitive dataflow analysis: CFG, fixed-point solver, the
+E030–W034 rules, tractability certificates, and certificate-driven
+engine selection (``EngineMode.auto()``)."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    analyze,
+    analyze_dataflow,
+    block_certificates,
+    build_cfg,
+    cached_model,
+    catalog_codes,
+)
+from repro.core import EngineMode, TractabilityStatus
+from repro.graph import builders
+from repro.gsql import parse_query, parse_queries
+from repro.obs import collect
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def codes_of(source, **kw):
+    query = parse_query(source)
+    return [d.code for d in analyze(query, source=source, **kw)]
+
+
+def flow_of(source):
+    query = parse_query(source)
+    return analyze_dataflow(cached_model(query, None))
+
+
+# ----------------------------------------------------------------------
+# CFG construction
+# ----------------------------------------------------------------------
+class TestCFG:
+    SOURCE = """
+CREATE QUERY loopy() {
+  SumAccum<int> @@i;
+  WHILE @@i < 3 LIMIT 10 DO
+    @@i += 1;
+  END;
+  PRINT @@i AS i;
+}"""
+
+    def test_entry_exit_and_back_edge(self):
+        cfg = build_cfg(cached_model(parse_query(self.SOURCE), None))
+        kinds = [n.kind for n in cfg.nodes]
+        assert kinds.count("entry") == 1
+        assert kinds.count("exit") == 1
+        assert "loop" in kinds
+        back = [
+            (src, dst) for src in cfg.nodes
+            for dst, label in src.succs if label == "back"
+        ]
+        assert len(back) == 1
+        assert back[0][1].kind == "loop"
+
+    def test_all_nodes_reachable(self):
+        cfg = build_cfg(cached_model(parse_query(self.SOURCE), None))
+        assert cfg.reachable() == set(range(len(cfg.nodes)))
+
+    def test_to_dot(self):
+        cfg = build_cfg(cached_model(parse_query(self.SOURCE), None))
+        dot = cfg.to_dot("loopy")
+        assert dot.startswith('digraph "loopy"')
+        assert '"back"' in dot or "back" in dot
+        assert "ENTRY" in dot and "EXIT" in dot
+
+    def test_statically_false_branch_has_no_predecessors(self):
+        source = """
+CREATE QUERY deadbranch() {
+  SumAccum<int> @@x;
+  IF FALSE THEN @@x += 1; END
+  PRINT @@x AS x;
+}"""
+        cfg = build_cfg(cached_model(parse_query(source), None))
+        unreachable = set(range(len(cfg.nodes))) - cfg.reachable()
+        assert unreachable  # the THEN body
+        for nid in unreachable:
+            assert not cfg.nodes[nid].preds
+
+
+# ----------------------------------------------------------------------
+# Solver convergence over the whole corpus
+# ----------------------------------------------------------------------
+def corpus_sources():
+    sources = []
+    for path in sorted((REPO / "examples").glob("*.gsql")):
+        sources.append((path.name, path.read_text()))
+    paper = (REPO / "tests" / "test_gsql_paper_queries.py").read_text()
+    for i, match in enumerate(
+        re.finditer(r'"""(.*?)"""', paper, re.DOTALL)
+    ):
+        if "CREATE QUERY" in match.group(1):
+            sources.append((f"paper[{i}]", match.group(1)))
+    return sources
+
+
+@pytest.mark.parametrize(
+    "label,source", corpus_sources(), ids=[s[0] for s in corpus_sources()]
+)
+def test_solver_converges_on_corpus(label, source):
+    for name, query in parse_queries(source).items():
+        flow = analyze_dataflow(cached_model(query, None))
+        assert flow.converged, f"{label}:{name} diverged"
+        assert flow.iterations >= 1
+
+
+# ----------------------------------------------------------------------
+# E030 read-before-write
+# ----------------------------------------------------------------------
+class TestE030:
+    def test_positive_read_before_first_write(self):
+        codes = codes_of("""
+CREATE QUERY e030() {
+  SumAccum<int> @@total;
+  PRINT @@total AS before;
+  @@total += 1;
+}""")
+        assert "GSQL-E030" in codes
+
+    def test_negative_write_first(self):
+        codes = codes_of("""
+CREATE QUERY ok() {
+  SumAccum<int> @@total;
+  @@total += 1;
+  PRINT @@total AS after;
+}""")
+        assert "GSQL-E030" not in codes
+
+    def test_negative_initializer_counts_as_write(self):
+        codes = codes_of("""
+CREATE QUERY ok() {
+  SumAccum<int> @@total = 5;
+  PRINT @@total AS before;
+  @@total += 1;
+}""")
+        assert "GSQL-E030" not in codes
+
+    def test_negative_read_only_accumulator(self):
+        # never written at all: the read sees the default by design
+        codes = codes_of("""
+CREATE QUERY ok() {
+  SumAccum<int> @@total;
+  PRINT @@total AS always_zero;
+}""")
+        assert "GSQL-E030" not in codes
+
+    def test_negative_write_on_every_branch(self):
+        codes = codes_of("""
+CREATE QUERY ok(bool flag = TRUE) {
+  SumAccum<int> @@x;
+  IF flag THEN @@x += 1; ELSE @@x += 2; END
+  PRINT @@x AS x;
+}""")
+        assert "GSQL-E030" not in codes
+
+    def test_negative_write_on_one_branch_is_may_written(self):
+        # may-analysis conservatism: a write on *some* path means the
+        # read may see a written value, so it is not flagged
+        codes = codes_of("""
+CREATE QUERY maybe(bool flag = TRUE) {
+  SumAccum<int> @@x;
+  IF flag THEN @@x += 1; END
+  PRINT @@x AS x;
+  @@x += 1;
+}""")
+        assert "GSQL-E030" not in codes
+
+    def test_positive_read_inside_branch_before_any_write(self):
+        codes = codes_of("""
+CREATE QUERY branchread(bool flag = TRUE) {
+  SumAccum<int> @@x;
+  IF flag THEN PRINT @@x AS early; END
+  @@x += 1;
+}""")
+        assert "GSQL-E030" in codes
+
+
+# ----------------------------------------------------------------------
+# W031 dead write
+# ----------------------------------------------------------------------
+class TestW031:
+    def test_positive_overwritten_before_read(self):
+        codes = codes_of("""
+CREATE QUERY w031() {
+  SumAccum<int> @@x;
+  @@x += 5;
+  @@x = 0;
+  PRINT @@x AS x;
+}""")
+        assert "GSQL-W031" in codes
+
+    def test_negative_rhs_reads_old_value(self):
+        codes = codes_of("""
+CREATE QUERY ok() {
+  SumAccum<int> @@x;
+  @@x += 5;
+  @@x = @@x * 2;
+  PRINT @@x AS x;
+}""")
+        assert "GSQL-W031" not in codes
+
+    def test_negative_write_only_output_accumulator(self):
+        # callers read write-only accumulators from the query result
+        codes = codes_of("""
+CREATE QUERY ok() {
+  SumAccum<int> @@seen;
+  @@seen += 1;
+}""")
+        assert "GSQL-W031" not in codes
+
+
+# ----------------------------------------------------------------------
+# W032 loop-invariant SELECT
+# ----------------------------------------------------------------------
+class TestW032:
+    def test_positive_invariant_select_in_while(self):
+        codes = codes_of("""
+CREATE QUERY w032() {
+  SumAccum<int> @@i;
+  S = {Person.*};
+  WHILE @@i < 3 LIMIT 10 DO
+    T = SELECT t FROM S:s -(Knows>)- Person:t;
+    @@i += 1;
+  END;
+  PRINT T;
+}""")
+        assert "GSQL-W032" in codes
+
+    def test_negative_source_set_reassigned_in_loop(self):
+        codes = codes_of("""
+CREATE QUERY ok() {
+  SumAccum<int> @@i;
+  S = {Person.*};
+  WHILE @@i < 3 LIMIT 10 DO
+    S = SELECT t FROM S:s -(Knows>)- Person:t;
+    @@i += 1;
+  END;
+  PRINT S;
+}""")
+        assert "GSQL-W032" not in codes
+
+    def test_negative_block_reads_loop_written_accum(self):
+        codes = codes_of("""
+CREATE QUERY ok() {
+  SumAccum<int> @@i;
+  S = {Person.*};
+  WHILE @@i < 3 LIMIT 10 DO
+    T = SELECT t FROM S:s -(Knows>)- Person:t
+        WHERE t.age > @@i;
+    @@i += 1;
+  END;
+  PRINT T;
+}""")
+        assert "GSQL-W032" not in codes
+
+    def test_negative_accumulating_writes_not_hoistable(self):
+        # += side effects accumulate each iteration: hoisting would
+        # change the result even though the inputs are invariant
+        codes = codes_of("""
+CREATE QUERY ok() {
+  SumAccum<int> @@i;
+  SumAccum<int> @visits;
+  S = {Person.*};
+  WHILE @@i < 3 LIMIT 10 DO
+    T = SELECT t FROM S:s -(Knows>)- Person:t
+        ACCUM t.@visits += 1;
+    @@i += 1;
+  END;
+  PRINT T;
+}""")
+        assert "GSQL-W032" not in codes
+
+
+# ----------------------------------------------------------------------
+# E033 WHILE never converges
+# ----------------------------------------------------------------------
+class TestE033:
+    def test_positive_condition_accum_never_updated(self):
+        codes = codes_of("""
+CREATE QUERY e033() {
+  SumAccum<int> @@i, @@other;
+  WHILE @@i < 3 DO
+    @@other += 1;
+  END;
+  PRINT @@other AS other;
+}""")
+        assert "GSQL-E033" in codes
+
+    def test_negative_body_updates_condition_accum(self):
+        codes = codes_of("""
+CREATE QUERY ok() {
+  SumAccum<int> @@i;
+  WHILE @@i < 3 DO
+    @@i += 1;
+  END;
+  PRINT @@i AS i;
+}""")
+        assert "GSQL-E033" not in codes
+
+    def test_negative_limit_bounds_the_loop(self):
+        codes = codes_of("""
+CREATE QUERY ok() {
+  SumAccum<int> @@i, @@other;
+  WHILE @@i < 3 LIMIT 10 DO
+    @@other += 1;
+  END;
+  PRINT @@other AS other;
+}""")
+        assert "GSQL-E033" not in codes
+
+    def test_suppression_on_while_header_line(self):
+        # the diagnostic is anchored at the WHILE header, so a disable
+        # comment there silences it even though the *cause* is the body
+        source = """
+CREATE QUERY silenced() {
+  SumAccum<int> @@i, @@other;
+  WHILE @@i < 3 DO  // lint: disable=GSQL-E033
+    @@other += 1;
+  END;
+  PRINT @@other AS other;
+}"""
+        assert "GSQL-E033" not in codes_of(source)
+
+
+# ----------------------------------------------------------------------
+# W034 unreachable statement
+# ----------------------------------------------------------------------
+class TestW034:
+    def test_positive_statically_false_if(self):
+        codes = codes_of("""
+CREATE QUERY w034() {
+  SumAccum<int> @@x;
+  IF FALSE THEN @@x += 1; END
+  PRINT @@x AS x;
+}""")
+        assert "GSQL-W034" in codes
+
+    def test_positive_after_while_true_without_limit(self):
+        codes = codes_of("""
+CREATE QUERY w034b() {
+  SumAccum<int> @@x;
+  WHILE TRUE DO
+    @@x += 1;
+  END;
+  PRINT @@x AS x;
+}""")
+        assert "GSQL-W034" in codes
+
+    def test_negative_reachable_branches(self):
+        codes = codes_of("""
+CREATE QUERY ok(bool flag = TRUE) {
+  SumAccum<int> @@x;
+  IF flag THEN @@x += 1; END
+  PRINT @@x AS x;
+}""")
+        assert "GSQL-W034" not in codes
+
+    def test_suppression_inline(self):
+        source = """
+CREATE QUERY silenced() {
+  SumAccum<int> @@x;
+  // lint: disable=GSQL-W034
+  IF FALSE THEN @@x += 1; END
+  PRINT @@x AS x;
+}"""
+        assert "GSQL-W034" not in codes_of(source)
+
+
+# ----------------------------------------------------------------------
+# Abstract state summaries
+# ----------------------------------------------------------------------
+class TestAccumStates:
+    def test_loop_carried_and_read_states(self):
+        flow = flow_of("""
+CREATE QUERY states() {
+  SumAccum<int> @@i;
+  WHILE @@i < 3 LIMIT 10 DO
+    @@i += 1;
+  END;
+  PRINT @@i AS i;
+}""")
+        names = flow.state_names((True, "i"))
+        assert "loop-carried" in names
+        assert "read" in names
+
+    def test_unwritten_state_on_default_value_read(self):
+        flow = flow_of("""
+CREATE QUERY states() {
+  SumAccum<int> @@zero;
+  PRINT @@zero AS zero;
+}""")
+        names = flow.state_names((True, "zero"))
+        assert "unwritten" in names and "read" in names
+        assert "written" not in names
+
+    def test_never_referenced_accumulator_has_no_states(self):
+        flow = flow_of("""
+CREATE QUERY states() {
+  SumAccum<int> @@never;
+  PRINT 1 AS one;
+}""")
+        assert flow.state_names((True, "never")) == []
+
+
+# ----------------------------------------------------------------------
+# Tractability certificates
+# ----------------------------------------------------------------------
+def certs_of(source):
+    query = parse_query(source)
+    return block_certificates(cached_model(query, None))
+
+
+class TestCertificates:
+    def test_qn_diamond_is_tractable(self):
+        source = (REPO / "examples" / "qn_diamond.gsql").read_text()
+        certs = certs_of(source)
+        assert len(certs) == 1
+        _fact, cert = certs[0]
+        assert cert.status is TractabilityStatus.TRACTABLE
+        assert cert.tractable
+        assert any("order-invariant" in w for w in cert.witnesses)
+
+    def test_no_kleene_is_tractable(self):
+        certs = certs_of("""
+CREATE QUERY nokleene() {
+  ListAccum<int> @seen;
+  R = SELECT t FROM V:s -(E>)- V:t ACCUM t.@seen += 1;
+  PRINT R;
+}""")
+        [( _f, cert )] = certs
+        assert cert.status is TractabilityStatus.TRACTABLE
+        assert any("no Kleene star" in w for w in cert.witnesses)
+
+    def test_order_dependent_kleene_requires_enumeration(self):
+        certs = certs_of("""
+CREATE QUERY perpath() {
+  ListAccum<int> @paths;
+  R = SELECT t FROM V:s -(E>*)- V:t ACCUM t.@paths += 1;
+  PRINT R;
+}""")
+        [( _f, cert )] = certs
+        assert cert.status is TractabilityStatus.ENUMERATION_REQUIRED
+        assert not cert.tractable
+        assert any("order-dependent" in w for w in cert.witnesses)
+
+    def test_undeclared_accumulator_is_unknown(self):
+        certs = certs_of("""
+CREATE QUERY mystery() {
+  R = SELECT t FROM V:s -(E>*)- V:t ACCUM t.@mystery += 1;
+  PRINT R;
+}""")
+        [( _f, cert )] = certs
+        assert cert.status is TractabilityStatus.UNKNOWN
+
+    def test_post_accum_only_is_tractable(self):
+        # POST_ACCUM runs per distinct vertex, not per path
+        certs = certs_of("""
+CREATE QUERY postonly() {
+  ListAccum<int> @tags;
+  R = SELECT t FROM V:s -(E>*)- V:t
+      POST_ACCUM t.@tags += 1;
+  PRINT R;
+}""")
+        [( _f, cert )] = certs
+        assert cert.status is TractabilityStatus.TRACTABLE
+
+    def test_parser_stamps_certificates_on_blocks(self):
+        source = (REPO / "examples" / "qn_diamond.gsql").read_text()
+        query = parse_query(source)
+        model = cached_model(query, None)
+        for fact in model.blocks:
+            assert fact.block.certificate is not None
+            assert fact.block.certificate.tractable
+
+
+# ----------------------------------------------------------------------
+# Certificate-driven engine selection (the acceptance criterion)
+# ----------------------------------------------------------------------
+QN = (REPO / "examples" / "qn_diamond.gsql").read_text()
+
+
+class TestAutoEngineSelection:
+    def test_certificate_selects_counting_product_states_stay_flat(self):
+        # From n=1 to n=30 the path count grows 2 -> 2^30 while the
+        # product-state count stays linear (3n+1) and enumeration is
+        # never invoked: the planner trusts the static certificate.
+        for n in (1, 2, 5, 10, 30):
+            query = parse_query(QN)
+            graph = builders.diamond_chain(max(n, 1))
+            with collect() as col:
+                result = query.run(
+                    graph, mode=EngineMode.auto(),
+                    srcName="v0", tgtName=f"v{n}",
+                )
+            assert result.printed[0]["R"] == [
+                {"name": f"v{n}", "pathCount": 2 ** n}
+            ]
+            assert col.counter("sdmc.product_states") == 3 * n + 1
+            assert col.counter("enum.calls") == 0
+            assert col.counter("planner.auto_counting") >= 1
+            assert col.counter("planner.auto_enumeration") == 0
+            assert col.counter("planner.auto_source.certificate") >= 1
+            assert col.counter("planner.auto_source.runtime-probe") == 0
+            assert col.counter("block.engine.counting") >= 1
+
+    def test_enumeration_required_certificate_selects_enumeration(self):
+        source = """
+CREATE QUERY perpath(string srcName, string tgtName) {
+  ListAccum<int> @marks;
+  R = SELECT t FROM V:s -(E>*)- V:t
+      WHERE s.name == srcName AND t.name == tgtName
+      ACCUM t.@marks += 1;
+  PRINT R[R.name, R.@marks];
+}"""
+        query = parse_query(source)
+        graph = builders.diamond_chain(3)
+        with collect() as col:
+            result = query.run(
+                graph, mode=EngineMode.auto(), srcName="v0", tgtName="v3",
+            )
+        [row] = result.printed[0]["R"]
+        assert row["name"] == "v3"
+        assert list(row["marks"]) == [1] * 8  # one mark per path
+        assert col.counter("planner.auto_enumeration") >= 1
+        assert col.counter("planner.auto_source.certificate") >= 1
+        assert col.counter("enum.calls") >= 1
+
+    def test_uncertified_query_falls_back_to_runtime_probe(self):
+        # blocks without a stamped certificate (programmatic queries)
+        # make AUTO probe the live declarations instead
+        query = parse_query(QN)
+        for fact in cached_model(query, None).blocks:
+            fact.block.certificate = None
+        graph = builders.diamond_chain(4)
+        with collect() as col:
+            result = query.run(
+                graph, mode=EngineMode.auto(), srcName="v0", tgtName="v4",
+            )
+        assert col.counter("planner.auto_source.runtime-probe") >= 1
+        assert col.counter("planner.auto_counting") >= 1
+        assert col.counter("enum.calls") == 0
+        assert result is not None
+
+    def test_explicit_mode_is_untouched(self):
+        query = parse_query(QN)
+        graph = builders.diamond_chain(3)
+        with collect() as col:
+            query.run(
+                graph, mode=EngineMode.counting(),
+                srcName="v0", tgtName="v3",
+            )
+        assert col.counter("planner.auto_counting") == 0
+        assert col.counter("planner.auto_source.certificate") == 0
+
+
+# ----------------------------------------------------------------------
+# Model caching
+# ----------------------------------------------------------------------
+class TestCachedModel:
+    SOURCE = """
+CREATE QUERY cacheme() {
+  SumAccum<int> @@x;
+  @@x += 1;
+  PRINT @@x AS x;
+}"""
+
+    def test_same_object_returned(self):
+        query = parse_query(self.SOURCE)
+        assert cached_model(query, None) is cached_model(query, None)
+
+    def test_schema_change_rebuilds(self):
+        from repro.graph.schema import GraphSchema
+
+        query = parse_query(self.SOURCE)
+        plain = cached_model(query, None)
+        schema = GraphSchema("G")
+        assert cached_model(query, schema) is not plain
+        assert cached_model(query, schema) is cached_model(query, schema)
+
+    def test_invalidate_drops_cache(self):
+        query = parse_query(self.SOURCE)
+        first = cached_model(query, None)
+        query.invalidate_analysis()
+        assert cached_model(query, None) is not first
+
+
+# ----------------------------------------------------------------------
+# Doc drift: the catalog tables must list every emittable code
+# ----------------------------------------------------------------------
+def test_docs_catalog_matches_rule_registry():
+    doc = (REPO / "docs" / "static_analysis.md").read_text()
+    documented = set(re.findall(r"^\| `(GSQL-[EW]\d+)` \|", doc, re.M))
+    emittable = set(catalog_codes()) | {"GSQL-E000"}
+    missing = emittable - documented
+    stale = documented - emittable
+    assert not missing, f"codes missing from docs/static_analysis.md: {missing}"
+    assert not stale, f"docs list codes no rule can emit: {stale}"
