@@ -12,18 +12,22 @@ Graph Analytics in TigerGraph* (Deutsch, Xu, Wu, Lee — SIGMOD 2020):
   (:mod:`repro.core`, :mod:`repro.gsql`);
 * SQL-style aggregation baselines (:mod:`repro.sqlstyle`);
 * an LDBC-SNB-like workload substrate (:mod:`repro.ldbc`);
-* graph algorithms written in GSQL (:mod:`repro.algorithms`).
+* graph algorithms written in GSQL (:mod:`repro.algorithms`);
+* an execution governor with budgets, cancellation and deterministic
+  fault injection (:mod:`repro.governor`).
 """
 
 __version__ = "1.0.0"
 
-from . import accum, algorithms, bench, core, darpe, enumeration, graph, gsql, ldbc, paths, sqlstyle
+from . import accum, algorithms, bench, core, darpe, enumeration, governor, graph, gsql, ldbc, paths, sqlstyle
 from .errors import (
     AccumulatorError,
     DarpeSyntaxError,
     EvaluationBudgetExceeded,
     GraphError,
     GSQLSyntaxError,
+    InjectedFault,
+    QueryAbortedError,
     QueryCompileError,
     QueryRuntimeError,
     ReproError,
@@ -41,6 +45,7 @@ __all__ = [
     "core",
     "darpe",
     "enumeration",
+    "governor",
     "graph",
     "gsql",
     "ldbc",
@@ -56,7 +61,9 @@ __all__ = [
     "GSQLSyntaxError",
     "QueryCompileError",
     "QueryRuntimeError",
+    "QueryAbortedError",
     "AccumulatorError",
     "TractabilityError",
     "EvaluationBudgetExceeded",
+    "InjectedFault",
 ]

@@ -104,12 +104,49 @@ def _print_value(value: Any) -> str:
     return f"  {value!r}"
 
 
+def _build_governor(args: argparse.Namespace):
+    """An :class:`ExecutionGovernor` from the budget flags, or None when
+    no flag was given (so ungoverned runs stay on the zero-cost path)."""
+    from .governor import Budget, ExecutionGovernor
+
+    budget = Budget(
+        deadline_seconds=args.timeout,
+        max_acc_executions=args.max_acc_execs,
+        max_product_states=args.max_product_states,
+        max_paths=args.max_paths,
+        max_accum_bytes=args.max_accum_bytes,
+        max_while_iterations=args.max_while_iters,
+    )
+    if budget.is_unlimited:
+        return None
+    return ExecutionGovernor(budget)
+
+
+def _print_abort(exc) -> None:
+    reason = getattr(exc.reason, "value", exc.reason)
+    print(
+        f"aborted: reason={reason} limit={exc.limit_name}="
+        f"{exc.limit_value} observed={exc.observed} "
+        f"elapsed={exc.elapsed_seconds:.3f}s",
+        file=sys.stderr,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    from .errors import QueryAbortedError
+    from .governor import govern
+
     graph = load_graph_json(args.graph)
     query = _load_query(args.query_file)
     mode = _ENGINES[args.engine]()
     params = dict(args.param or [])
-    result = query.run(graph, mode=mode, **params)
+    governor = _build_governor(args)
+    try:
+        with govern(governor):
+            result = query.run(graph, mode=mode, **params)
+    except QueryAbortedError as exc:
+        _print_abort(exc)
+        return 2
     for record in result.printed:
         for key, value in record.items():
             print(f"{key}:")
@@ -146,7 +183,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     query = _load_query(args.query_file)
     mode = _ENGINES[args.engine]()
     params = dict(args.param or [])
-    report = profile_query(query, graph, mode=mode, **params)
+    governor = _build_governor(args)
+    report = profile_query(query, graph, mode=mode, governor=governor, **params)
     if args.output:
         with open(args.output, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2)
@@ -155,6 +193,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render_text())
+    if governor is not None and governor.aborted is not None:
+        _print_abort(governor.aborted)
+        return 2
     return 0
 
 
@@ -456,6 +497,38 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_governor_flags(p: argparse.ArgumentParser) -> None:
+        gov = p.add_argument_group(
+            "execution governor",
+            "per-query budget; exceeding a limit aborts with exit code 2 "
+            "(certified-tractable blocks degrade instead — see "
+            "docs/robustness.md)",
+        )
+        gov.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="wall-clock deadline for the whole query",
+        )
+        gov.add_argument(
+            "--max-paths", type=int, default=None, metavar="N",
+            help="cap on paths materialized by the enumeration engine",
+        )
+        gov.add_argument(
+            "--max-acc-execs", type=int, default=None, metavar="N",
+            help="cap on ACCUM acc-executions across the query",
+        )
+        gov.add_argument(
+            "--max-product-states", type=int, default=None, metavar="N",
+            help="cap on SDMC product states visited",
+        )
+        gov.add_argument(
+            "--max-accum-bytes", type=int, default=None, metavar="N",
+            help="cap on estimated accumulator memory",
+        )
+        gov.add_argument(
+            "--max-while-iters", type=int, default=None, metavar="N",
+            help="soft per-loop WHILE iteration cap (stops with a warning)",
+        )
+
     run_p = sub.add_parser("run", help="run a GSQL query file against a JSON graph")
     run_p.add_argument("query_file")
     run_p.add_argument("--graph", required=True)
@@ -463,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--param", action="append", type=_parse_param, metavar="NAME=VALUE"
     )
+    add_governor_flags(run_p)
     run_p.set_defaults(fn=cmd_run)
 
     explain_p = sub.add_parser("explain", help="print a query's evaluation plan")
@@ -485,6 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="PATH",
         help="also write the JSON trace to PATH",
     )
+    add_governor_flags(profile_p)
     profile_p.set_defaults(fn=cmd_profile)
 
     validate_p = sub.add_parser(

@@ -18,6 +18,8 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import QueryRuntimeError, TractabilityError
+from ..governor import faults as _faults
+from ..governor import governor as _gov
 from ..graph.elements import Vertex
 from ..obs import metrics as _obs
 from ..paths.semantics import PathSemantics
@@ -137,12 +139,17 @@ class SelectBlock:
     ) -> Optional[VertexSet]:
         from .planner import and_all, push_down_filters, select_engine
 
+        gov = _gov._ACTIVE
+        if gov is not None:
+            gov.tick()  # cancellation/deadline checkpoint per block
         if self.semantics is not None:
             mode = mode.for_semantics(self.semantics)
         if mode.kind == EngineMode.AUTO:
             mode = select_engine(self, ctx, mode)
             if col is not None:
                 col.count(f"block.engine.{mode.kind}")
+        if gov is not None:
+            mode = self._maybe_downgrade(mode, gov, col)
         self._check_tractability(ctx, mode)
         primed = self._capture_primed(ctx)
 
@@ -179,30 +186,47 @@ class SelectBlock:
                 col.count("block.rows_filtered_residual", before - len(rows))
 
         if self.accum:
+            if gov is not None:
+                # One acc-execution per compressed row — charged up front
+                # so a breached cap aborts before any Map work runs.
+                gov.charge_acc_executions(len(rows))
             if col is not None:
                 map_span = col.span("accum_map", statements=len(self.accum))
             buffer = InputBuffer()
             locals_: Dict[str, Any] = {}
             try:
-                for row in rows:
-                    env = EvalEnv(ctx, row.bindings, locals_, primed)
-                    run_map_phase(self.accum, env, buffer, row.multiplicity)
-            finally:
+                try:
+                    for row in rows:
+                        if _faults._PLAN is not None:
+                            _faults.fire("block.accum_map")
+                        env = EvalEnv(ctx, row.bindings, locals_, primed)
+                        run_map_phase(self.accum, env, buffer, row.multiplicity)
+                finally:
+                    if col is not None:
+                        # One acc-execution per *compressed* row — the count
+                        # that stays flat while path multiplicities explode.
+                        map_span.set(acc_executions=len(rows))
+                        col.count("block.acc_executions", len(rows))
+                        col.close(map_span)
                 if col is not None:
-                    # One acc-execution per *compressed* row — the count
-                    # that stays flat while path multiplicities explode.
-                    map_span.set(acc_executions=len(rows))
-                    col.count("block.acc_executions", len(rows))
-                    col.close(map_span)
-            if col is not None:
-                reduce_span = col.span("accum_reduce", inputs=len(buffer))
-            try:
-                buffer.flush()
-            finally:
-                if col is not None:
-                    col.close(reduce_span)
+                    reduce_span = col.span("accum_reduce", inputs=len(buffer))
+                try:
+                    if _faults._PLAN is not None:
+                        _faults.fire("block.reduce")
+                    buffer.flush()
+                finally:
+                    if col is not None:
+                        col.close(reduce_span)
+            except BaseException:
+                # Any failure between Map start and Reduce end releases
+                # the scratch partials: snapshot semantics means the live
+                # accumulators were untouched until flush() completed.
+                buffer.clear()
+                raise
 
         if self.post_accum:
+            if _faults._PLAN is not None:
+                _faults.fire("block.post_accum")
             pattern_vars = set(self.pattern.variables())
             if col is not None:
                 post_span = col.span(
@@ -214,6 +238,9 @@ class SelectBlock:
                 if col is not None:
                     col.close(post_span)
 
+        if gov is not None:
+            gov.check_memory(ctx)
+
         for fragment in self.fragments:
             self._emit_fragment(ctx, fragment, rows, primed)
 
@@ -222,6 +249,44 @@ class SelectBlock:
         return None
 
     # ------------------------------------------------------------------
+    def _maybe_downgrade(self, mode: EngineMode, gov, col) -> EngineMode:
+        """Degradation ladder, first rung: enumeration → counting.
+
+        When the active governor caps materialized paths and this block
+        carries a conclusive TRACTABLE certificate, enumeration under a
+        counting-compatible semantics is *provably* replaceable by the
+        polynomial engine (Theorems 6.1/7.1): same aggregate answer, no
+        path materialization.  The governor downgrades pre-emptively —
+        before the first path is materialized — instead of letting the
+        query burn its budget and die.  Uncertified blocks are left to
+        enumerate (and abort on breach): without the certificate the
+        engines are not guaranteed to agree.
+        """
+        if (
+            mode.kind != EngineMode.ENUMERATION
+            or gov.budget.max_paths is None
+            or mode.semantics
+            not in (PathSemantics.ALL_SHORTEST, PathSemantics.EXISTENCE)
+        ):
+            return mode
+        cert = self.certificate
+        if cert is None:
+            return mode
+        from .tractable import TractabilityStatus
+
+        if cert.status is not TractabilityStatus.TRACTABLE:
+            return mode
+        gov.note_downgrade(
+            f"SELECT FROM {self.pattern!r}: enumeration downgraded to "
+            f"counting (certified tractable, max_paths="
+            f"{gov.budget.max_paths})"
+        )
+        if col is not None:
+            col.count("planner.governor_downgrade")
+        return EngineMode.counting(
+            max_length=mode.max_length, semantics=mode.semantics
+        )
+
     def _check_tractability(self, ctx: QueryContext, mode: EngineMode) -> None:
         """Reject order-dependent accumulation from Kleene patterns.
 

@@ -16,11 +16,13 @@ exercise the same code path under a real thread pool.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..accum.base import Accumulator
-from ..errors import QueryRuntimeError
+from ..errors import QueryAbortedError, QueryRuntimeError
+from ..governor import faults as _faults
 from ..obs import metrics as _obs
 from .context import QueryContext
 from .exprs import EvalEnv
@@ -62,10 +64,18 @@ def _run_partition(
     statements: List[AccStatement],
     rows: List[BindingRow],
     primed: Dict[str, Dict[Any, Any]],
+    abort: Optional[threading.Event] = None,
 ) -> _Partial:
+    if _faults._PLAN is not None:
+        _faults.fire("parallel.worker")
     partial = _Partial(ctx)
     locals_: Dict[str, Any] = {}
     for row in rows:
+        if abort is not None and abort.is_set():
+            # A sibling worker failed; bail out cooperatively.  The
+            # partial is discarded by the caller, so stopping early is
+            # safe under snapshot semantics.
+            break
         env = EvalEnv(ctx, row.bindings, locals_, primed)
         locals_.clear()
         for stmt in statements:
@@ -84,6 +94,58 @@ def _run_partition(
             else:
                 raise QueryRuntimeError(f"unknown ACCUM statement {stmt!r}")
     return partial
+
+
+def _run_threaded(
+    ctx: QueryContext,
+    statements: List[AccStatement],
+    chunks: List[List[BindingRow]],
+    primed: Dict[str, Dict[Any, Any]],
+) -> List[_Partial]:
+    """Run one partition per worker thread with structured failure.
+
+    A failing worker does not surface as a bare future exception: its
+    error is re-raised as :class:`QueryRuntimeError` carrying the
+    worker's partition index (``.partition``), pending siblings are
+    cancelled and running siblings are signalled to drain via a shared
+    abort event, so the pool shuts down promptly and no partial escapes
+    into the live accumulators.
+    """
+    abort = threading.Event()
+    with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+        futures = [
+            pool.submit(_run_partition, ctx, statements, chunk, primed, abort)
+            for chunk in chunks
+        ]
+        wait(futures, return_when=FIRST_EXCEPTION)
+        failed_idx: Optional[int] = None
+        failure: Optional[BaseException] = None
+        for idx, future in enumerate(futures):
+            if future.done() and future.exception() is not None:
+                failed_idx, failure = idx, future.exception()
+                break
+        if failure is not None:
+            abort.set()
+            for future in futures:
+                future.cancel()
+            # Drain: the `with` block joins running workers, which exit
+            # at their next abort-event check.
+        if failure is None:
+            return [future.result() for future in futures]
+    if isinstance(failure, QueryAbortedError):
+        raise failure  # governor aborts keep their structured identity
+    raise QueryRuntimeErrorWithPartition(
+        f"parallel ACCUM worker for partition {failed_idx} failed: {failure}",
+        partition=failed_idx,
+    ) from failure
+
+
+class QueryRuntimeErrorWithPartition(QueryRuntimeError):
+    """A worker failure wrapped with the partition index that raised it."""
+
+    def __init__(self, message: str, partition: Optional[int] = None):
+        super().__init__(message)
+        self.partition = partition
 
 
 def parallel_accum(
@@ -114,13 +176,7 @@ def parallel_accum(
     chunks = [rows[i::partitions] for i in range(partitions)]
 
     if use_threads and partitions > 1:
-        with ThreadPoolExecutor(max_workers=partitions) as pool:
-            partials = list(
-                pool.map(
-                    lambda chunk: _run_partition(ctx, statements, chunk, primed),
-                    chunks,
-                )
-            )
+        partials = _run_threaded(ctx, statements, chunks, primed)
     else:
         partials = [_run_partition(ctx, statements, chunk, primed) for chunk in chunks]
 
@@ -138,4 +194,4 @@ def parallel_accum(
         col.count("parallel.partitions", len(partials))
 
 
-__all__ = ["parallel_accum"]
+__all__ = ["parallel_accum", "QueryRuntimeErrorWithPartition"]

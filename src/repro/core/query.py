@@ -8,10 +8,13 @@ updates, WHILE/IF control flow, PRINT and RETURN — mirroring a GSQL
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..accum.base import Accumulator
 from ..errors import QueryCompileError, QueryRuntimeError
+from ..governor import faults as _faults
+from ..governor import governor as _gov
 from ..graph.elements import Vertex
 from ..graph.graph import Graph
 from ..obs import metrics as _obs
@@ -24,6 +27,13 @@ from .values import Table, VertexSet
 #: Iteration ceiling for WHILE loops without an explicit LIMIT, so a
 #: mis-specified convergence condition fails loudly instead of spinning.
 DEFAULT_WHILE_CEILING = 10_000
+
+#: Mandatory soft iteration cap for WHILE loops the dataflow pass flagged
+#: as possibly non-terminating (E033): instead of rejecting the query,
+#: the governor runs the loop up to this many iterations and soft-stops
+#: with a warning.  An explicit ``Budget.max_while_iterations`` overrides
+#: it.  See docs/robustness.md and docs/static_analysis.md.
+GOVERNED_WHILE_CAP = 1_000
 
 
 class Statement:
@@ -199,18 +209,40 @@ class GlobalAccumUpdate(Statement):
 class While(Statement):
     """``WHILE cond LIMIT n DO ... END`` (Figure 4's iteration primitive)."""
 
+    #: Set by :func:`repro.core.tractable.attach_governor_caps` when the
+    #: dataflow pass flags this loop as possibly non-terminating (E033).
+    #: Flagged loops run under a mandatory soft iteration cap
+    #: (:data:`GOVERNED_WHILE_CAP`) when execution is governed or the
+    #: engine mode is AUTO, instead of being rejected outright.
+    governed_cap = False
+
     def __init__(self, cond: Expr, body: List[Statement], limit: Optional[Expr] = None):
         self.cond = cond
         self.body = body
         self.limit = limit
 
     def execute(self, ctx: QueryContext, mode: EngineMode) -> None:
+        gov = _gov._ACTIVE
         if self.limit is not None:
             ceiling = int(self.limit.eval(EvalEnv(ctx)))
         else:
             ceiling = DEFAULT_WHILE_CEILING
+        # Degradation ladder, second rung: a soft iteration cap stops the
+        # loop with a warning instead of aborting the query.  Active when
+        # the budget sets max_while_iterations, or when the dataflow pass
+        # flagged this loop (E033) and execution is governed / AUTO.
+        soft_cap: Optional[int] = None
+        if gov is not None and gov.budget.max_while_iterations is not None:
+            soft_cap = gov.budget.max_while_iterations
+        elif self.governed_cap and (
+            gov is not None or mode.kind == EngineMode.AUTO
+        ):
+            soft_cap = GOVERNED_WHILE_CAP
         iterations = 0
         while bool(self.cond.eval(EvalEnv(ctx))):
+            if soft_cap is not None and iterations >= soft_cap:
+                self._soft_stop(gov, soft_cap)
+                break
             if iterations >= ceiling:
                 if self.limit is not None:
                     break
@@ -218,9 +250,28 @@ class While(Statement):
                     f"WHILE loop exceeded {DEFAULT_WHILE_CEILING} iterations "
                     f"without a LIMIT clause; assuming runaway condition"
                 )
+            if gov is not None:
+                gov.note_while_iteration()
+            if _faults._PLAN is not None:
+                _faults.fire("while.iteration")
             for stmt in self.body:
                 stmt.execute(ctx, mode)
             iterations += 1
+
+    @staticmethod
+    def _soft_stop(gov, soft_cap: int) -> None:
+        warnings.warn(
+            f"WHILE loop soft-stopped by the execution governor after "
+            f"{soft_cap} iterations (possibly non-terminating loop); "
+            f"results reflect the iterations completed so far",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        col = _obs._ACTIVE
+        if col is not None:
+            col.count("governor.while_soft_stops")
+        if gov is not None:
+            gov.note_soft_stop()
 
 
 class Foreach(Statement):
@@ -250,8 +301,11 @@ class Foreach(Statement):
                 ) from None
         had_prior = self.var in ctx.params
         prior = ctx.params.get(self.var)
+        gov = _gov._ACTIVE
         try:
             for item in items:
+                if gov is not None:
+                    gov.tick()  # cancellation/deadline check per iteration
                 ctx.params[self.var] = item
                 for stmt in self.body:
                     stmt.execute(ctx, mode)
@@ -494,4 +548,5 @@ __all__ = [
     "Query",
     "QueryResult",
     "DEFAULT_WHILE_CEILING",
+    "GOVERNED_WHILE_CAP",
 ]

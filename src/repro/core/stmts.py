@@ -225,6 +225,17 @@ class InputBuffer:
         self._adds.clear()
         self._sets.clear()
 
+    def clear(self) -> None:
+        """Discard all buffered inputs without applying them.
+
+        Abort paths call this so a failed Map phase releases its scratch
+        partials: under snapshot semantics the live accumulators were
+        never touched, and clearing the buffer guarantees nothing can
+        flush later either.
+        """
+        self._adds.clear()
+        self._sets.clear()
+
     def __len__(self) -> int:
         return len(self._adds) + len(self._sets)
 

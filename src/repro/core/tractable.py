@@ -126,6 +126,25 @@ def attach_certificates(query: Query, schema=None) -> None:
         block_fact.block.certificate = cert
 
 
+def attach_governor_caps(query: Query, schema=None) -> None:
+    """Flag E033 (non-terminating WHILE) loops for governed execution.
+
+    Instead of rejecting a query whose WHILE condition provably cannot
+    change, the dataflow verdict is recorded on the loop itself
+    (``While.governed_cap = True``): under ``EngineMode.auto()`` or a
+    governed run the loop executes with a mandatory soft iteration cap
+    (:data:`repro.core.query.GOVERNED_WHILE_CAP`) and stops with a
+    warning instead of spinning to the hard ceiling.  Shares the cached
+    analysis model with :func:`attach_certificates` so the parser pays
+    for one dataflow pass, not two.
+    """
+    from ..analysis.dataflow import analyze_dataflow
+    from ..analysis.model import cached_model
+
+    for wf in analyze_dataflow(cached_model(query, schema)).nonterminating_whiles:
+        wf.node.governed_cap = True
+
+
 __all__ = [
     "TractabilityViolation",
     "TractabilityStatus",
@@ -134,4 +153,5 @@ __all__ = [
     "is_tractable",
     "certify_query",
     "attach_certificates",
+    "attach_governor_caps",
 ]

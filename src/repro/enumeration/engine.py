@@ -23,6 +23,8 @@ from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Set
 
 from ..darpe.automaton import CompiledDarpe, LazyDFA
 from ..errors import EvaluationBudgetExceeded, QueryRuntimeError
+from ..governor import faults as _faults
+from ..governor import governor as _gov
 from ..graph.elements import Edge
 from ..graph.graph import Graph
 from ..obs import metrics as _obs
@@ -61,6 +63,14 @@ class _Budget:
                 f"or switch to the counting engine)",
                 expanded=self.expanded,
             )
+        if _faults._PLAN is not None:
+            _faults.fire("enum.expand")
+        gov = _gov._ACTIVE
+        if gov is not None and not (self.expanded & 0xFF):
+            # Deadline/cancellation checkpoint every 256 expanded nodes:
+            # frequent enough to abort a blow-up promptly, rare enough to
+            # keep the per-node cost to a global load and a bit test.
+            gov.tick()
 
 
 def enumerate_matches(
@@ -105,20 +115,27 @@ def enumerate_matches(
             graph, source, darpe, semantics, targets, max_length, tracker
         )
     col = _obs._ACTIVE
-    if col is None:
+    gov = _gov._ACTIVE
+    if col is None and gov is None:
         yield from inner
         return
-    # Report once per evaluation (also on budget blow-up or early close):
-    # expanded search nodes is the paper's exponential-cost witness.
+    # Report once per evaluation (also on budget blow-up, governor abort
+    # or early close): expanded search nodes is the paper's
+    # exponential-cost witness.
     emitted = 0
     try:
         for match in inner:
             emitted += 1
+            if gov is not None:
+                # Charge each *materialized* path against the budget —
+                # PathFinder-style explicit bounding of materialization.
+                gov.charge_paths(1)
             yield match
     finally:
-        col.count("enum.calls")
-        col.count("enum.nodes_expanded", tracker.expanded)
-        col.count("enum.paths_emitted", emitted)
+        if col is not None:
+            col.count("enum.calls")
+            col.count("enum.nodes_expanded", tracker.expanded)
+            col.count("enum.paths_emitted", emitted)
 
 
 def _emit(source: Any, vid: Any, path: List[Edge], path_vertices: List[Any]) -> PathMatch:

@@ -63,7 +63,61 @@ class QueryCompileError(ReproError):
 
 class QueryRuntimeError(ReproError):
     """Raised when query execution fails (type errors, missing attributes,
-    division by zero inside an expression, exceeding iteration limits...)."""
+    division by zero inside an expression, exceeding iteration limits...).
+
+    ``counters`` snapshots the active observability collector at raise
+    time, so a failed query carries the same telemetry as a successful
+    one (empty dict when no collector is installed).
+    """
+
+    def __init__(self, *args: object):
+        super().__init__(*args)
+        self.counters: dict = _snapshot_counters()
+
+
+def _snapshot_counters() -> dict:
+    """Copy of the active obs collector's counters (at raise time)."""
+    from .obs import metrics as _obs  # lazy: errors loads before obs
+
+    col = _obs._ACTIVE
+    return dict(col.counters) if col is not None else {}
+
+
+class QueryAbortedError(QueryRuntimeError):
+    """Raised by the execution governor when a query exceeds its
+    :class:`~repro.governor.Budget` or its cancel token is triggered.
+
+    Structured so callers can react programmatically:
+
+    ``reason``
+        An :class:`~repro.governor.AbortReason` member (deadline,
+        cancelled, acc-executions, product-states, paths,
+        accumulator-memory, injected-fault).
+    ``limit_name`` / ``limit_value``
+        Which budget limit was breached and its configured value.
+    ``observed``
+        The tally that breached the limit.
+    ``elapsed_seconds``
+        Wall-clock time since the governor started.
+    ``counters``
+        Partial obs counters at abort time (inherited behaviour).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: object = None,
+        limit_name: str = "",
+        limit_value: object = None,
+        observed: object = None,
+        elapsed_seconds: float = 0.0,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.limit_name = limit_name
+        self.limit_value = limit_value
+        self.observed = observed
+        self.elapsed_seconds = elapsed_seconds
 
 
 class AccumulatorError(ReproError):
@@ -97,4 +151,19 @@ class EvaluationBudgetExceeded(ReproError):
 
     def __init__(self, message: str, expanded: int = 0):
         self.expanded = expanded
+        super().__init__(message)
+
+
+class InjectedFault(ReproError):
+    """Raised by the deterministic fault-injection harness
+    (:mod:`repro.governor.faults`) when an armed injection site fires.
+
+    Carries the ``site`` name and the 0-based ``hit`` index at which the
+    injection fired, so chaos tests can assert exactly where execution
+    was cut down.
+    """
+
+    def __init__(self, message: str, site: str = "", hit: int = -1):
+        self.site = site
+        self.hit = hit
         super().__init__(message)

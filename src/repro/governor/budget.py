@@ -1,0 +1,109 @@
+"""Per-query execution budgets and the abort taxonomy.
+
+A :class:`Budget` declares how much work one query execution is allowed
+to do, in the units the engine already measures (see
+``docs/observability.md``): wall-clock seconds, acc-executions (one per
+compressed binding row — the paper's Section 7 work unit), product
+states visited by the SDMC BFS (the Theorem 6.1 bound), materialized
+paths emitted by the enumeration engine, an accumulator memory
+estimate, and WHILE-loop iterations.  ``None`` means unlimited; an
+empty budget governs nothing and costs (almost) nothing.
+
+Breaching a hard limit raises
+:class:`~repro.errors.QueryAbortedError` with an :class:`AbortReason`,
+except where a degradation policy applies first — see
+``docs/robustness.md`` for the full degradation ladder.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Optional
+
+
+class AbortReason(enum.Enum):
+    """Why the governor aborted a query — the abort taxonomy."""
+
+    DEADLINE = "deadline"
+    CANCELLED = "cancelled"
+    ACC_EXECUTIONS = "acc-executions"
+    PRODUCT_STATES = "product-states"
+    PATHS = "paths"
+    MEMORY = "accumulator-memory"
+    FAULT = "injected-fault"
+
+
+class Budget:
+    """Resource limits for one governed query execution.
+
+    Every limit is optional; unset limits are never checked.  The
+    limits map onto the engine's own cost model:
+
+    ``deadline_seconds``
+        Wall-clock deadline from governor start.
+    ``max_acc_executions``
+        Cap on ACCUM-clause acc-executions (compressed binding rows
+        processed by Map phases) across the whole query.
+    ``max_product_states``
+        Cap on SDMC product states ``(vertex, dfa_state)`` visited —
+        the frontier/product-state bound of Theorem 6.1.
+    ``max_paths``
+        Cap on paths *materialized* by the enumeration engine.  Also
+        arms the degradation policy: a certified-tractable block asked
+        to enumerate under a path cap downgrades to counting instead
+        (see :meth:`repro.core.block.SelectBlock`).
+    ``max_accum_bytes``
+        Cap on the estimated memory held by accumulator instances,
+        checked at block boundaries.
+    ``max_while_iterations``
+        Soft per-loop iteration cap for WHILE statements: the loop
+        stops with a warning instead of aborting the query.
+    """
+
+    __slots__ = (
+        "deadline_seconds",
+        "max_acc_executions",
+        "max_product_states",
+        "max_paths",
+        "max_accum_bytes",
+        "max_while_iterations",
+    )
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        max_acc_executions: Optional[int] = None,
+        max_product_states: Optional[int] = None,
+        max_paths: Optional[int] = None,
+        max_accum_bytes: Optional[int] = None,
+        max_while_iterations: Optional[int] = None,
+    ):
+        self.deadline_seconds = deadline_seconds
+        self.max_acc_executions = max_acc_executions
+        self.max_product_states = max_product_states
+        self.max_paths = max_paths
+        self.max_accum_bytes = max_accum_bytes
+        self.max_while_iterations = max_while_iterations
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        return cls()
+
+    @property
+    def is_unlimited(self) -> bool:
+        return all(getattr(self, name) is None for name in self.__slots__)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The configured (non-None) limits, JSON-shaped."""
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if getattr(self, name) is not None
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        limits = ", ".join(f"{k}={v}" for k, v in self.to_dict().items())
+        return f"Budget({limits or 'unlimited'})"
+
+
+__all__ = ["AbortReason", "Budget"]

@@ -1,0 +1,220 @@
+"""Deterministic, seedable fault injection for chaos testing.
+
+The engine's hot loops expose named *injection sites* at the same
+points where the observability layer opens spans or batches counters
+(``docs/robustness.md`` carries the catalog).  A test arms a
+:class:`FaultPlan` with ``plan.inject(site, at=k)`` and activates it
+with :class:`inject_faults`; the k-th time execution reaches that site
+the plan fires — raising :class:`~repro.errors.InjectedFault`, or
+(action ``"deadline"``) forcing the active governor's deadline into the
+past so the query aborts through the *real* deadline path at exactly
+iteration k.
+
+Determinism is the whole point: the same plan against the same query
+fires at the same place every run, so chaos tests can assert invariants
+after the failure — no partial accumulator state leaked into the
+context, scratch partials released, ``Query.run`` re-runnable.  For
+randomized sweeps, ``at=None`` draws the hit index from a seeded RNG
+(``FaultPlan(seed=...)``), which is still reproducible per seed.
+
+Like :mod:`repro.obs.metrics` and :mod:`.governor`, the harness is a
+module-global binding (``_PLAN``): sites guard every call with a single
+global load + None check, so an inactive harness costs nothing
+measurable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+from ..errors import InjectedFault
+from . import governor as _gov
+
+#: The injection-site catalog: name -> where in the engine it fires.
+#: Sites fire at existing obs span points; one hit is one pass through
+#: the corresponding loop body / phase boundary.
+SITES: Dict[str, str] = {
+    "parallel.worker": (
+        "entry of one parallel ACCUM Map worker (repro.core.parallel."
+        "_run_partition); a hit is one partition"
+    ),
+    "block.accum_map": (
+        "one acc-execution of a SELECT block's Map phase (repro.core."
+        "block); a hit is one binding row"
+    ),
+    "block.reduce": (
+        "immediately before a SELECT block's Reduce fold (InputBuffer."
+        "flush); a hit is one block with an ACCUM clause"
+    ),
+    "block.post_accum": (
+        "immediately before a SELECT block's POST_ACCUM phase; a hit is "
+        "one block with a POST_ACCUM clause"
+    ),
+    "while.iteration": (
+        "top of one WHILE-loop iteration (repro.core.query.While); a "
+        "hit is one iteration"
+    ),
+    "sdmc.level": (
+        "after one BFS level of the SDMC product traversal (repro."
+        "paths.sdmc); a hit is one level"
+    ),
+    "enum.expand": (
+        "one expanded search node of the enumeration engine (repro."
+        "enumeration.engine._Budget.charge); a hit is one node"
+    ),
+}
+
+#: Actions an armed injection can perform when it fires.
+ACTIONS = ("raise", "deadline")
+
+
+class _Arm(NamedTuple):
+    at: int
+    action: str
+
+
+class FiredFault(NamedTuple):
+    """Record of one injection that fired (for post-mortem assertions)."""
+
+    site: str
+    hit: int
+    action: str
+
+
+class FaultPlan:
+    """One deterministic chaos scenario: armed sites plus hit counters.
+
+    The plan counts every hit of every site whether or not the site is
+    armed, so a dry run (no injections) doubles as a site-coverage
+    census: run the workload under an empty plan, read ``plan.hits``,
+    then parametrize real injections over {0, 1, mid, last}.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = random.Random(seed)
+        self.seed = seed
+        self.armed: Dict[str, _Arm] = {}
+        self.hits: Dict[str, int] = {}
+        self.fired: List[FiredFault] = []
+
+    def inject(
+        self,
+        site: str,
+        at: Optional[int] = 0,
+        action: str = "raise",
+        horizon: int = 16,
+    ) -> "FaultPlan":
+        """Arm ``site`` to fire on its ``at``-th hit (0-based).
+
+        ``at=None`` draws the index from the plan's seeded RNG over
+        ``[0, horizon)`` — deterministic per seed.  ``action`` is
+        ``"raise"`` (raise :class:`InjectedFault`) or ``"deadline"``
+        (expire the active governor's deadline, so the abort flows
+        through the genuine deadline path).  Returns ``self`` for
+        chaining.
+        """
+        if site not in SITES:
+            raise ValueError(
+                f"unknown injection site {site!r}; known sites: "
+                f"{', '.join(sorted(SITES))}"
+            )
+        if action not in ACTIONS:
+            raise ValueError(
+                f"unknown action {action!r}; known actions: "
+                f"{', '.join(ACTIONS)}"
+            )
+        if at is None:
+            at = self._rng.randrange(horizon)
+        self.armed[site] = _Arm(at, action)
+        return self
+
+    def hit_count(self, site: str) -> int:
+        return self.hits.get(site, 0)
+
+    # -- firing (called via the module-level :func:`fire`) -------------
+    def _fire(self, site: str) -> None:
+        hit = self.hits.get(site, 0)
+        self.hits[site] = hit + 1
+        arm = self.armed.get(site)
+        if arm is None or hit != arm.at:
+            return
+        self.fired.append(FiredFault(site, hit, arm.action))
+        if arm.action == "deadline":
+            gov = _gov._ACTIVE
+            if gov is not None:
+                gov.expire_deadline()
+                gov.tick()  # aborts through the real deadline path
+                return  # pragma: no cover - tick always raises here
+        raise InjectedFault(
+            f"injected fault at site {site!r} (hit {hit})", site=site, hit=hit
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultPlan(seed={self.seed}, armed={dict(self.armed)})"
+
+
+#: The active fault plan, or None (the default: no chaos).  Sites guard
+#: with ``if _PLAN is not None`` — the entire inactive cost.
+_PLAN: Optional[FaultPlan] = None
+
+
+def active() -> Optional[FaultPlan]:
+    return _PLAN
+
+
+def fire(site: str) -> None:
+    """Count a hit at ``site`` and fire its injection if armed.
+
+    Call sites pre-guard with ``if _faults._PLAN is not None`` so the
+    inactive path never enters this function.
+    """
+    plan = _PLAN
+    if plan is not None:
+        plan._fire(site)
+
+
+class inject_faults:
+    """Context manager activating a fault plan for the dynamic extent.
+
+    ::
+
+        plan = FaultPlan().inject("while.iteration", at=3)
+        with inject_faults(plan):
+            with pytest.raises(InjectedFault):
+                query.run(graph)
+
+    Exception-safe and nestable (inner plan shadows the outer one).
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan if plan is not None else FaultPlan()
+        self._previous: Optional[FaultPlan] = None
+
+    def __enter__(self) -> FaultPlan:
+        global _PLAN
+        self._previous = _PLAN
+        _PLAN = self.plan
+        return self.plan
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _PLAN
+        _PLAN = self._previous
+
+
+def catalog() -> List[Tuple[str, str]]:
+    """The (site, description) catalog, sorted — docs and the baseline
+    guard (``benchmarks/check_governor_overhead.py``) read this."""
+    return sorted(SITES.items())
+
+
+__all__ = [
+    "SITES",
+    "ACTIONS",
+    "FaultPlan",
+    "FiredFault",
+    "fire",
+    "active",
+    "inject_faults",
+    "catalog",
+]

@@ -19,7 +19,13 @@ from .metrics import Collector, Span, collect
 
 
 class ProfileReport:
-    """Everything one profiled execution produced."""
+    """Everything one profiled execution produced.
+
+    ``governor`` is the :class:`~repro.governor.ExecutionGovernor` the
+    run executed under, or None for ungoverned profiling; ``result`` is
+    None when the governed run aborted (the abort lives on
+    ``governor.aborted``).
+    """
 
     def __init__(
         self,
@@ -28,12 +34,14 @@ class ProfileReport:
         wall_seconds: float,
         collector: Collector,
         result: Any,
+        governor: Optional[Any] = None,
     ):
         self.query_name = query_name
         self.engine = engine
         self.wall_seconds = wall_seconds
         self.collector = collector
         self.result = result
+        self.governor = governor
 
     # -- structured export --------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -42,6 +50,8 @@ class ProfileReport:
         doc["query"] = self.query_name
         doc["engine"] = self.engine
         doc["wall_ms"] = round(self.wall_seconds * 1000, 4)
+        if self.governor is not None:
+            doc["governor"] = self.governor.report_dict()
         return doc
 
     # -- text rendering ------------------------------------------------
@@ -59,6 +69,8 @@ class ProfileReport:
             width = max(len(name) for name in counters)
             for name in sorted(counters):
                 lines.append(f"  {name.ljust(width)}  {counters[name]:,}")
+        if self.governor is not None:
+            lines.append(self.governor.report_line())
         return "\n".join(lines)
 
 
@@ -68,23 +80,41 @@ def profile_query(
     mode: Optional[Any] = None,
     tables: Optional[Dict[str, Any]] = None,
     subqueries: Optional[Dict[str, Any]] = None,
+    governor: Optional[Any] = None,
     **params: Any,
 ) -> ProfileReport:
     """Run ``query`` against ``graph`` with instrumentation on.
 
-    Accepts the same arguments as :meth:`repro.core.query.Query.run`.
-    The run happens under a fresh :class:`Collector`; the returned
-    report carries both the ordinary :class:`QueryResult` and the trace.
+    Accepts the same arguments as :meth:`repro.core.query.Query.run`,
+    plus an optional :class:`~repro.governor.ExecutionGovernor`: the run
+    then executes under that governor's budget, a budget abort is caught
+    (``report.result`` is None, the abort is on ``governor.aborted``),
+    and the report gains a ``GovernorReport`` line / ``governor`` JSON
+    field.  The run happens under a fresh :class:`Collector`; the
+    returned report carries both the ordinary :class:`QueryResult` and
+    the trace.
     """
+    from ..errors import QueryAbortedError
+    from ..governor import govern
+
     collector = Collector()
     start = time.perf_counter()
+    result = None
     with collect(collector):
-        result = query.run(
-            graph, mode=mode, tables=tables, subqueries=subqueries, **params
-        )
+        with govern(governor):
+            try:
+                result = query.run(
+                    graph, mode=mode, tables=tables, subqueries=subqueries,
+                    **params,
+                )
+            except QueryAbortedError:
+                if governor is None:
+                    raise  # an outer governor's abort is not ours to eat
     wall = time.perf_counter() - start
     engine = _engine_label(mode)
-    return ProfileReport(query.name, engine, wall, collector, result)
+    return ProfileReport(
+        query.name, engine, wall, collector, result, governor=governor
+    )
 
 
 def _engine_label(mode: Optional[Any]) -> str:

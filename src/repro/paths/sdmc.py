@@ -28,6 +28,8 @@ from collections import defaultdict
 from typing import Any, Dict, Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple
 
 from ..darpe.automaton import CompiledDarpe, LazyDFA
+from ..governor import faults as _faults
+from ..governor import governor as _gov
 from ..graph.graph import Graph
 from ..obs import metrics as _obs
 
@@ -89,37 +91,49 @@ def single_source_sdmc(
                     remaining.discard(vid)
 
     col = _obs._ACTIVE
+    gov = _gov._ACTIVE
+    if gov is not None:
+        gov.charge_product_states(1)  # the start state
     peak_frontier = 1
     record_level(frontier)
-    while frontier:
-        if remaining is not None and not remaining:
-            break
-        if max_length is not None and level >= max_length:
-            break
-        next_frontier: Dict[Tuple[Any, int], int] = defaultdict(int)
-        for (vid, q), count in frontier.items():
-            for step in graph.steps(vid):
-                q2 = dfa.step(q, (step.edge.type, step.direction))
-                if q2 == LazyDFA.DEAD:
-                    continue
-                ps = (step.neighbor, q2)
-                if ps in visited:
-                    continue
-                next_frontier[ps] += count
-        level += 1
-        visited.update(next_frontier)
-        record_level(next_frontier)
-        frontier = next_frontier
-        if col is not None and len(frontier) > peak_frontier:
-            peak_frontier = len(frontier)
-
-    if col is not None:
-        # Batched per call, never per edge: |visited| product states is
-        # the work bound Theorem 6.1 argues about.
-        col.count("sdmc.calls")
-        col.count("sdmc.product_states", len(visited))
-        col.count("sdmc.bfs_levels", level)
-        col.record_max("sdmc.frontier_peak", peak_frontier)
+    try:
+        while frontier:
+            if remaining is not None and not remaining:
+                break
+            if max_length is not None and level >= max_length:
+                break
+            next_frontier: Dict[Tuple[Any, int], int] = defaultdict(int)
+            for (vid, q), count in frontier.items():
+                for step in graph.steps(vid):
+                    q2 = dfa.step(q, (step.edge.type, step.direction))
+                    if q2 == LazyDFA.DEAD:
+                        continue
+                    ps = (step.neighbor, q2)
+                    if ps in visited:
+                        continue
+                    next_frontier[ps] += count
+            level += 1
+            visited.update(next_frontier)
+            record_level(next_frontier)
+            frontier = next_frontier
+            if col is not None and len(frontier) > peak_frontier:
+                peak_frontier = len(frontier)
+            # Governed checkpoint once per BFS level (never per edge):
+            # charge the newly visited product states — the Theorem 6.1
+            # work unit — and check deadline/cancellation.
+            if gov is not None and frontier:
+                gov.charge_product_states(len(frontier))
+            if _faults._PLAN is not None and frontier:
+                _faults.fire("sdmc.level")
+    finally:
+        if col is not None:
+            # Batched per call, never per edge: |visited| product states
+            # is the work bound Theorem 6.1 argues about.  Flushed in a
+            # finally so an aborted call still reports its partial work.
+            col.count("sdmc.calls")
+            col.count("sdmc.product_states", len(visited))
+            col.count("sdmc.bfs_levels", level)
+            col.record_max("sdmc.frontier_peak", peak_frontier)
 
     if targets is not None:
         return {vid: res for vid, res in results.items() if vid in targets}
@@ -240,6 +254,9 @@ def shortest_path_dag(
                 target_distance[vid] = level
 
     note_accepting(start, 0)
+    gov = _gov._ACTIVE
+    if gov is not None:
+        gov.charge_product_states(1)
     frontier = [start]
     level = 0
     while frontier:
@@ -263,6 +280,10 @@ def shortest_path_dag(
                     parents[child].append((ps, step.edge))
         level += 1
         frontier = next_frontier
+        if gov is not None and frontier:
+            gov.charge_product_states(len(frontier))
+        if _faults._PLAN is not None and frontier:
+            _faults.fire("sdmc.level")
 
     return ShortestPathDag(
         source, distances, parents, dict(accepting_by_vertex), target_distance

@@ -8,6 +8,8 @@ from repro.errors import (
     EvaluationBudgetExceeded,
     GraphError,
     GSQLSyntaxError,
+    InjectedFault,
+    QueryAbortedError,
     QueryCompileError,
     QueryRuntimeError,
     ReproError,
@@ -26,9 +28,11 @@ class TestHierarchy:
             GSQLSyntaxError,
             QueryCompileError,
             QueryRuntimeError,
+            QueryAbortedError,
             AccumulatorError,
             TractabilityError,
             EvaluationBudgetExceeded,
+            InjectedFault,
         ],
     )
     def test_all_derive_from_repro_error(self, exc_type):
@@ -68,3 +72,84 @@ class TestBudgetExceeded:
     def test_carries_expansion_count(self):
         err = EvaluationBudgetExceeded("too big", expanded=123)
         assert err.expanded == 123
+
+
+QN = """
+CREATE QUERY Qn(string srcName, string tgtName) {
+  SumAccum<int> @pathCount;
+  R = SELECT t
+      FROM V:s -(E>*)- V:t
+      WHERE s.name == srcName AND t.name == tgtName
+      ACCUM t.@pathCount += 1;
+  PRINT R[R.name, R.@pathCount];
+}
+"""
+
+
+class TestRuntimeErrorCounters:
+    def test_counters_empty_without_collector(self):
+        assert QueryRuntimeError("boom").counters == {}
+
+    def test_counters_snapshot_active_collector(self):
+        from repro.obs.metrics import Collector, collect
+
+        col = Collector()
+        with collect(col):
+            col.count("some.counter", 7)
+            err = QueryRuntimeError("boom")
+        assert err.counters["some.counter"] == 7
+        # The snapshot is a copy, not a live view.
+        col.count("some.counter", 1)
+        assert err.counters["some.counter"] == 7
+
+    def test_aborted_qn_reports_product_states_so_far(self):
+        """Satellite: an aborted Qn run still reports the SDMC work it
+        did — failures carry the same telemetry as successes."""
+        from repro.core.pattern import EngineMode
+        from repro.governor import Budget, ExecutionGovernor, govern
+        from repro.graph.builders import diamond_chain
+        from repro.gsql import parse_query
+        from repro.obs.metrics import Collector, collect
+        from repro.paths.semantics import PathSemantics
+
+        graph = diamond_chain(8)
+        query = parse_query(QN)
+        for stmt in query.statements:
+            block = getattr(stmt, "block", None) or getattr(stmt, "source", None)
+            if hasattr(block, "certificate"):
+                block.certificate = None  # defeat the downgrade policy
+        mode = EngineMode.enumeration(PathSemantics.ALL_SHORTEST)
+        gov = ExecutionGovernor(Budget(max_paths=5))
+        with collect(Collector()), govern(gov):
+            with pytest.raises(QueryAbortedError) as info:
+                query.run(graph, mode=mode, srcName="v0", tgtName="v8")
+        err = info.value
+        assert err.counters.get("sdmc.product_states", 0) > 0
+        assert err.counters.get("governor.aborts") == 1
+
+
+class TestQueryAbortedError:
+    def test_structured_fields(self):
+        from repro.governor import AbortReason
+
+        err = QueryAbortedError(
+            "aborted",
+            reason=AbortReason.PATHS,
+            limit_name="max_paths",
+            limit_value=10,
+            observed=11,
+            elapsed_seconds=0.5,
+        )
+        assert err.reason is AbortReason.PATHS
+        assert err.limit_name == "max_paths"
+        assert err.limit_value == 10
+        assert err.observed == 11
+        assert err.elapsed_seconds == 0.5
+        assert isinstance(err, QueryRuntimeError)
+
+
+class TestInjectedFault:
+    def test_carries_site_and_hit(self):
+        err = InjectedFault("bang", site="while.iteration", hit=3)
+        assert err.site == "while.iteration"
+        assert err.hit == 3

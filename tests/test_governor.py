@@ -1,0 +1,496 @@
+"""Tests for the execution governor: budgets, aborts, degradation.
+
+Covers the abort taxonomy reason by reason, cooperative cancellation,
+the two degradation-ladder rungs (certified enumeration → counting
+downgrade; E033 WHILE soft stop), and the end-to-end surfaces (CLI
+flags, profile report).
+"""
+
+import json
+
+import pytest
+
+from repro.core.pattern import EngineMode
+from repro.core.query import GOVERNED_WHILE_CAP
+from repro.errors import QueryAbortedError, QueryRuntimeError
+from repro.governor import (
+    AbortReason,
+    Budget,
+    CancelToken,
+    ExecutionGovernor,
+    active,
+    estimate_accum_bytes,
+    govern,
+)
+from repro.graph import builders
+from repro.graph.io import save_graph_json
+from repro.gsql import parse_query
+from repro.obs.metrics import Collector, collect
+from repro.paths.semantics import PathSemantics
+
+QN = """
+CREATE QUERY Qn(string srcName, string tgtName) {
+  SumAccum<int> @pathCount;
+  R = SELECT t
+      FROM V:s -(E>*)- V:t
+      WHERE s.name == srcName AND t.name == tgtName
+      ACCUM t.@pathCount += 1;
+  PRINT R[R.name, R.@pathCount];
+}
+"""
+
+E033_LOOP = """
+CREATE QUERY spin() {
+  SumAccum<int> @@guard, @@work;
+  @@guard += 1;
+  WHILE @@guard < 10 DO
+    @@work += 1;
+  END;
+  PRINT @@work AS work;
+}
+"""
+
+
+def uncertify(query):
+    """Strip certificates so the downgrade policy cannot apply."""
+    for stmt in query.statements:
+        block = getattr(stmt, "block", None) or getattr(stmt, "source", None)
+        if hasattr(block, "certificate"):
+            block.certificate = None
+    return query
+
+
+# ----------------------------------------------------------------------
+# Budget and governor primitives
+# ----------------------------------------------------------------------
+class TestBudget:
+    def test_unlimited_by_default(self):
+        assert Budget().is_unlimited
+        assert Budget.unlimited().to_dict() == {}
+
+    def test_to_dict_keeps_only_set_limits(self):
+        budget = Budget(deadline_seconds=2.5, max_paths=100)
+        assert budget.to_dict() == {
+            "deadline_seconds": 2.5,
+            "max_paths": 100,
+        }
+        assert not budget.is_unlimited
+
+
+class TestCancelToken:
+    def test_sticky_cancellation(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.cancel()
+        assert token.cancelled
+        token.cancel()  # idempotent
+        assert token.cancelled
+
+    def test_tick_aborts_cancelled(self):
+        token = CancelToken()
+        gov = ExecutionGovernor(Budget(), token=token)
+        gov.tick()  # fine while live
+        token.cancel()
+        with pytest.raises(QueryAbortedError) as info:
+            gov.tick()
+        assert info.value.reason is AbortReason.CANCELLED
+
+
+class TestGovernContext:
+    def test_nesting_restores_outer(self):
+        outer, inner = ExecutionGovernor(), ExecutionGovernor()
+        assert active() is None
+        with govern(outer):
+            assert active() is outer
+            with govern(inner):
+                assert active() is inner
+            assert active() is outer
+        assert active() is None
+
+    def test_none_shields_from_outer_budget(self):
+        outer = ExecutionGovernor(Budget(max_paths=1))
+        with govern(outer):
+            with govern(None):
+                assert active() is None
+            assert active() is outer
+
+    def test_restored_after_exception(self):
+        with pytest.raises(ValueError):
+            with govern(ExecutionGovernor()):
+                raise ValueError("boom")
+        assert active() is None
+
+
+class TestAbortReasons:
+    def test_deadline(self):
+        times = [0.0, 0.1, 5.0]
+
+        def clock():
+            return times.pop(0) if len(times) > 1 else times[0]
+
+        gov = ExecutionGovernor(Budget(deadline_seconds=1.0), clock=clock)
+        gov.tick()  # at 0.1s: fine
+        with pytest.raises(QueryAbortedError) as info:
+            gov.tick()  # at 5.0s: past the deadline
+        err = info.value
+        assert err.reason is AbortReason.DEADLINE
+        assert err.limit_name == "deadline_seconds"
+        assert err.limit_value == 1.0
+
+    def test_acc_executions(self):
+        gov = ExecutionGovernor(Budget(max_acc_executions=10))
+        gov.charge_acc_executions(10)
+        with pytest.raises(QueryAbortedError) as info:
+            gov.charge_acc_executions(1)
+        assert info.value.reason is AbortReason.ACC_EXECUTIONS
+        assert info.value.observed == 11
+
+    def test_product_states(self):
+        gov = ExecutionGovernor(Budget(max_product_states=100))
+        with pytest.raises(QueryAbortedError) as info:
+            gov.charge_product_states(101)
+        assert info.value.reason is AbortReason.PRODUCT_STATES
+
+    def test_paths(self):
+        gov = ExecutionGovernor(Budget(max_paths=2))
+        gov.charge_paths()
+        gov.charge_paths()
+        with pytest.raises(QueryAbortedError) as info:
+            gov.charge_paths()
+        assert info.value.reason is AbortReason.PATHS
+
+    def test_abort_counted_into_obs(self):
+        col = Collector()
+        gov = ExecutionGovernor(Budget(max_paths=0))
+        with collect(col):
+            with pytest.raises(QueryAbortedError) as info:
+                gov.charge_paths()
+        assert col.counters["governor.aborts"] == 1
+        assert col.counters["governor.abort.paths"] == 1
+        # ... and the error's own snapshot already includes them.
+        assert info.value.counters["governor.aborts"] == 1
+        assert gov.aborted is info.value
+
+
+class TestMemoryEstimate:
+    def test_estimate_and_breach(self):
+        query = parse_query("""
+CREATE QUERY hog() {
+  ListAccum<int> @@all;
+  S = SELECT v FROM V:v ACCUM @@all += 1;
+  PRINT @@all;
+}""")
+        graph = builders.diamond_chain(4)
+        gov = ExecutionGovernor(Budget(max_accum_bytes=16))
+        with govern(gov):
+            with pytest.raises(QueryAbortedError) as info:
+                query.run(graph)
+        assert info.value.reason is AbortReason.MEMORY
+        assert info.value.observed > 16
+
+    def test_estimator_counts_container_entries(self):
+        query = parse_query("""
+CREATE QUERY hog() {
+  ListAccum<int> @@all;
+  S = SELECT v FROM V:v ACCUM @@all += 1;
+  PRINT @@all;
+}""")
+        graph = builders.diamond_chain(4)
+        result = query.run(graph)
+        size = estimate_accum_bytes(result.context)
+        assert size > len(result.global_accum("all")) * 8
+
+
+# ----------------------------------------------------------------------
+# Acceptance scenario: Qn diamond chain at n=30 under --max-paths
+# ----------------------------------------------------------------------
+class TestQnDegradation:
+    def test_certified_block_downgrades_to_counting(self):
+        """2^30 paths under enumeration with max_paths=1000: the
+        certified block switches to the counting engine pre-emptively
+        and completes with the exact count."""
+        graph = builders.diamond_chain(30)
+        query = parse_query(QN)
+        mode = EngineMode.enumeration(PathSemantics.ALL_SHORTEST)
+        col = Collector()
+        gov = ExecutionGovernor(Budget(max_paths=1000))
+        with collect(col), govern(gov):
+            result = query.run(graph, mode=mode, srcName="v0", tgtName="v30")
+        assert result.printed[0]["R"][0]["pathCount"] == 2**30
+        assert col.counters.get("enum.calls", 0) == 0
+        assert col.counters["planner.governor_downgrade"] == 1
+        assert gov.downgrades == 1
+        assert gov.aborted is None
+        assert "downgrades=1" in gov.report_line()
+
+    def test_uncertified_block_aborts_within_deadline(self):
+        graph = builders.diamond_chain(30)
+        query = uncertify(parse_query(QN))
+        mode = EngineMode.enumeration(PathSemantics.ALL_SHORTEST)
+        col = Collector()
+        gov = ExecutionGovernor(Budget(max_paths=1000, deadline_seconds=60.0))
+        with collect(col), govern(gov):
+            with pytest.raises(QueryAbortedError) as info:
+                query.run(graph, mode=mode, srcName="v0", tgtName="v30")
+        err = info.value
+        assert err.reason is AbortReason.PATHS
+        assert err.limit_name == "max_paths"
+        assert err.limit_value == 1000
+        assert err.observed == 1001
+        assert err.elapsed_seconds < 60.0
+        # Partial counters: the SDMC pre-pass ran before enumeration.
+        assert err.counters.get("sdmc.product_states", 0) > 0
+        assert gov.aborted is err
+        assert "ABORTED reason=paths" in gov.report_line()
+
+    def test_downgrade_needs_certificate(self):
+        """An uncertified block does NOT downgrade on a small graph
+        either — it enumerates within budget and keeps enum counters."""
+        graph = builders.diamond_chain(4)
+        query = uncertify(parse_query(QN))
+        mode = EngineMode.enumeration(PathSemantics.ALL_SHORTEST)
+        col = Collector()
+        gov = ExecutionGovernor(Budget(max_paths=1000))
+        with collect(col), govern(gov):
+            result = query.run(graph, mode=mode, srcName="v0", tgtName="v4")
+        assert result.printed[0]["R"][0]["pathCount"] == 16
+        assert col.counters["enum.calls"] >= 1
+        assert gov.downgrades == 0
+
+    def test_no_downgrade_without_path_cap(self):
+        """Without max_paths the governor leaves the engine choice
+        alone (a deadline alone is no reason to switch engines)."""
+        graph = builders.diamond_chain(4)
+        query = parse_query(QN)
+        mode = EngineMode.enumeration(PathSemantics.ALL_SHORTEST)
+        col = Collector()
+        gov = ExecutionGovernor(Budget(deadline_seconds=60.0))
+        with collect(col), govern(gov):
+            query.run(graph, mode=mode, srcName="v0", tgtName="v4")
+        assert gov.downgrades == 0
+        assert col.counters["enum.calls"] >= 1
+
+
+# ----------------------------------------------------------------------
+# SDMC under product-state budgets
+# ----------------------------------------------------------------------
+class TestSdmcBudget:
+    def test_product_state_cap_aborts_counting_run(self):
+        graph = builders.diamond_chain(30)
+        query = parse_query(QN)
+        gov = ExecutionGovernor(Budget(max_product_states=20))
+        with govern(gov):
+            with pytest.raises(QueryAbortedError) as info:
+                query.run(graph, srcName="v0", tgtName="v30")
+        assert info.value.reason is AbortReason.PRODUCT_STATES
+        assert info.value.observed > 20
+
+    def test_partial_counters_flushed_on_abort(self):
+        graph = builders.diamond_chain(30)
+        query = parse_query(QN)
+        col = Collector()
+        gov = ExecutionGovernor(Budget(max_product_states=20))
+        with collect(col), govern(gov):
+            with pytest.raises(QueryAbortedError):
+                query.run(graph, srcName="v0", tgtName="v30")
+        assert col.counters.get("sdmc.calls") == 1
+        assert 0 < col.counters["sdmc.product_states"] < 91
+
+
+# ----------------------------------------------------------------------
+# E033 wiring: flagged WHILE runs under a mandatory soft cap
+# ----------------------------------------------------------------------
+class TestWhileSoftStop:
+    def test_auto_mode_caps_flagged_loop(self):
+        query = parse_query(E033_LOOP)
+        graph = builders.diamond_chain(2)
+        with pytest.warns(RuntimeWarning, match="soft-stopped"):
+            result = query.run(graph, mode=EngineMode.auto())
+        assert result.printed[0]["work"] == GOVERNED_WHILE_CAP
+
+    def test_flag_set_by_parser(self):
+        from repro.core.query import While
+
+        query = parse_query(E033_LOOP)
+        loops = [s for s in query.statements if isinstance(s, While)]
+        assert loops and all(loop.governed_cap for loop in loops)
+
+    def test_governed_run_caps_flagged_loop(self):
+        query = parse_query(E033_LOOP)
+        graph = builders.diamond_chain(2)
+        gov = ExecutionGovernor(Budget())
+        with govern(gov):
+            with pytest.warns(RuntimeWarning):
+                result = query.run(graph)
+        assert result.printed[0]["work"] == GOVERNED_WHILE_CAP
+        assert gov.soft_stops == 1
+
+    def test_budget_overrides_default_cap(self):
+        query = parse_query(E033_LOOP)
+        graph = builders.diamond_chain(2)
+        col = Collector()
+        gov = ExecutionGovernor(Budget(max_while_iterations=7))
+        with collect(col), govern(gov):
+            with pytest.warns(RuntimeWarning):
+                result = query.run(graph)
+        assert result.printed[0]["work"] == 7
+        assert gov.while_iterations == 7
+        assert col.counters["governor.while_soft_stops"] == 1
+
+    def test_unflagged_counting_run_still_hits_hard_ceiling(self):
+        query = parse_query(E033_LOOP)
+        graph = builders.diamond_chain(2)
+        with pytest.raises(QueryRuntimeError, match="WHILE loop exceeded"):
+            query.run(graph)  # counting mode, ungoverned: old behavior
+
+    def test_soft_cap_applies_to_healthy_loop_under_budget(self):
+        query = parse_query("""
+CREATE QUERY ok() {
+  SumAccum<int> @@i;
+  WHILE @@i < 100 DO
+    @@i += 1;
+  END;
+  PRINT @@i AS i;
+}""")
+        graph = builders.diamond_chain(2)
+        gov = ExecutionGovernor(Budget(max_while_iterations=5))
+        with govern(gov):
+            with pytest.warns(RuntimeWarning):
+                result = query.run(graph)
+        assert result.printed[0]["i"] == 5
+
+
+# ----------------------------------------------------------------------
+# Profile integration
+# ----------------------------------------------------------------------
+class TestProfileIntegration:
+    def test_governor_report_in_profile(self):
+        from repro.obs import profile_query
+
+        graph = builders.diamond_chain(6)
+        query = parse_query(QN)
+        gov = ExecutionGovernor(Budget(max_product_states=10_000))
+        report = profile_query(
+            query, graph, governor=gov, srcName="v0", tgtName="v6"
+        )
+        doc = report.to_dict()
+        assert doc["governor"]["aborted"] is None
+        assert doc["governor"]["budget"] == {"max_product_states": 10_000}
+        assert doc["governor"]["product_states"] > 0
+        assert "GovernorReport: ok" in report.render_text()
+
+    def test_aborted_profile_is_captured_not_raised(self):
+        from repro.obs import profile_query
+
+        graph = builders.diamond_chain(30)
+        query = parse_query(QN)
+        gov = ExecutionGovernor(Budget(max_product_states=20))
+        report = profile_query(
+            query, graph, governor=gov, srcName="v0", tgtName="v30"
+        )
+        assert report.result is None
+        doc = report.to_dict()
+        assert doc["governor"]["aborted"]["reason"] == "product-states"
+        assert doc["governor"]["aborted"]["limit"] == "max_product_states"
+        assert "ABORTED reason=product-states" in report.render_text()
+
+    def test_ungoverned_profile_has_no_governor_field(self):
+        from repro.obs import profile_query
+
+        graph = builders.diamond_chain(4)
+        query = parse_query(QN)
+        report = profile_query(query, graph, srcName="v0", tgtName="v4")
+        assert "governor" not in report.to_dict()
+        assert "GovernorReport" not in report.render_text()
+
+
+# ----------------------------------------------------------------------
+# CLI flags
+# ----------------------------------------------------------------------
+@pytest.fixture
+def diamond_json(tmp_path):
+    path = tmp_path / "diamond.json"
+    save_graph_json(builders.diamond_chain(8), path)
+    return str(path)
+
+
+@pytest.fixture
+def qn_file(tmp_path):
+    path = tmp_path / "qn.gsql"
+    path.write_text(QN)
+    return str(path)
+
+
+class TestCliFlags:
+    def test_run_within_budget(self, capsys, diamond_json, qn_file):
+        from repro.cli import main
+
+        code = main([
+            "run", qn_file, "--graph", diamond_json,
+            "--max-product-states", "100000",
+            "--param", "srcName=v0", "--param", "tgtName=v8",
+        ])
+        assert code == 0
+        assert "'pathCount': 256" in capsys.readouterr().out
+
+    def test_run_abort_exits_2(self, capsys, diamond_json, qn_file):
+        from repro.cli import main
+
+        code = main([
+            "run", qn_file, "--graph", diamond_json,
+            "--max-product-states", "5",
+            "--param", "srcName=v0", "--param", "tgtName=v8",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "reason=product-states" in captured.err
+        assert "limit=max_product_states=5" in captured.err
+
+    def test_run_max_paths_downgrades_certified_enum(
+        self, capsys, diamond_json, qn_file
+    ):
+        from repro.cli import main
+
+        code = main([
+            "run", qn_file, "--graph", diamond_json,
+            "--engine", "asp-enum", "--max-paths", "10",
+            "--param", "srcName=v0", "--param", "tgtName=v8",
+        ])
+        assert code == 0  # 256 paths > cap, but the block downgraded
+        assert "'pathCount': 256" in capsys.readouterr().out
+
+    def test_profile_reports_governor(self, capsys, diamond_json, qn_file):
+        from repro.cli import main
+
+        code = main([
+            "profile", qn_file, "--graph", diamond_json,
+            "--timeout", "60", "--format", "json",
+            "--param", "srcName=v0", "--param", "tgtName=v8",
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["governor"]["budget"] == {"deadline_seconds": 60.0}
+        assert doc["governor"]["aborted"] is None
+
+    def test_profile_abort_exits_2(self, capsys, diamond_json, qn_file):
+        from repro.cli import main
+
+        code = main([
+            "profile", qn_file, "--graph", diamond_json,
+            "--max-product-states", "5",
+            "--param", "srcName=v0", "--param", "tgtName=v8",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "GovernorReport: ABORTED" in captured.out
+        assert "reason=product-states" in captured.err
+
+    def test_ungoverned_run_unchanged(self, capsys, diamond_json, qn_file):
+        from repro.cli import main
+
+        code = main([
+            "run", qn_file, "--graph", diamond_json,
+            "--param", "srcName=v0", "--param", "tgtName=v8",
+        ])
+        assert code == 0
+        assert "'pathCount': 256" in capsys.readouterr().out
