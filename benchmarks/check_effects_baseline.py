@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Guard the effect analysis' determinism certificates over the corpus.
+
+Runs the effect analysis (via :func:`repro.cli.check_units`, the same
+path as ``repro check --effects``) over the example corpus plus the
+paper-query test file and compares the per-block certificates against
+the committed baseline (``benchmarks/effects_baseline.json``).  The job
+fails when:
+
+1. a block's certificate *changes* — a new status, a gained/lost
+   delta-maintainability flag, or a changed write set is a semantic
+   regression in either the corpus or the analyzer (certificates gate
+   parallel execution, so silent drift is not tolerable),
+2. the diamond-chain query (``examples/qn_diamond.gsql``) loses its
+   COMMUTATIVE certificate, or
+3. ``examples/order_dependent_trace.gsql`` — the deliberately
+   order-dependent worked example — stops being ORDER_DEPENDENT.
+
+Stale baseline entries (blocks that no longer exist) are reported as
+warnings; refresh with ``--write-baseline``.
+
+Exit status 0 = clean, 1 = regression.
+
+Usage:  python benchmarks/check_effects_baseline.py [--write-baseline]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.cli import _collect_units, check_units
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = Path(__file__).resolve().parent / "effects_baseline.json"
+CORPUS = ["examples", "tests/test_gsql_paper_queries.py"]
+
+
+def effect_key(record):
+    """Identity + verdict of one block's certificate.  The line is part
+    of the identity (a query may have several blocks); the status,
+    delta flag and write set are the guarded verdict."""
+    return (
+        record.get("file"),
+        record.get("query"),
+        record.get("line"),
+        record.get("pattern"),
+        record.get("status"),
+        bool(record.get("delta_maintainable")),
+        tuple(record.get("writes", ())),
+    )
+
+
+def collect_effects():
+    units = _collect_units([str(REPO / p) for p in CORPUS])
+    rel = [(str(Path(label).resolve().relative_to(REPO)), src)
+           for label, src in units]
+    payload, _rendered, _dot = check_units(rel)
+    return payload["effects"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    args = parser.parse_args(argv)
+
+    effects = collect_effects()
+    current = sorted(effect_key(r) for r in effects)
+
+    if args.write_baseline:
+        BASELINE.write_text(json.dumps(
+            {"effects": [list(k) for k in current]}, indent=2,
+        ) + "\n")
+        print(f"wrote {len(current)} baseline certificates to {BASELINE}")
+        return 0
+
+    baseline = {tuple(e[:6]) + (tuple(e[6]),)
+                for e in json.loads(BASELINE.read_text())["effects"]}
+
+    failures = 0
+
+    new = [k for k in current if k not in baseline]
+    for key in new:
+        file, query, line, pattern, status, delta, writes = key
+        delta_s = " delta-maintainable" if delta else ""
+        print(f"CHANGED CERTIFICATE {file}:{query}:{line} [{pattern}]: "
+              f"{status}{delta_s} writes={list(writes)}")
+        failures += 1
+
+    stale = baseline - set(current)
+    for key in sorted(stale):
+        print(f"warning: stale baseline entry {key}", file=sys.stderr)
+
+    def block_for(name, query=None):
+        return [e for e in effects
+                if e["file"].endswith(name)
+                and (query is None or e["query"] == query)]
+
+    qn = block_for("qn_diamond.gsql", "Qn")
+    if not qn:
+        print("MISSING effect certificate for examples/qn_diamond.gsql:Qn")
+        failures += 1
+    elif qn[0]["status"] != "commutative":
+        print(f"qn_diamond effect certificate regressed: {qn[0]['status']} "
+              f"(witnesses: {qn[0]['witnesses']})")
+        failures += 1
+
+    trace = block_for("order_dependent_trace.gsql")
+    if not trace:
+        print("MISSING effect certificate for "
+              "examples/order_dependent_trace.gsql")
+        failures += 1
+    elif trace[0]["status"] != "order-dependent":
+        print(f"order_dependent_trace certificate drifted to "
+              f"{trace[0]['status']} — the worked example must stay "
+              f"ORDER_DEPENDENT")
+        failures += 1
+
+    by_status = {}
+    for e in effects:
+        by_status[e["status"]] = by_status.get(e["status"], 0) + 1
+    if failures:
+        print(f"{failures} effect-certificate regression(s) over "
+              f"{len(effects)} blocks")
+        return 1
+    summary = ", ".join(f"{n} {s}" for s, n in sorted(by_status.items()))
+    print(f"effects baseline clean: {len(effects)} blocks ({summary}), "
+          f"qn_diamond is commutative, order_dependent_trace is "
+          f"order-dependent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,8 @@ All built-in accumulator types, the tuple machinery used by Heap/GroupBy
 accumulators, and the extensibility registry.
 """
 
+from .algebra import TABLE as OP_ALGEBRA_TABLE
+from .algebra import OpAlgebra, algebra_for, classify, digest_value
 from .base import Accumulator
 from .collections_ import ArrayAccum, BagAccum, ListAccum, SetAccum
 from .groupby import GroupByAccum
@@ -45,4 +47,9 @@ __all__ = [
     "register_accumulator",
     "unregister_accumulator",
     "accumulator_from_combiner",
+    "OpAlgebra",
+    "OP_ALGEBRA_TABLE",
+    "algebra_for",
+    "classify",
+    "digest_value",
 ]

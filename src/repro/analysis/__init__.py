@@ -15,6 +15,14 @@ descriptors without an import cycle.
 from .analyzer import analyze, error_count, run_rules
 from .cfg import CFG, CFGNode, build_cfg
 from .dataflow import DataflowResult, analyze_dataflow, block_certificates
+from .effects import (
+    AccumEffect,
+    EffectsResult,
+    EffectSummary,
+    ReadEffect,
+    analyze_effects,
+    block_effects,
+)
 from .diagnostics import (
     Diagnostic,
     Severity,
@@ -50,6 +58,12 @@ __all__ = [
     "DataflowResult",
     "analyze_dataflow",
     "block_certificates",
+    "AccumEffect",
+    "ReadEffect",
+    "EffectSummary",
+    "EffectsResult",
+    "analyze_effects",
+    "block_effects",
     "Rule",
     "all_rules",
     "register",

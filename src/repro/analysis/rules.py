@@ -26,6 +26,11 @@ Flow-sensitive rules (over the :mod:`.dataflow` fixed point)
     E030 read before first write           W031 dead accumulator write
     W032 loop-invariant SELECT block       E033 WHILE that cannot converge
     W034 unreachable statement
+
+Effect/commutativity rules (over the :mod:`.effects` certificates)
+    E040 parallel-unsafe accumulator update
+    W041 order-dependent block under parallelism
+    W042 cross-accumulator read-write interference
 """
 
 from __future__ import annotations
@@ -662,6 +667,107 @@ class UnreachableStatementRule(Rule):
                 "condition cuts off every path to it",
                 span=node.span,
                 seq=seq,
+            )
+
+
+# ======================================================================
+# Effect/commutativity rules (E040-W042) — thin reporters over the
+# per-block DeterminismCertificates of repro.analysis.effects.
+# ======================================================================
+@register
+class ParallelUnsafeUpdateRule(Rule):
+    """E040: a plain ``=`` into a *global* accumulator from an ACCUM
+    clause with a row-dependent right-hand side.  Whatever the schedule
+    — serial, partitioned, threaded — the final value is whichever row
+    happened to flush last; there is no order under which this is
+    well-defined, so it is an error, not a style warning."""
+
+    code = "GSQL-E040"
+    name = "parallel-unsafe-update"
+    severity = Severity.ERROR
+    description = (
+        "An ACCUM clause assigns a row-dependent value to a global "
+        "accumulator with '='; the result is whichever row wins the "
+        "last-write race."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        from .effects import analyze_effects
+
+        for write in analyze_effects(model).unsafe_writes:
+            yield self.diag(
+                f"@@{write.name} = … inside ACCUM is last-write-wins over "
+                f"unordered binding rows; no evaluation order makes this "
+                f"well-defined (use += with a commutative accumulator, or "
+                f"move the assignment to POST_ACCUM)",
+                write,
+            )
+
+
+@register
+class OrderDependentBlockRule(Rule):
+    """W041: the block's effect certificate is ORDER_DEPENDENT — some
+    update observes input order, so partitioned/threaded execution (and
+    any future plan that reorders rows) is nondeterministic.  Kleene-fed
+    cases are already E013 errors; this rule covers the bounded-pattern
+    remainder, per *block* rather than per declaration (W012)."""
+
+    code = "GSQL-W041"
+    name = "order-dependent-under-parallelism"
+    severity = Severity.WARNING
+    description = (
+        "A SELECT block's accumulator updates are order-dependent; "
+        "parallel or partitioned execution would be nondeterministic."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        from ..core.tractable import DeterminismStatus
+        from .effects import analyze_effects
+
+        for block_fact, _summary, cert in analyze_effects(model).blocks:
+            if cert.status is not DeterminismStatus.ORDER_DEPENDENT:
+                continue
+            if block_fact.has_kleene:
+                continue  # E013 already rejects the Kleene-fed cases
+            reasons = "; ".join(cert.witnesses)
+            yield self.diag(
+                f"block is order-dependent under parallelism: {reasons}",
+                block_fact,
+            )
+
+
+@register
+class CrossAccumInterferenceRule(Rule):
+    """W042: an ACCUM clause reads a vertex accumulator through one
+    pattern variable while updating the same accumulator through a
+    *different* variable.  Snapshot semantics keep a single serial block
+    deterministic, but the read-set and write-set overlap across rows,
+    which defeats delta maintenance and in-place partitioned execution
+    (W010 covers the same-variable case)."""
+
+    code = "GSQL-W042"
+    name = "cross-accumulator-interference"
+    severity = Severity.WARNING
+    description = (
+        "An ACCUM clause reads an accumulator it also writes through a "
+        "different pattern variable; the read and write sets interfere "
+        "across rows."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        from .effects import analyze_effects
+
+        for finding in analyze_effects(model).interference:
+            via = finding.read_var or "?"
+            writers = ", ".join(
+                f"{w}.@{finding.name}" for w in finding.write_vars
+            )
+            yield self.diag(
+                f"{via}.@{finding.name} is read while the same ACCUM "
+                f"clause updates {writers}; reads and writes of "
+                f"@{finding.name} interfere across rows (certified "
+                f"non-delta-maintainable)",
+                finding.read,
             )
 
 

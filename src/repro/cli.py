@@ -2,11 +2,11 @@
 
 Subcommands::
 
-    python -m repro run QUERY.gsql --graph graph.json [--param k=5] ...
+    python -m repro run QUERY.gsql --graph graph.json [--param k=5] [--sanitize] ...
     python -m repro explain QUERY.gsql
     python -m repro profile QUERY.gsql --graph graph.json [--format json]
     python -m repro lint PATH... [--graph graph.json] [--format json]
-    python -m repro check PATH... [--graph graph.json] [--format json] [--dot cfg.dot]
+    python -m repro check PATH... [--graph graph.json] [--format json] [--dot cfg.dot] [--effects]
     python -m repro generate-snb out.json --scale 0.5 --seed 42
     python -m repro semantics GRAPH.json SOURCE DARPE [--semantics ...]
 
@@ -133,7 +133,9 @@ def _print_abort(exc) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    from .errors import QueryAbortedError
+    import contextlib
+
+    from .errors import AccSanViolation, QueryAbortedError
     from .governor import govern
 
     graph = load_graph_json(args.graph)
@@ -141,12 +143,22 @@ def cmd_run(args: argparse.Namespace) -> int:
     mode = _ENGINES[args.engine]()
     params = dict(args.param or [])
     governor = _build_governor(args)
+    sanitizer_scope: Any = contextlib.nullcontext(None)
+    if args.sanitize:
+        from . import accsan
+
+        sanitizer_scope = accsan.sanitize(schedules=args.sanitize_schedules)
     try:
-        with govern(governor):
+        with govern(governor), sanitizer_scope as sanitizer:
             result = query.run(graph, mode=mode, **params)
     except QueryAbortedError as exc:
         _print_abort(exc)
         return 2
+    except AccSanViolation as exc:
+        print(f"AccSan violation: {exc}", file=sys.stderr)
+        return 3
+    if sanitizer is not None:
+        print(sanitizer.report(), file=sys.stderr)
     for record in result.printed:
         for key, value in record.items():
             print(f"{key}:")
@@ -352,6 +364,7 @@ def check_units(
     from .analysis import Severity, analyze
     from .analysis.dataflow import analyze_dataflow, block_certificates
     from .analysis.diagnostics import Diagnostic
+    from .analysis.effects import analyze_effects
     from .analysis.model import cached_model
     from .core.span import Span
     from .errors import GSQLSyntaxError, QueryCompileError
@@ -359,6 +372,7 @@ def check_units(
 
     records: List[dict] = []
     certificates: List[dict] = []
+    effects: List[dict] = []
     query_summaries: List[dict] = []
     rendered: List[str] = []
     dot_graphs: List[str] = []
@@ -399,6 +413,20 @@ def check_units(
                     "status": cert.status.value,
                     "witnesses": list(cert.witnesses),
                 })
+            for block_fact, summary, cert in analyze_effects(model).blocks:
+                effects.append({
+                    "file": label,
+                    "query": name,
+                    "line": block_fact.span.line if block_fact.span else None,
+                    "pattern": repr(block_fact.block.pattern),
+                    "status": cert.status.value,
+                    "delta_maintainable": cert.delta_maintainable,
+                    "witnesses": list(cert.witnesses),
+                    "writes": sorted(
+                        ("@@" if g else "@") + n
+                        for g, n in summary.written_keys
+                    ),
+                })
             query_summaries.append({
                 "file": label,
                 "query": name,
@@ -416,6 +444,7 @@ def check_units(
         "warnings": warnings,
         "diagnostics": records,
         "certificates": certificates,
+        "effects": effects,
         "queries": query_summaries,
     }
     return payload, rendered, dot_graphs
@@ -443,6 +472,17 @@ def cmd_check(args: argparse.Namespace) -> int:
             )
             for witness in cert["witnesses"]:
                 print(f"  * {witness}")
+        if getattr(args, "effects", False):
+            for eff in payload["effects"]:
+                line = f":{eff['line']}" if eff["line"] else ""
+                delta = " delta-maintainable" if eff["delta_maintainable"] else ""
+                print(
+                    f"{eff['file']}:{eff['query']}{line}: effects "
+                    f"{eff['status']}{delta} [{eff['pattern']}] "
+                    f"writes {', '.join(eff['writes']) or '(none)'}"
+                )
+                for witness in eff["witnesses"]:
+                    print(f"  * {witness}")
         diverged = [q for q in payload["queries"] if not q["converged"]]
         for q in diverged:
             print(
@@ -536,6 +576,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--param", action="append", type=_parse_param, metavar="NAME=VALUE"
     )
+    run_p.add_argument(
+        "--sanitize", action="store_true",
+        help="run under AccSan: replay every Reduce phase under permuted "
+             "schedules; exit 3 if a COMMUTATIVE-certified block diverges",
+    )
+    run_p.add_argument(
+        "--sanitize-schedules", type=int, default=8, metavar="K",
+        help="number of permuted schedules per Reduce phase (default 8)",
+    )
     add_governor_flags(run_p)
     run_p.set_defaults(fn=cmd_run)
 
@@ -597,6 +646,11 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument(
         "--dot", default=None, metavar="PATH",
         help="write the control-flow graphs as Graphviz dot to PATH",
+    )
+    check_p.add_argument(
+        "--effects", action="store_true",
+        help="also print the per-block effect/commutativity certificates "
+             "(always present in the JSON payload)",
     )
     check_p.set_defaults(fn=cmd_check)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .. import accsan as _accsan
 from ..errors import QueryRuntimeError, TractabilityError
 from ..governor import faults as _faults
 from ..governor import governor as _gov
@@ -120,6 +121,12 @@ class SelectBlock:
         #: A conclusive certificate lets ``EngineMode.auto()`` pick the
         #: engine and ``_check_tractability`` skip the runtime probe.
         self.certificate = None
+        #: Static :class:`~repro.core.tractable.DeterminismCertificate`
+        #: from the effect analysis (None for programmatic blocks).  A
+        #: COMMUTATIVE stamp licenses ``parallel_accum`` to partition the
+        #: ACCUM clause; AccSan replays the block under permuted
+        #: schedules to validate the stamp dynamically.
+        self.effect_certificate = None
 
     # ------------------------------------------------------------------
     def execute(self, ctx: QueryContext, mode: EngineMode) -> Optional[VertexSet]:
@@ -213,6 +220,11 @@ class SelectBlock:
                 try:
                     if _faults._PLAN is not None:
                         _faults.fire("block.reduce")
+                    if _accsan._ACTIVE is not None:
+                        # Replay the buffered inputs under permuted
+                        # schedules *before* the real flush mutates the
+                        # live accumulators.
+                        _accsan._ACTIVE.check_flush(self, buffer)
                     buffer.flush()
                 finally:
                     if col is not None:

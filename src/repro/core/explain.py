@@ -106,6 +106,12 @@ def _explain_block(block: SelectBlock, lines: List[str], indent: int) -> None:
         lines.append(f"{pad}CERTIFICATE {cert.status.value}")
         for witness in cert.witnesses:
             lines.append(f"{pad}  * {witness}")
+    effect = getattr(block, "effect_certificate", None)
+    if effect is not None:
+        delta = " delta-maintainable" if effect.delta_maintainable else ""
+        lines.append(f"{pad}EFFECTS {effect.status.value}{delta}")
+        for witness in effect.witnesses:
+            lines.append(f"{pad}  * {witness}")
     var_filters, residual = push_down_filters(
         block.where, set(block.pattern.variables())
     )

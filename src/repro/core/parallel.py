@@ -20,8 +20,9 @@ import threading
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import accsan as _accsan
 from ..accum.base import Accumulator
-from ..errors import QueryAbortedError, QueryRuntimeError
+from ..errors import ParallelSafetyError, QueryAbortedError, QueryRuntimeError
 from ..governor import faults as _faults
 from ..obs import metrics as _obs
 from .context import QueryContext
@@ -131,7 +132,15 @@ def _run_threaded(
             # Drain: the `with` block joins running workers, which exit
             # at their next abort-event check.
         if failure is None:
-            return [future.result() for future in futures]
+            # Collect partials slotted by *partition index*, never by
+            # thread completion order: workers may finish in any order,
+            # but the Reduce phase must see a deterministic sequence so
+            # even a merely-associative merge gives one reproducible
+            # result.
+            partials: List[Optional[_Partial]] = [None] * len(futures)
+            for idx, future in enumerate(futures):
+                partials[idx] = future.result()
+            return partials
     if isinstance(failure, QueryAbortedError):
         raise failure  # governor aborts keep their structured identity
     raise QueryRuntimeErrorWithPartition(
@@ -155,23 +164,59 @@ def parallel_accum(
     partitions: int = 4,
     primed: Optional[Dict[str, Dict[Any, Any]]] = None,
     use_threads: bool = False,
+    certificate: object = None,
+    on_uncertified: str = "raise",
 ) -> None:
     """Execute an ACCUM clause over ``rows`` with a partitioned Map phase
     and a merge-based Reduce, mutating the context's accumulators.
 
     Deterministic whenever every target accumulator is order-invariant
-    (the engine's guarantee from Section 4.3); order-dependent targets
-    raise, since their parallel result would be nondeterministic.
+    (the engine's guarantee from Section 4.3).  The licence to partition
+    comes in one of two forms:
+
+    * a :class:`~repro.core.tractable.DeterminismCertificate` from the
+      effect analysis (``block.effect_certificate``): COMMUTATIVE runs,
+      anything else is refused with a structured
+      :class:`~repro.errors.ParallelSafetyError` — or, with
+      ``on_uncertified="serialize"``, degraded to a single partition
+      (sequential, deterministic) with an obs counter instead of an
+      exception;
+    * no certificate (programmatically built statement lists): the
+      legacy declaration probe rejects order-dependent targets.
+
+    Either way the engine never runs a nondeterministic parallel fold
+    silently.
     """
     primed = primed or {}
-    for stmt in statements:
-        if isinstance(stmt, AccumUpdate):
-            decl = ctx.declaration(stmt.target.name)
-            if not decl.order_invariant:
-                raise QueryRuntimeError(
-                    f"@{stmt.target.name} is order-dependent; parallel "
-                    f"execution would be nondeterministic (Section 4.3)"
+    if certificate is not None:
+        if not getattr(certificate, "commutative", False):
+            status = getattr(certificate, "status", None)
+            status_text = getattr(status, "value", str(status))
+            witnesses = tuple(getattr(certificate, "witnesses", ()))
+            if on_uncertified == "serialize":
+                partitions = 1
+                col = _obs._ACTIVE
+                if col is not None:
+                    col.count("parallel.serialized_uncertified")
+            else:
+                raise ParallelSafetyError(
+                    f"parallel ACCUM refused: the block's effect "
+                    f"certificate is {status_text}, not commutative "
+                    f"({'; '.join(witnesses) or 'no witnesses'}); run "
+                    f"sequentially, or pass on_uncertified='serialize' "
+                    f"to degrade instead of failing",
+                    status=status_text or "",
+                    witnesses=witnesses,
                 )
+    else:
+        for stmt in statements:
+            if isinstance(stmt, AccumUpdate):
+                decl = ctx.declaration(stmt.target.name)
+                if not decl.order_invariant:
+                    raise QueryRuntimeError(
+                        f"@{stmt.target.name} is order-dependent; parallel "
+                        f"execution would be nondeterministic (Section 4.3)"
+                    )
     partitions = max(1, min(partitions, len(rows) or 1))
     chunks = [rows[i::partitions] for i in range(partitions)]
 
@@ -180,7 +225,12 @@ def parallel_accum(
     else:
         partials = [_run_partition(ctx, statements, chunk, primed) for chunk in chunks]
 
-    # Reduce: merge worker partials into the live accumulators.
+    if _accsan._ACTIVE is not None:
+        _check_merge_schedules(ctx, partials, certificate)
+
+    # Reduce: merge worker partials into the live accumulators, walking
+    # the partials in partition-index order (the order `partials` is
+    # built in, for both the threaded and sequential paths above).
     merges = 0
     for partial in partials:
         for name, acc in partial.globals.items():
@@ -192,6 +242,31 @@ def parallel_accum(
     if col is not None:
         col.count("accum.merges", merges)
         col.count("parallel.partitions", len(partials))
+
+
+def _check_merge_schedules(
+    ctx: QueryContext, partials: List[_Partial], certificate: object
+) -> None:
+    """Hand AccSan every accumulator's per-partition partials so it can
+    permute the merge order before the real Reduce runs."""
+    sanitizer = _accsan._ACTIVE
+    by_global: Dict[str, List[Accumulator]] = {}
+    by_vertex: Dict[Tuple[str, Any], List[Accumulator]] = {}
+    for partial in partials:
+        for name, acc in partial.globals.items():
+            by_global.setdefault(name, []).append(acc)
+        for key, acc in partial.vertex.items():
+            by_vertex.setdefault(key, []).append(acc)
+    for name, accs in by_global.items():
+        sanitizer.check_merge(
+            f"@@{name}", ctx.global_accum(name), accs, certificate,
+            "parallel_accum",
+        )
+    for (name, vid), accs in by_vertex.items():
+        sanitizer.check_merge(
+            f"{vid}.@{name}", ctx.vertex_accum(name, vid), accs, certificate,
+            "parallel_accum",
+        )
 
 
 __all__ = ["parallel_accum", "QueryRuntimeErrorWithPartition"]

@@ -132,6 +132,15 @@ def select_engine(block, ctx, mode: EngineMode) -> EngineMode:
         status = _runtime_status(block, ctx)
         source = "runtime-probe"
     col = _obs._ACTIVE
+    effect = getattr(block, "effect_certificate", None)
+    if col is not None and effect is not None:
+        # Not an engine choice today, but the planner records what the
+        # effect analysis proved: commutative blocks are the candidates
+        # for a parallel Map phase, delta-maintainable ones for
+        # incremental re-evaluation (ROADMAP 4a).
+        col.count(f"planner.effects.{effect.status.value}")
+        if effect.delta_maintainable:
+            col.count("planner.effects.delta_maintainable")
     if status is TractabilityStatus.ENUMERATION_REQUIRED:
         if col is not None:
             col.count("planner.auto_enumeration")

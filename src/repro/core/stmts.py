@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from .. import accsan as _accsan
 from ..accum.base import Accumulator
 from ..errors import QueryCompileError, QueryRuntimeError
 from ..graph.elements import Vertex
@@ -269,6 +270,8 @@ def _run_accum_statements(
         elif isinstance(stmt, AccumUpdate):
             value = stmt.expr.eval(env)
             acc = stmt.target.resolve(env)
+            if _accsan._ACTIVE is not None:
+                _accsan._ACTIVE.record("accum", stmt.target, acc, stmt.op, value)
             if stmt.op == "+=":
                 buffer.add(acc, value, multiplicity)
             else:
@@ -344,6 +347,11 @@ def run_post_accum(
             env = EvalEnv(ctx, binding, locals_, primed)
             locals_.clear()
             _run_post_statement(stmt, ctx, env, buffer)
+    if _accsan._ACTIVE is not None:
+        # No block handle here: divergences become detections, never
+        # violations (POST_ACCUM += is per-distinct-vertex, so the
+        # permuted replay is still meaningful).
+        _accsan._ACTIVE.check_flush(None, buffer)
     buffer.flush()
 
 
@@ -400,6 +408,8 @@ def _run_post_statement(
         raise QueryRuntimeError(f"unknown POST_ACCUM statement {stmt!r}")
     value = stmt.expr.eval(env)
     acc = stmt.target.resolve(env)
+    if _accsan._ACTIVE is not None:
+        _accsan._ACTIVE.record("post_accum", stmt.target, acc, stmt.op, value)
     if stmt.op == "=":
         acc.assign(value)
     else:

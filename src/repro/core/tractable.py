@@ -65,6 +65,43 @@ class TractabilityCertificate(NamedTuple):
         return f"{self.status.value} ({body})"
 
 
+class DeterminismStatus(enum.Enum):
+    """Per-SELECT-block verdict of the effect/commutativity analysis."""
+
+    COMMUTATIVE = "commutative"
+    ORDER_DEPENDENT = "order-dependent"
+    UNKNOWN = "unknown"
+
+
+class DeterminismCertificate(NamedTuple):
+    """A static, per-block proof object for update commutativity.
+
+    Stamped next to the tractability certificate by the effect analysis
+    (:mod:`repro.analysis.effects`): ``status`` says whether every
+    ACCUM/POST_ACCUM update of the block commutes (so rows may be folded
+    in any order, across partitions and threads), ``witnesses`` carry
+    the per-accumulator algebra facts the verdict rests on, and
+    ``delta_maintainable`` marks monotone read-free summaries — the
+    precondition for incremental re-evaluation (ROADMAP item 4a).
+    ``parallel_accum`` refuses to run without a COMMUTATIVE certificate
+    (or a successful declaration probe), and AccSan replays certified
+    blocks under permuted schedules to cross-check the stamp.
+    """
+
+    status: DeterminismStatus
+    witnesses: Tuple[str, ...]
+    delta_maintainable: bool = False
+
+    @property
+    def commutative(self) -> bool:
+        return self.status is DeterminismStatus.COMMUTATIVE
+
+    def describe(self) -> str:
+        body = "; ".join(self.witnesses) if self.witnesses else "no witnesses"
+        delta = ", delta-maintainable" if self.delta_maintainable else ""
+        return f"{self.status.value}{delta} ({body})"
+
+
 def analyze_query(query: Query) -> List[TractabilityViolation]:
     """All tractability violations of a query (empty list = tractable).
 
@@ -126,6 +163,26 @@ def attach_certificates(query: Query, schema=None) -> None:
         block_fact.block.certificate = cert
 
 
+def attach_effect_certificates(query: Query, schema=None) -> None:
+    """Stamp each SELECT block with its effect/commutativity certificate.
+
+    Called by the GSQL parser after compilation, next to
+    :func:`attach_certificates`; shares the cached analysis model and
+    CFG, so the extra pass costs one walk over the block facts.  At
+    runtime :func:`repro.core.parallel.parallel_accum` consults
+    ``block.effect_certificate`` before agreeing to partition an ACCUM
+    clause, and AccSan (:mod:`repro.accsan`) validates the stamp
+    dynamically under permuted schedules.
+    """
+    from ..analysis.effects import analyze_effects
+    from ..analysis.model import cached_model
+
+    for block_fact, _summary, cert in analyze_effects(
+        cached_model(query, schema)
+    ).blocks:
+        block_fact.block.effect_certificate = cert
+
+
 def attach_governor_caps(query: Query, schema=None) -> None:
     """Flag E033 (non-terminating WHILE) loops for governed execution.
 
@@ -149,9 +206,12 @@ __all__ = [
     "TractabilityViolation",
     "TractabilityStatus",
     "TractabilityCertificate",
+    "DeterminismStatus",
+    "DeterminismCertificate",
     "analyze_query",
     "is_tractable",
     "certify_query",
     "attach_certificates",
+    "attach_effect_certificates",
     "attach_governor_caps",
 ]

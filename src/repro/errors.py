@@ -120,6 +120,64 @@ class QueryAbortedError(QueryRuntimeError):
         self.elapsed_seconds = elapsed_seconds
 
 
+class ParallelSafetyError(QueryRuntimeError):
+    """Raised by :func:`repro.core.parallel.parallel_accum` when asked to
+    partition an ACCUM clause whose effect certificate does not prove the
+    updates commutative.
+
+    Running anyway would be *silently* nondeterministic — different
+    thread interleavings fold inputs in different orders — so the engine
+    refuses with the analysis verdict attached:
+
+    ``status``
+        The :class:`~repro.core.tractable.DeterminismStatus` value
+        (``"order-dependent"`` or ``"unknown"``).
+    ``witnesses``
+        The per-accumulator algebra facts the verdict rests on.
+    """
+
+    def __init__(self, message: str, status: str = "", witnesses: tuple = ()):
+        super().__init__(message)
+        self.status = status
+        self.witnesses = tuple(witnesses)
+
+
+class AccSanViolation(QueryRuntimeError):
+    """Raised by the accumulator sanitizer (:mod:`repro.accsan`) when a
+    block certified COMMUTATIVE produces schedule-dependent results.
+
+    This means the static effect analysis stamped a wrong certificate (or
+    a user-registered accumulator lied about order invariance) — the
+    exact bug class AccSan exists to catch.  Structured for test
+    harnesses and bug reports:
+
+    ``block_label``
+        Human-readable identity of the SELECT block being replayed.
+    ``accumulator``
+        The ``@name``/``@@name`` whose replay diverged.
+    ``schedule``
+        The 0-based index of the permuted schedule that diverged.
+    ``expected_digest`` / ``observed_digest``
+        Canonical value digests under the original and permuted order.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        block_label: str = "",
+        accumulator: str = "",
+        schedule: int = -1,
+        expected_digest: str = "",
+        observed_digest: str = "",
+    ):
+        super().__init__(message)
+        self.block_label = block_label
+        self.accumulator = accumulator
+        self.schedule = schedule
+        self.expected_digest = expected_digest
+        self.observed_digest = observed_digest
+
+
 class AccumulatorError(ReproError):
     """Raised for invalid accumulator usage.
 

@@ -180,7 +180,11 @@ class _Parser:
             queries.append(self.parse_query_decl())
         if not queries:
             raise GSQLSyntaxError("no CREATE QUERY found", 1, 1)
-        from ..core.tractable import attach_certificates, attach_governor_caps
+        from ..core.tractable import (
+            attach_certificates,
+            attach_effect_certificates,
+            attach_governor_caps,
+        )
 
         for query in queries:
             query.source = self.text
@@ -188,6 +192,9 @@ class _Parser:
             # certificate so the planner's EngineMode.auto() and the
             # runtime guard never need to re-probe declarations.
             attach_certificates(query)
+            # Stamp the effect/commutativity certificate next to it —
+            # parallel_accum's licence and AccSan's cross-check target.
+            attach_effect_certificates(query)
             # Flag E033 (provably non-terminating) WHILE loops so
             # governed/AUTO execution runs them under a soft iteration
             # cap instead of rejecting the query (docs/robustness.md).

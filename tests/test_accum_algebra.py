@@ -1,0 +1,187 @@
+"""Property tests generated from the op-algebra table.
+
+Satellite of the effect-analysis PR: for every accumulator type in the
+registry, randomized commutativity / associativity / idempotence /
+mergeability checks are *derived from the same declarative table*
+(:data:`repro.accum.algebra.TABLE`) that the static effect analysis and
+AccSan read.  If a flag in the table is wrong, these tests fail — the
+certificates cannot drift from the live accumulator behaviour.
+"""
+
+import random
+
+import pytest
+
+from repro.accum.algebra import TABLE, OpAlgebra, algebra_for, classify, digest_value
+from repro.accum.registry import _BUILTINS
+from repro.errors import AccumulatorError
+
+SEEDS = [0, 1, 2, 7, 42]
+N_INPUTS = 12
+
+ROWS = sorted(TABLE.values(), key=lambda alg: alg.kind)
+
+
+def _inputs(alg: OpAlgebra, rng: random.Random, n: int = N_INPUTS):
+    return [alg.sample(rng) for _ in range(n)]
+
+
+def _fold(alg: OpAlgebra, inputs) -> str:
+    acc = alg.make()
+    for item in inputs:
+        acc.combine(item)
+    return digest_value(acc.value)
+
+
+# ----------------------------------------------------------------------
+# Table coverage: every registry builtin has an algebra row
+# ----------------------------------------------------------------------
+def test_every_builtin_has_an_algebra_row():
+    missing = set(_BUILTINS) - {alg.kind for alg in TABLE.values()}
+    assert not missing, f"registry types without an op-algebra row: {missing}"
+
+
+def test_algebra_for_selects_string_sum_variant():
+    assert algebra_for("SumAccum").commutative
+    assert not algebra_for("SumAccum", element="STRING").commutative
+    assert not algebra_for("SumAccum", element="string").commutative
+    assert algebra_for("NoSuchAccum") is None
+
+
+def test_classify_degrades_declared_order_dependence():
+    from repro.core.acctypes import AccumTypeInfo
+
+    plain = classify(
+        AccumTypeInfo(
+            "MapAccum", key="INT", value=AccumTypeInfo("SumAccum", element="INT")
+        )
+    )
+    assert plain.commutative
+    nested = classify(
+        AccumTypeInfo(
+            "MapAccum", key="INT", value=AccumTypeInfo("ListAccum", element="INT")
+        )
+    )
+    assert not nested.commutative
+    assert "order-dependent" in nested.caveat
+
+
+# ----------------------------------------------------------------------
+# Commutativity: positive rows agree on every permutation; negative
+# rows must expose a counterexample
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("alg", ROWS, ids=lambda a: a.kind)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_commutativity_flag_is_truthful(alg, seed):
+    rng = random.Random(seed)
+    inputs = _inputs(alg, rng)
+    base = _fold(alg, inputs)
+    diverged = False
+    for trial in range(8):
+        permuted = list(inputs)
+        rng.shuffle(permuted)
+        if _fold(alg, permuted) != base:
+            diverged = True
+            break
+    if alg.commutative:
+        assert not diverged, f"{alg.kind} claims commutative but diverged"
+    else:
+        # A negative flag must be *demonstrable*: random shuffles of
+        # distinct inputs expose the order in the result.
+        assert diverged, f"{alg.kind} claims non-commutative but never diverged"
+
+
+@pytest.mark.parametrize("alg", ROWS, ids=lambda a: a.kind)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_associativity_via_split_folds(alg, seed):
+    """a ⊕ (b ⊕ c) == (a ⊕ b) ⊕ c, expressed over merge: folding a
+    sequence in differently-bracketed mergeable chunks must agree.
+    Only checkable for mergeable types (merge *is* the ⊕ over partials);
+    every table row claims associativity, so every mergeable row is
+    exercised."""
+    if not alg.mergeable:
+        pytest.skip(f"{alg.kind} has no merge")
+    assert alg.associative
+    rng = random.Random(seed)
+    inputs = _inputs(alg, rng)
+    flat = alg.make()
+    for item in inputs:
+        flat.combine(item)
+    for split_a, split_b in [(4, 8), (1, 11), (6, 7)]:
+        left, mid, right = (
+            inputs[:split_a], inputs[split_a:split_b], inputs[split_b:]
+        )
+        parts = []
+        for chunk in (left, mid, right):
+            acc = alg.make()
+            for item in chunk:
+                acc.combine(item)
+            parts.append(acc)
+        # ((L ⊕ M) ⊕ R)
+        lmr = alg.make()
+        for part in parts:
+            lmr.merge(part)
+        assert digest_value(lmr.value) == digest_value(flat.value)
+
+
+@pytest.mark.parametrize("alg", ROWS, ids=lambda a: a.kind)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_idempotence_flag_is_truthful(alg, seed):
+    rng = random.Random(seed)
+    inputs = _inputs(alg, rng)
+    base = _fold(alg, inputs)
+    doubled = _fold(alg, inputs + [inputs[0]])
+    if alg.idempotent:
+        # Refolding an already-present input is a no-op.
+        assert doubled == base, f"{alg.kind} claims idempotent"
+    else:
+        # Non-idempotent types must be *able* to observe a duplicate;
+        # search the inputs for a witness (a top-k heap only notices a
+        # duplicate of something currently in its top k).
+        witnesses = [
+            _fold(alg, inputs + [item]) != base for item in inputs
+        ]
+        assert any(witnesses), f"{alg.kind} claims non-idempotent"
+
+
+@pytest.mark.parametrize("alg", ROWS, ids=lambda a: a.kind)
+def test_mergeable_flag_is_truthful(alg):
+    rng = random.Random(0)
+    a, b = alg.make(), alg.make()
+    a.combine(alg.sample(rng))
+    b.combine(alg.sample(rng))
+    if alg.mergeable:
+        a.merge(b)  # must not raise
+    else:
+        with pytest.raises(AccumulatorError):
+            a.merge(b)
+
+
+# ----------------------------------------------------------------------
+# Weighted combine must agree with repeated combine (Appendix A)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("alg", ROWS, ids=lambda a: a.kind)
+def test_combine_weighted_matches_repetition(alg):
+    rng = random.Random(3)
+    item = alg.sample(rng)
+    weighted = alg.make()
+    weighted.combine_weighted(item, 5)
+    repeated = alg.make()
+    for _ in range(5):
+        repeated.combine(item)
+    assert digest_value(weighted.value) == digest_value(repeated.value)
+
+
+# ----------------------------------------------------------------------
+# Digest canonicalization
+# ----------------------------------------------------------------------
+def test_digest_ignores_container_identity():
+    assert digest_value({1, 2, 3}) == digest_value(frozenset({3, 2, 1}))
+    assert digest_value({"a": 1, "b": 2}) == digest_value({"b": 2, "a": 1})
+    assert digest_value([1, 2]) != digest_value([2, 1])
+
+
+def test_digest_quantizes_float_reassociation():
+    xs = [0.1] * 10
+    assert digest_value(sum(xs)) == digest_value(sum(reversed(xs)))
+    assert digest_value(0.5) != digest_value(0.25)

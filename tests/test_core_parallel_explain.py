@@ -113,6 +113,33 @@ class TestParallelAccum:
         parallel_accum(ctx, statements, rows, partitions=partitions)
         assert ctx.global_accum("total").value == pytest.approx(505.0)
 
+    def test_reduce_order_deterministic_across_interleavings(self, monkeypatch):
+        """FLOAT sums reassociate: if partials merged in thread-completion
+        order, jittered workers would yield run-to-run-different bit
+        patterns.  Partials must merge in partition-index order, so every
+        interleaving produces the *identical* float, not merely a close
+        one."""
+        import random
+        import time
+
+        import repro.core.parallel as par
+
+        real = par._run_partition
+        rng = random.Random(20260808)
+
+        def jittered(*args, **kwargs):
+            time.sleep(rng.random() * 0.01)  # scramble completion order
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(par, "_run_partition", jittered)
+        reprs = set()
+        for _ in range(10):
+            ctx, rows, statements = _sales_setup()
+            parallel_accum(ctx, statements, rows, partitions=6,
+                           use_threads=True)
+            reprs.add(repr(ctx.global_accum("total").value))
+        assert len(reprs) == 1
+
 
 class TestExplain:
     def test_explain_pagerank(self):
