@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Guard the query service's dispatch overhead and public surface.
+
+The service layer (docs/robustness.md, "Service layer") wraps every
+query in admission control, worker dispatch and outcome assembly.  That
+wrapper must stay cheap relative to the work it manages, and its public
+contract — the outcome taxonomy, the service fault sites, the default
+budget classes and the process exit codes — must not drift silently.
+This script enforces both:
+
+1. times the bare pipeline (``execute_job`` on the calling thread: the
+   work a worker does, with no service around it) against the full
+   service path (``QueryService.submit`` over a 1-thread pool:
+   admission + dispatch queue + reply collection + outcome assembly)
+   on the E1 counting workload, and asserts the per-request dispatch
+   overhead stays under an absolute envelope, and
+2. compares the outcome taxonomy (kind -> HTTP status + retryability),
+   the ``server.*`` fault sites, the default budget-class table and the
+   exit-code catalog against ``benchmarks/server_baseline.json`` so a
+   renamed outcome or a remapped status is a deliberate, reviewed
+   change.
+
+The overhead envelope is absolute (milliseconds per request), not
+relative: dispatch cost is a fixed per-request tax (queue hops, one
+cross-thread round trip, dict assembly), so the bound that matters for
+capacity planning is its absolute size, and an absolute bound does not
+loosen when the measured query gets slower.
+
+Exit status 0 = within budget, 1 = overhead / baseline failure.
+Refresh the baseline with ``--write-baseline``.
+
+Usage:  python benchmarks/check_server_overhead.py [--budget-ms 25]
+        [--requests 60] [--write-baseline]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import exit_code_catalog
+from repro.governor.faults import SITES
+from repro.graph import builders
+from repro.server import QueryRequest, QueryService, RetryPolicy, taxonomy
+from repro.server.admission import default_classes
+from repro.server.pool import execute_job
+from repro.server.protocol import Job
+
+BASELINE = Path(__file__).resolve().parent / "server_baseline.json"
+
+QN = """
+CREATE QUERY Qn(string srcName, string tgtName) {
+  SumAccum<int> @pathCount;
+  R = SELECT t
+      FROM V:s -(E>*)- V:t
+      WHERE s.name == srcName AND t.name == tgtName
+      ACCUM t.@pathCount += 1;
+  PRINT R[R.name, R.@pathCount];
+}
+"""
+
+
+def current_surface():
+    return {
+        "outcomes": taxonomy(),
+        "server_fault_sites": sorted(
+            site for site in SITES if site.startswith("server.")
+        ),
+        "budget_classes": {
+            name: {
+                "default_deadline": cls.default_deadline,
+                "max_deadline": cls.max_deadline,
+                "max_concurrent": cls.max_concurrent,
+                "budget": dict(sorted(cls.budget.items())),
+            }
+            for name, cls in sorted(default_classes().items())
+        },
+        "exit_codes": [
+            [code, name, meaning]
+            for code, name, meaning in exit_code_catalog()
+        ],
+    }
+
+
+def measure_dispatch_overhead(requests):
+    """Median per-request time: bare pipeline vs full service path."""
+    graphs = {"default": builders.diamond_chain(6)}
+    params = {"srcName": "v0", "tgtName": "v5"}
+
+    def bare(i):
+        job = Job(f"bare-{i}", QN, "default", dict(params), "counting", {})
+        reply = execute_job(job, graphs)
+        assert reply["outcome"] == "ok", reply
+
+    service = QueryService(
+        graphs=graphs,
+        pool_size=1,
+        pool_mode="thread",
+        retry=RetryPolicy(max_attempts=1),
+    )
+
+    def served(i):
+        doc = service.submit(
+            QueryRequest(QN, params=params, request_id=f"svc-{i}")
+        )
+        assert doc["outcome"] == "ok", doc
+
+    try:
+        # Warm both paths (parser caches, pool threads, planner).
+        for i in range(5):
+            bare(i)
+            served(i)
+        bare_times, served_times = [], []
+        for i in range(requests):
+            start = time.perf_counter()
+            bare(i)
+            bare_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            served(i)
+            served_times.append(time.perf_counter() - start)
+    finally:
+        service.shutdown(grace=5.0)
+    return statistics.median(bare_times), statistics.median(served_times)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget-ms",
+        type=float,
+        default=25.0,
+        help="maximum tolerated per-request dispatch overhead (absolute)",
+    )
+    parser.add_argument("--requests", type=int, default=60)
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the committed baseline from this run",
+    )
+    args = parser.parse_args(argv)
+
+    surface = current_surface()
+    if args.write_baseline:
+        BASELINE.write_text(json.dumps(surface, indent=2) + "\n")
+        print(f"wrote server baseline to {BASELINE}")
+        return 0
+
+    failures = 0
+
+    # --- surface: outcome taxonomy, sites, classes, exit codes ----------
+    baseline = json.loads(BASELINE.read_text())
+    for key in (
+        "outcomes",
+        "server_fault_sites",
+        "budget_classes",
+        "exit_codes",
+    ):
+        if surface[key] != baseline.get(key):
+            print(
+                f"BASELINE MISMATCH {key}:\n  current  {surface[key]}\n"
+                f"  baseline {baseline.get(key)}",
+                file=sys.stderr,
+            )
+            failures += 1
+
+    # --- overhead: bare pipeline vs full service path -------------------
+    med_bare, med_served = measure_dispatch_overhead(args.requests)
+    overhead_ms = (med_served - med_bare) * 1000
+
+    print(
+        f"bare pipeline   : {med_bare * 1000:8.2f} ms/request "
+        f"(median of {args.requests})"
+    )
+    print(
+        f"service path    : {med_served * 1000:8.2f} ms/request "
+        f"(admission + dispatch + outcome)"
+    )
+    print(
+        f"dispatch overhead: {overhead_ms:+7.2f} ms/request "
+        f"(budget {args.budget_ms:.0f} ms)"
+    )
+    print(
+        f"surface check   : {len(surface['outcomes'])} outcomes, "
+        f"{len(surface['server_fault_sites'])} server fault sites, "
+        f"{len(surface['budget_classes'])} budget classes, "
+        f"{len(surface['exit_codes'])} exit codes"
+    )
+
+    if overhead_ms > args.budget_ms:
+        print(
+            f"FAIL: dispatch overhead {overhead_ms:.2f} ms exceeds "
+            f"{args.budget_ms:.0f} ms budget",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    if failures:
+        print(f"{failures} server guard failure(s)", file=sys.stderr)
+        return 1
+    print(
+        f"OK: dispatch overhead {overhead_ms:+.2f} ms within "
+        f"{args.budget_ms:.0f} ms, surface matches baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Cross-thread guard for the engine's module-global activations.
+
+Four subsystems bind themselves into module globals so their *inactive*
+fast path costs one global load: the :mod:`repro.obs` collector, the
+:mod:`repro.governor` governor, the :mod:`repro.accsan` sanitizer and
+the :mod:`repro.governor.faults` plan.  Within one thread that design
+is safe — activations nest, inner shadows outer, outer is restored on
+exit.  Across threads it is a silent cross-wiring bug: thread B's
+``with govern(...)`` would rebind the global out from under thread A's
+running query, attributing A's charges to B's governor.
+
+:class:`ActivationState` makes that bug loud.  Each subsystem owns one
+instance; its context manager calls :meth:`acquire` before rebinding
+and :meth:`release` after restoring.  Same-thread re-entry stacks (a
+depth counter); re-entry from a different thread while an activation is
+live raises :class:`~repro.errors.ReentrantActivationError` instead of
+cross-wiring.  The query service keeps concurrency *and* this invariant
+by giving every worker its own process (process pool) or by serializing
+governed extents on a lock (thread pool) — see ``repro/server/pool.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from .errors import ReentrantActivationError
+
+
+class ActivationState:
+    """Ownership bookkeeping for one subsystem's module-global binding."""
+
+    __slots__ = ("subsystem", "_lock", "_owner", "_depth")
+
+    def __init__(self, subsystem: str):
+        self.subsystem = subsystem
+        self._lock = threading.Lock()
+        self._owner: Optional[int] = None
+        self._depth = 0
+
+    def acquire(self) -> None:
+        """Claim the binding for the calling thread.
+
+        Raises :class:`ReentrantActivationError` when another thread's
+        activation is live; nests freely on the owning thread.
+        """
+        me = threading.get_ident()
+        with self._lock:
+            if self._depth > 0 and self._owner != me:
+                raise ReentrantActivationError(self.subsystem, self._owner or 0, me)
+            self._owner = me
+            self._depth += 1
+
+    def release(self) -> None:
+        """Drop one nesting level; frees the binding at depth zero."""
+        with self._lock:
+            if self._depth > 0:
+                self._depth -= 1
+            if self._depth == 0:
+                self._owner = None
+
+    def reset(self) -> None:
+        """Forget all ownership — for freshly forked worker processes,
+        which inherit the parent's (now meaningless) thread idents."""
+        with self._lock:
+            self._owner = None
+            self._depth = 0
+
+    @property
+    def owner(self) -> Optional[int]:
+        return self._owner
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ActivationState({self.subsystem!r}, depth={self._depth}, "
+            f"owner={self._owner})"
+        )
+
+
+__all__ = ["ActivationState"]

@@ -41,6 +41,7 @@ import copy
 import random
 from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
+from ._activation import ActivationState as _ActivationState
 from .accum.algebra import digest_value
 from .errors import AccSanViolation
 from .obs import metrics as _obs
@@ -48,6 +49,11 @@ from .obs import metrics as _obs
 #: The active sanitizer, or None.  Write sites guard on this; only
 #: :func:`sanitize` (and tests) should rebind it.
 _ACTIVE: Optional["Sanitizer"] = None
+
+#: Cross-thread ownership guard (see repro/_activation.py): a second
+#: thread activating a sanitizer while one is live would attribute one
+#: query's write events to another's replay — raise instead.
+_GUARD = _ActivationState("accsan")
 
 
 class AccSanEvent(NamedTuple):
@@ -298,16 +304,21 @@ def sanitize(
     """Install a :class:`Sanitizer` for the duration of the block.
 
     Nested scopes shadow (and then restore) the previous binding, like
-    :func:`repro.obs.metrics.collect`.
+    :func:`repro.obs.metrics.collect`.  Activation from a different
+    thread while a sanitizer is live raises
+    :class:`~repro.errors.ReentrantActivationError` (the binding is
+    process-global — cross-thread re-entry would cross-wire events).
     """
     global _ACTIVE
     sanitizer = Sanitizer(schedules=schedules, seed=seed)
+    _GUARD.acquire()
     previous = _ACTIVE
     _ACTIVE = sanitizer
     try:
         yield sanitizer
     finally:
         _ACTIVE = previous
+        _GUARD.release()
 
 
 __all__ = [

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro check PATH... [--graph graph.json] [--format json] [--dot cfg.dot] [--effects]
     python -m repro generate-snb out.json --scale 0.5 --seed 42
     python -m repro semantics GRAPH.json SOURCE DARPE [--semantics ...]
+    python -m repro serve --graph [NAME=]graph.json [--port 8080] [--workers 4]
 
 ``run`` executes a ``CREATE QUERY`` file against a JSON graph (see
 ``repro.graph.io``), prints PRINT output and result tables, and can
@@ -31,6 +32,14 @@ point (E030–W034), prints one tractability certificate per SELECT
 block, and can export the CFGs as Graphviz dot (``--dot``).  The JSON
 payload adds ``certificates`` and per-query solver summaries to the
 lint shape.
+
+``serve`` starts the fault-tolerant HTTP query service
+(:mod:`repro.server`): admission control with budget classes, a
+process/thread worker pool with crash detection, and bounded
+deterministic retry.
+
+Exit codes are the shared taxonomy from :mod:`repro.errors`:
+0 ok, 1 usage-or-lint, 2 governor-abort, 3 accsan-violation.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ from .core.pattern import EngineMode
 from .core.values import Table
 from .darpe.automaton import CompiledDarpe
 from .enumeration import match_counts
+from .errors import EXIT_ABORT, EXIT_ACCSAN, EXIT_OK, EXIT_USAGE
 from .graph.io import load_graph_json, save_graph_json
 from .gsql import parse_query
 from .ldbc import generate_snb_graph
@@ -87,7 +97,7 @@ def _read_source(path: str) -> str:
     except OSError as exc:
         reason = exc.strerror or str(exc)
         print(f"{path}: {reason}", file=sys.stderr)
-        raise SystemExit(1)
+        raise SystemExit(EXIT_USAGE)
 
 
 def _load_query(path: str):
@@ -153,10 +163,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             result = query.run(graph, mode=mode, **params)
     except QueryAbortedError as exc:
         _print_abort(exc)
-        return 2
+        return EXIT_ABORT
     except AccSanViolation as exc:
         print(f"AccSan violation: {exc}", file=sys.stderr)
-        return 3
+        return EXIT_ACCSAN
     if sanitizer is not None:
         print(sanitizer.report(), file=sys.stderr)
     for record in result.printed:
@@ -173,7 +183,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if result.returned is not None:
         print("returned:")
         print(_print_value(result.returned))
-    return 0
+    return EXIT_OK
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -184,8 +194,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
         print("\nvalidation issues:")
         for issue in issues:
             print(f"  {issue}")
-        return 1
-    return 0
+        return EXIT_USAGE
+    return EXIT_OK
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -207,8 +217,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         print(report.render_text())
     if governor is not None and governor.aborted is not None:
         _print_abort(governor.aborted)
-        return 2
-    return 0
+        return EXIT_ABORT
+    return EXIT_OK
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -231,7 +241,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
         print(issue)
     if not issues:
         print("ok")
-    return 1 if issues else 0
+    return EXIT_USAGE if issues else EXIT_OK
 
 
 # ----------------------------------------------------------------------
@@ -345,7 +355,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
             f"{errors} error{'s' if errors != 1 else ''}, "
             f"{warnings} warning{'s' if warnings != 1 else ''}"
         )
-    return 1 if errors else 0
+    return EXIT_USAGE if errors else EXIT_OK
 
 
 # ----------------------------------------------------------------------
@@ -499,7 +509,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             f"{len(payload['certificates'])} certificate"
             f"{'s' if len(payload['certificates']) != 1 else ''}"
         )
-    return 1 if payload["errors"] else 0
+    return EXIT_USAGE if payload["errors"] else EXIT_OK
 
 
 def cmd_generate_snb(args: argparse.Namespace) -> int:
@@ -507,7 +517,52 @@ def cmd_generate_snb(args: argparse.Namespace) -> int:
     save_graph_json(graph, args.output)
     summary = graph.summary()
     print(json.dumps(summary))
-    return 0
+    return EXIT_OK
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Start the fault-tolerant query service (see repro.server)."""
+    from .server import QueryService, RetryPolicy
+    from .server.app import serve
+
+    graph_paths = {}
+    for spec in args.graph or []:
+        name, _, path = spec.rpartition("=")
+        if not name:
+            name, path = "default", spec
+        graph_paths[name] = path
+    if not graph_paths:
+        print("serve needs at least one --graph [name=]PATH", file=sys.stderr)
+        return EXIT_USAGE
+    graphs = None
+    if args.pool_mode == "thread":
+        graphs = {
+            name: load_graph_json(path)
+            for name, path in sorted(graph_paths.items())
+        }
+    try:
+        service = QueryService(
+            graphs=graphs,
+            graph_paths=graph_paths,
+            pool_size=args.workers,
+            pool_mode=args.pool_mode,
+            max_queue_depth=args.max_queue_depth,
+            max_tenant_inflight=args.max_tenant_inflight,
+            retry=RetryPolicy(
+                max_attempts=args.max_attempts, seed=args.retry_seed
+            ),
+        )
+    except (OSError, ValueError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(
+        f"repro serve: {args.pool_mode} pool x{args.workers} on "
+        f"http://{args.host}:{args.port} "
+        f"(graphs: {', '.join(sorted(graph_paths))})",
+        file=sys.stderr,
+    )
+    serve(service, host=args.host, port=args.port)
+    return EXIT_OK
 
 
 def cmd_semantics(args: argparse.Namespace) -> int:
@@ -530,7 +585,7 @@ def cmd_semantics(args: argparse.Namespace) -> int:
         )
     for target, count in sorted(rows.items(), key=lambda kv: str(kv[0])):
         print(f"{target}\t{count}")
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -659,6 +714,37 @@ def build_parser() -> argparse.ArgumentParser:
     gen_p.add_argument("--scale", type=float, default=0.1)
     gen_p.add_argument("--seed", type=int, default=42)
     gen_p.set_defaults(fn=cmd_generate_snb)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant HTTP query service (see docs/robustness.md)",
+    )
+    serve_p.add_argument(
+        "--graph",
+        action="append",
+        metavar="[NAME=]PATH",
+        help="JSON graph to serve (repeatable; bare PATH mounts as 'default')",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8080)
+    serve_p.add_argument(
+        "--workers", type=int, default=4, help="worker pool size"
+    )
+    serve_p.add_argument(
+        "--pool-mode",
+        choices=["process", "thread"],
+        default="process",
+        help="worker transport: isolated processes (default) or in-process threads",
+    )
+    serve_p.add_argument("--max-queue-depth", type=int, default=16)
+    serve_p.add_argument("--max-tenant-inflight", type=int, default=8)
+    serve_p.add_argument(
+        "--max-attempts", type=int, default=3, help="retry attempt cap"
+    )
+    serve_p.add_argument(
+        "--retry-seed", type=int, default=0, help="jitter determinism seed"
+    )
+    serve_p.set_defaults(fn=cmd_serve)
 
     sem_p = sub.add_parser(
         "semantics", help="per-target match counts for a DARPE from a source"

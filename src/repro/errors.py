@@ -13,6 +13,39 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
 
 
+class ReentrantActivationError(ReproError):
+    """Raised when a module-global engine binding (the :mod:`repro.obs`
+    collector, the :mod:`repro.governor` governor, the
+    :mod:`repro.accsan` sanitizer or the :mod:`repro.governor.faults`
+    plan) is activated from one thread while another thread's
+    activation is still live.
+
+    Those bindings are process-wide by design (the zero-cost fast path
+    is a single module-global load), so a cross-thread re-activation
+    would silently attribute one query's charges, counters or sanitizer
+    events to another — the exact cross-wiring bug this error makes
+    loud.  Same-thread nesting still stacks cleanly (inner shadows
+    outer, outer restored on exit).
+
+    ``subsystem``
+        Which binding was contended (``"obs.collector"``,
+        ``"governor"``, ``"accsan"``, ``"governor.faults"``).
+    ``owner_thread`` / ``thread``
+        The ``threading.get_ident()`` of the thread holding the
+        activation and of the thread that attempted to re-activate.
+    """
+
+    def __init__(self, subsystem: str, owner_thread: int, thread: int):
+        self.subsystem = subsystem
+        self.owner_thread = owner_thread
+        self.thread = thread
+        super().__init__(
+            f"{subsystem} is already active on thread {owner_thread}; "
+            f"thread {thread} must not re-activate it (run the query in "
+            "its own worker process, or serialize governed extents)"
+        )
+
+
 class SchemaError(ReproError):
     """Raised for violations of a graph schema.
 
@@ -212,6 +245,21 @@ class EvaluationBudgetExceeded(ReproError):
         super().__init__(message)
 
 
+class WorkerCrashed(ReproError):
+    """Raised inside the query service (:mod:`repro.server.pool`) when a
+    pool worker dies mid-query — the process was killed, its pipe hit
+    EOF, or (thread mode) a crash fault poisoned it.
+
+    The dispatcher converts this into a structured ``worker-crashed``
+    outcome (HTTP 502) after exhausting the bounded retry policy;
+    sibling workers are unaffected and the crashed worker is respawned.
+    """
+
+    def __init__(self, message: str, worker: str = ""):
+        self.worker = worker
+        super().__init__(message)
+
+
 class InjectedFault(ReproError):
     """Raised by the deterministic fault-injection harness
     (:mod:`repro.governor.faults`) when an armed injection site fires.
@@ -225,3 +273,40 @@ class InjectedFault(ReproError):
         self.site = site
         self.hit = hit
         super().__init__(message)
+
+
+# ----------------------------------------------------------------------
+# Process exit-code taxonomy
+# ----------------------------------------------------------------------
+# One table shared by every CLI entry point (run / profile / lint /
+# check / validate / serve) and by the service job runner, so a shell
+# script, a CI job and an HTTP client all read the same contract.  The
+# doc-drift test (tests/test_errors.py) parses the tables in README.md
+# and docs/robustness.md and asserts they match this catalog, the same
+# way ``repro.analysis.rules.catalog_codes`` pins the diagnostic codes.
+
+#: Successful completion.
+EXIT_OK = 0
+#: Usage, I/O, parse or lint/analysis error (bad flags, unreadable
+#: file, GSQL syntax error, error-severity diagnostics).
+EXIT_USAGE = 1
+#: The execution governor aborted the query (budget breach, deadline,
+#: cancellation) — a structured :class:`QueryAbortedError`.
+EXIT_ABORT = 2
+#: The accumulator sanitizer found a certificate violation
+#: (:class:`AccSanViolation`).
+EXIT_ACCSAN = 3
+
+#: code -> (name, meaning).  Insertion order is display order.
+EXIT_CODES = {
+    EXIT_OK: ("ok", "query/command completed"),
+    EXIT_USAGE: ("usage-or-lint", "usage, I/O, parse or lint/analysis error"),
+    EXIT_ABORT: ("governor-abort", "execution governor aborted the query"),
+    EXIT_ACCSAN: ("accsan-violation", "sanitizer caught a certificate violation"),
+}
+
+
+def exit_code_catalog():
+    """The ``(code, name, meaning)`` rows of the exit-code taxonomy,
+    sorted by code — docs and the drift test consume this."""
+    return [(code, name, meaning) for code, (name, meaning) in sorted(EXIT_CODES.items())]

@@ -26,8 +26,10 @@ measurable.
 from __future__ import annotations
 
 import random
+import threading as _threading
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
+from .._activation import ActivationState as _ActivationState
 from ..errors import InjectedFault
 from . import governor as _gov
 
@@ -63,6 +65,29 @@ SITES: Dict[str, str] = {
         "one expanded search node of the enumeration engine (repro."
         "enumeration.engine._Budget.charge); a hit is one node"
     ),
+    # -- service-layer sites (repro.server) ---------------------------
+    # These fire in the *server* process (admission / dispatch / result
+    # wait), never inside a worker, so they are deterministic under both
+    # pool modes; the pool interprets the InjectedFault as the site's
+    # failure mode (shed, expired deadline, worker kill, straggler).
+    "server.admission": (
+        "one admission decision of the query service (repro.server."
+        "admission); armed, the request is shed as queue-full"
+    ),
+    "server.dispatch": (
+        "one job dispatch, after a worker is acquired but before the "
+        "job is sent (repro.server.pool); armed, the request's deadline "
+        "is treated as already expired at dispatch"
+    ),
+    "server.worker.crash": (
+        "one dispatched job (repro.server.pool); armed, the worker is "
+        "killed mid-query — the real crash-detection/respawn path runs"
+    ),
+    "server.worker.stall": (
+        "one dispatched job (repro.server.pool); armed, the worker is "
+        "treated as a straggler — the dispatcher stops waiting, kills "
+        "and replaces it, and drains its stale reply"
+    ),
 }
 
 #: Actions an armed injection can perform when it fires.
@@ -72,6 +97,7 @@ ACTIONS = ("raise", "deadline")
 class _Arm(NamedTuple):
     at: int
     action: str
+    every: bool = False
 
 
 class FiredFault(NamedTuple):
@@ -97,6 +123,9 @@ class FaultPlan:
         self.armed: Dict[str, _Arm] = {}
         self.hits: Dict[str, int] = {}
         self.fired: List[FiredFault] = []
+        # The query service fires server.* sites from concurrent
+        # dispatcher threads; hit counting must stay exact under that.
+        self._hit_lock = _threading.Lock()
 
     def inject(
         self,
@@ -104,6 +133,7 @@ class FaultPlan:
         at: Optional[int] = 0,
         action: str = "raise",
         horizon: int = 16,
+        every: bool = False,
     ) -> "FaultPlan":
         """Arm ``site`` to fire on its ``at``-th hit (0-based).
 
@@ -111,8 +141,10 @@ class FaultPlan:
         ``[0, horizon)`` — deterministic per seed.  ``action`` is
         ``"raise"`` (raise :class:`InjectedFault`) or ``"deadline"``
         (expire the active governor's deadline, so the abort flows
-        through the genuine deadline path).  Returns ``self`` for
-        chaining.
+        through the genuine deadline path).  ``every=True`` keeps
+        firing on every hit from ``at`` onward — the repeated-fault
+        knob the service retry tests use to prove attempt caps hold.
+        Returns ``self`` for chaining.
         """
         if site not in SITES:
             raise ValueError(
@@ -126,7 +158,7 @@ class FaultPlan:
             )
         if at is None:
             at = self._rng.randrange(horizon)
-        self.armed[site] = _Arm(at, action)
+        self.armed[site] = _Arm(at, action, every)
         return self
 
     def hit_count(self, site: str) -> int:
@@ -134,12 +166,13 @@ class FaultPlan:
 
     # -- firing (called via the module-level :func:`fire`) -------------
     def _fire(self, site: str) -> None:
-        hit = self.hits.get(site, 0)
-        self.hits[site] = hit + 1
-        arm = self.armed.get(site)
-        if arm is None or hit != arm.at:
-            return
-        self.fired.append(FiredFault(site, hit, arm.action))
+        with self._hit_lock:
+            hit = self.hits.get(site, 0)
+            self.hits[site] = hit + 1
+            arm = self.armed.get(site)
+            if arm is None or (hit < arm.at if arm.every else hit != arm.at):
+                return
+            self.fired.append(FiredFault(site, hit, arm.action))
         if arm.action == "deadline":
             gov = _gov._ACTIVE
             if gov is not None:
@@ -157,6 +190,10 @@ class FaultPlan:
 #: The active fault plan, or None (the default: no chaos).  Sites guard
 #: with ``if _PLAN is not None`` — the entire inactive cost.
 _PLAN: Optional[FaultPlan] = None
+
+#: Cross-thread ownership guard for plan activation (firing is
+#: thread-safe and unguarded) — see repro/_activation.py.
+_GUARD = _ActivationState("governor.faults")
 
 
 def active() -> Optional[FaultPlan]:
@@ -185,6 +222,9 @@ class inject_faults:
                 query.run(graph)
 
     Exception-safe and nestable (inner plan shadows the outer one).
+    Activating from a different thread while a plan is live raises
+    :class:`~repro.errors.ReentrantActivationError` — sites *fire* from
+    any thread, but only one thread may own the armed plan.
     """
 
     def __init__(self, plan: Optional[FaultPlan] = None):
@@ -193,6 +233,7 @@ class inject_faults:
 
     def __enter__(self) -> FaultPlan:
         global _PLAN
+        _GUARD.acquire()
         self._previous = _PLAN
         _PLAN = self.plan
         return self.plan
@@ -200,6 +241,7 @@ class inject_faults:
     def __exit__(self, *exc_info: Any) -> None:
         global _PLAN
         _PLAN = self._previous
+        _GUARD.release()
 
 
 def catalog() -> List[Tuple[str, str]]:

@@ -29,6 +29,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from .._activation import ActivationState as _ActivationState
 from ..errors import QueryAbortedError
 from ..obs import metrics as _obs
 from .budget import AbortReason, Budget
@@ -347,6 +348,12 @@ class ExecutionGovernor:
 #: check per instrumented site is the entire ungoverned cost.
 _ACTIVE: Optional[ExecutionGovernor] = None
 
+#: Cross-thread ownership guard: a second thread activating (even with
+#: ``govern(None)``) while another thread's governed extent is live
+#: raises ReentrantActivationError instead of silently re-attributing
+#: one query's charges to another.  Same-thread nesting stacks.
+_GUARD = _ActivationState("governor")
+
 
 def active() -> Optional[ExecutionGovernor]:
     """The currently active governor, or None when execution is
@@ -366,7 +373,10 @@ class govern:
     Nesting is allowed; the inner governor shadows the outer one and
     the outer is restored on exit (exception-safe).  Entering with
     ``None`` leaves execution ungoverned for the extent (useful to
-    shield a sub-computation from an outer budget).
+    shield a sub-computation from an outer budget).  Activating from a
+    *different thread* while any governed extent is live raises
+    :class:`~repro.errors.ReentrantActivationError` — the binding is
+    process-global, so that would charge one query's work to another.
     """
 
     def __init__(self, governor: Optional[ExecutionGovernor] = None):
@@ -375,6 +385,7 @@ class govern:
 
     def __enter__(self) -> Optional[ExecutionGovernor]:
         global _ACTIVE
+        _GUARD.acquire()
         self._previous = _ACTIVE
         _ACTIVE = self.governor
         return self.governor
@@ -382,6 +393,7 @@ class govern:
     def __exit__(self, *exc_info: Any) -> None:
         global _ACTIVE
         _ACTIVE = self._previous
+        _GUARD.release()
 
 
 __all__ = [

@@ -30,6 +30,8 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Iterator, List, Optional
 
+from .._activation import ActivationState as _ActivationState
+
 
 class Span:
     """One timed region of an execution, with attributes and children.
@@ -160,6 +162,12 @@ class Collector:
 #: check per instrumented call is the entire off-path cost.
 _ACTIVE: Optional[Collector] = None
 
+#: Cross-thread ownership guard: activating from a second thread while
+#: a first thread's collector is live raises ReentrantActivationError
+#: instead of silently cross-wiring counters (same-thread nesting still
+#: stacks).  See repro/_activation.py.
+_GUARD = _ActivationState("obs.collector")
+
 
 def active() -> Optional[Collector]:
     """The currently active collector, or None when instrumentation is off."""
@@ -176,7 +184,10 @@ class collect:
         col.counter("block.acc_executions")
 
     Nesting is allowed; the inner collector shadows the outer one and the
-    outer is restored on exit (exception-safe).
+    outer is restored on exit (exception-safe).  Activating from a
+    *different thread* while any collector is live raises
+    :class:`~repro.errors.ReentrantActivationError` — the binding is
+    process-global, so that would cross-wire counters between queries.
     """
 
     def __init__(self, collector: Optional[Collector] = None):
@@ -185,6 +196,7 @@ class collect:
 
     def __enter__(self) -> Collector:
         global _ACTIVE
+        _GUARD.acquire()
         self._previous = _ACTIVE
         _ACTIVE = self.collector
         return self.collector
@@ -192,6 +204,7 @@ class collect:
     def __exit__(self, *exc_info: Any) -> None:
         global _ACTIVE
         _ACTIVE = self._previous
+        _GUARD.release()
 
 
 __all__ = ["Span", "Collector", "active", "collect"]

@@ -1,0 +1,56 @@
+"""repro.server: a fault-tolerant query service over the engine.
+
+The service stack, bottom-up:
+
+* :mod:`repro.server.protocol` — request/outcome shapes, the outcome
+  taxonomy with its HTTP-status and retryability mappings;
+* :mod:`repro.server.retry` — bounded exponential backoff with seeded
+  deterministic jitter;
+* :mod:`repro.server.admission` — per-tenant admission control: budget
+  classes, concurrency ceilings, bounded queue, load shedding;
+* :mod:`repro.server.pool` — the worker pool (process or thread
+  transport) with crash detection, respawn and straggler kill;
+* :mod:`repro.server.service` — :class:`QueryService`, the
+  admission -> dispatch -> retry -> outcome request lifecycle;
+* :mod:`repro.server.app` — the stdlib asyncio HTTP front end behind
+  ``repro serve``.
+
+See ``docs/robustness.md`` ("Service layer") for the admission model,
+the shed/abort taxonomy and the retry matrix.
+"""
+
+from .admission import AdmissionController, BudgetClass, Ticket, default_classes
+from .pool import WorkerPool, execute_job
+from .protocol import (
+    HTTP_STATUS,
+    Job,
+    OutcomeKind,
+    QueryRequest,
+    RETRYABLE_ABORT_REASONS,
+    RETRYABLE_OUTCOMES,
+    is_retryable,
+    outcome,
+    taxonomy,
+)
+from .retry import RetryPolicy
+from .service import QueryService
+
+__all__ = [
+    "AdmissionController",
+    "BudgetClass",
+    "Ticket",
+    "default_classes",
+    "WorkerPool",
+    "execute_job",
+    "HTTP_STATUS",
+    "Job",
+    "OutcomeKind",
+    "QueryRequest",
+    "RETRYABLE_ABORT_REASONS",
+    "RETRYABLE_OUTCOMES",
+    "is_retryable",
+    "outcome",
+    "taxonomy",
+    "RetryPolicy",
+    "QueryService",
+]

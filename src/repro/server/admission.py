@@ -1,0 +1,252 @@
+"""Per-tenant admission control: budget classes, limits, load shedding.
+
+Admission is the service's first robustness layer: *refuse early,
+cheaply and with a structured answer* instead of queuing without bound.
+Every request is checked against three ceilings before it may wait for
+a worker:
+
+* **tenant inflight** — one tenant cannot monopolize the service;
+* **class concurrency** — each :class:`BudgetClass` caps how many of
+  its requests may be admitted (queued + running) at once;
+* **global queue depth** — admitted-but-not-yet-running requests are
+  bounded; beyond the bound the service sheds with 429, never queues.
+
+A shed is an :class:`~repro.server.protocol.OutcomeKind` (queue-full /
+class-limit / tenant-limit / draining), which the HTTP layer maps to
+429 or 503 with a ``Retry-After`` hint — the client-visible half of the
+retry policy.
+
+The budget class also fixes the request's *execution* resources: a
+:class:`~repro.governor.Budget` template the worker instantiates, and a
+default deadline applied when the client sends none.  This is the PR 4
+governor promoted to multi-tenant policy: same limits, now assigned by
+class instead of per-CLI-flag.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, NamedTuple, Optional, Tuple, Union
+
+from ..governor import faults as _faults
+from .protocol import OutcomeKind, QueryRequest
+
+
+class BudgetClass(NamedTuple):
+    """One admission/budget tier.
+
+    ``budget`` holds :class:`~repro.governor.Budget` keyword arguments
+    (without ``deadline_seconds`` — the deadline is computed per request
+    from ``default_deadline`` and the client's ask, capped at
+    ``max_deadline``).
+    """
+
+    name: str
+    default_deadline: float = 5.0
+    max_deadline: float = 60.0
+    max_concurrent: int = 8
+    budget: Dict[str, Any] = {}
+
+    def effective_deadline(self, requested: Optional[float]) -> float:
+        """The deadline this class grants a request asking for
+        ``requested`` seconds (None -> the class default)."""
+        if requested is None or requested <= 0:
+            return self.default_deadline
+        return min(requested, self.max_deadline)
+
+
+def default_classes() -> Dict[str, BudgetClass]:
+    """The stock three-tier class table (override via ``classes=``)."""
+    return {
+        "interactive": BudgetClass(
+            "interactive",
+            default_deadline=5.0,
+            max_deadline=30.0,
+            max_concurrent=8,
+            budget={"max_product_states": 2_000_000, "max_paths": 1_000_000},
+        ),
+        "batch": BudgetClass(
+            "batch",
+            default_deadline=60.0,
+            max_deadline=600.0,
+            max_concurrent=2,
+            budget={},
+        ),
+        "bounded": BudgetClass(
+            "bounded",
+            default_deadline=2.0,
+            max_deadline=5.0,
+            max_concurrent=4,
+            budget={
+                "max_acc_executions": 200_000,
+                "max_product_states": 200_000,
+                "max_paths": 50_000,
+                "max_accum_bytes": 64 * 1024 * 1024,
+            },
+        ),
+    }
+
+
+class Ticket(NamedTuple):
+    """Proof of admission; carried until the terminal outcome."""
+
+    request_id: str
+    tenant: str
+    budget_class: BudgetClass
+    deadline_seconds: float
+    admitted_at: float
+
+    def remaining(self, now: float) -> float:
+        """Deadline seconds left at time ``now`` (monotonic clock)."""
+        return self.deadline_seconds - (now - self.admitted_at)
+
+
+class AdmissionController:
+    """Thread-safe counters enforcing the three admission ceilings.
+
+    States a request moves through: *admitted* (counted queued) ->
+    *dispatched* (counted running) -> *released*.  ``queue_depth`` is
+    the live gauge the ``/metrics`` endpoint exports.
+    """
+
+    def __init__(
+        self,
+        classes: Optional[Dict[str, BudgetClass]] = None,
+        max_queue_depth: int = 16,
+        max_tenant_inflight: int = 8,
+        clock=time.monotonic,
+    ):
+        self.classes = classes if classes is not None else default_classes()
+        if not self.classes:
+            raise ValueError("admission needs at least one budget class")
+        self.max_queue_depth = max_queue_depth
+        self.max_tenant_inflight = max_tenant_inflight
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._queued = 0
+        self._running = 0
+        self._class_inflight: Dict[str, int] = {}
+        self._tenant_inflight: Dict[str, int] = {}
+        self.peak_queue_depth = 0
+
+    # -- gauges --------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._queued
+
+    @property
+    def running(self) -> int:
+        return self._running
+
+    @property
+    def inflight(self) -> int:
+        return self._queued + self._running
+
+    # -- admission -----------------------------------------------------
+    def try_admit(
+        self, request: QueryRequest, draining: bool = False
+    ) -> Tuple[Optional[Ticket], Optional[OutcomeKind]]:
+        """Admit ``request`` or shed it with a structured outcome.
+
+        Returns ``(ticket, None)`` on admission or ``(None, kind)``
+        where ``kind`` is one of the four shed outcomes.  The
+        ``server.admission`` fault site fires here: armed, the decision
+        is forced to queue-full regardless of the real counters.
+        """
+        cls = self.classes.get(request.budget_class)
+        if cls is None:
+            # Unknown class is a client error, not a shed: report the
+            # known classes so the 400 is actionable.
+            raise KeyError(
+                f"unknown budget class {request.budget_class!r}; "
+                f"known: {', '.join(sorted(self.classes))}"
+            )
+        if draining:
+            return None, OutcomeKind.SHED_DRAINING
+        forced_shed = False
+        if _faults._PLAN is not None:
+            try:
+                _faults.fire("server.admission")
+            except Exception:
+                forced_shed = True
+        with self._lock:
+            if forced_shed or self._queued >= self.max_queue_depth:
+                return None, OutcomeKind.SHED_QUEUE_FULL
+            if self._class_inflight.get(cls.name, 0) >= cls.max_concurrent:
+                return None, OutcomeKind.SHED_CLASS_LIMIT
+            if (
+                self._tenant_inflight.get(request.tenant, 0)
+                >= self.max_tenant_inflight
+            ):
+                return None, OutcomeKind.SHED_TENANT_LIMIT
+            self._queued += 1
+            self.peak_queue_depth = max(self.peak_queue_depth, self._queued)
+            self._class_inflight[cls.name] = (
+                self._class_inflight.get(cls.name, 0) + 1
+            )
+            self._tenant_inflight[request.tenant] = (
+                self._tenant_inflight.get(request.tenant, 0) + 1
+            )
+        ticket = Ticket(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            budget_class=cls,
+            deadline_seconds=cls.effective_deadline(request.deadline_seconds),
+            admitted_at=self._clock(),
+        )
+        return ticket, None
+
+    def note_dispatched(self, ticket: Ticket) -> None:
+        """The request left the queue for a worker."""
+        with self._lock:
+            self._queued = max(0, self._queued - 1)
+            self._running += 1
+
+    def release(self, ticket: Ticket, dispatched: bool) -> None:
+        """The request reached a terminal outcome; free its slots."""
+        with self._lock:
+            if dispatched:
+                self._running = max(0, self._running - 1)
+            else:
+                self._queued = max(0, self._queued - 1)
+            name = ticket.budget_class.name
+            self._class_inflight[name] = max(
+                0, self._class_inflight.get(name, 0) - 1
+            )
+            self._tenant_inflight[ticket.tenant] = max(
+                0, self._tenant_inflight.get(ticket.tenant, 0) - 1
+            )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Live admission gauges for ``/metrics``."""
+        with self._lock:
+            return {
+                "queue_depth": self._queued,
+                "running": self._running,
+                "peak_queue_depth": self.peak_queue_depth,
+                "class_inflight": {
+                    k: v for k, v in sorted(self._class_inflight.items()) if v
+                },
+                "tenant_inflight": {
+                    k: v for k, v in sorted(self._tenant_inflight.items()) if v
+                },
+                "limits": {
+                    "max_queue_depth": self.max_queue_depth,
+                    "max_tenant_inflight": self.max_tenant_inflight,
+                    "classes": {
+                        name: cls.max_concurrent
+                        for name, cls in sorted(self.classes.items())
+                    },
+                },
+            }
+
+
+ClassSpec = Union[BudgetClass, Dict[str, Any]]
+
+__all__ = [
+    "BudgetClass",
+    "default_classes",
+    "Ticket",
+    "AdmissionController",
+]

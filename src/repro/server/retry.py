@@ -1,0 +1,124 @@
+"""Bounded, deterministic retry with exponential backoff and jitter.
+
+Retries in a query service must satisfy three properties or they make
+outages *worse*:
+
+1. **Bounded** — a hard attempt cap, so a persistent failure converts
+   into a terminal structured outcome instead of an infinite loop.
+2. **Only on idempotent, transient failures** — the retry matrix in
+   :mod:`repro.server.protocol` (:func:`~repro.server.protocol.is_retryable`)
+   decides; deterministic verdicts (lint errors, budget breaches,
+   E040 parallel-safety refusals, sanitizer violations) are never
+   retried because a re-run cannot change them.
+3. **Desynchronized** — exponential backoff with jitter, so a thundering
+   herd of shed clients does not re-arrive in lockstep.
+
+The jitter here is *seeded and deterministic per (seed, request, attempt)*:
+the same request retries on the same schedule every run, which is what
+makes the chaos suite able to assert exact retry behaviour.  CPython
+seeds :class:`random.Random` from ``sha512`` for string seeds, so the
+sequence is stable across processes and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .protocol import OutcomeKind, is_retryable
+
+
+class RetryPolicy:
+    """Exponential backoff with seeded deterministic jitter.
+
+    ``max_attempts``
+        Hard cap on total attempts (first try included).  ``1`` disables
+        retrying entirely.
+    ``base_delay`` / ``multiplier`` / ``max_delay``
+        Attempt ``k`` (1-based) backs off ``base_delay * multiplier**(k-1)``
+        seconds before attempt ``k+1``, clamped to ``max_delay``.
+    ``jitter``
+        Fractional spread: the delay is scaled by a factor drawn
+        uniformly from ``[1-jitter, 1+jitter]``.
+    ``seed``
+        Root of the deterministic jitter stream.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+
+    def delay(self, request_id: str, attempt: int) -> float:
+        """Backoff (seconds) after failed ``attempt`` (1-based).
+
+        Deterministic in ``(seed, request_id, attempt)`` and bounded by
+        ``max_delay * (1 + jitter)`` — see the bound asserted in
+        ``tests/test_server_retry.py``.
+        """
+        raw = self.base_delay * (self.multiplier ** (attempt - 1))
+        raw = min(raw, self.max_delay)
+        if not self.jitter:
+            return raw
+        rng = random.Random(f"{self.seed}:{request_id}:{attempt}")
+        return raw * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+    def schedule(self, request_id: str) -> List[float]:
+        """The full backoff schedule for one request: the delay after
+        each failed attempt that still has a retry left."""
+        return [
+            self.delay(request_id, attempt)
+            for attempt in range(1, self.max_attempts)
+        ]
+
+    def should_retry(
+        self,
+        kind: OutcomeKind,
+        attempt: int,
+        abort_reason: Optional[str] = None,
+    ) -> bool:
+        """True when ``attempt`` (1-based) may be followed by another:
+        the outcome is in the retryable matrix and the cap has room."""
+        if attempt >= self.max_attempts:
+            return False
+        return is_retryable(kind, abort_reason)
+
+    def retry_after_ms(self, request_id: str, attempt: int) -> int:
+        """Client-facing backoff hint (for 429/503 ``Retry-After`` and
+        the ``retry_after_ms`` response field), in whole milliseconds."""
+        return max(1, int(self.delay(request_id, attempt) * 1000))
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "multiplier": self.multiplier,
+            "max_delay": self.max_delay,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base={self.base_delay}, x{self.multiplier}, "
+            f"cap={self.max_delay}, jitter={self.jitter}, seed={self.seed})"
+        )
+
+
+__all__ = ["RetryPolicy"]

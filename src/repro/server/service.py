@@ -1,0 +1,265 @@
+"""The query service: admission -> dispatch -> bounded retry -> outcome.
+
+:class:`QueryService` is the transport-independent core of ``repro
+serve``: the asyncio HTTP layer (:mod:`repro.server.app`) is a thin
+codec around :meth:`QueryService.submit`, and the test/chaos suites
+drive ``submit`` directly — every robustness property is asserted
+below the socket.
+
+The service owns a private :class:`~repro.obs.metrics.Collector` that is
+**never activated** (no module-global rebinding): service counters are
+charged with explicit ``.count()`` calls, and each worker's per-query
+counter snapshot is merged in on completion.  That keeps the service
+entirely outside the engine's single-owner activation discipline — the
+guard from :mod:`repro._activation` protects the workers; the service
+needs no guard because it never touches the shared bindings.
+
+Invariant the acceptance smoke pins: **every submitted request reaches
+exactly one terminal outcome** — counted in ``server.requests`` and in
+exactly one ``server.outcome.<kind>`` counter, so the totals reconcile.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from typing import Any, Dict, Optional
+
+from ..obs.metrics import Collector
+from .admission import AdmissionController, BudgetClass, Ticket
+from .pool import WorkerPool
+from .protocol import Job, OutcomeKind, QueryRequest, outcome
+from .retry import RetryPolicy
+
+
+class QueryService:
+    """Fault-tolerant execution of client queries over a worker pool.
+
+    ``submit`` is thread-safe and blocking: the HTTP layer calls it from
+    an executor thread per request.  Construction loads nothing — the
+    pool spawns immediately, so build the service once per process.
+    """
+
+    def __init__(
+        self,
+        graphs: Optional[Dict[str, Any]] = None,
+        graph_paths: Optional[Dict[str, str]] = None,
+        pool_size: int = 4,
+        pool_mode: str = "thread",
+        classes: Optional[Dict[str, BudgetClass]] = None,
+        max_queue_depth: int = 16,
+        max_tenant_inflight: int = 8,
+        retry: Optional[RetryPolicy] = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ):
+        self.admission = AdmissionController(
+            classes=classes,
+            max_queue_depth=max_queue_depth,
+            max_tenant_inflight=max_tenant_inflight,
+            clock=clock,
+        )
+        self.pool = WorkerPool(
+            size=pool_size,
+            mode=pool_mode,
+            graphs=graphs,
+            graph_paths=graph_paths,
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._clock = clock
+        self._sleep = sleep
+        self._draining = False
+        self._closed = False
+        self._lock = threading.Lock()
+        # Private, never-activated collector: explicit .count() only.
+        self.collector = Collector()
+        self.started_at = clock()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self) -> None:
+        """Stop admitting; running requests finish.  Idempotent."""
+        self._draining = True
+
+    def shutdown(self, grace: float = 5.0) -> None:
+        """Drain, then stop the pool (bounded by ``grace``)."""
+        self.drain()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.pool.shutdown(grace=grace)
+
+    def healthz(self) -> Dict[str, Any]:
+        status = "draining" if self._draining else "ok"
+        return {
+            "status": status,
+            "uptime_seconds": round(self._clock() - self.started_at, 3),
+            "workers_alive": self.pool.stats()["alive"],
+        }
+
+    # -- the request lifecycle -----------------------------------------
+    def submit(self, request: QueryRequest) -> Dict[str, Any]:
+        """Run one request to its terminal outcome.  Never raises."""
+        if not request.request_id:
+            request = request._replace(request_id=uuid.uuid4().hex[:12])
+        self.collector.count("server.requests")
+        self.collector.count(f"server.class.{request.budget_class}.requests")
+
+        try:
+            ticket, shed = self.admission.try_admit(
+                request, draining=self._draining
+            )
+        except KeyError as exc:
+            return self._finish(
+                request,
+                outcome(
+                    OutcomeKind.BAD_REQUEST,
+                    request_id=request.request_id,
+                    error={"message": str(exc.args[0])},
+                ),
+            )
+        if shed is not None:
+            self.collector.count("server.shed")
+            return self._finish(
+                request,
+                outcome(
+                    shed,
+                    request_id=request.request_id,
+                    retry_after_ms=self.retry.retry_after_ms(
+                        request.request_id, 1
+                    ),
+                ),
+            )
+        try:
+            return self._finish(request, self._run_admitted(request, ticket))
+        except BaseException:  # noqa: BLE001 - submit must not raise
+            self.admission.release(ticket, dispatched=True)
+            self.collector.count("server.internal_errors")
+            import traceback
+
+            return self._finish(
+                request,
+                outcome(
+                    OutcomeKind.INTERNAL,
+                    request_id=request.request_id,
+                    error={"message": traceback.format_exc(limit=4)},
+                ),
+            )
+
+    def _run_admitted(
+        self, request: QueryRequest, ticket: Ticket
+    ) -> Dict[str, Any]:
+        """The dispatch/retry loop for an admitted request."""
+        cls = ticket.budget_class
+        budget = dict(cls.budget)
+        budget["deadline_seconds"] = ticket.deadline_seconds
+        dispatched = False
+        attempt = 0
+        try:
+            while True:
+                attempt += 1
+                remaining = ticket.remaining(self._clock())
+                if remaining <= 0:
+                    self.collector.count("server.deadline_at_dispatch")
+                    return outcome(
+                        OutcomeKind.DEADLINE_AT_DISPATCH,
+                        request_id=request.request_id,
+                        attempts=attempt,
+                        deadline_seconds=ticket.deadline_seconds,
+                    )
+                job = Job(
+                    request_id=request.request_id,
+                    query_text=request.query_text,
+                    graph=request.graph,
+                    params=dict(request.params),
+                    engine=request.engine,
+                    budget=dict(
+                        budget, deadline_seconds=max(remaining, 0.001)
+                    ),
+                    attempt=attempt,
+                )
+                if not dispatched:
+                    self.admission.note_dispatched(ticket)
+                    dispatched = True
+                result = self.pool.dispatch(
+                    job, queue_wait=remaining, run_wait=remaining
+                )
+                if result.kind is OutcomeKind.OK:
+                    return self._from_reply(
+                        request, result.reply, attempts=attempt
+                    )
+                # A dispatch-layer failure: crashed / straggler /
+                # deadline-at-dispatch / draining.
+                last_doc = outcome(
+                    result.kind,
+                    request_id=request.request_id,
+                    attempts=attempt,
+                    worker=result.worker or None,
+                )
+                if result.kind is OutcomeKind.WORKER_CRASHED:
+                    self.collector.count("server.worker_crashes")
+                elif result.kind is OutcomeKind.STRAGGLER:
+                    self.collector.count("server.stragglers")
+                elif result.kind is OutcomeKind.DEADLINE_AT_DISPATCH:
+                    self.collector.count("server.deadline_at_dispatch")
+                if not self.retry.should_retry(result.kind, attempt):
+                    return last_doc
+                delay = self.retry.delay(request.request_id, attempt)
+                if delay >= ticket.remaining(self._clock()):
+                    # No budget left to back off and run again.
+                    return last_doc
+                self.collector.count("server.retries")
+                self._sleep(delay)
+        finally:
+            self.admission.release(ticket, dispatched=dispatched)
+
+    def _from_reply(
+        self, request: QueryRequest, reply: Dict[str, Any], attempts: int
+    ) -> Dict[str, Any]:
+        """Convert a worker reply into the terminal outcome document,
+        merging the worker's counters into the service collector."""
+        for name, value in (reply.get("counters") or {}).items():
+            self.collector.count(name, value)
+        kind = OutcomeKind(reply["outcome"])
+        payload = {
+            k: v
+            for k, v in reply.items()
+            if k not in ("outcome", "request_id", "counters")
+        }
+        doc = outcome(
+            kind,
+            request_id=request.request_id,
+            attempts=attempts,
+            **payload,
+        )
+        if doc["retryable"] and attempts < self.retry.max_attempts:
+            doc["retry_after_ms"] = self.retry.retry_after_ms(
+                request.request_id, attempts
+            )
+        return doc
+
+    def _finish(
+        self, request: QueryRequest, doc: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Account the terminal outcome (exactly once per request)."""
+        self.collector.count(f"server.outcome.{doc['outcome']}")
+        return doc
+
+    # -- metrics -------------------------------------------------------
+    def metrics_dict(self) -> Dict[str, Any]:
+        """The ``/metrics`` document: merged counters plus gauges."""
+        return {
+            "counters": dict(sorted(self.collector.counters.items())),
+            "admission": self.admission.snapshot(),
+            "pool": self.pool.stats(),
+            "retry": self.retry.to_dict(),
+            "draining": self._draining,
+        }
+
+
+__all__ = ["QueryService"]

@@ -1,0 +1,180 @@
+"""Cross-thread activation guards on the module-global engine bindings.
+
+Satellite of the service PR: `obs.collect`, `governor.govern`,
+`accsan.sanitize` and `governor.inject_faults` each rebind a module
+global.  Same-thread nesting shadows and restores (pinned by each
+subsystem's own tests); a *second thread* activating while another
+thread's scope is live would silently cross-wire one query's charges
+into another — the guard turns that bug into a structured
+:class:`~repro.errors.ReentrantActivationError`.
+"""
+
+import threading
+
+import pytest
+
+from repro._activation import ActivationState
+from repro.errors import ReentrantActivationError, ReproError
+
+
+class TestActivationState:
+    def test_same_thread_nests(self):
+        state = ActivationState("test")
+        state.acquire()
+        state.acquire()
+        state.release()
+        state.release()
+        assert state.owner is None
+
+    def test_foreign_thread_raises(self):
+        state = ActivationState("test")
+        state.acquire()
+        caught = []
+
+        def attacker():
+            try:
+                state.acquire()
+            except ReentrantActivationError as exc:
+                caught.append(exc)
+
+        t = threading.Thread(target=attacker)
+        t.start()
+        t.join()
+        state.release()
+        assert len(caught) == 1
+        exc = caught[0]
+        assert exc.subsystem == "test"
+        assert exc.owner_thread != exc.thread
+        assert isinstance(exc, ReproError)
+
+    def test_release_after_exit_frees_ownership(self):
+        state = ActivationState("test")
+        state.acquire()
+        state.release()
+        results = []
+
+        def other():
+            state.acquire()
+            results.append(state.owner)
+            state.release()
+
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+        assert results  # the other thread acquired cleanly
+
+    def test_reset_clears_foreign_ownership(self):
+        # A forked worker inherits the parent's guard state; reset()
+        # must make the (new) process usable again.
+        state = ActivationState("test")
+        state.acquire()
+        state.reset()
+        assert state.owner is None
+        state.acquire()
+        state.release()
+
+
+def _assert_guarded(enter_scope, exc_type=ReentrantActivationError):
+    """Enter `scope` on the main thread, then prove a second thread's
+    activation raises instead of rebinding."""
+    caught = []
+
+    def attacker():
+        try:
+            with enter_scope():
+                pass  # pragma: no cover - must not get here
+        except ReentrantActivationError as exc:
+            caught.append(exc)
+
+    with enter_scope():
+        t = threading.Thread(target=attacker)
+        t.start()
+        t.join()
+    assert len(caught) == 1, "second-thread activation must raise"
+    # After the scopes unwind, activation works again on any thread.
+    with enter_scope():
+        pass
+    return caught[0]
+
+
+class TestSubsystemGuards:
+    def test_obs_collect(self):
+        from repro.obs.metrics import collect
+
+        exc = _assert_guarded(lambda: collect())
+        assert exc.subsystem == "obs.collector"
+
+    def test_governor_govern(self):
+        from repro.governor import ExecutionGovernor, govern
+
+        exc = _assert_guarded(lambda: govern(ExecutionGovernor()))
+        assert exc.subsystem == "governor"
+
+    def test_governor_shield_also_guarded(self):
+        """govern(None) — the nested-shield form — holds the same
+        single-owner discipline."""
+        from repro.governor import govern
+
+        exc = _assert_guarded(lambda: govern(None))
+        assert exc.subsystem == "governor"
+
+    def test_accsan_sanitize(self):
+        from repro.accsan import sanitize
+
+        exc = _assert_guarded(lambda: sanitize())
+        assert exc.subsystem == "accsan"
+
+    def test_fault_plan(self):
+        from repro.governor.faults import FaultPlan, inject_faults
+
+        exc = _assert_guarded(lambda: inject_faults(FaultPlan(seed=1)))
+        assert exc.subsystem == "governor.faults"
+
+    def test_same_thread_nesting_still_works(self):
+        from repro.obs.metrics import Collector, collect
+
+        outer, inner = Collector(), Collector()
+        with collect(outer):
+            with collect(inner):
+                inner_active = True
+            outer.count("after.nest")
+        assert inner_active
+        assert outer.counters["after.nest"] == 1
+
+    def test_error_message_names_the_remedy(self):
+        state = ActivationState("governor")
+        state.acquire()
+        try:
+            caught = []
+
+            def attacker():
+                try:
+                    state.acquire()
+                except ReentrantActivationError as exc:
+                    caught.append(str(exc))
+
+            t = threading.Thread(target=attacker)
+            t.start()
+            t.join()
+        finally:
+            state.release()
+        assert "worker process" in caught[0]
+
+    def test_guard_failure_does_not_corrupt_binding(self):
+        """A refused activation leaves the active scope untouched."""
+        from repro.obs import metrics
+
+        with metrics.collect() as col:
+            active_before = metrics._ACTIVE
+
+            def attacker():
+                with pytest.raises(ReentrantActivationError):
+                    with metrics.collect():
+                        pass  # pragma: no cover
+
+            t = threading.Thread(target=attacker)
+            t.start()
+            t.join()
+            assert metrics._ACTIVE is active_before
+            col.count("still.mine")
+        assert col.counters["still.mine"] == 1

@@ -153,3 +153,87 @@ class TestInjectedFault:
         err = InjectedFault("bang", site="while.iteration", hit=3)
         assert err.site == "while.iteration"
         assert err.hit == 3
+
+
+class TestWorkerCrashed:
+    def test_carries_worker_name(self):
+        from repro.errors import WorkerCrashed
+
+        err = WorkerCrashed("gone", worker="worker-3")
+        assert err.worker == "worker-3"
+        assert isinstance(err, ReproError)
+
+
+class TestReentrantActivationError:
+    def test_structured_fields(self):
+        from repro.errors import ReentrantActivationError
+
+        err = ReentrantActivationError("obs.collector", 111, 222)
+        assert err.subsystem == "obs.collector"
+        assert err.owner_thread == 111
+        assert err.thread == 222
+        assert "obs.collector" in str(err)
+        assert isinstance(err, ReproError)
+
+
+def _parse_exit_code_tables(text):
+    """Extract `| code | name | meaning |` rows from a markdown file."""
+    import re
+
+    rows = []
+    for line in text.splitlines():
+        match = re.match(r"^\|\s*(\d+)\s*\|\s*([\w-]+)\s*\|\s*(.+?)\s*\|$", line)
+        if match:
+            rows.append(
+                (int(match.group(1)), match.group(2), match.group(3))
+            )
+    return rows
+
+
+class TestExitCodeTaxonomy:
+    """Satellite: one exit-code table in repro.errors, consumed by the
+    CLI and pinned against the docs so neither can drift silently."""
+
+    def test_catalog_values(self):
+        from repro.errors import (
+            EXIT_ABORT,
+            EXIT_ACCSAN,
+            EXIT_OK,
+            EXIT_USAGE,
+            exit_code_catalog,
+        )
+
+        catalog = exit_code_catalog()
+        assert [code for code, _, _ in catalog] == [0, 1, 2, 3]
+        assert (EXIT_OK, EXIT_USAGE, EXIT_ABORT, EXIT_ACCSAN) == (0, 1, 2, 3)
+        names = {code: name for code, name, _ in catalog}
+        assert names == {
+            0: "ok",
+            1: "usage-or-lint",
+            2: "governor-abort",
+            3: "accsan-violation",
+        }
+
+    @pytest.mark.parametrize("doc", ["README.md", "docs/robustness.md"])
+    def test_docs_match_catalog(self, doc):
+        import pathlib
+
+        from repro.errors import exit_code_catalog
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        rows = _parse_exit_code_tables((root / doc).read_text())
+        # The docs table must be exactly the catalog — same codes, same
+        # names, same meanings.
+        assert rows == exit_code_catalog(), (
+            f"{doc} exit-code table drifted from repro.errors.EXIT_CODES"
+        )
+
+    def test_cli_uses_the_shared_constants(self):
+        """The CLI module carries no literal exit codes of its own."""
+        import pathlib
+        import re
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        source = (root / "src" / "repro" / "cli.py").read_text()
+        assert not re.search(r"return [0-9]\b", source)
+        assert not re.search(r"SystemExit\([0-9]\)", source)

@@ -1,0 +1,142 @@
+"""Admission control: budget classes, ceilings, shed outcomes."""
+
+import pytest
+
+from repro.governor.faults import FaultPlan, inject_faults
+from repro.server.admission import (
+    AdmissionController,
+    BudgetClass,
+    default_classes,
+)
+from repro.server.protocol import OutcomeKind, QueryRequest
+
+
+def _request(**kw):
+    defaults = dict(query_text="CREATE QUERY q() { PRINT 1; }")
+    defaults.update(kw)
+    return QueryRequest(**defaults)
+
+
+class TestBudgetClasses:
+    def test_default_classes_cover_three_tiers(self):
+        classes = default_classes()
+        assert set(classes) == {"interactive", "batch", "bounded"}
+        for name, cls in classes.items():
+            assert cls.name == name
+            assert cls.default_deadline <= cls.max_deadline
+
+    def test_effective_deadline_defaults_and_caps(self):
+        cls = BudgetClass("t", default_deadline=5.0, max_deadline=30.0)
+        assert cls.effective_deadline(None) == 5.0
+        assert cls.effective_deadline(0) == 5.0
+        assert cls.effective_deadline(12.0) == 12.0
+        assert cls.effective_deadline(300.0) == 30.0  # capped
+
+    def test_bounded_class_carries_budget_limits(self):
+        budget = default_classes()["bounded"].budget
+        assert budget["max_paths"] > 0
+        assert budget["max_accum_bytes"] > 0
+
+
+class TestAdmissionCeilings:
+    def test_admit_and_release_roundtrip(self):
+        ctrl = AdmissionController()
+        ticket, shed = ctrl.try_admit(_request())
+        assert shed is None
+        assert ctrl.queue_depth == 1
+        ctrl.note_dispatched(ticket)
+        assert (ctrl.queue_depth, ctrl.running) == (0, 1)
+        ctrl.release(ticket, dispatched=True)
+        assert (ctrl.queue_depth, ctrl.running) == (0, 0)
+
+    def test_unknown_class_raises_key_error(self):
+        ctrl = AdmissionController()
+        with pytest.raises(KeyError) as info:
+            ctrl.try_admit(_request(budget_class="platinum"))
+        assert "platinum" in str(info.value)
+        assert "interactive" in str(info.value)  # actionable message
+
+    def test_queue_depth_ceiling_sheds(self):
+        ctrl = AdmissionController(max_queue_depth=2, max_tenant_inflight=99)
+        tickets = [ctrl.try_admit(_request())[0] for _ in range(2)]
+        _, shed = ctrl.try_admit(_request())
+        assert shed is OutcomeKind.SHED_QUEUE_FULL
+        ctrl.release(tickets[0], dispatched=False)
+        ticket, shed = ctrl.try_admit(_request())
+        assert shed is None and ticket is not None
+
+    def test_class_concurrency_ceiling(self):
+        classes = {"small": BudgetClass("small", max_concurrent=1)}
+        ctrl = AdmissionController(classes=classes, max_queue_depth=99)
+        ticket, _ = ctrl.try_admit(_request(budget_class="small"))
+        _, shed = ctrl.try_admit(_request(budget_class="small"))
+        assert shed is OutcomeKind.SHED_CLASS_LIMIT
+        ctrl.release(ticket, dispatched=False)
+        _, shed = ctrl.try_admit(_request(budget_class="small"))
+        assert shed is None
+
+    def test_tenant_ceiling_isolates_tenants(self):
+        ctrl = AdmissionController(max_queue_depth=99, max_tenant_inflight=1)
+        ctrl.try_admit(_request(tenant="alice"))
+        _, shed = ctrl.try_admit(_request(tenant="alice"))
+        assert shed is OutcomeKind.SHED_TENANT_LIMIT
+        # A different tenant is unaffected by alice's saturation.
+        _, shed = ctrl.try_admit(_request(tenant="bob"))
+        assert shed is None
+
+    def test_draining_sheds_everything(self):
+        ctrl = AdmissionController()
+        _, shed = ctrl.try_admit(_request(), draining=True)
+        assert shed is OutcomeKind.SHED_DRAINING
+
+    def test_deadline_comes_from_class(self):
+        ctrl = AdmissionController(clock=lambda: 100.0)
+        ticket, _ = ctrl.try_admit(_request(budget_class="bounded"))
+        assert ticket.deadline_seconds == 2.0  # bounded default
+        assert ticket.remaining(100.5) == pytest.approx(1.5)
+
+    def test_requested_deadline_capped_by_class(self):
+        ctrl = AdmissionController()
+        ticket, _ = ctrl.try_admit(_request(deadline_seconds=9999.0))
+        assert ticket.deadline_seconds == 30.0  # interactive max
+
+
+class TestAdmissionFaultSite:
+    def test_armed_site_forces_queue_full(self):
+        ctrl = AdmissionController(max_queue_depth=99)
+        plan = FaultPlan(seed=5)
+        plan.inject("server.admission", at=0)
+        with inject_faults(plan):
+            _, shed = ctrl.try_admit(_request())
+            assert shed is OutcomeKind.SHED_QUEUE_FULL
+            # Only the armed hit sheds; the counters were untouched.
+            ticket, shed = ctrl.try_admit(_request())
+            assert shed is None and ticket is not None
+        assert plan.fired[0].site == "server.admission"
+
+    def test_forced_shed_leaves_no_slot_leak(self):
+        ctrl = AdmissionController()
+        plan = FaultPlan(seed=5)
+        plan.inject("server.admission", at=0)
+        with inject_faults(plan):
+            ctrl.try_admit(_request())
+        assert ctrl.inflight == 0
+
+
+class TestSnapshot:
+    def test_gauges_reflect_state(self):
+        ctrl = AdmissionController(max_queue_depth=4)
+        t1, _ = ctrl.try_admit(_request(tenant="alice"))
+        t2, _ = ctrl.try_admit(_request(tenant="bob", budget_class="batch"))
+        ctrl.note_dispatched(t2)
+        snap = ctrl.snapshot()
+        assert snap["queue_depth"] == 1
+        assert snap["running"] == 1
+        assert snap["peak_queue_depth"] == 2
+        assert snap["class_inflight"] == {"batch": 1, "interactive": 1}
+        assert snap["tenant_inflight"] == {"alice": 1, "bob": 1}
+        assert snap["limits"]["max_queue_depth"] == 4
+        ctrl.release(t1, dispatched=False)
+        ctrl.release(t2, dispatched=True)
+        snap = ctrl.snapshot()
+        assert snap["class_inflight"] == {}  # zero entries elided

@@ -1,0 +1,150 @@
+"""Retry/backoff policy: determinism, bounds, and the retry matrix."""
+
+import pytest
+
+from repro.governor.budget import AbortReason
+from repro.server.protocol import (
+    HTTP_STATUS,
+    OutcomeKind,
+    RETRYABLE_ABORT_REASONS,
+    RETRYABLE_OUTCOMES,
+    is_retryable,
+)
+from repro.server.retry import RetryPolicy
+
+
+class TestJitterDeterminism:
+    def test_same_inputs_same_delay(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        for attempt in range(1, 4):
+            assert a.delay("req-1", attempt) == b.delay("req-1", attempt)
+
+    def test_different_requests_desynchronize(self):
+        policy = RetryPolicy(seed=7)
+        delays = {policy.delay(f"req-{i}", 1) for i in range(16)}
+        # 16 requests should not collapse onto a handful of schedules.
+        assert len(delays) >= 12
+
+    def test_different_seeds_differ(self):
+        assert RetryPolicy(seed=1).delay("r", 1) != RetryPolicy(seed=2).delay(
+            "r", 1
+        )
+
+    def test_schedule_is_stable(self):
+        policy = RetryPolicy(max_attempts=4, seed=3)
+        assert policy.schedule("req-9") == policy.schedule("req-9")
+        assert len(policy.schedule("req-9")) == 3  # one per possible retry
+
+
+class TestBackoffBounds:
+    def test_delay_within_jitter_envelope(self):
+        policy = RetryPolicy(
+            max_attempts=8,
+            base_delay=0.05,
+            multiplier=2.0,
+            max_delay=1.0,
+            jitter=0.5,
+            seed=11,
+        )
+        for attempt in range(1, 8):
+            raw = min(0.05 * 2 ** (attempt - 1), 1.0)
+            delay = policy.delay("bounded", attempt)
+            assert raw * 0.5 <= delay <= raw * 1.5
+
+    def test_exponential_growth_until_cap(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=0.01, multiplier=2.0,
+            max_delay=0.08, jitter=0.0,
+        )
+        assert policy.delay("r", 1) == 0.01
+        assert policy.delay("r", 2) == 0.02
+        assert policy.delay("r", 3) == 0.04
+        assert policy.delay("r", 4) == 0.08
+        assert policy.delay("r", 5) == 0.08  # capped
+
+    def test_retry_after_ms_at_least_one(self):
+        policy = RetryPolicy(base_delay=0.0001, jitter=0.0)
+        assert policy.retry_after_ms("r", 1) >= 1
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestRetryMatrix:
+    def test_transient_outcomes_retryable(self):
+        for kind in (
+            OutcomeKind.WORKER_CRASHED,
+            OutcomeKind.STRAGGLER,
+            OutcomeKind.DEADLINE_AT_DISPATCH,
+            OutcomeKind.SHED_QUEUE_FULL,
+            OutcomeKind.SHED_DRAINING,
+        ):
+            assert is_retryable(kind), kind
+
+    def test_deterministic_outcomes_never_retryable(self):
+        for kind in (
+            OutcomeKind.OK,
+            OutcomeKind.LINT_ERROR,
+            OutcomeKind.RUNTIME_ERROR,
+            OutcomeKind.PARALLEL_SAFETY,  # E040-class refusal
+            OutcomeKind.SANITIZER,
+            OutcomeKind.BAD_REQUEST,
+            OutcomeKind.INTERNAL,
+        ):
+            assert not is_retryable(kind), kind
+
+    def test_abort_reasons_split_by_transience(self):
+        # Deadline and injected-fault aborts are load/chaos artifacts;
+        # every resource-limit breach is deterministic for a fixed
+        # budget and must not be retried.
+        assert is_retryable(OutcomeKind.ABORTED, AbortReason.DEADLINE.value)
+        assert is_retryable(OutcomeKind.ABORTED, AbortReason.FAULT.value)
+        for reason in AbortReason:
+            if reason.value in RETRYABLE_ABORT_REASONS:
+                continue
+            assert not is_retryable(OutcomeKind.ABORTED, reason.value), reason
+
+    def test_aborted_without_reason_not_retryable(self):
+        assert not is_retryable(OutcomeKind.ABORTED, None)
+
+    def test_every_outcome_has_http_status(self):
+        assert set(HTTP_STATUS) == set(OutcomeKind)
+
+    def test_retryable_set_is_subset_of_taxonomy(self):
+        assert RETRYABLE_OUTCOMES <= set(OutcomeKind)
+
+
+class TestAttemptCap:
+    def test_cap_holds_for_retryable_outcome(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(OutcomeKind.WORKER_CRASHED, 1)
+        assert policy.should_retry(OutcomeKind.WORKER_CRASHED, 2)
+        assert not policy.should_retry(OutcomeKind.WORKER_CRASHED, 3)
+        assert not policy.should_retry(OutcomeKind.WORKER_CRASHED, 4)
+
+    def test_cap_of_one_disables_retry(self):
+        policy = RetryPolicy(max_attempts=1)
+        assert not policy.should_retry(OutcomeKind.WORKER_CRASHED, 1)
+
+    def test_non_retryable_refused_below_cap(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert not policy.should_retry(OutcomeKind.SANITIZER, 1)
+        assert not policy.should_retry(OutcomeKind.PARALLEL_SAFETY, 1)
+        assert not policy.should_retry(
+            OutcomeKind.ABORTED, 1, AbortReason.PATHS.value
+        )
+
+    def test_deadline_abort_retryable_below_cap_only(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.should_retry(
+            OutcomeKind.ABORTED, 1, AbortReason.DEADLINE.value
+        )
+        assert not policy.should_retry(
+            OutcomeKind.ABORTED, 2, AbortReason.DEADLINE.value
+        )
