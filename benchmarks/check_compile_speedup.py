@@ -1,0 +1,358 @@
+#!/usr/bin/env python
+"""Guard the compiled execution path: speedup, equivalence, cache contract.
+
+The plan cache + closure-compiled hot paths (docs/compilation.md) exist
+to make *repeat* executions of the same query text cheap: a warm cache
+hit skips parse, analysis and lowering entirely and runs specialized
+closures.  This script pins the three promises that make the compiled
+tier trustworthy:
+
+1. **Speedup** — on each repeat-execution workload the compiled path
+   (warm plan-cache hit + run) must beat the interpreted path (parse +
+   analyze + run, what a compile-disabled server worker does per
+   request) by at least the ``min_speedup`` factor committed in
+   ``benchmarks/compile_baseline.json``.  Timings are interleaved and
+   compared by median, so scheduler noise hits both paths equally.
+
+2. **Equivalence** — over the corpus (the example queries plus the SNB
+   IC family) the compiled plan's results must be *identical* to the
+   interpreter's, compared through the server's ``jsonify`` shaping.
+
+3. **Cache contract** — a warm hit must charge ``compile.cache.hit``
+   and must NOT re-enter the analysis layer: no ``analysis.*`` counter
+   (in particular ``analysis.model_builds``) may appear during a warm
+   execution, and no ``compile.*`` lowering counters may recur.
+
+The baseline pins the *contract* (threshold, workload names, corpus,
+counter surface), never machine-dependent timings — refresh it with
+``--write-baseline`` after a deliberate change.
+
+Exit status 0 = all three guards pass, 1 = any failure.
+
+Usage:  python benchmarks/check_compile_speedup.py [--reps 20]
+        [--scale 0.05] [--profile-output qn20-compiled-profile.json]
+        [--write-baseline]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import analyze
+from repro.compile import PlanCache
+from repro.core.pattern import EngineMode
+from repro.graph import builders
+from repro.gsql import parse_query
+from repro.ldbc import IC_QUERIES, default_parameters, generate_snb_graph
+from repro.obs.metrics import Collector, collect
+from repro.server.protocol import jsonify
+
+BASELINE = Path(__file__).resolve().parent / "compile_baseline.json"
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+QN = """
+CREATE QUERY Qn(string srcName, string tgtName) {
+  SumAccum<int> @pathCount;
+  R = SELECT t
+      FROM V:s -(E>*)- V:t
+      WHERE s.name == srcName AND t.name == tgtName
+      ACCUM t.@pathCount += 1;
+  PRINT R[R.name, R.@pathCount];
+}
+"""
+
+#: IC queries included in the speedup + equivalence sweeps.
+IC_NAMES = ("ic3", "ic5", "ic6", "ic9", "ic11")
+
+
+def canonical(result):
+    """A comparable JSON shape for one QueryResult (order preserved)."""
+    return {
+        "printed": jsonify(result.printed),
+        "tables": {k: jsonify(v) for k, v in sorted(result.tables.items())},
+        "returned": jsonify(result.returned),
+    }
+
+
+def build_workloads(scale):
+    """(name, source, graph, params, mode) per repeat-execution workload."""
+    qn_graph = builders.diamond_chain(20)
+    snb = generate_snb_graph(scale_factor=scale, seed=42)
+    ic6 = IC_QUERIES["ic6"](2)
+    return [
+        (
+            "qn20",
+            QN,
+            qn_graph,
+            {"srcName": "v0", "tgtName": "v20"},
+            EngineMode.counting(),
+        ),
+        (
+            "snb_ic6_h2",
+            ic6.source,
+            snb,
+            default_parameters(snb, "ic6"),
+            EngineMode.counting(),
+        ),
+    ], snb
+
+
+def measure_speedup(name, source, graph, params, mode, reps):
+    """Median per-repeat time: interpreted (parse+analyze+run) vs
+    compiled (warm plan-cache hit + run).  Returns (interp, compiled,
+    canonical-equal)."""
+    cache = PlanCache()
+    schema = getattr(graph, "schema", None)
+
+    def interpreted():
+        query = parse_query(source)
+        errors = [
+            d for d in analyze(query, schema=None, source=source) if d.is_error
+        ]
+        assert not errors, errors
+        return query.run(graph, mode=mode, **params)
+
+    def compiled():
+        plan = cache.get_or_compile(source, schema=schema)
+        return plan.run(graph, mode=mode, **params)
+
+    # Warm both paths (parser tables, the plan cache, graph indexes).
+    r_interp = interpreted()
+    r_comp = compiled()
+    equal = canonical(r_interp) == canonical(r_comp)
+
+    interp_times, comp_times = [], []
+    for _ in range(reps):
+        start = time.perf_counter()
+        interpreted()
+        interp_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        compiled()
+        comp_times.append(time.perf_counter() - start)
+    return statistics.median(interp_times), statistics.median(comp_times), equal
+
+
+def check_cache_contract(source, graph, params, mode):
+    """Warm-hit counters: compile.cache.hit charged, analysis.* absent.
+    Returns a list of failure strings (empty = contract holds)."""
+    cache = PlanCache()
+    schema = getattr(graph, "schema", None)
+    plan = cache.get_or_compile(source, schema=schema)
+    plan.run(graph, mode=mode, **params)
+
+    col = Collector()
+    with collect(col):
+        warm = cache.get_or_compile(source, schema=schema)
+        warm.run(graph, mode=mode, **params)
+    counters = dict(col.counters)
+
+    failures = []
+    if counters.get("compile.cache.hit", 0) < 1:
+        failures.append(f"warm lookup did not charge compile.cache.hit: {counters}")
+    if warm is not plan or warm.cache_status != "hit":
+        failures.append(
+            f"warm lookup returned a different plan (status={warm.cache_status})"
+        )
+    for bad_prefix in ("analysis.", "compile.blocks", "compile.exprs"):
+        hit = [k for k in counters if k.startswith(bad_prefix)]
+        if hit:
+            failures.append(
+                f"warm execution re-entered {bad_prefix}* ({hit}) — the "
+                "cache hit should skip parse/analyze/lowering entirely"
+            )
+    return failures
+
+
+def equivalence_corpus(snb, scale):
+    """(name, source, graph, params, mode) for every corpus entry."""
+    diamond8 = builders.diamond_chain(8)
+    diamond4 = builders.diamond_chain(4)
+    entries = [
+        (
+            "examples/qn_diamond.gsql[counting]",
+            (EXAMPLES / "qn_diamond.gsql").read_text(),
+            diamond8,
+            {"srcName": "v0", "tgtName": "v8"},
+            EngineMode.counting(),
+        ),
+        (
+            "examples/qn_diamond.gsql[auto]",
+            (EXAMPLES / "qn_diamond.gsql").read_text(),
+            diamond8,
+            {"srcName": "v0", "tgtName": "v8"},
+            EngineMode.auto(),
+        ),
+        (
+            "examples/order_dependent_trace.gsql",
+            (EXAMPLES / "order_dependent_trace.gsql").read_text(),
+            diamond4,
+            {},
+            EngineMode.counting(),
+        ),
+    ]
+    for name in IC_NAMES:
+        for hops in (2, 3):
+            query = IC_QUERIES[name](hops)
+            entries.append((
+                f"snb/{name}[h={hops}]",
+                query.source,
+                snb,
+                default_parameters(snb, name),
+                EngineMode.counting(),
+            ))
+    return entries
+
+
+def check_equivalence(entries):
+    """Interpreter-vs-compiled result identity; failure strings."""
+    failures = []
+    for name, source, graph, params, mode in entries:
+        query = parse_query(source)
+        interp = canonical(query.run(graph, mode=mode, **params))
+        cache = PlanCache()
+        plan = cache.get_or_compile(
+            source, schema=getattr(graph, "schema", None)
+        )
+        comp = canonical(plan.run(graph, mode=mode, **params))
+        if interp != comp:
+            failures.append(f"{name}: compiled result diverged from interpreter")
+    return failures
+
+
+def write_profile(path, graph, params):
+    """The qn20 compiled-profile artifact CI uploads."""
+    from repro.obs import profile_query
+
+    cache = PlanCache()
+    plan = cache.get_or_compile(QN, schema=getattr(graph, "schema", None))
+    plan.run(graph, mode=EngineMode.counting(), **params)  # warm
+    plan = cache.get_or_compile(QN, schema=getattr(graph, "schema", None))
+    report = profile_query(plan, graph, mode=EngineMode.counting(), **params)
+    doc = report.to_dict()
+    doc["compile_report"] = plan.report()
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def current_surface(min_speedup, scale):
+    return {
+        "min_speedup": min_speedup,
+        "workloads": ["qn20", "snb_ic6_h2"],
+        "snb_scale": scale,
+        "corpus": [
+            "examples/qn_diamond.gsql[counting]",
+            "examples/qn_diamond.gsql[auto]",
+            "examples/order_dependent_trace.gsql",
+        ] + [f"snb/{n}[h={h}]" for n in IC_NAMES for h in (2, 3)],
+        "cache_contract": {
+            "required_counters": ["compile.cache.hit"],
+            "forbidden_prefixes": [
+                "analysis.", "compile.blocks", "compile.exprs",
+            ],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=20)
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="SNB scale factor for the IC workloads",
+    )
+    parser.add_argument(
+        "--profile-output", default=None, metavar="PATH",
+        help="write the warm-cache compiled profile of qn20 to PATH",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the committed baseline from this configuration",
+    )
+    args = parser.parse_args(argv)
+
+    if args.write_baseline:
+        surface = current_surface(min_speedup=1.3, scale=args.scale)
+        BASELINE.write_text(json.dumps(surface, indent=2) + "\n")
+        print(f"wrote compile baseline to {BASELINE}")
+        return 0
+
+    baseline = json.loads(BASELINE.read_text())
+    min_speedup = baseline["min_speedup"]
+    failures = []
+
+    # --- surface: the contract itself must match the baseline -----------
+    surface = current_surface(min_speedup=min_speedup, scale=baseline["snb_scale"])
+    for key in ("workloads", "corpus", "cache_contract"):
+        if surface[key] != baseline.get(key):
+            failures.append(
+                f"BASELINE MISMATCH {key}:\n  current  {surface[key]}\n"
+                f"  baseline {baseline.get(key)}"
+            )
+
+    workloads, snb = build_workloads(baseline["snb_scale"])
+
+    # --- speedup + per-workload equivalence ------------------------------
+    for name, source, graph, params, mode in workloads:
+        med_i, med_c, equal = measure_speedup(
+            name, source, graph, params, mode, args.reps
+        )
+        speedup = med_i / med_c if med_c else float("inf")
+        print(
+            f"{name:12s} interpreted {med_i * 1000:8.2f} ms/run   "
+            f"compiled {med_c * 1000:8.2f} ms/run   "
+            f"speedup {speedup:5.2f}x (floor {min_speedup:.1f}x, "
+            f"median of {args.reps})"
+        )
+        if not equal:
+            failures.append(f"{name}: compiled result diverged from interpreter")
+        if speedup < min_speedup:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x below the "
+                f"{min_speedup:.1f}x floor"
+            )
+
+    # --- warm-hit cache contract ----------------------------------------
+    name, source, graph, params, mode = workloads[0]
+    contract_failures = check_cache_contract(source, graph, params, mode)
+    failures.extend(contract_failures)
+    print(
+        "cache contract: warm hit charges compile.cache.hit, "
+        "no analysis.*/lowering re-entry"
+        + ("" if not contract_failures else "  [FAILED]")
+    )
+
+    # --- corpus equivalence ---------------------------------------------
+    entries = equivalence_corpus(snb, baseline["snb_scale"])
+    eq_failures = check_equivalence(entries)
+    failures.extend(eq_failures)
+    print(
+        f"equivalence    : {len(entries) - len(eq_failures)}/{len(entries)} "
+        "corpus entries identical interpreter-vs-compiled"
+    )
+
+    if args.profile_output:
+        write_profile(
+            args.profile_output,
+            workloads[0][2],
+            workloads[0][3],
+        )
+        print(f"wrote compiled qn20 profile to {args.profile_output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        print(f"{len(failures)} compile guard failure(s)", file=sys.stderr)
+        return 1
+    print(
+        f"OK: both workloads >= {min_speedup:.1f}x, cache contract holds, "
+        "corpus identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

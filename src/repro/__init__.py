@@ -14,12 +14,15 @@ Graph Analytics in TigerGraph* (Deutsch, Xu, Wu, Lee — SIGMOD 2020):
 * an LDBC-SNB-like workload substrate (:mod:`repro.ldbc`);
 * graph algorithms written in GSQL (:mod:`repro.algorithms`);
 * an execution governor with budgets, cancellation and deterministic
-  fault injection (:mod:`repro.governor`).
+  fault injection (:mod:`repro.governor`);
+* compiled execution: closure-lowered plans behind an LRU plan cache
+  (:mod:`repro.compile`).
 """
 
 __version__ = "1.0.0"
 
-from . import accum, algorithms, bench, core, darpe, enumeration, governor, graph, gsql, ldbc, paths, sqlstyle
+from . import accum, algorithms, bench, compile, core, darpe, enumeration, governor, graph, gsql, ldbc, paths, sqlstyle
+from .compile import CompiledQuery, compile_query, compile_query_text, plan_cache
 from .errors import (
     AccumulatorError,
     DarpeSyntaxError,
@@ -42,6 +45,11 @@ __all__ = [
     "accum",
     "algorithms",
     "bench",
+    "compile",
+    "CompiledQuery",
+    "compile_query",
+    "compile_query_text",
+    "plan_cache",
     "core",
     "darpe",
     "enumeration",

@@ -735,6 +735,13 @@ def cached_model(query: Query, schema=None) -> QueryModel:
     cache = getattr(query, "_analysis_cache", None)
     if cache is not None and cache[0] is schema:
         return cache[1]
+    from ..obs import metrics as _obs
+
+    if _obs._ACTIVE is not None:
+        # The plan-cache acceptance contract reads this: a warm cache
+        # hit must execute with zero analysis re-entry, i.e. this
+        # counter stays absent from the request's counter snapshot.
+        _obs._ACTIVE.count("analysis.model_builds")
     model = build_model(query, schema)
     try:
         query._analysis_cache = (schema, model)

@@ -2,9 +2,9 @@
 
 Subcommands::
 
-    python -m repro run QUERY.gsql --graph graph.json [--param k=5] [--sanitize] ...
-    python -m repro explain QUERY.gsql
-    python -m repro profile QUERY.gsql --graph graph.json [--format json]
+    python -m repro run QUERY.gsql --graph graph.json [--param k=5] [--no-compile] ...
+    python -m repro explain QUERY.gsql [--no-compile]
+    python -m repro profile QUERY.gsql --graph graph.json [--format json] [--no-compile]
     python -m repro lint PATH... [--graph graph.json] [--format json]
     python -m repro check PATH... [--graph graph.json] [--format json] [--dot cfg.dot] [--effects]
     python -m repro generate-snb out.json --scale 0.5 --seed 42
@@ -13,13 +13,19 @@ Subcommands::
 
 ``run`` executes a ``CREATE QUERY`` file against a JSON graph (see
 ``repro.graph.io``), prints PRINT output and result tables, and can
-switch engines with ``--engine counting|nre|nrv|asp-enum``.
+switch engines with ``--engine counting|nre|nrv|asp-enum``.  By default
+the query goes through :mod:`repro.compile` — the process-wide plan
+cache plus closure-compiled execution — which is result-identical to
+the interpreter; ``--no-compile`` is the escape hatch back to the
+interpreted path.
 
 ``profile`` is EXPLAIN ANALYZE: it runs the query under the
 :mod:`repro.obs` collector and renders the span tree (per-block,
 per-hop timings with binding-table rows/multiplicity) plus the engine
 counter table, as text or JSON (``--output`` also writes the JSON trace
-to a file for offline analysis).
+to a file for offline analysis).  The report's ``execution`` line/field
+says whether the compiled or interpreted path ran and whether the plan
+cache hit.
 
 ``lint`` runs the :mod:`repro.analysis` rule set over ``.gsql`` files,
 Python files embedding GSQL in triple-quoted strings, or directories of
@@ -105,6 +111,33 @@ def _load_query(path: str):
     return parse_query(_read_source(path))
 
 
+def _load_runnable(path: str, graph: Any, no_compile: bool, fresh: bool = False):
+    """The runnable for ``run``/``profile``: the interpreted query under
+    ``--no-compile``, else the compiled plan from the process-wide plan
+    cache (a cold CLI process always misses; ``repro serve`` is where
+    the cache pays off across requests).  The miss path lowers the
+    query object :func:`_load_query` returns, so anything stamped on it
+    (certificates, test fixtures) reaches the compiled plan.
+
+    ``fresh=True`` skips the cache lookup (the new plan still replaces
+    the cached entry): sanitized runs cross-examine the certificates
+    stamped on *this* invocation's parsed query, so they must never
+    reuse a plan carrying another invocation's stamps."""
+    if no_compile:
+        return _load_query(path)
+    from .compile import compile_query, plan_cache
+
+    text = _read_source(path)
+    schema = getattr(graph, "schema", None)
+    cache = plan_cache()
+    plan = None if fresh else cache.lookup(text, schema=schema)
+    if plan is None:
+        plan = compile_query(_load_query(path), schema=schema)
+        plan.cache_status = "miss"
+        cache.insert(text, plan, schema=schema)
+    return plan
+
+
 def _print_value(value: Any) -> str:
     if isinstance(value, Table):
         lines = ["  " + " | ".join(value.columns)]
@@ -149,7 +182,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     from .governor import govern
 
     graph = load_graph_json(args.graph)
-    query = _load_query(args.query_file)
+    query = _load_runnable(
+        args.query_file, graph, args.no_compile, fresh=args.sanitize
+    )
     mode = _ENGINES[args.engine]()
     params = dict(args.param or [])
     governor = _build_governor(args)
@@ -189,6 +224,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_explain(args: argparse.Namespace) -> int:
     query = _load_query(args.query_file)
     print(explain_query(query))
+    if not args.no_compile:
+        from .compile import compile_query
+
+        print()
+        print(compile_query(query).describe())
     issues = validate_query(query)
     if issues:
         print("\nvalidation issues:")
@@ -202,7 +242,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from .obs import profile_query
 
     graph = load_graph_json(args.graph)
-    query = _load_query(args.query_file)
+    query = _load_runnable(args.query_file, graph, args.no_compile)
     mode = _ENGINES[args.engine]()
     params = dict(args.param or [])
     governor = _build_governor(args)
@@ -551,6 +591,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             retry=RetryPolicy(
                 max_attempts=args.max_attempts, seed=args.retry_seed
             ),
+            compile_enabled=not args.no_compile,
         )
     except (OSError, ValueError) as exc:
         print(f"serve: {exc}", file=sys.stderr)
@@ -591,6 +632,9 @@ def cmd_semantics(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_no_compile_flag(p: argparse.ArgumentParser, help_text: str) -> None:
+        p.add_argument("--no-compile", action="store_true", help=help_text)
 
     def add_governor_flags(p: argparse.ArgumentParser) -> None:
         gov = p.add_argument_group(
@@ -640,11 +684,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize-schedules", type=int, default=8, metavar="K",
         help="number of permuted schedules per Reduce phase (default 8)",
     )
+    add_no_compile_flag(
+        run_p,
+        "execute through the interpreter instead of the plan cache + "
+        "compiled path (result-identical; see docs/compilation.md)",
+    )
     add_governor_flags(run_p)
     run_p.set_defaults(fn=cmd_run)
 
     explain_p = sub.add_parser("explain", help="print a query's evaluation plan")
     explain_p.add_argument("query_file")
+    add_no_compile_flag(
+        explain_p, "omit the COMPILED plan summary from the output"
+    )
     explain_p.set_defaults(fn=cmd_explain)
 
     profile_p = sub.add_parser(
@@ -662,6 +714,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile_p.add_argument(
         "--output", default=None, metavar="PATH",
         help="also write the JSON trace to PATH",
+    )
+    add_no_compile_flag(
+        profile_p,
+        "profile the interpreted path instead of the compiled one "
+        "(the report's execution field says which ran)",
     )
     add_governor_flags(profile_p)
     profile_p.set_defaults(fn=cmd_profile)
@@ -743,6 +800,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_p.add_argument(
         "--retry-seed", type=int, default=0, help="jitter determinism seed"
+    )
+    add_no_compile_flag(
+        serve_p,
+        "disable the worker-side plan cache + compiled execution for "
+        "every request (requests cannot re-enable it)",
     )
     serve_p.set_defaults(fn=cmd_serve)
 

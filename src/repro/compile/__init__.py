@@ -1,0 +1,46 @@
+"""Compiled execution: closure-compiled plans behind an LRU plan cache.
+
+The lowering pass (:mod:`repro.compile.lowering`) turns an analyzed
+:class:`~repro.core.query.Query` into a :class:`CompiledQuery` of
+specialized closures — compiled expressions, fused ACCUM map kernels
+with pre-resolved combines, compile-time filter pushdown, and a baked
+``EngineMode.auto()`` tier — semantically identical to the interpreter
+and instrumented through the same obs/governor/AccSan checkpoints.
+The plan cache (:mod:`repro.compile.cache`) makes repeat executions of
+the same text skip parse/analyze/lowering entirely.
+
+See ``docs/compilation.md`` for the pipeline, cache keying rules, the
+kernel catalog, and the benchmark-enforced speedup contract.
+"""
+
+from .cache import (
+    DEFAULT_CAPACITY,
+    PlanCache,
+    compile_query_text,
+    plan_cache,
+    reset_plan_cache,
+)
+from .exprc import CompiledExpr, CompileStats, compile_expr
+from .lowering import (
+    CompiledBlock,
+    CompiledInputBuffer,
+    CompiledQuery,
+    compile_block,
+    compile_query,
+)
+
+__all__ = [
+    "CompileStats",
+    "CompiledBlock",
+    "CompiledExpr",
+    "CompiledInputBuffer",
+    "CompiledQuery",
+    "DEFAULT_CAPACITY",
+    "PlanCache",
+    "compile_block",
+    "compile_expr",
+    "compile_query",
+    "compile_query_text",
+    "plan_cache",
+    "reset_plan_cache",
+]

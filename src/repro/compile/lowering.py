@@ -1,0 +1,916 @@
+"""Lowering: analyzed queries to specialized executable form.
+
+:func:`compile_query` turns a parsed (and certificate-stamped) ``Query``
+into a :class:`CompiledQuery`: a parallel statement tree in which
+
+* every expression is a :class:`~repro.compile.exprc.CompiledExpr`
+  closure (constant subtrees folded at compile time);
+* every SELECT block is a :class:`CompiledBlock` that precomputes, once,
+  what the interpreter recomputes per execution — the filter-pushdown
+  split, the primed-snapshot name set, the POST_ACCUM per-statement
+  dependency lists, and a **fused ACCUM map kernel**: a two-stage
+  closure (``bind(ctx, buffer) -> row_fn(env, μ)``) whose bind stage
+  resolves accumulator instances and buffer methods once per block
+  execution instead of once per row;
+* a conclusive tractability certificate bakes the ``EngineMode.auto()``
+  resolution into the plan (the planner's *compiled tier* — see
+  :func:`repro.core.planner.compile_time_engine`), leaving only
+  UNKNOWN-certificate blocks to the runtime probe.
+
+The lowered form is **behavior-identical** to the interpreter and runs
+through the same obs / governor / AccSan / fault-injection checkpoints
+in the same order — ``CompiledBlock._execute`` mirrors
+``SelectBlock._execute`` span for span and counter for counter (the
+only intentional deltas are listed in ``docs/compilation.md``).  The
+original ``Query`` object is left untouched and remains the target of
+static analysis; the lowered clone never aliases mutable clause lists
+with it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .. import accsan as _accsan
+from ..accum.algebra import classify
+from ..core.block import OutputColumn, OutputFragment, SelectBlock
+from ..core.context import QueryContext
+from ..core.exprs import EvalEnv, Expr, primed_accum_names
+from ..core.pattern import EngineMode, evaluate_pattern
+from ..core.planner import and_all, compile_time_engine, push_down_filters, select_engine
+from ..core.query import (
+    DeclareAccum,
+    Foreach,
+    GlobalAccumUpdate,
+    If,
+    Print,
+    PrintItem,
+    PrintSetProjection,
+    Query,
+    Return,
+    RunBlock,
+    SetAssign,
+    Statement,
+    While,
+)
+from ..core.stmts import (
+    AccStatement,
+    AccumForeach,
+    AccumIf,
+    AccumTarget,
+    AccumUpdate,
+    AttributeUpdate,
+    InputBuffer,
+    LocalAssign,
+    _distinct_projections,
+    _run_accum_statements,
+    _run_post_statement,
+    collect_primed_names,
+)
+from ..errors import QueryRuntimeError
+from ..governor import faults as _faults
+from ..governor import governor as _gov
+from ..graph.elements import Vertex
+from ..obs import metrics as _obs
+from .exprc import CompileStats, compile_closure, compile_expr
+
+
+class CompiledInputBuffer(InputBuffer):
+    """An :class:`InputBuffer` whose Reduce phase pre-resolves combines.
+
+    The interpreter's flush looks ``combine_weighted`` up on every
+    buffered input; here the bound method is fetched once per run of
+    consecutive inputs to the same accumulator instance (the dominant
+    shape: one global accumulator, or per-vertex inputs grouped by row
+    order).  Counters and ordering are identical to the parent.
+    """
+
+    def flush(self) -> None:
+        col = _obs._ACTIVE
+        if col is not None and (self._sets or self._adds):
+            col.count("accum.assigns", len(self._sets))
+            col.count("accum.combine_weighted", len(self._adds))
+        for acc, value in self._sets:
+            acc.assign(value)
+        last_acc = None
+        combine = None
+        for acc, value, multiplicity in self._adds:
+            if acc is not last_acc:
+                combine = acc.combine_weighted
+                last_acc = acc
+            combine(value, multiplicity)
+        self._adds.clear()
+        self._sets.clear()
+
+
+# ----------------------------------------------------------------------
+# ACCUM map kernel
+# ----------------------------------------------------------------------
+# A kernel is built in two stages so per-execution state binds exactly
+# once: ``compile_accum_clause`` runs at compile time and returns a
+# *binder*; the block calls ``binder(ctx, buffer)`` once per execution,
+# which resolves accumulator instances / family factories / buffer
+# methods and returns the per-row function ``run(env, μ)``.
+
+_Binder = Callable[[QueryContext, InputBuffer], Callable[[EvalEnv, int], None]]
+
+
+def compile_accum_clause(
+    statements: List[AccStatement],
+    decl_types: Dict[str, Any],
+    stats: CompileStats,
+) -> Optional[_Binder]:
+    if not statements:
+        return None
+    binders = [_compile_acc_statement(s, decl_types, stats) for s in statements]
+    stats.kernels += 1
+
+    def bind(ctx: QueryContext, buffer: InputBuffer):
+        runs = [b(ctx, buffer) for b in binders]
+        if len(runs) == 1:
+            single = runs[0]
+
+            def run_all(env: EvalEnv, multiplicity: int) -> None:
+                env.locals.clear()
+                single(env, multiplicity)
+
+            return run_all
+
+        def run_all(env: EvalEnv, multiplicity: int) -> None:
+            env.locals.clear()
+            for run in runs:
+                run(env, multiplicity)
+
+        return run_all
+
+    return bind
+
+
+def _compile_acc_statement(
+    stmt: AccStatement, decl_types: Dict[str, Any], stats: CompileStats
+) -> _Binder:
+    if isinstance(stmt, LocalAssign):
+        name = stmt.name
+        value_fn, _ = compile_closure(stmt.expr, stats)
+
+        def bind_local(ctx, buffer):
+            def run(env: EvalEnv, multiplicity: int) -> None:
+                env.locals[name] = value_fn(env)
+
+            return run
+
+        return bind_local
+    if isinstance(stmt, AccumUpdate):
+        return _compile_accum_update(stmt, decl_types, stats)
+    if isinstance(stmt, AccumIf):
+        cond_fn, _ = compile_closure(stmt.cond, stats)
+        then_binders = [
+            _compile_acc_statement(s, decl_types, stats) for s in stmt.then
+        ]
+        else_binders = [
+            _compile_acc_statement(s, decl_types, stats) for s in stmt.otherwise
+        ]
+
+        def bind_if(ctx, buffer):
+            then_runs = [b(ctx, buffer) for b in then_binders]
+            else_runs = [b(ctx, buffer) for b in else_binders]
+
+            def run(env: EvalEnv, multiplicity: int) -> None:
+                for inner in (then_runs if cond_fn(env) else else_runs):
+                    inner(env, multiplicity)
+
+            return run
+
+        return bind_if
+    if isinstance(stmt, AccumForeach):
+        coll_fn, _ = compile_closure(stmt.collection, stats)
+        var = stmt.var
+        body_binders = [
+            _compile_acc_statement(s, decl_types, stats) for s in stmt.body
+        ]
+
+        def bind_foreach(ctx, buffer):
+            body_runs = [b(ctx, buffer) for b in body_binders]
+
+            def run(env: EvalEnv, multiplicity: int) -> None:
+                value = coll_fn(env)
+                if isinstance(value, dict):
+                    items = list(value.items())
+                else:
+                    try:
+                        items = list(value)
+                    except TypeError:
+                        raise QueryRuntimeError(
+                            f"FOREACH needs an iterable, got "
+                            f"{type(value).__name__}"
+                        ) from None
+                locals_ = env.locals
+                had_prior = var in locals_
+                prior = locals_.get(var)
+                try:
+                    for item in items:
+                        locals_[var] = item
+                        for inner in body_runs:
+                            inner(env, multiplicity)
+                finally:
+                    if had_prior:
+                        locals_[var] = prior
+                    else:
+                        locals_.pop(var, None)
+
+            return run
+
+        return bind_foreach
+    if isinstance(stmt, AttributeUpdate):
+        def bind_attr(ctx, buffer):
+            def run(env: EvalEnv, multiplicity: int) -> None:
+                raise QueryRuntimeError(
+                    "attribute assignments are only allowed in POST_ACCUM "
+                    "(in ACCUM, acc-executions for the same vertex would race)"
+                )
+
+            return run
+
+        return bind_attr
+
+    # Unknown extension statement: interpret it (full parity by
+    # construction; nothing to specialize).
+    def bind_fallback(ctx, buffer):
+        def run(env: EvalEnv, multiplicity: int) -> None:
+            _run_accum_statements([stmt], env, buffer, multiplicity)
+
+        return run
+
+    return bind_fallback
+
+
+def _compile_accum_update(
+    stmt: AccumUpdate, decl_types: Dict[str, Any], stats: CompileStats
+) -> _Binder:
+    """One ``target += expr`` / ``target = expr`` row function.
+
+    The op-algebra row for the target's declared type is looked up once
+    here (PR 5's table) — recorded in the kernel catalog and counted as
+    a pre-resolved combine; the bind stage then captures the resolved
+    accumulator instance (global) or a family resolver closure (vertex)
+    plus the buffer method, so the per-row path is closure calls only.
+    """
+    name = stmt.target.name
+    op = stmt.op
+    is_add = op == "+="
+    value_fn, _ = compile_closure(stmt.expr, stats)
+    algebra = classify(decl_types.get(name))
+    if algebra is not None:
+        stats.combines_preresolved += 1
+    target = stmt.target  # kept for AccSan event attribution
+
+    if stmt.target.is_global:
+        def bind_global(ctx, buffer):
+            add = buffer.add
+            set_ = buffer.set
+
+            def run(env: EvalEnv, multiplicity: int, _cell=[]) -> None:
+                value = value_fn(env)
+                if not _cell:
+                    _cell.append(ctx.global_accum(name))
+                acc = _cell[0]
+                if _accsan._ACTIVE is not None:
+                    _accsan._ACTIVE.record("accum", target, acc, op, value)
+                if is_add:
+                    add(acc, value, multiplicity)
+                else:
+                    set_(acc, value)
+
+            return run
+
+        return bind_global
+
+    base_fn, _ = compile_closure(stmt.target.base, stats)
+
+    def bind_vertex(ctx, buffer):
+        add = buffer.add
+        set_ = buffer.set
+        resolve = ctx.vertex_accum_resolver(name)
+
+        def run(env: EvalEnv, multiplicity: int) -> None:
+            value = value_fn(env)
+            vertex = base_fn(env)
+            if not isinstance(vertex, Vertex):
+                raise QueryRuntimeError(
+                    f"accumulator @{name} addressed through non-vertex "
+                    f"{type(vertex).__name__}"
+                )
+            acc = resolve(vertex.vid)
+            if _accsan._ACTIVE is not None:
+                _accsan._ACTIVE.record("accum", target, acc, op, value)
+            if is_add:
+                add(acc, value, multiplicity)
+            else:
+                set_(acc, value)
+
+        return run
+
+    return bind_vertex
+
+
+# ----------------------------------------------------------------------
+# POST_ACCUM / clause cloning
+# ----------------------------------------------------------------------
+
+def _clone_acc_statement(stmt: AccStatement, stats: CompileStats) -> AccStatement:
+    """A structural clone with compiled expressions (same classes, so the
+    interpreter's POST_ACCUM dispatcher keeps working on it)."""
+    if isinstance(stmt, LocalAssign):
+        return LocalAssign(stmt.name, compile_expr(stmt.expr, stats), stmt.type_name)
+    if isinstance(stmt, AccumUpdate):
+        base = stmt.target.base
+        tgt = AccumTarget(
+            stmt.target.name,
+            compile_expr(base, stats) if base is not None else None,
+        )
+        return AccumUpdate(tgt, stmt.op, compile_expr(stmt.expr, stats))
+    if isinstance(stmt, AttributeUpdate):
+        return AttributeUpdate(
+            compile_expr(stmt.base, stats), stmt.attr, compile_expr(stmt.expr, stats)
+        )
+    if isinstance(stmt, AccumIf):
+        return AccumIf(
+            compile_expr(stmt.cond, stats),
+            [_clone_acc_statement(s, stats) for s in stmt.then],
+            [_clone_acc_statement(s, stats) for s in stmt.otherwise],
+        )
+    if isinstance(stmt, AccumForeach):
+        return AccumForeach(
+            stmt.var,
+            compile_expr(stmt.collection, stats),
+            [_clone_acc_statement(s, stats) for s in stmt.body],
+        )
+    return stmt
+
+
+# ----------------------------------------------------------------------
+# Compiled SELECT block
+# ----------------------------------------------------------------------
+
+class CompiledBlock(SelectBlock):
+    """A SELECT block specialized by the lowering pass.
+
+    Execution mirrors :meth:`SelectBlock._execute` checkpoint for
+    checkpoint — governor tick, AUTO resolution, degradation ladder,
+    tractability check, primed capture, pattern span, residual filter,
+    acc-execution charge, per-row fault site, Map/Reduce spans, AccSan
+    replay, POST_ACCUM, memory check, fragments, vertex-set result —
+    with the per-execution planning (pushdown split, primed-name
+    collection, POST_ACCUM dependency analysis, AUTO certificate
+    reading) hoisted to compile time.
+    """
+
+    compiled = True
+
+    def __init__(self, original: SelectBlock, decl_types: Dict[str, Any],
+                 stats: CompileStats):
+        fragments = [
+            OutputFragment(
+                [
+                    OutputColumn(compile_expr(c.expr, stats), c.alias)
+                    for c in fragment.columns
+                ],
+                fragment.into,
+            )
+            for fragment in original.fragments
+        ]
+        order_by = [
+            (compile_expr(expr, stats), desc) for expr, desc in original.order_by
+        ]
+        group_by = [compile_expr(expr, stats) for expr in original.group_by]
+        SelectBlock.__init__(
+            self,
+            original.pattern,
+            select_var=original.select_var,
+            fragments=fragments,
+            distinct=original.distinct,
+            where=original.where,
+            accum=original.accum,
+            post_accum=original.post_accum,
+            group_by=group_by,
+            having=(
+                compile_expr(original.having, stats)
+                if original.having is not None
+                else None
+            ),
+            order_by=order_by,
+            limit=(
+                compile_expr(original.limit, stats)
+                if original.limit is not None
+                else None
+            ),
+            semantics=original.semantics,
+        )
+        self.certificate = original.certificate
+        self.effect_certificate = original.effect_certificate
+
+        pattern_vars = set(original.pattern.variables())
+        # Pushdown split, once.  (The planner.pushdown_* counters are
+        # charged here, at compile time, instead of per execution.)
+        var_filters, residual_conjuncts = push_down_filters(
+            original.where, pattern_vars
+        )
+        self._var_filters = {
+            var: [compile_expr(f, stats) for f in filters]
+            for var, filters in var_filters.items()
+        }
+        kept: List[Expr] = []
+        for conjunct in residual_conjuncts:
+            fn, const = compile_closure(conjunct, stats)
+            if const and fn(None) is True:
+                # A conjunct folded to constant True filters nothing:
+                # drop it from the residual entirely.
+                stats.conjuncts_dropped += 1
+                continue
+            kept.append(compile_expr(conjunct, stats))
+        residual = and_all(kept)
+        self._residual_fn = residual.eval if residual is not None else None
+
+        # Primed-snapshot names, once (the interpreter re-collects them
+        # per execution in _capture_primed).
+        names = collect_primed_names(original.accum) | collect_primed_names(
+            original.post_accum
+        )
+        for expr in original._all_output_exprs():
+            names.update(primed_accum_names(expr))
+        self._primed_names = frozenset(names)
+
+        # The fused Map kernel.
+        self._map_bind = compile_accum_clause(original.accum, decl_types, stats)
+
+        # POST_ACCUM: compiled statement clones with their dependency
+        # variable lists precomputed (the interpreter sorts them per
+        # execution).
+        self._post_stmts: List[Tuple[AccStatement, List[str]]] = [
+            (
+                _clone_acc_statement(stmt, stats),
+                sorted(
+                    {n for n in stmt.referenced_names() if n in pattern_vars}
+                ),
+            )
+            for stmt in original.post_accum
+        ]
+
+        # The compiled tier of EngineMode.auto(): a conclusive
+        # certificate resolves the engine now; None keeps the runtime
+        # probe.
+        self._auto_engine = compile_time_engine(original)
+        if self._auto_engine is not None:
+            stats.engines_baked += 1
+
+        stats.blocks += 1
+        stats.catalog.append({
+            "pattern": repr(original.pattern),
+            "pushdown_vars": sorted(self._var_filters),
+            "residual_conjuncts": len(kept),
+            "folded_conjuncts": len(residual_conjuncts) - len(kept),
+            "map_kernel": bool(self._map_bind),
+            "post_accum_statements": len(self._post_stmts),
+            "primed_snapshots": sorted(self._primed_names),
+            "auto_engine": self._auto_engine,
+        })
+
+    # -- overridden hooks ----------------------------------------------
+    def _capture_primed(self, ctx: QueryContext) -> Dict[str, Dict[Any, Any]]:
+        snapshots: Dict[str, Dict[Any, Any]] = {}
+        for name in self._primed_names:
+            if name.startswith("@@"):
+                snapshots[name] = {None: ctx.snapshot_global_accum(name[2:])}
+            else:
+                snapshots[name] = ctx.snapshot_vertex_accum(name)
+        return snapshots
+
+    def execute(self, ctx: QueryContext, mode: EngineMode):
+        col = _obs._ACTIVE
+        if col is None:
+            return self._execute(ctx, mode, None)
+        span = col.span(
+            "select_block",
+            label=f"SELECT  FROM {self.pattern!r}",
+            compiled=True,
+        )
+        try:
+            return self._execute(ctx, mode, col)
+        finally:
+            col.close(span)
+
+    def _execute(self, ctx: QueryContext, mode: EngineMode, col):
+        gov = _gov._ACTIVE
+        if gov is not None:
+            gov.tick()
+        if self.semantics is not None:
+            mode = mode.for_semantics(self.semantics)
+        if mode.kind == EngineMode.AUTO:
+            baked = self._auto_engine
+            if baked is None:
+                mode = select_engine(self, ctx, mode)
+            else:
+                mode = self._baked_mode(baked, mode, col)
+            if col is not None:
+                col.count(f"block.engine.{mode.kind}")
+        if gov is not None:
+            mode = self._maybe_downgrade(mode, gov, col)
+        self._check_tractability(ctx, mode)
+        primed = self._capture_primed(ctx)
+
+        if col is not None:
+            pattern_span = col.span("pattern")
+        try:
+            table = evaluate_pattern(ctx, self.pattern, mode, self._var_filters)
+        finally:
+            if col is not None:
+                col.close(pattern_span)
+        rows = table.rows
+        if col is not None:
+            pattern_span.set(
+                rows=len(rows), multiplicity=table.total_multiplicity()
+            )
+            col.count("block.binding_rows", len(rows))
+            col.count("block.binding_multiplicity", table.total_multiplicity())
+        residual_fn = self._residual_fn
+        if residual_fn is not None:
+            before = len(rows)
+            rows = [
+                row
+                for row in rows
+                if residual_fn(EvalEnv(ctx, row.bindings, None, primed))
+            ]
+            if col is not None:
+                col.count("block.rows_filtered_residual", before - len(rows))
+
+        if self._map_bind is not None:
+            if gov is not None:
+                gov.charge_acc_executions(len(rows))
+            if col is not None:
+                map_span = col.span("accum_map", statements=len(self.accum))
+            buffer = CompiledInputBuffer()
+            locals_: Dict[str, Any] = {}
+            kernel = self._map_bind(ctx, buffer)
+            try:
+                try:
+                    if _faults._PLAN is None:
+                        for row in rows:
+                            kernel(
+                                EvalEnv(ctx, row.bindings, locals_, primed),
+                                row.multiplicity,
+                            )
+                    else:
+                        for row in rows:
+                            _faults.fire("block.accum_map")
+                            kernel(
+                                EvalEnv(ctx, row.bindings, locals_, primed),
+                                row.multiplicity,
+                            )
+                finally:
+                    if col is not None:
+                        map_span.set(acc_executions=len(rows))
+                        col.count("block.acc_executions", len(rows))
+                        col.close(map_span)
+                if col is not None:
+                    reduce_span = col.span("accum_reduce", inputs=len(buffer))
+                try:
+                    if _faults._PLAN is not None:
+                        _faults.fire("block.reduce")
+                    if _accsan._ACTIVE is not None:
+                        _accsan._ACTIVE.check_flush(self, buffer)
+                    buffer.flush()
+                finally:
+                    if col is not None:
+                        col.close(reduce_span)
+            except BaseException:
+                buffer.clear()
+                raise
+
+        if self._post_stmts:
+            if _faults._PLAN is not None:
+                _faults.fire("block.post_accum")
+            if col is not None:
+                post_span = col.span(
+                    "post_accum", statements=len(self.post_accum)
+                )
+            try:
+                self._run_post_accum(ctx, rows, primed, col)
+            finally:
+                if col is not None:
+                    col.close(post_span)
+
+        if gov is not None:
+            gov.check_memory(ctx)
+
+        for fragment in self.fragments:
+            self._emit_fragment(ctx, fragment, rows, primed)
+
+        if self.select_var is not None:
+            return self._vertex_set_result(ctx, rows, primed)
+        return None
+
+    def _baked_mode(self, baked: str, mode: EngineMode, col) -> EngineMode:
+        """Apply the compile-time AUTO resolution, preserving the
+        interpreter path's planner counter surface (with the source
+        labelled ``compiled``)."""
+        if col is not None:
+            effect = self.effect_certificate
+            if effect is not None:
+                col.count(f"planner.effects.{effect.status.value}")
+                if effect.delta_maintainable:
+                    col.count("planner.effects.delta_maintainable")
+            col.count(f"planner.auto_{baked}")
+            col.count("planner.auto_source.compiled")
+        if baked == "enumeration":
+            return EngineMode.enumeration(
+                mode.semantics, budget=mode.budget, max_length=mode.max_length
+            )
+        return EngineMode.counting(
+            max_length=mode.max_length, semantics=mode.semantics
+        )
+
+    def _run_post_accum(self, ctx, rows, primed, col) -> None:
+        buffer = CompiledInputBuffer()
+        for stmt, deps in self._post_stmts:
+            executions = _distinct_projections(rows, deps)
+            if col is not None:
+                col.count("block.post_accum_executions", len(executions))
+            locals_: Dict[str, Any] = {}
+            for binding in executions:
+                env = EvalEnv(ctx, binding, locals_, primed)
+                locals_.clear()
+                _run_post_statement(stmt, ctx, env, buffer)
+        if _accsan._ACTIVE is not None:
+            _accsan._ACTIVE.check_flush(None, buffer)
+        buffer.flush()
+
+
+# ----------------------------------------------------------------------
+# Statement lowering
+# ----------------------------------------------------------------------
+
+def _lower_statement(
+    stmt: Statement, decl_types: Dict[str, Any], stats: CompileStats
+) -> Statement:
+    new: Statement
+    if isinstance(stmt, DeclareAccum):
+        new = DeclareAccum(
+            stmt.name,
+            stmt.scope,
+            stmt.base_factory,
+            initial=(
+                compile_expr(stmt.initial, stats)
+                if stmt.initial is not None
+                else None
+            ),
+            type_info=stmt.type_info,
+        )
+    elif isinstance(stmt, SetAssign):
+        if isinstance(stmt.source, SelectBlock):
+            new = SetAssign(stmt.name, CompiledBlock(stmt.source, decl_types, stats))
+        else:
+            return stmt
+    elif isinstance(stmt, RunBlock):
+        new = RunBlock(
+            CompiledBlock(stmt.block, decl_types, stats), assign_to=stmt.assign_to
+        )
+    elif isinstance(stmt, GlobalAccumUpdate):
+        new = GlobalAccumUpdate(stmt.name, stmt.op, compile_expr(stmt.expr, stats))
+    elif isinstance(stmt, While):
+        new = While(
+            compile_expr(stmt.cond, stats),
+            [_lower_statement(s, decl_types, stats) for s in stmt.body],
+            limit=(
+                compile_expr(stmt.limit, stats)
+                if stmt.limit is not None
+                else None
+            ),
+        )
+        new.governed_cap = stmt.governed_cap
+    elif isinstance(stmt, Foreach):
+        new = Foreach(
+            stmt.var,
+            compile_expr(stmt.collection, stats),
+            [_lower_statement(s, decl_types, stats) for s in stmt.body],
+        )
+    elif isinstance(stmt, If):
+        new = If(
+            compile_expr(stmt.cond, stats),
+            [_lower_statement(s, decl_types, stats) for s in stmt.then],
+            [_lower_statement(s, decl_types, stats) for s in stmt.otherwise],
+        )
+    elif isinstance(stmt, Print):
+        items: List[Any] = []
+        for item in stmt.items:
+            if isinstance(item, PrintSetProjection):
+                items.append(
+                    PrintSetProjection(
+                        item.set_name,
+                        [
+                            PrintItem(compile_expr(c.expr, stats), c.alias)
+                            for c in item.columns
+                        ],
+                    )
+                )
+            else:
+                items.append(
+                    PrintItem(compile_expr(item.expr, stats), item.alias)
+                )
+        new = Print(items)
+    elif isinstance(stmt, Return):
+        new = Return(compile_expr(stmt.expr, stats))
+    else:
+        # SetOpAssign, Parameter plumbing, extension statements: nothing
+        # expression-heavy to specialize — reuse the original.
+        return stmt
+    span = getattr(stmt, "span", None)
+    if span is not None:
+        new.span = span
+    return new
+
+
+def _collect_decl_types(statements: List[Statement]) -> Dict[str, Any]:
+    """name -> AccumTypeInfo for every DeclareAccum, recursing into
+    control flow (feeds the op-algebra lookup of the map kernel)."""
+    out: Dict[str, Any] = {}
+    for stmt in statements:
+        if isinstance(stmt, DeclareAccum):
+            out[stmt.name] = stmt.type_info
+        elif isinstance(stmt, While):
+            out.update(_collect_decl_types(stmt.body))
+        elif isinstance(stmt, Foreach):
+            out.update(_collect_decl_types(stmt.body))
+        elif isinstance(stmt, If):
+            out.update(_collect_decl_types(stmt.then))
+            out.update(_collect_decl_types(stmt.otherwise))
+    return out
+
+
+# ----------------------------------------------------------------------
+# CompiledQuery
+# ----------------------------------------------------------------------
+
+class CompiledQuery:
+    """A lowered, directly runnable query plus its provenance.
+
+    ``query`` is the original parsed :class:`~repro.core.query.Query`
+    (the analysis target — certificates, cached model, diagnostics);
+    ``lowered`` is the specialized clone that actually executes.  The
+    epoch captured at compile time makes the plan *stale* as soon as
+    ``query.invalidate_analysis()`` runs — the plan cache drops stale
+    entries on lookup.
+    """
+
+    #: Class-level marker so callers holding "a runnable" (Query or
+    #: CompiledQuery) can report which execution path they are on.
+    compiled = True
+
+    def __init__(
+        self,
+        query: Query,
+        lowered: Query,
+        stats: CompileStats,
+        flags: Tuple[str, ...] = (),
+    ):
+        self.query = query
+        self.lowered = lowered
+        self.stats = stats
+        self.flags = tuple(flags)
+        self.source = query.source
+        self._epoch = query._analysis_epoch
+        #: Error-severity diagnostics from the service's analyze pass,
+        #: stashed on first execution so warm cache hits skip analysis
+        #: entirely; None = not yet analyzed.
+        self.lint_errors: Optional[List[dict]] = None
+        #: "hit" / "miss" / "invalidated" from the last cache lookup
+        #: that returned this object (informational; set by the cache).
+        self.cache_status: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.query.name
+
+    @property
+    def params(self):
+        return self.query.params
+
+    @property
+    def stale(self) -> bool:
+        return self.query._analysis_epoch != self._epoch
+
+    def run(self, graph, mode=None, tables=None, subqueries=None, **params):
+        """Execute the lowered form (same signature as ``Query.run``)."""
+        return self.lowered.run(
+            graph, mode=mode, tables=tables, subqueries=subqueries, **params
+        )
+
+    def report(self) -> dict:
+        """Lowering statistics (what got specialized)."""
+        doc = self.stats.to_dict()
+        doc["flags"] = list(self.flags)
+        return doc
+
+    def describe(self) -> str:
+        """The compiled-plan summary ``repro explain`` appends."""
+        s = self.stats
+        lines = [
+            f"COMPILED {self.query.name}",
+            (
+                f"  {s.blocks} block(s) lowered, {s.exprs} expression(s) "
+                f"closure-compiled, {s.constants_folded} constant(s) folded, "
+                f"{s.conjuncts_dropped} WHERE conjunct(s) dropped"
+            ),
+            (
+                f"  {s.kernels} map kernel(s), {s.combines_preresolved} "
+                f"combine(s) pre-resolved from the op-algebra table, "
+                f"{s.engines_baked} AUTO engine choice(s) baked"
+            ),
+        ]
+        for entry in s.catalog:
+            auto = entry["auto_engine"] or "runtime probe"
+            lines.append(f"  BLOCK FROM {entry['pattern']}")
+            lines.append(
+                f"    pushdown -> {entry['pushdown_vars'] or 'none'}; "
+                f"residual conjuncts: {entry['residual_conjuncts']}"
+                + (
+                    f" ({entry['folded_conjuncts']} folded away)"
+                    if entry["folded_conjuncts"]
+                    else ""
+                )
+            )
+            lines.append(
+                f"    map kernel: {'fused' if entry['map_kernel'] else 'none'}; "
+                f"post-accum stmts: {entry['post_accum_statements']}; "
+                f"auto tier: {auto}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CompiledQuery({self.query.name}, {self.stats.blocks} blocks)"
+
+
+def compile_query(
+    query: Query,
+    schema=None,
+    flags: Tuple[str, ...] = (),
+) -> CompiledQuery:
+    """Lower an analyzed query into a :class:`CompiledQuery`.
+
+    Builds (or reuses) the PR 3 analysis model first, so a compiled
+    plan's warm executions never re-enter the analysis layer — the
+    ``analysis.model_builds`` counter is charged here, at compile time.
+    """
+    col = _obs._ACTIVE
+    span = col.span("compile", label=f"COMPILE {query.name}") if col else None
+    try:
+        try:
+            from ..analysis.model import cached_model
+
+            cached_model(query, schema)
+        except Exception:
+            # Lowering must not fail because the model builder cannot
+            # digest an exotic programmatic query; certificates on the
+            # blocks (stamped at parse time) are what lowering consumes.
+            pass
+        stats = CompileStats()
+        decl_types = _collect_decl_types(query.statements)
+        lowered_statements = [
+            _lower_statement(stmt, decl_types, stats) for stmt in query.statements
+        ]
+        lowered = Query(
+            query.name, lowered_statements, query.params, query.graph_name
+        )
+        lowered.source = query.source
+        lowered.compiled = True
+        if col is not None:
+            col.count("compile.blocks", stats.blocks)
+            col.count("compile.exprs", stats.exprs)
+            if stats.constants_folded:
+                col.count("compile.constants_folded", stats.constants_folded)
+            if stats.conjuncts_dropped:
+                col.count("compile.conjuncts_dropped", stats.conjuncts_dropped)
+            if stats.combines_preresolved:
+                col.count(
+                    "compile.combines_preresolved", stats.combines_preresolved
+                )
+            if stats.engines_baked:
+                col.count("compile.engines_baked", stats.engines_baked)
+        return CompiledQuery(query, lowered, stats, flags=flags)
+    finally:
+        if span is not None:
+            col.close(span)
+
+
+def compile_block(block: SelectBlock) -> CompiledBlock:
+    """Lower a single programmatic SELECT block (test/tooling helper)."""
+    return CompiledBlock(block, {}, CompileStats())
+
+
+__all__ = [
+    "CompiledBlock",
+    "CompiledInputBuffer",
+    "CompiledQuery",
+    "compile_accum_clause",
+    "compile_block",
+    "compile_query",
+]

@@ -123,6 +123,30 @@ class QueryContext:
             family[vid] = acc
         return acc
 
+    def vertex_accum_resolver(self, name: str) -> Callable[[Any], Accumulator]:
+        """A ``vid -> instance`` closure with the family lookup hoisted.
+
+        The compiled Map kernel resolves instances once per row; this
+        pre-binds the per-name dict and factory so the per-row path is
+        one dict probe.  Undeclared or wrongly-scoped names return a
+        delegating closure instead of raising here, so a zero-row block
+        errors (or not) exactly like the interpreter.
+        """
+        family = self._vertex_accums.get(name)
+        if family is None:
+            return lambda vid: self.vertex_accum(name, vid)
+        factory = self._decls[name].factory
+        get = family.get
+
+        def resolve(vid: Any) -> Accumulator:
+            acc = get(vid)
+            if acc is None:
+                acc = factory()
+                family[vid] = acc
+            return acc
+
+        return resolve
+
     def vertex_accum_values(self, name: str) -> Iterator[Tuple[Any, Any]]:
         """(vertex id, value) pairs for every *materialized* instance."""
         family = self._vertex_accums.get(name)

@@ -447,7 +447,12 @@ class QueryResult:
 
 
 class Query:
-    """A compiled query, runnable against any compatible graph."""
+    """A parsed query, runnable against any compatible graph."""
+
+    #: True on the lowered clone produced by :func:`repro.compile.
+    #: compile_query` — execution traces carry it so profiles are
+    #: attributable to the compiled or interpreted path.
+    compiled = False
 
     def __init__(
         self,
@@ -467,10 +472,16 @@ class Query:
         #: :func:`repro.analysis.model.cached_model` — one model build
         #: shared by validate/tractable/lint instead of three.
         self._analysis_cache: Optional[tuple] = None
+        #: Bumped by :meth:`invalidate_analysis`; compiled plans capture
+        #: the epoch at lowering time, so a bump makes every plan built
+        #: from this query *stale* and the plan cache drops it on lookup.
+        self._analysis_epoch: int = 0
 
     def invalidate_analysis(self) -> None:
-        """Drop the cached analysis model (call after mutating the AST)."""
+        """Drop the cached analysis model and invalidate compiled plans
+        (call after mutating the AST)."""
         self._analysis_cache = None
+        self._analysis_epoch += 1
 
     def run(
         self,
@@ -520,6 +531,8 @@ class Query:
             "query", label=f"QUERY {self.name}", engine=mode.kind,
             semantics=mode.semantics.value,
         )
+        if self.compiled:
+            span.set(compiled=True)
         try:
             for stmt in self.statements:
                 stmt.execute(ctx, mode)

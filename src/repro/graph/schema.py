@@ -190,6 +190,11 @@ class GraphSchema:
         self.name = name
         self.vertex_types: Dict[str, VertexType] = {}
         self.edge_types: Dict[str, EdgeType] = {}
+        #: Mutation counter: every type declaration bumps it, so cached
+        #: artifacts keyed on :meth:`fingerprint` (the plan cache's
+        #: schema-version component) turn over when the schema evolves.
+        self.version = 0
+        self._fingerprint: Optional[Tuple[int, str]] = None
 
     # ------------------------------------------------------------------
     # Fluent construction
@@ -200,6 +205,7 @@ class GraphSchema:
             raise SchemaError(f"vertex type {type_name!r} already declared")
         decls = [AttributeDecl(attr, tname) for attr, tname in attributes.items()]
         self.vertex_types[type_name] = VertexType(type_name, decls)
+        self.version += 1
         return self
 
     def edge(
@@ -227,6 +233,7 @@ class GraphSchema:
             to_types=[to_type] if to_type else None,
             attributes=decls,
         )
+        self.version += 1
         return self
 
     def undirected_edge(
@@ -262,6 +269,43 @@ class GraphSchema:
 
     def edge_type_names(self) -> Tuple[str, ...]:
         return tuple(self.edge_types)
+
+    def fingerprint(self) -> str:
+        """A content hash of the declared types (memoized per version).
+
+        Two schemas with the same declarations fingerprint identically —
+        the plan cache uses ``(name, fingerprint)`` as its schema-version
+        key, so structurally equal schema objects share compiled plans
+        while any divergence in types or attributes isolates them.
+        """
+        memo = self._fingerprint
+        if memo is not None and memo[0] == self.version:
+            return memo[1]
+        import hashlib
+
+        parts = [self.name]
+        for vname in sorted(self.vertex_types):
+            vtype = self.vertex_types[vname]
+            attrs = ",".join(
+                f"{a.name}:{a.type_name}={a.default!r}"
+                for a in sorted(vtype.attributes.values(), key=lambda a: a.name)
+            )
+            parts.append(f"V{vname}({attrs})")
+        for ename in sorted(self.edge_types):
+            etype = self.edge_types[ename]
+            attrs = ",".join(
+                f"{a.name}:{a.type_name}={a.default!r}"
+                for a in sorted(etype.attributes.values(), key=lambda a: a.name)
+            )
+            parts.append(
+                f"E{ename}[{'d' if etype.directed else 'u'}]"
+                f"{sorted(etype.from_types)}->{sorted(etype.to_types)}({attrs})"
+            )
+        digest = hashlib.blake2b(
+            "|".join(parts).encode("utf-8"), digest_size=12
+        ).hexdigest()
+        self._fingerprint = (self.version, digest)
+        return digest
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -24,7 +24,9 @@ class ProfileReport:
     ``governor`` is the :class:`~repro.governor.ExecutionGovernor` the
     run executed under, or None for ungoverned profiling; ``result`` is
     None when the governed run aborted (the abort lives on
-    ``governor.aborted``).
+    ``governor.aborted``).  ``execution`` records which execution path
+    ran — ``{"path": "compiled"|"interpreted"}`` plus ``"cache":
+    "hit"|"miss"`` when the plan came through the plan cache.
     """
 
     def __init__(
@@ -35,6 +37,7 @@ class ProfileReport:
         collector: Collector,
         result: Any,
         governor: Optional[Any] = None,
+        execution: Optional[Dict[str, Any]] = None,
     ):
         self.query_name = query_name
         self.engine = engine
@@ -42,6 +45,7 @@ class ProfileReport:
         self.collector = collector
         self.result = result
         self.governor = governor
+        self.execution = execution
 
     # -- structured export --------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -50,6 +54,8 @@ class ProfileReport:
         doc["query"] = self.query_name
         doc["engine"] = self.engine
         doc["wall_ms"] = round(self.wall_seconds * 1000, 4)
+        if self.execution is not None:
+            doc["execution"] = dict(self.execution)
         if self.governor is not None:
             doc["governor"] = self.governor.report_dict()
         return doc
@@ -61,6 +67,11 @@ class ProfileReport:
             f"[engine={self.engine}]  "
             f"total {_fmt_ms(self.wall_seconds)}"
         ]
+        if self.execution is not None:
+            parts = [f"path={self.execution.get('path', '?')}"]
+            if self.execution.get("cache"):
+                parts.append(f"cache={self.execution['cache']}")
+            lines.append("execution: " + " ".join(parts))
         for root in self.collector.roots:
             _render_span(root, lines, indent=1)
         counters = self.collector.counters
@@ -93,9 +104,22 @@ def profile_query(
     field.  The run happens under a fresh :class:`Collector`; the
     returned report carries both the ordinary :class:`QueryResult` and
     the trace.
+
+    ``query`` may be a parsed :class:`~repro.core.query.Query` or a
+    :class:`~repro.compile.CompiledQuery` — the report's ``execution``
+    field records which path ran (and the plan-cache hit/miss status
+    when the compiled plan came through the cache).
     """
     from ..errors import QueryAbortedError
     from ..governor import govern
+
+    execution: Dict[str, Any] = {
+        "path": "compiled" if getattr(query, "compiled", False)
+        else "interpreted"
+    }
+    cache_status = getattr(query, "cache_status", None)
+    if cache_status:
+        execution["cache"] = cache_status
 
     collector = Collector()
     start = time.perf_counter()
@@ -113,7 +137,8 @@ def profile_query(
     wall = time.perf_counter() - start
     engine = _engine_label(mode)
     return ProfileReport(
-        query.name, engine, wall, collector, result, governor=governor
+        query.name, engine, wall, collector, result, governor=governor,
+        execution=execution,
     )
 
 

@@ -120,33 +120,56 @@ def execute_job(job: Job, graphs: Dict[str, Any]) -> Dict[str, Any]:
     except ValueError as exc:
         return reply(OutcomeKind.BAD_REQUEST, {}, error={"message": str(exc)})
 
-    # parse + static analysis (the "check" stage): error-severity
-    # diagnostics reject the query before any execution work.
-    try:
-        query = parse_query(job.query_text)
-    except (GSQLSyntaxError, QueryCompileError) as exc:
-        return reply(
-            OutcomeKind.LINT_ERROR,
-            {},
-            error={"message": str(exc), "kind": type(exc).__name__},
-        )
-    diagnostics = analyze(query, schema=None, source=job.query_text)
-    diag_errors = [d.to_dict() for d in diagnostics if d.is_error]
-    if diag_errors:
-        return reply(
-            OutcomeKind.LINT_ERROR,
-            {},
-            error={"message": f"{len(diag_errors)} analysis error(s)"},
-            diagnostics=diag_errors,
-        )
-
     from ..governor import ExecutionGovernor, govern
 
     governor = ExecutionGovernor(Budget(**job.budget)) if job.budget else None
+    # The collector opens before the parse/analyze/compile stage so the
+    # plan-cache counters (compile.cache.hit/miss, compile.*) land in
+    # the reply — a warm hit is visible as compile.cache.hit with zero
+    # analysis re-entry.
     with collect() as col:
+        # parse + static analysis (the "check" stage): error-severity
+        # diagnostics reject the query before any execution work.  With
+        # compilation on (the default), both stages run through the plan
+        # cache: a warm hit skips them entirely, reusing the stashed
+        # analysis verdict.
+        try:
+            if job.compile:
+                from ..compile import plan_cache
+
+                runnable = plan_cache().get_or_compile(
+                    job.query_text, schema=getattr(graph, "schema", None)
+                )
+                if runnable.lint_errors is None:
+                    diagnostics = analyze(
+                        runnable.query, schema=None, source=job.query_text
+                    )
+                    runnable.lint_errors = [
+                        d.to_dict() for d in diagnostics if d.is_error
+                    ]
+                diag_errors = runnable.lint_errors
+            else:
+                runnable = parse_query(job.query_text)
+                diagnostics = analyze(
+                    runnable, schema=None, source=job.query_text
+                )
+                diag_errors = [d.to_dict() for d in diagnostics if d.is_error]
+        except (GSQLSyntaxError, QueryCompileError) as exc:
+            return reply(
+                OutcomeKind.LINT_ERROR,
+                dict(col.counters),
+                error={"message": str(exc), "kind": type(exc).__name__},
+            )
+        if diag_errors:
+            return reply(
+                OutcomeKind.LINT_ERROR,
+                dict(col.counters),
+                error={"message": f"{len(diag_errors)} analysis error(s)"},
+                diagnostics=diag_errors,
+            )
         try:
             with govern(governor):
-                result = query.run(graph, mode=mode, **job.params)
+                result = runnable.run(graph, mode=mode, **job.params)
         except QueryAbortedError as exc:
             reason = getattr(exc.reason, "value", exc.reason)
             return reply(
@@ -242,6 +265,11 @@ def _reset_worker_globals() -> None:
         guard = getattr(mod, "_GUARD", None)
         if guard is not None:
             guard.reset()
+    # The parent's plan cache (and its lock, possibly held mid-fork by a
+    # dispatcher thread) must not be inherited: start with a fresh one.
+    from ..compile import reset_plan_cache
+
+    reset_plan_cache()
 
 
 def _process_worker_main(conn, graph_paths: Dict[str, str]) -> None:

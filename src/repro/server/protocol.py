@@ -113,6 +113,9 @@ class QueryRequest(NamedTuple):
     deadline_seconds: Optional[float] = None
     engine: str = "counting"
     request_id: str = ""
+    #: False opts this request out of the worker-side plan cache +
+    #: compiled execution (the ``--no-compile`` escape hatch).
+    compile: bool = True
 
 
 class Job(NamedTuple):
@@ -125,6 +128,7 @@ class Job(NamedTuple):
     engine: str
     budget: Dict[str, Any]
     attempt: int = 1
+    compile: bool = True
 
 
 def outcome(

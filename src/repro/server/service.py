@@ -53,6 +53,7 @@ class QueryService:
         retry: Optional[RetryPolicy] = None,
         clock=time.monotonic,
         sleep=time.sleep,
+        compile_enabled: bool = True,
     ):
         self.admission = AdmissionController(
             classes=classes,
@@ -67,6 +68,10 @@ class QueryService:
             graph_paths=graph_paths,
         )
         self.retry = retry if retry is not None else RetryPolicy()
+        #: Service-wide master switch for the worker-side plan cache +
+        #: compiled execution (``repro serve --no-compile`` clears it);
+        #: per-request ``"compile": false`` still opts out individually.
+        self.compile_enabled = compile_enabled
         self._clock = clock
         self._sleep = sleep
         self._draining = False
@@ -182,6 +187,7 @@ class QueryService:
                         budget, deadline_seconds=max(remaining, 0.001)
                     ),
                     attempt=attempt,
+                    compile=request.compile and self.compile_enabled,
                 )
                 if not dispatched:
                     self.admission.note_dispatched(ticket)

@@ -1,0 +1,370 @@
+"""Tests for repro.compile: closure compilation, lowering, equivalence.
+
+The contract under test is *observational identity*: a compiled plan
+must produce exactly the interpreter's results, raise the interpreter's
+errors, and pass through the same governor/AccSan/fault checkpoints —
+it is only allowed to be faster.
+"""
+
+import pytest
+
+from repro.compile import (
+    CompiledQuery,
+    CompileStats,
+    compile_expr,
+    compile_query,
+)
+from repro.compile.exprc import CompiledExpr
+from repro.core.context import QueryContext
+from repro.core.exprs import EvalEnv, Literal
+from repro.core.pattern import EngineMode
+from repro.errors import QueryAbortedError, QueryRuntimeError
+from repro.governor import Budget, ExecutionGovernor, govern
+from repro.graph import builders
+from repro.gsql import parse_query
+from repro.gsql.parser import _Parser
+from repro.obs.metrics import Collector, collect
+from repro.server.protocol import jsonify
+
+QN = """
+CREATE QUERY Qn(string srcName, string tgtName) {
+  SumAccum<int> @pathCount;
+  R = SELECT t
+      FROM V:s -(E>*)- V:t
+      WHERE s.name == srcName AND t.name == tgtName
+      ACCUM t.@pathCount += 1;
+  PRINT R[R.name, R.@pathCount];
+}
+"""
+
+ORDER_TRACE = """
+CREATE QUERY OrderDependentTrace() {
+  ListAccum<STRING> @@visitTrace;
+  SumAccum<INT> @@edgeCount;
+  R = SELECT t
+      FROM V:s -(E>)- V:t
+      ACCUM @@visitTrace += s.name, @@edgeCount += 1;
+  PRINT @@visitTrace;
+  PRINT @@edgeCount;
+}
+"""
+
+AGGREGATED = """
+CREATE QUERY Grouped() {
+  SELECT s.name AS src, count(*) AS fanout INTO T
+      FROM V:s -(E>)- V:t
+      GROUP BY s.name
+      HAVING count(*) > 1
+      ORDER BY count(*) DESC, s.name ASC;
+  RETURN T;
+}
+"""
+
+
+def _expr(text):
+    """Parse a standalone expression through the GSQL expression parser."""
+    parser = _Parser(f"CREATE QUERY t() {{ PRINT {text}; }}")
+    query = parser.parse_queries()[0]
+    return query.statements[-1].items[0].expr
+
+
+def canonical(result):
+    return {
+        "printed": jsonify(result.printed),
+        "tables": {k: jsonify(v) for k, v in sorted(result.tables.items())},
+        "returned": jsonify(result.returned),
+    }
+
+
+def run_both(text, graph, mode=None, **params):
+    """(interpreted, compiled) canonical results for the same execution."""
+    interp = parse_query(text).run(graph, mode=mode, **params)
+    plan = compile_query(parse_query(text))
+    comp = plan.run(graph, mode=mode, **params)
+    return canonical(interp), canonical(comp)
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+class TestExprCompile:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(10 - 4) / 3", 2.0),
+            ("7 % 3", 1),
+            ("2 < 3 AND NOT (1 == 2)", True),
+            ("\"a\" + \"b\"", "ab"),
+            ("abs(0 - 5)", 5),
+            ("CASE WHEN 1 < 2 THEN \"y\" ELSE \"n\" END", "y"),
+        ],
+    )
+    def test_constant_parity(self, text, expected):
+        expr = _expr(text)
+        env = EvalEnv(QueryContext(builders.diamond_chain(2)))
+        compiled = compile_expr(expr)
+        assert expr.eval(env) == compiled.eval(env) == expected
+
+    def test_constant_folding_counted(self):
+        stats = CompileStats()
+        compiled = compile_expr(_expr("1 + 2 * 3"), stats)
+        assert stats.constants_folded >= 1
+        # A folded expression still evaluates without an environment.
+        assert compiled.eval(None) == 7
+
+    def test_non_constant_not_folded(self):
+        stats = CompileStats()
+        compile_expr(_expr("x + 1"), stats)
+        assert stats.constants_folded == 0
+
+    def test_compiled_expr_stays_analyzable(self):
+        expr = _expr("x + 1")
+        compiled = compile_expr(expr)
+        assert isinstance(compiled, CompiledExpr)
+        # walk/children expose the original tree (after the wrapper
+        # itself), so analysis passes see the real node structure.
+        assert [type(e).__name__ for e in compiled.walk()][1:] == [
+            type(e).__name__ for e in expr.walk()
+        ]
+        assert list(compiled.children()) == list(expr.children())
+
+    def test_literal_needs_no_environment(self):
+        compiled = compile_expr(Literal(42))
+        assert compiled.eval(None) == 42
+
+    def test_already_compiled_passthrough(self):
+        compiled = compile_expr(_expr("x + 1"))
+        assert compile_expr(compiled) is compiled
+
+    def test_error_parity_unknown_name(self):
+        expr = _expr("nosuch + 1")
+        env = EvalEnv(QueryContext(builders.diamond_chain(2)))
+        with pytest.raises(QueryRuntimeError) as interp_err:
+            expr.eval(env)
+        with pytest.raises(QueryRuntimeError) as comp_err:
+            compile_expr(expr).eval(env)
+        assert str(interp_err.value) == str(comp_err.value)
+
+
+# ---------------------------------------------------------------------------
+# Whole-query equivalence
+# ---------------------------------------------------------------------------
+class TestEquivalence:
+    def test_qn_counting(self):
+        graph = builders.diamond_chain(8)
+        interp, comp = run_both(
+            QN, graph, mode=EngineMode.counting(),
+            srcName="v0", tgtName="v8",
+        )
+        assert interp == comp
+        assert "'pathCount': 256" in str(interp) or comp["printed"]
+
+    def test_qn_auto(self):
+        graph = builders.diamond_chain(6)
+        interp, comp = run_both(
+            QN, graph, mode=EngineMode.auto(), srcName="v0", tgtName="v6"
+        )
+        assert interp == comp
+
+    def test_qn_enumeration(self):
+        from repro.paths import PathSemantics
+
+        graph = builders.diamond_chain(4)
+        interp, comp = run_both(
+            QN, graph,
+            mode=EngineMode.enumeration(PathSemantics.NO_REPEATED_EDGE),
+            srcName="v0", tgtName="v4",
+        )
+        assert interp == comp
+
+    def test_order_dependent_trace(self):
+        # Both paths fold the binding table in the same order, so even
+        # an ORDER_DEPENDENT ListAccum trace must match exactly.
+        graph = builders.diamond_chain(4)
+        interp, comp = run_both(ORDER_TRACE, graph)
+        assert interp == comp
+
+    def test_group_by_having_order_limit(self):
+        graph = builders.diamond_chain(5)
+        interp, comp = run_both(AGGREGATED, graph)
+        assert interp == comp
+
+
+# ---------------------------------------------------------------------------
+# The compiled plan object
+# ---------------------------------------------------------------------------
+class TestCompiledQuery:
+    def test_compile_counters_and_report(self):
+        col = Collector()
+        with collect(col):
+            plan = compile_query(parse_query(QN))
+        assert isinstance(plan, CompiledQuery)
+        assert col.counters["compile.blocks"] == 1
+        assert col.counters["compile.exprs"] >= 1
+        report = plan.report()
+        assert report["blocks"] == 1
+        assert report["kernels"] == 1
+        assert report["combines_preresolved"] == 1
+
+    def test_describe_mentions_specializations(self):
+        plan = compile_query(parse_query(QN))
+        text = plan.describe()
+        assert text.startswith("COMPILED Qn")
+        assert "map kernel" in text
+        assert "auto tier: counting" in text
+
+    def test_run_span_marks_compiled(self):
+        plan = compile_query(parse_query(QN))
+        graph = builders.diamond_chain(4)
+        col = Collector()
+        with collect(col):
+            plan.run(graph, srcName="v0", tgtName="v4")
+        root = col.roots[0]
+        assert root.attrs.get("compiled") is True
+        select = [s for s in root.children if s.name == "select_block"]
+        assert select and select[0].attrs.get("compiled") is True
+
+    def test_name_and_params_delegate(self):
+        plan = compile_query(parse_query(QN))
+        assert plan.name == "Qn"
+        assert [p.name for p in plan.params] == ["srcName", "tgtName"]
+        assert plan.compiled is True
+
+    def test_stale_after_invalidate_analysis(self):
+        query = parse_query(QN)
+        plan = compile_query(query)
+        assert not plan.stale
+        query.invalidate_analysis()
+        assert plan.stale
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint parity: governor, AccSan, faults
+# ---------------------------------------------------------------------------
+class TestCheckpointParity:
+    def test_governor_abort_parity(self):
+        # ORDER_TRACE charges one acc-execution per edge (16 on the
+        # 8-diamond chain), so a budget of 2 aborts in the Map loop on
+        # both paths.
+        graph = builders.diamond_chain(8)
+        budget = Budget(max_acc_executions=2)
+
+        def aborts(runnable):
+            gov = ExecutionGovernor(budget)
+            with pytest.raises(QueryAbortedError) as err:
+                with govern(gov):
+                    runnable.run(graph, mode=EngineMode.counting())
+            return err.value.limit_name, err.value.limit_value
+
+        interp = aborts(parse_query(ORDER_TRACE))
+        comp = aborts(compile_query(parse_query(ORDER_TRACE)))
+        assert interp == comp
+
+    def test_accsan_replays_compiled_reduce(self):
+        # AccSan sees the same event stream from both paths: same event
+        # count, same verified-phase count, and the ORDER_DEPENDENT
+        # trace is detected on the compiled path too.
+        from repro import accsan
+
+        graph = builders.diamond_chain(5)
+
+        def summary(runnable):
+            with accsan.sanitize(schedules=4) as sanitizer:
+                runnable.run(graph)
+            report = sanitizer.report()
+            return report.splitlines()[0], "DETECTED @@visitTrace" in report
+
+        interp = summary(parse_query(ORDER_TRACE))
+        comp = summary(compile_query(parse_query(ORDER_TRACE)))
+        assert interp == comp
+        assert comp[1]  # the order-dependence detection fired
+
+    def test_fault_injection_fires_in_compiled_kernel(self):
+        from repro.errors import InjectedFault
+        from repro.governor.faults import FaultPlan, inject_faults
+
+        graph = builders.diamond_chain(4)
+        plan = compile_query(parse_query(QN))
+        with inject_faults(FaultPlan().inject("block.accum_map", at=0)):
+            with pytest.raises(InjectedFault):
+                plan.run(graph, srcName="v0", tgtName="v4")
+
+    def test_fault_injection_fires_in_compiled_reduce(self):
+        from repro.errors import InjectedFault
+        from repro.governor.faults import FaultPlan, inject_faults
+
+        graph = builders.diamond_chain(4)
+        plan = compile_query(parse_query(QN))
+        with inject_faults(FaultPlan().inject("block.reduce", at=0)):
+            with pytest.raises(InjectedFault):
+                plan.run(graph, srcName="v0", tgtName="v4")
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+class TestCliCompile:
+    @pytest.fixture
+    def diamond_json(self, tmp_path):
+        from repro.graph.io import save_graph_json
+
+        path = tmp_path / "diamond.json"
+        save_graph_json(builders.diamond_chain(6), path)
+        return str(path)
+
+    @pytest.fixture
+    def qn_file(self, tmp_path):
+        path = tmp_path / "qn.gsql"
+        path.write_text(QN)
+        return str(path)
+
+    PARAMS = ["--param", "srcName=v0", "--param", "tgtName=v6"]
+
+    def test_run_no_compile_matches_default(
+        self, capsys, diamond_json, qn_file
+    ):
+        assert main_run(
+            ["run", qn_file, "--graph", diamond_json] + self.PARAMS
+        ) == 0
+        default_out = capsys.readouterr().out
+        assert main_run(
+            ["run", qn_file, "--graph", diamond_json, "--no-compile"]
+            + self.PARAMS
+        ) == 0
+        assert capsys.readouterr().out == default_out
+        assert "'pathCount': 64" in default_out
+
+    def test_explain_appends_compiled_plan(self, capsys, qn_file):
+        assert main_run(["explain", qn_file]) == 0
+        out = capsys.readouterr().out
+        assert "COMPILED Qn" in out
+        assert main_run(["explain", qn_file, "--no-compile"]) == 0
+        assert "COMPILED" not in capsys.readouterr().out
+
+    def test_profile_reports_execution_path(
+        self, capsys, diamond_json, qn_file
+    ):
+        import json
+
+        assert main_run(
+            ["profile", qn_file, "--graph", diamond_json, "--format", "json"]
+            + self.PARAMS
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["execution"]["path"] == "compiled"
+        assert doc["execution"]["cache"] in ("hit", "miss")
+        assert main_run(
+            ["profile", qn_file, "--graph", diamond_json, "--format", "json",
+             "--no-compile"] + self.PARAMS
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["execution"] == {"path": "interpreted"}
+
+
+def main_run(argv):
+    from repro.cli import main
+    from repro.compile import reset_plan_cache
+
+    reset_plan_cache()
+    return main(argv)

@@ -1,0 +1,87 @@
+"""Doc-drift guard: docs/architecture.md's module map must match the
+actual ``src/repro`` package listing, and the compilation docs must
+exist and cross-link."""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+SRC = REPO / "src" / "repro"
+
+
+def actual_modules():
+    """Top-level modules/packages of repro (dunders excluded)."""
+    names = set()
+    for entry in SRC.iterdir():
+        if entry.name.startswith("__"):
+            continue
+        if entry.is_dir() and (entry / "__init__.py").exists():
+            names.add(entry.name)
+        elif entry.suffix == ".py":
+            names.add(entry.stem)
+    return names
+
+
+def documented_modules():
+    """Module names from the architecture doc's module-map table."""
+    text = (DOCS / "architecture.md").read_text()
+    section = text.split("## Module map", 1)[1].split("\n## ", 1)[0]
+    return set(re.findall(r"^\| `([A-Za-z_][\w.]*)` \|", section, re.M))
+
+
+class TestModuleMap:
+    def test_every_module_documented(self):
+        missing = actual_modules() - documented_modules()
+        assert not missing, (
+            f"modules missing from docs/architecture.md module map: "
+            f"{sorted(missing)} — add a row per module"
+        )
+
+    def test_no_stale_doc_rows(self):
+        stale = documented_modules() - actual_modules()
+        assert not stale, (
+            f"docs/architecture.md module map lists modules that no "
+            f"longer exist: {sorted(stale)}"
+        )
+
+    def test_map_is_not_trivially_empty(self):
+        assert len(documented_modules()) >= 15
+
+
+class TestCompilationDocs:
+    def test_compilation_doc_exists(self):
+        doc = DOCS / "compilation.md"
+        assert doc.exists()
+        text = doc.read_text()
+        for needle in (
+            "plan cache",
+            "CompiledQuery",
+            "--no-compile",
+            "compile.cache.hit",
+            "check_compile_speedup",
+        ):
+            assert needle in text, f"docs/compilation.md lost {needle!r}"
+
+    def test_cross_links(self):
+        assert "compilation.md" in (DOCS / "architecture.md").read_text()
+        assert "compilation.md" in (DOCS / "observability.md").read_text()
+        assert "compilation.md" in (DOCS / "robustness.md").read_text()
+
+    def test_observability_lists_compile_counters(self):
+        text = (DOCS / "observability.md").read_text()
+        for counter in (
+            "compile.cache.hit",
+            "compile.cache.miss",
+            "compile.cache.eviction",
+            "compile.cache.invalidated",
+            "analysis.model_builds",
+        ):
+            assert counter in text, (
+                f"docs/observability.md is missing the {counter} counter"
+            )
+
+    def test_readme_mentions_speed(self):
+        text = (REPO / "README.md").read_text()
+        assert "How fast is it?" in text
+        assert "plan cache" in text
