@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Guard the static cost analysis against optimistic drift.
+
+Two workloads, both deterministic:
+
+1. **Qn diamond family** (n = 1..30): the statistics-aware certificate
+   must (a) *bracket* the runtime obs counters — ACCUM executions and
+   SDMC product states on every counting run, emitted paths on the
+   enumeration runs — and (b) keep the Theorem 7.1 growth separation:
+   the predicted ACCUM bound grows polynomially (constant second
+   differences) while the predicted path bound at least doubles per
+   level.
+2. **SNB interactive corpus** (``IC_QUERIES`` x hops at SF 0.1): every
+   certificate must bracket the observed counters, so the estimator
+   stays sound on realistic multi-hop joins, not just the paper's
+   worst case.
+
+Every predicted upper bound is also pinned exactly against the
+committed baseline (``benchmarks/cost_baseline.json``): the analysis is
+deterministic, so any change — tighter or looser — must be reviewed and
+re-committed with ``--write-baseline``.  A bracketing failure is a hard
+failure regardless of the baseline.
+
+``--report PATH`` additionally writes the Qn predicted-vs-observed
+table as JSON (uploaded as a CI artifact for eyeballing drift).
+
+Exit status 0 = calibrated, 1 = regression.
+
+Usage:  python benchmarks/check_cost_calibration.py
+            [--write-baseline] [--report cost_report.json]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.pattern import EngineMode
+from repro.core.tractable import attach_cost_certificates
+from repro.graph import builders
+from repro.graph.stats import stats_snapshot
+from repro.gsql import parse_query
+from repro.ldbc import IC_QUERIES, default_parameters, generate_snb_graph
+from repro.obs import collect
+from repro.paths import PathSemantics
+
+BASELINE = Path(__file__).resolve().parent / "cost_baseline.json"
+
+QN = """
+CREATE QUERY Qn(string srcName, string tgtName) {
+  SumAccum<int> @pathCount;
+  R = SELECT t
+      FROM V:s -(E>*)- V:t
+      WHERE s.name == srcName AND t.name == tgtName
+      ACCUM t.@pathCount += 1;
+  PRINT R[R.name, R.@pathCount];
+}
+"""
+
+QN_SIZES = tuple(range(1, 31))
+#: enumeration is exponential: only run it where 2^n stays cheap.
+QN_ENUM_SIZES = tuple(range(1, 13))
+
+IC_NAMES = ("ic3", "ic5", "ic6", "ic9", "ic11")
+IC_HOPS = (2, 3)
+SNB_SCALE = 0.1
+
+
+def qn_certificate(n):
+    query = parse_query(QN)
+    stats = stats_snapshot(builders.diamond_chain(n))
+    attach_cost_certificates(query, stats=stats)
+    return query, query.cost_certificate
+
+
+def check_bracket(cert, observed, label, failures):
+    """Every observed counter must land inside its predicted interval."""
+    ok = True
+    for metric, value in observed.items():
+        interval = getattr(cert, metric)
+        if not interval.contains(value):
+            print(f"PREDICTION MISSED {label}: {metric} observed {value} "
+                  f"outside predicted {interval.describe()}")
+            failures.append(label)
+            ok = False
+    return ok
+
+
+def run_qn_family(failures):
+    """Bracket + growth-shape checks; returns (pinned, report rows)."""
+    pinned = {}
+    rows = []
+    acc_his = []
+    path_his = []
+    for n in QN_SIZES:
+        query, cert = qn_certificate(n)
+        graph = builders.diamond_chain(n)
+        if cert.confidence.value != "closed-form":
+            print(f"CONFIDENCE REGRESSED qn/n={n}: {cert.confidence.value}")
+            failures.append(f"qn/n={n}")
+        with collect() as col:
+            query.run(graph, srcName="v0", tgtName=f"v{n}")
+        observed = {
+            "acc_executions": col.counter("block.acc_executions"),
+            "product_states": col.counter("sdmc.product_states"),
+        }
+        check_bracket(cert, observed, f"qn/n={n} (counting)", failures)
+        row = {
+            "n": n,
+            "predicted_acc_hi": cert.acc_executions.hi,
+            "observed_acc": observed["acc_executions"],
+            "predicted_product_hi": cert.product_states.hi,
+            "observed_product": observed["product_states"],
+            "predicted_paths_hi": cert.paths.hi,
+        }
+        if n in QN_ENUM_SIZES:
+            with collect() as col:
+                query.run(
+                    graph,
+                    mode=EngineMode.enumeration(PathSemantics.NO_REPEATED_EDGE),
+                    srcName="v0", tgtName=f"v{n}",
+                )
+            paths = col.counter("enum.paths_emitted")
+            check_bracket(
+                cert, {"paths": paths}, f"qn/n={n} (enumeration)", failures
+            )
+            row["observed_paths"] = paths
+        rows.append(row)
+        acc_his.append(cert.acc_executions.hi)
+        path_his.append(cert.paths.hi)
+        pinned[f"qn/n={n}"] = {
+            "acc_hi": cert.acc_executions.hi,
+            "product_hi": cert.product_states.hi,
+            "paths_hi": cert.paths.hi,
+            "confidence": cert.confidence.value,
+        }
+
+    # Theorem 7.1, statically: polynomial ACCUM bound (constant second
+    # differences) vs at-least-doubling path bound.
+    firsts = [b - a for a, b in zip(acc_his, acc_his[1:])]
+    seconds = {b - a for a, b in zip(firsts, firsts[1:])}
+    if len(seconds) != 1:
+        print(f"ACC BOUND NOT POLYNOMIAL: second differences {sorted(seconds)}")
+        failures.append("qn/acc-growth")
+    for n, (smaller, larger) in zip(QN_SIZES, zip(path_his, path_his[1:])):
+        if larger < 2 * smaller:
+            print(f"PATH BOUND STOPPED DOUBLING at n={n + 1}: "
+                  f"{smaller} -> {larger}")
+            failures.append("qn/path-growth")
+    return pinned, rows
+
+
+def run_snb_corpus(failures):
+    graph = generate_snb_graph(scale_factor=SNB_SCALE, seed=42)
+    stats = stats_snapshot(graph)
+    pinned = {}
+    for name in IC_NAMES:
+        for hops in IC_HOPS:
+            label = f"snb/{name}/h{hops}"
+            query = IC_QUERIES[name](hops)
+            attach_cost_certificates(query, stats=stats)
+            cert = query.cost_certificate
+            params = default_parameters(graph, name)
+            with collect() as col:
+                query.run(graph, **params)
+            observed = {
+                "acc_executions": col.counter("block.acc_executions"),
+                "product_states": col.counter("sdmc.product_states"),
+            }
+            check_bracket(cert, observed, label, failures)
+            pinned[label] = {
+                "acc_hi": cert.acc_executions.hi,
+                "product_hi": cert.product_states.hi,
+                "paths_hi": cert.paths.hi,
+                "confidence": cert.confidence.value,
+            }
+    return pinned
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="write the Qn predicted-vs-observed JSON table")
+    args = parser.parse_args(argv)
+
+    failures = []
+    pinned, qn_rows = run_qn_family(failures)
+    pinned.update(run_snb_corpus(failures))
+
+    if args.report:
+        Path(args.report).write_text(json.dumps(
+            {"qn": qn_rows, "snb_scale": SNB_SCALE}, indent=2,
+        ) + "\n")
+        print(f"wrote Qn predicted-vs-observed report to {args.report}")
+
+    if args.write_baseline:
+        BASELINE.write_text(json.dumps(pinned, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {len(pinned)} baseline predictions to {BASELINE}")
+        return 0
+
+    baseline = json.loads(BASELINE.read_text())
+    for label in sorted(set(baseline) | set(pinned)):
+        if label not in pinned:
+            print(f"STALE BASELINE ENTRY {label} (refresh with "
+                  f"--write-baseline)", file=sys.stderr)
+            continue
+        if label not in baseline:
+            print(f"UNPINNED PREDICTION {label}: run --write-baseline")
+            failures.append(label)
+        elif baseline[label] != pinned[label]:
+            print(f"PREDICTION DRIFTED {label}: baseline {baseline[label]} "
+                  f"!= current {pinned[label]}")
+            failures.append(label)
+
+    if failures:
+        print(f"{len(failures)} cost calibration regression(s) over "
+              f"{len(pinned)} predictions")
+        return 1
+    print(f"cost calibration clean: {len(pinned)} predictions pinned, "
+          f"every observed counter inside its interval "
+          f"(Qn n=1..{QN_SIZES[-1]}, SNB SF {SNB_SCALE})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

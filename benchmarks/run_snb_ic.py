@@ -9,7 +9,10 @@ cells that exceed the timeout print ``-`` — the paper's dashes.
 With ``--counters``, a third table profiles the counting engine with
 :mod:`repro.obs` and reports acc-executions per cell — the engine work
 that stays proportional to the compressed binding table (Theorem 7.1)
-rather than to the number of matching paths.
+rather than to the number of matching paths.  Each cell prints
+``observed<=predicted``, the runtime counter next to the static
+:class:`~repro.core.tractable.CostCertificate` upper bound, so the
+table doubles as a calibration eyeball-check.
 
 Usage:  python benchmarks/run_snb_ic.py [--timeout 30] [--scales 0.1 0.4 1.6]
         [--counters]
@@ -52,18 +55,29 @@ def table_for_engine(graphs, mode, timeout):
 
 
 def counter_table(graphs, mode):
-    """acc-executions per (scale, hops, query) cell on the counting engine."""
+    """acc-executions per (scale, hops, query) cell on the counting
+    engine, printed as ``observed<=predicted``: the observed counter
+    next to the static cost certificate's upper bound for the same
+    graph statistics (``repro.analysis.cost``)."""
+    from repro.core.tractable import attach_cost_certificates
+    from repro.graph.stats import stats_snapshot
+
     rows = []
     for sf, graph in graphs.items():
+        stats = stats_snapshot(graph)
         for hops in HOPS:
             cells = [sf, hops]
             for name in QUERIES:
                 query = IC_QUERIES[name](hops)
+                attach_cost_certificates(query, stats=stats)
+                predicted = query.cost_certificate.acc_executions.hi
                 params = default_parameters(graph, name)
                 _, col = profile_call(
                     lambda q=query, p=params: q.run(graph, mode=mode, **p)
                 )
-                cells.append(col.counter("block.acc_executions"))
+                observed = col.counter("block.acc_executions")
+                bound = "inf" if predicted is None else predicted
+                cells.append(f"{observed}<={bound}")
             rows.append(cells)
     return rows
 
@@ -102,7 +116,7 @@ def main(argv=None) -> int:
         counters = counter_table(graphs, EngineMode.counting())
         print(render_table(
             headers, counters,
-            title="Counting engine acc-executions (repro.obs)",
+            title="Counting engine acc-executions: observed<=predicted",
         ))
         print()
     print(

@@ -29,6 +29,13 @@ Each row describes the ``+=`` update algebra of one accumulator type:
 ``make``/``sample`` give the property tests (and AccSan's self-checks) a
 fresh instance and a random valid input for the type, so the checks are
 generated from the table instead of hand-written per type.
+
+``merge_cost`` / ``unit_bytes``
+    The cost model's columns (:mod:`repro.analysis.cost`): whether one
+    partial :meth:`merge` is constant-time (``"O(1)"``, scalars) or
+    linear in the partial's size μ (``"O(u)"``, containers), and the
+    estimated bytes one folded input adds to the accumulator state
+    (scalars: the whole state; containers: one element).
 """
 
 from __future__ import annotations
@@ -58,6 +65,12 @@ class OpAlgebra(NamedTuple):
     make: Callable[[], Any]
     sample: Callable[[random.Random], Any]
     caveat: str = ""
+    #: merge cost of one partial: "O(1)" for scalars, "O(u)" when a
+    #: merge walks the partial's μ elements (containers).
+    merge_cost: str = "O(1)"
+    #: estimated bytes one folded input adds to the accumulator state
+    #: (scalars: the whole state, amortized to 0 growth after the first).
+    unit_bytes: int = 0
 
 
 _HEAP_TUPLE = TupleType("AlgebraProbe", [("score", "FLOAT"), ("name", "STRING")])
@@ -69,10 +82,31 @@ def _half_int(rng: random.Random) -> float:
     return rng.randint(-1000, 1000) * 0.5
 
 
+#: Container kinds grow per folded input and merge in O(μ); everything
+#: else keeps the scalar defaults (O(1) merge, no per-input growth).
+_CONTAINER_COSTS: Dict[str, int] = {
+    "SumAccum<STRING>": 4,
+    "SetAccum": 56,
+    "BagAccum": 56,
+    "ListAccum": 40,
+    "ArrayAccum": 32,
+    "MapAccum": 88,
+    "HeapAccum": 64,
+    "GroupByAccum": 112,
+}
+
+
+def _with_costs(alg: "OpAlgebra") -> "OpAlgebra":
+    per_input = _CONTAINER_COSTS.get(alg.kind)
+    if per_input is None:
+        return alg
+    return alg._replace(merge_cost="O(u)", unit_bytes=per_input)
+
+
 #: kind -> OpAlgebra.  ``SumAccum<STRING>`` is the documented Section 4.3
 #: exception: concatenation associates but does not commute.
 TABLE: Dict[str, OpAlgebra] = {
-    alg.kind: alg
+    alg.kind: _with_costs(alg)
     for alg in [
         OpAlgebra("SumAccum", True, True, False, True, True,
                   lambda: SumAccum(0.0), _half_int),

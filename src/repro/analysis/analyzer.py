@@ -42,14 +42,19 @@ def analyze(
     schema=None,
     source: Optional[str] = None,
     rules: Optional[Sequence[Rule]] = None,
+    stats=None,
 ) -> List[Diagnostic]:
     """Analyze a compiled :class:`~repro.core.query.Query`.
 
     Returns diagnostics sorted for display (by source position, then
     code), with the source text's inline suppressions applied.  Pass
     ``source`` explicitly for queries whose ``.source`` is unset.
+    ``stats`` (a :class:`~repro.graph.stats.GraphStatsSnapshot`) gives
+    the cost rules (W050-W052) closed-form predictions instead of
+    structural bounds.
     """
     model = cached_model(query, schema)
+    model.lint_stats = stats
     diagnostics = run_rules(model, rules)
     text = source if source is not None else model.source
     diagnostics = apply_suppressions(diagnostics, text)

@@ -31,6 +31,11 @@ Effect/commutativity rules (over the :mod:`.effects` certificates)
     E040 parallel-unsafe accumulator update
     W041 order-dependent block under parallelism
     W042 cross-accumulator read-write interference
+
+Cost rules (over the :mod:`.cost` certificates)
+    W050 predicted-intractable path enumeration
+    W051 WHILE with unbounded predicted iterations
+    W052 predicted accumulator memory over the bounded-class cap
 """
 
 from __future__ import annotations
@@ -769,6 +774,150 @@ class CrossAccumInterferenceRule(Rule):
                 f"non-delta-maintainable)",
                 finding.read,
             )
+
+
+# ======================================================================
+# Cost rules (W050-W052) — thin reporters over the per-block
+# CostCertificates of repro.analysis.cost.  Without graph statistics
+# (``model.lint_stats``) the certificates are structural, so the rules
+# stay conservative: they fire only on what is *provable* either way —
+# an unbounded prediction (W050/W051) or a finite bound already over a
+# cap (W052).
+# ======================================================================
+
+#: Path-count threshold above which a predicted enumeration is reported
+#: as intractable — the stock "interactive" budget class's max_paths
+#: (see repro.server.admission.default_classes).
+PREDICTED_PATHS_WARN = 1_000_000
+
+#: Accumulator-memory threshold for W052 — the stock "bounded" budget
+#: class's max_accum_bytes cap (64 MiB).
+PREDICTED_ACCUM_BYTES_WARN = 64 * 1024 * 1024
+
+
+@register
+class PredictedIntractableEnumerationRule(Rule):
+    """W050: a block *must* run the enumeration engine (its tractability
+    certificate says ENUMERATION_REQUIRED), and the cost certificate
+    predicts an unbounded or enormous number of materialized paths.
+    Unlike E013 (which rejects the order-dependent + Kleene combination
+    outright), this fires on queries that are legal but whose predicted
+    path count says the run will not finish at interactive scale."""
+
+    code = "GSQL-W050"
+    name = "predicted-intractable-enumeration"
+    severity = Severity.WARNING
+    description = (
+        "A block requires path enumeration and its cost certificate "
+        "predicts an unbounded or enormous path count."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        from ..core.tractable import TractabilityStatus
+        from .cost import analyze_cost
+        from .dataflow import block_certificates
+
+        cost = analyze_cost(model, stats=getattr(model, "lint_stats", None))
+        by_block = {id(bf): cert for bf, cert in cost.blocks}
+        for block_fact, cert in block_certificates(model):
+            if cert.status is not TractabilityStatus.ENUMERATION_REQUIRED:
+                continue
+            cc = by_block.get(id(block_fact))
+            if cc is None:
+                continue
+            if cc.paths.hi is not None and cc.paths.hi <= PREDICTED_PATHS_WARN:
+                continue
+            predicted = (
+                "unbounded" if cc.paths.hi is None else f"<= {cc.paths.hi:,}"
+            )
+            yield self.diag(
+                f"block requires the enumeration engine and its predicted "
+                f"path count is {predicted}; the run is predicted "
+                f"intractable — bound the pattern, or run governed with "
+                f"--max-paths",
+                block_fact,
+            )
+
+
+@register
+class UnboundedPredictedIterationsRule(Rule):
+    """W051: a WHILE loop whose predicted iteration count is unbounded —
+    no constant LIMIT and no governed cap (E033's degraded-execution
+    flag) — so every cost interval inside it is unbounded too.  W020
+    covers the narrower "condition can never change" case; this covers
+    loops that *do* converge dynamically but give static analysis no
+    bound to certify, which in turn makes auto-budgets and admission
+    prediction useless for the whole query."""
+
+    code = "GSQL-W051"
+    name = "unbounded-predicted-iterations"
+    severity = Severity.WARNING
+    description = (
+        "A WHILE loop has no statically bounded iteration count (no "
+        "LIMIT, no governed cap); the query's cost prediction is "
+        "unbounded."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        from .cost import analyze_cost
+
+        cost = analyze_cost(model, stats=getattr(model, "lint_stats", None))
+        facts_by_node = {id(fact.node): fact for fact in model.whiles}
+        for loop_node, iterations in cost.whiles:
+            if iterations.hi is not None:
+                continue
+            loop_fact = facts_by_node.get(id(loop_node))
+            if loop_fact is None:
+                continue
+            if loop_fact.has_limit or loop_fact.cond_reads_accum:
+                # A LIMIT bounds it; a convergence condition (reads an
+                # accumulator) is the idiomatic dynamic bound — W020/E033
+                # police the pathological subcases.
+                continue
+            if not (loop_fact.cond_set_names & loop_fact.body_assigned_sets):
+                continue  # W020 already reports the never-changing case
+            yield self.diag(
+                "WHILE iterations cannot be bounded statically; every "
+                "cost prediction inside the loop is unbounded — add a "
+                "LIMIT to restore a certifiable budget",
+                loop_fact,
+            )
+
+
+@register
+class PredictedAccumMemoryRule(Rule):
+    """W052: the query's predicted accumulator memory — container growth
+    per certified acc-execution, from the op-algebra table's unit-bytes
+    column — exceeds the stock bounded budget class's 64 MiB cap.  A
+    *finite* prediction over the cap is a proof the query cannot run in
+    that class; with structural (statistics-free) certificates container
+    growth is unbounded, not finite, so the rule stays silent."""
+
+    code = "GSQL-W052"
+    name = "predicted-accumulator-memory"
+    severity = Severity.WARNING
+    description = (
+        "The query's predicted accumulator memory exceeds the bounded "
+        "budget class's 64 MiB cap."
+    )
+
+    def check(self, model: QueryModel) -> Iterator[Diagnostic]:
+        from .cost import analyze_cost
+
+        cost = analyze_cost(model, stats=getattr(model, "lint_stats", None))
+        cert = cost.query_certificate
+        hi = cert.accum_bytes.hi
+        if hi is None or hi <= PREDICTED_ACCUM_BYTES_WARN:
+            return
+        mib = hi / (1024 * 1024)
+        yield self.diag(
+            f"predicted accumulator memory is up to {mib:,.0f} MiB, over "
+            f"the bounded budget class's 64 MiB cap; the query cannot be "
+            f"admitted there (shrink the container accumulators or use a "
+            f"roomier class)",
+            span=None,
+            seq=0,
+        )
 
 
 #: Codes whose diagnostics the legacy ``validate_query`` shim reports,

@@ -147,17 +147,43 @@ def _print_value(value: Any) -> str:
     return f"  {value!r}"
 
 
-def _build_governor(args: argparse.Namespace):
+def _build_governor(args: argparse.Namespace, graph: Any = None, query: Any = None):
     """An :class:`ExecutionGovernor` from the budget flags, or None when
-    no flag was given (so ungoverned runs stay on the zero-cost path)."""
+    no flag was given (so ungoverned runs stay on the zero-cost path).
+
+    Under ``--auto-budget`` the caps derive from the query's cost
+    certificate re-stamped with ``graph``'s statistics (predicted upper
+    bound x ``--headroom``); explicit flags still win slot-by-slot, so
+    ``--auto-budget --max-paths N`` pins paths at N while the remaining
+    caps stay predicted.
+    """
     from .governor import Budget, ExecutionGovernor
+
+    auto = Budget()
+    if getattr(args, "auto_budget", False) and graph is not None:
+        from .core.tractable import attach_cost_certificates
+        from .graph.stats import stats_snapshot
+
+        target = getattr(query, "query", query)  # unwrap CompiledQuery
+        attach_cost_certificates(
+            target, schema=getattr(graph, "schema", None),
+            stats=stats_snapshot(graph),
+        )
+        auto = ExecutionGovernor.from_certificate(
+            target.cost_certificate, headroom=args.headroom
+        ).budget
+
+    def pick(explicit, slot):
+        return explicit if explicit is not None else getattr(auto, slot)
 
     budget = Budget(
         deadline_seconds=args.timeout,
-        max_acc_executions=args.max_acc_execs,
-        max_product_states=args.max_product_states,
-        max_paths=args.max_paths,
-        max_accum_bytes=args.max_accum_bytes,
+        max_acc_executions=pick(args.max_acc_execs, "max_acc_executions"),
+        max_product_states=pick(
+            args.max_product_states, "max_product_states"
+        ),
+        max_paths=pick(args.max_paths, "max_paths"),
+        max_accum_bytes=pick(args.max_accum_bytes, "max_accum_bytes"),
         max_while_iterations=args.max_while_iters,
     )
     if budget.is_unlimited:
@@ -187,7 +213,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     mode = _ENGINES[args.engine]()
     params = dict(args.param or [])
-    governor = _build_governor(args)
+    governor = _build_governor(args, graph=graph, query=query)
     sanitizer_scope: Any = contextlib.nullcontext(None)
     if args.sanitize:
         from . import accsan
@@ -222,8 +248,20 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
+    from .analysis.cost import analyze_cost
+    from .analysis.model import cached_model
+
+    schema, stats = _load_lint_schema(
+        getattr(args, "graph", None), with_stats=True
+    )
     query = _load_query(args.query_file)
     print(explain_query(query))
+    cost = analyze_cost(cached_model(query, schema), stats=stats)
+    print()
+    print(f"COST query: {cost.query_certificate.describe()}")
+    for block_fact, cert in cost.blocks:
+        at = f"L{block_fact.span.line}" if block_fact.span else "block"
+        print(f"COST {at}: {cert.describe()}")
     if not args.no_compile:
         from .compile import compile_query
 
@@ -245,7 +283,16 @@ def cmd_profile(args: argparse.Namespace) -> int:
     query = _load_runnable(args.query_file, graph, args.no_compile)
     mode = _ENGINES[args.engine]()
     params = dict(args.param or [])
-    governor = _build_governor(args)
+    governor = _build_governor(args, graph=graph, query=query)
+    # Stamp closed-form cost certificates so the report's predicted-vs-
+    # observed section compares against this graph's statistics.
+    from .core.tractable import attach_cost_certificates
+    from .graph.stats import stats_snapshot
+
+    attach_cost_certificates(
+        getattr(query, "query", query),
+        schema=getattr(graph, "schema", None), stats=stats_snapshot(graph),
+    )
     report = profile_query(query, graph, mode=mode, governor=governor, **params)
     if args.output:
         with open(args.output, "w") as fh:
@@ -327,9 +374,12 @@ def _collect_units(paths: List[str]) -> List[Tuple[str, str]]:
     return units
 
 
-def _load_lint_schema(graph_path: Optional[str]):
+def _load_lint_schema(graph_path: Optional[str], with_stats: bool = False):
+    """Schema synthesized from a JSON graph — and, with ``with_stats``,
+    the :class:`~repro.graph.stats.GraphStatsSnapshot` the cost analysis
+    turns into closed-form bounds (one graph load covers both)."""
     if not graph_path:
-        return None
+        return (None, None) if with_stats else None
     from .graph.schema import GraphSchema
 
     graph = load_graph_json(graph_path)
@@ -339,6 +389,10 @@ def _load_lint_schema(graph_path: Optional[str]):
             schema.vertex(vtype)
         for etype in graph.edge_types():
             schema.edge(etype)
+    if with_stats:
+        from .graph.stats import stats_snapshot
+
+        return schema, stats_snapshot(graph)
     return schema
 
 
@@ -349,7 +403,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from .errors import GSQLSyntaxError, QueryCompileError
     from .gsql import parse_queries
 
-    schema = _load_lint_schema(args.graph)
+    schema, stats = _load_lint_schema(args.graph, with_stats=True)
     units = _collect_units(args.paths)
 
     records: List[dict] = []
@@ -371,7 +425,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
             records.append({"file": label, "query": None, **diag.to_dict()})
             continue
         for name, query in queries.items():
-            for diag in analyze(query, schema=schema, source=source):
+            for diag in analyze(
+                query, schema=schema, source=source, stats=stats
+            ):
                 if diag.is_error:
                     errors += 1
                 else:
@@ -401,17 +457,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # check (flow-sensitive analysis + certificates)
 # ----------------------------------------------------------------------
+def _fmt_interval(pair) -> str:
+    """``[lo, hi]`` rendering for a serialized interval (None = inf)."""
+    lo, hi = pair
+    return f"[{lo}, {'inf' if hi is None else hi}]"
 def check_units(
-    units: List[Tuple[str, str]], schema=None
+    units: List[Tuple[str, str]], schema=None, stats=None
 ) -> Tuple[dict, List[str], List[str]]:
     """Run the full analyzer + dataflow over GSQL units.
 
     Returns ``(payload, rendered_diagnostics, dot_graphs)`` where
     ``payload`` is the JSON document ``repro check --format json``
     prints; the CI baseline guard (``benchmarks/check_dataflow_baseline``)
-    imports this directly.
+    imports this directly.  ``stats`` (a
+    :class:`~repro.graph.stats.GraphStatsSnapshot`) turns the payload's
+    ``cost`` certificates from structural bounds into closed-form ones.
     """
     from .analysis import Severity, analyze
+    from .analysis.cost import analyze_cost
     from .analysis.dataflow import analyze_dataflow, block_certificates
     from .analysis.diagnostics import Diagnostic
     from .analysis.effects import analyze_effects
@@ -423,6 +486,7 @@ def check_units(
     records: List[dict] = []
     certificates: List[dict] = []
     effects: List[dict] = []
+    costs: List[dict] = []
     query_summaries: List[dict] = []
     rendered: List[str] = []
     dot_graphs: List[str] = []
@@ -443,7 +507,9 @@ def check_units(
             records.append({"file": label, "query": None, **diag.to_dict()})
             continue
         for name, query in queries.items():
-            for diag in analyze(query, schema=schema, source=source):
+            for diag in analyze(
+                query, schema=schema, source=source, stats=stats
+            ):
                 if diag.is_error:
                     errors += 1
                 else:
@@ -477,6 +543,15 @@ def check_units(
                         for g, n in summary.written_keys
                     ),
                 })
+            cost = analyze_cost(model, stats=stats)
+            for block_fact, cost_cert in cost.blocks:
+                costs.append({
+                    "file": label,
+                    "query": name,
+                    "line": block_fact.span.line if block_fact.span else None,
+                    "pattern": repr(block_fact.block.pattern),
+                    **cost_cert.to_dict(),
+                })
             query_summaries.append({
                 "file": label,
                 "query": name,
@@ -487,6 +562,7 @@ def check_units(
                     ("@@" if key[0] else "@") + key[1]: flow.state_names(key)
                     for key in sorted(flow.keys, key=lambda k: (not k[0], k[1]))
                 },
+                "cost": cost.query_certificate.to_dict(),
             })
             dot_graphs.append(flow.cfg.to_dot(f"{name}"))
     payload = {
@@ -495,15 +571,16 @@ def check_units(
         "diagnostics": records,
         "certificates": certificates,
         "effects": effects,
+        "cost": costs,
         "queries": query_summaries,
     }
     return payload, rendered, dot_graphs
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    schema = _load_lint_schema(args.graph)
+    schema, stats = _load_lint_schema(args.graph, with_stats=True)
     units = _collect_units(args.paths)
-    payload, rendered, dot_graphs = check_units(units, schema)
+    payload, rendered, dot_graphs = check_units(units, schema, stats=stats)
 
     if args.dot:
         with open(args.dot, "w") as fh:
@@ -532,6 +609,22 @@ def cmd_check(args: argparse.Namespace) -> int:
                     f"writes {', '.join(eff['writes']) or '(none)'}"
                 )
                 for witness in eff["witnesses"]:
+                    print(f"  * {witness}")
+        if getattr(args, "cost", False):
+            for row in payload["cost"]:
+                line = f":{row['line']}" if row["line"] else ""
+                bounds = " ".join(
+                    f"{metric}={_fmt_interval(row[metric])}"
+                    for metric in (
+                        "frontier", "product_states", "paths",
+                        "acc_executions", "accum_bytes",
+                    )
+                )
+                print(
+                    f"{row['file']}:{row['query']}{line}: cost "
+                    f"{row['confidence']} {bounds} [{row['pattern']}]"
+                )
+                for witness in row["witnesses"]:
                     print(f"  * {witness}")
         diverged = [q for q in payload["queries"] if not q["converged"]]
         for q in diverged:
@@ -667,6 +760,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--max-while-iters", type=int, default=None, metavar="N",
             help="soft per-loop WHILE iteration cap (stops with a warning)",
         )
+        gov.add_argument(
+            "--auto-budget", action="store_true",
+            help="derive the caps from the query's static cost "
+                 "certificate against this graph's statistics "
+                 "(predicted upper bound x headroom; explicit flags "
+                 "win slot-by-slot)",
+        )
+        gov.add_argument(
+            "--headroom", type=float, default=2.0, metavar="X",
+            help="--auto-budget multiplier over the predicted bound "
+                 "(default 2.0)",
+        )
 
     run_p = sub.add_parser("run", help="run a GSQL query file against a JSON graph")
     run_p.add_argument("query_file")
@@ -694,6 +799,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     explain_p = sub.add_parser("explain", help="print a query's evaluation plan")
     explain_p.add_argument("query_file")
+    explain_p.add_argument(
+        "--graph", default=None,
+        help="JSON graph whose statistics turn the COST lines from "
+             "structural bounds into closed-form predictions",
+    )
     add_no_compile_flag(
         explain_p, "omit the COMPILED plan summary from the output"
     )
@@ -763,6 +873,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--effects", action="store_true",
         help="also print the per-block effect/commutativity certificates "
              "(always present in the JSON payload)",
+    )
+    check_p.add_argument(
+        "--cost", action="store_true",
+        help="also print the per-block cost certificates — predicted "
+             "cardinality/memory intervals, closed-form when --graph "
+             "supplies statistics (always present in the JSON payload)",
     )
     check_p.set_defaults(fn=cmd_check)
 

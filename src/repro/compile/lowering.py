@@ -408,6 +408,7 @@ class CompiledBlock(SelectBlock):
         )
         self.certificate = original.certificate
         self.effect_certificate = original.effect_certificate
+        self.cost_certificate = original.cost_certificate
 
         pattern_vars = set(original.pattern.variables())
         # Pushdown split, once.  (The planner.pushdown_* counters are
@@ -771,11 +772,13 @@ class CompiledQuery:
         lowered: Query,
         stats: CompileStats,
         flags: Tuple[str, ...] = (),
+        schema=None,
     ):
         self.query = query
         self.lowered = lowered
         self.stats = stats
         self.flags = tuple(flags)
+        self.schema = schema
         self.source = query.source
         self._epoch = query._analysis_epoch
         #: Error-severity diagnostics from the service's analyze pass,
@@ -793,6 +796,35 @@ class CompiledQuery:
     @property
     def params(self):
         return self.query.params
+
+    @property
+    def cost_certificate(self):
+        """The whole-query cost certificate stamped on the source query
+        (consumers re-stamp it with graph statistics; the plan reads
+        through so warm cache hits see the freshest bounds)."""
+        return self.query.cost_certificate
+
+    def cost_for(self, stats=None):
+        """The whole-query cost certificate against ``stats``, estimated
+        at most once per statistics fingerprint.
+
+        A warm plan-cache hit whose stamped certificate already carries
+        ``stats``' fingerprint returns it without touching the analysis
+        layer (zero ``cost.*`` counters — the property the warm-hit test
+        pins).  A *different* fingerprint — the graph changed — is an
+        automatic invalidation: the stale stamp is replaced by a fresh
+        estimate against the new snapshot (the per-model memo keyed by
+        fingerprint makes re-stamping with a previously seen snapshot
+        free as well).
+        """
+        fingerprint = None if stats is None else stats.fingerprint
+        cert = self.query.cost_certificate
+        if cert is not None and cert.stats_fingerprint == fingerprint:
+            return cert
+        from ..core.tractable import attach_cost_certificates
+
+        attach_cost_certificates(self.query, schema=self.schema, stats=stats)
+        return self.query.cost_certificate
 
     @property
     def stale(self) -> bool:
@@ -895,7 +927,7 @@ def compile_query(
                 )
             if stats.engines_baked:
                 col.count("compile.engines_baked", stats.engines_baked)
-        return CompiledQuery(query, lowered, stats, flags=flags)
+        return CompiledQuery(query, lowered, stats, flags=flags, schema=schema)
     finally:
         if span is not None:
             col.close(span)

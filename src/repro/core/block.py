@@ -127,6 +127,11 @@ class SelectBlock:
         #: ACCUM clause; AccSan replays the block under permuted
         #: schedules to validate the stamp dynamically.
         self.effect_certificate = None
+        #: Static :class:`~repro.core.tractable.CostCertificate` from the
+        #: cost analysis (None for programmatic blocks): predicted
+        #: cardinality intervals the planner tie-breaks on and the
+        #: governor/server derive budgets from.
+        self.cost_certificate = None
 
     # ------------------------------------------------------------------
     def execute(self, ctx: QueryContext, mode: EngineMode) -> Optional[VertexSet]:

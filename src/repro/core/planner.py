@@ -148,6 +148,30 @@ def select_engine(block, ctx, mode: EngineMode) -> EngineMode:
         return EngineMode.enumeration(
             mode.semantics, budget=mode.budget, max_length=mode.max_length
         )
+    # A TRACTABLE verdict is a tie: both engines are result-equivalent.
+    # When a statistics-aware cost certificate predicts strictly fewer
+    # materialized paths than SDMC product states, enumeration is the
+    # cheaper engine — break the tie on the prediction.  (Parse-time
+    # structural certificates leave paths unbounded, so this only fires
+    # after a consumer re-stamped with a GraphStatsSnapshot.)
+    if status is TractabilityStatus.TRACTABLE:
+        cost = getattr(block, "cost_certificate", None)
+        if (
+            cost is not None
+            and cost.stats_fingerprint is not None
+            and cost.paths.hi is not None
+            and (
+                cost.product_states.hi is None
+                or cost.paths.hi < cost.product_states.hi
+            )
+        ):
+            if col is not None:
+                col.count("planner.auto_enumeration")
+                col.count("planner.auto_cost_tiebreak")
+                col.count(f"planner.auto_source.{source}")
+            return EngineMode.enumeration(
+                mode.semantics, budget=mode.budget, max_length=mode.max_length
+            )
     if col is not None:
         col.count("planner.auto_counting")
         col.count(f"planner.auto_source.{source}")

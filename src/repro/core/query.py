@@ -472,6 +472,10 @@ class Query:
         #: :func:`repro.analysis.model.cached_model` — one model build
         #: shared by validate/tractable/lint instead of three.
         self._analysis_cache: Optional[tuple] = None
+        #: Whole-query :class:`~repro.core.tractable.CostCertificate`
+        #: stamped by :func:`~repro.core.tractable.
+        #: attach_cost_certificates` (None until stamped).
+        self.cost_certificate = None
         #: Bumped by :meth:`invalidate_analysis`; compiled plans capture
         #: the epoch at lowering time, so a bump makes every plan built
         #: from this query *stale* and the plan cache drops it on lookup.

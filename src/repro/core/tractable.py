@@ -22,7 +22,7 @@ see :meth:`repro.core.block.SelectBlock._check_tractability`.
 from __future__ import annotations
 
 import enum
-from typing import List, NamedTuple, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 from .query import Query
 
@@ -100,6 +100,139 @@ class DeterminismCertificate(NamedTuple):
         body = "; ".join(self.witnesses) if self.witnesses else "no witnesses"
         delta = ", delta-maintainable" if self.delta_maintainable else ""
         return f"{self.status.value}{delta} ({body})"
+
+
+#: Upper bounds above this ceiling are clamped — they stay finite (and
+#: JSON-serializable) but are read as "astronomically large".
+COST_CAP = 10**30
+
+
+class Interval(NamedTuple):
+    """A closed integer interval ``[lo, hi]``; ``hi=None`` means +inf.
+
+    The abstract domain of the cost analysis: every predicted quantity
+    (frontier rows, product states, paths, ACCUM executions, accumulator
+    bytes) is an interval guaranteed to bracket the runtime value.
+    """
+
+    lo: int = 0
+    hi: Optional[int] = None
+
+    @classmethod
+    def exact(cls, n: int) -> "Interval":
+        return cls(n, n)
+
+    @classmethod
+    def upto(cls, hi: Optional[int]) -> "Interval":
+        return cls(0, None if hi is None else min(hi, COST_CAP))
+
+    @property
+    def bounded(self) -> bool:
+        return self.hi is not None
+
+    def add(self, other: "Interval") -> "Interval":
+        hi = None if self.hi is None or other.hi is None else min(
+            self.hi + other.hi, COST_CAP
+        )
+        return Interval(self.lo + other.lo, hi)
+
+    def mul(self, other: "Interval") -> "Interval":
+        hi = None if self.hi is None or other.hi is None else min(
+            self.hi * other.hi, COST_CAP
+        )
+        return Interval(self.lo * other.lo, hi)
+
+    def join(self, other: "Interval") -> "Interval":
+        """Union hull: the smallest interval covering both."""
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(min(self.lo, other.lo), hi)
+
+    def cap(self, ceiling: Optional[int]) -> "Interval":
+        """Intersect the upper bound with another known bound."""
+        if ceiling is None:
+            return self
+        hi = ceiling if self.hi is None else min(self.hi, ceiling)
+        return Interval(min(self.lo, hi), hi)
+
+    def contains(self, value: int) -> bool:
+        return value >= self.lo and (self.hi is None or value <= self.hi)
+
+    def describe(self) -> str:
+        hi = "inf" if self.hi is None else str(self.hi)
+        return f"[{self.lo}, {hi}]"
+
+    def to_list(self) -> List[Optional[int]]:
+        return [self.lo, self.hi]
+
+
+class CostConfidence(enum.Enum):
+    """How much to trust a cost interval's upper bound.
+
+    Ordered lattice: CLOSED_FORM > ESTIMATED > UNBOUNDED; combining
+    certificates takes the weakest tier.
+    """
+
+    CLOSED_FORM = "closed-form"
+    ESTIMATED = "estimated"
+    UNBOUNDED = "unbounded"
+
+    @property
+    def rank(self) -> int:
+        return {"closed-form": 2, "estimated": 1, "unbounded": 0}[self.value]
+
+    def meet(self, other: "CostConfidence") -> "CostConfidence":
+        return self if self.rank <= other.rank else other
+
+
+class CostCertificate(NamedTuple):
+    """The third parse-time proof object: predicted cardinality/cost.
+
+    Stamped beside the tractability and determinism certificates by
+    :mod:`repro.analysis.cost`.  Each field is an :class:`Interval`
+    bracketing the corresponding runtime obs counter; ``confidence``
+    says how the upper bounds were derived (closed form from a
+    :class:`~repro.graph.stats.GraphStatsSnapshot`, heuristic estimate,
+    or structurally unbounded), and ``witnesses`` record the facts each
+    bound rests on.  Consumers: ``planner.select_engine`` (tie-breaks),
+    ``ExecutionGovernor.from_certificate`` (auto-budgets), server
+    admission (predicted-over-budget 422), ``repro check --cost`` and
+    ``explain`` (COST lines).
+    """
+
+    confidence: CostConfidence
+    frontier: Interval
+    product_states: Interval
+    paths: Interval
+    acc_executions: Interval
+    accum_bytes: Interval
+    witnesses: Tuple[str, ...] = ()
+    #: fingerprint of the stats snapshot the bounds were computed from
+    #: (None = structural, no statistics).
+    stats_fingerprint: Optional[str] = None
+
+    def describe(self) -> str:
+        body = "; ".join(self.witnesses) if self.witnesses else "no witnesses"
+        return (
+            f"{self.confidence.value}"
+            f" frontier={self.frontier.describe()}"
+            f" product-states={self.product_states.describe()}"
+            f" paths={self.paths.describe()}"
+            f" acc-executions={self.acc_executions.describe()}"
+            f" accum-bytes={self.accum_bytes.describe()}"
+            f" ({body})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "confidence": self.confidence.value,
+            "frontier": self.frontier.to_list(),
+            "product_states": self.product_states.to_list(),
+            "paths": self.paths.to_list(),
+            "acc_executions": self.acc_executions.to_list(),
+            "accum_bytes": self.accum_bytes.to_list(),
+            "witnesses": list(self.witnesses),
+            "stats_fingerprint": self.stats_fingerprint,
+        }
 
 
 def analyze_query(query: Query) -> List[TractabilityViolation]:
@@ -183,6 +316,27 @@ def attach_effect_certificates(query: Query, schema=None) -> None:
         block_fact.block.effect_certificate = cert
 
 
+def attach_cost_certificates(query: Query, schema=None, stats=None) -> None:
+    """Stamp each SELECT block (and the query) with its cost certificate.
+
+    Called by the GSQL parser after compilation with ``stats=None``, so
+    parse-time stamps are purely structural (graph-dependent bounds stay
+    open / UNBOUNDED).  Consumers that hold a
+    :class:`~repro.graph.stats.GraphStatsSnapshot` — ``repro check
+    --cost --graph``, ``repro run --auto-budget``, server admission, the
+    calibration harness — re-stamp with concrete closed-form intervals;
+    the analysis memoises per (model, stats fingerprint), so re-stamping
+    with the same snapshot is free.
+    """
+    from ..analysis.cost import analyze_cost
+    from ..analysis.model import cached_model
+
+    result = analyze_cost(cached_model(query, schema), stats=stats)
+    for block_fact, cert in result.blocks:
+        block_fact.block.cost_certificate = cert
+    query.cost_certificate = result.query_certificate
+
+
 def attach_governor_caps(query: Query, schema=None) -> None:
     """Flag E033 (non-terminating WHILE) loops for governed execution.
 
@@ -208,10 +362,15 @@ __all__ = [
     "TractabilityCertificate",
     "DeterminismStatus",
     "DeterminismCertificate",
+    "Interval",
+    "CostConfidence",
+    "CostCertificate",
+    "COST_CAP",
     "analyze_query",
     "is_tractable",
     "certify_query",
     "attach_certificates",
     "attach_effect_certificates",
+    "attach_cost_certificates",
     "attach_governor_caps",
 ]

@@ -144,6 +144,43 @@ class ExecutionGovernor:
         #: The abort this governor raised, if any (for reports).
         self.aborted: Optional[QueryAbortedError] = None
 
+    @classmethod
+    def from_certificate(
+        cls,
+        cert,
+        headroom: float = 2.0,
+        deadline_seconds: Optional[float] = None,
+        token: Optional[CancelToken] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "ExecutionGovernor":
+        """A governor whose budget derives from a cost certificate.
+
+        Every finite predicted upper bound becomes a cap of ``predicted
+        x headroom`` (minimum 1): the run completes as long as the
+        prediction brackets reality, and aborts — instead of running
+        away — the moment the estimate was wrong by more than the
+        headroom factor.  Unbounded predictions leave the corresponding
+        limit unset; a ``None`` certificate yields an unlimited budget.
+        This is the engine behind ``repro run --auto-budget``.
+        """
+
+        def cap(interval) -> Optional[int]:
+            if interval is None or interval.hi is None:
+                return None
+            return max(int(interval.hi * headroom), 1)
+
+        if cert is None:
+            budget = Budget(deadline_seconds=deadline_seconds)
+        else:
+            budget = Budget(
+                deadline_seconds=deadline_seconds,
+                max_acc_executions=cap(cert.acc_executions),
+                max_product_states=cap(cert.product_states),
+                max_paths=cap(cert.paths),
+                max_accum_bytes=cap(cert.accum_bytes),
+            )
+        return cls(budget=budget, token=token, clock=clock)
+
     # -- time and cancellation ----------------------------------------
     def elapsed(self) -> float:
         return self._clock() - self.started

@@ -1,5 +1,6 @@
 """Graph statistics: the workload-characterization numbers benchmark
-logs report (degree moments, clustering, components, distance profile).
+logs report (degree moments, clustering, components, distance profile),
+plus the :class:`GraphStatsSnapshot` the static cost analysis consumes.
 
 Undirected views treat every edge as a symmetric connection, matching
 how the SNB KNOWS network is analyzed.
@@ -7,8 +8,9 @@ how the SNB KNOWS network is analyzed.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict, NamedTuple, Optional, Set, Tuple
 
 from .graph import Graph
 
@@ -30,20 +32,29 @@ def density(graph: Graph) -> float:
     return graph.num_edges / (n * (n - 1))
 
 
-def average_degree(graph: Graph, etype: Optional[str] = None) -> float:
+def average_degree(
+    graph: Graph,
+    etype: Optional[str] = None,
+    adjacency: Optional[Dict[Any, Set[Any]]] = None,
+) -> float:
     """Mean undirected degree over all vertices."""
-    adjacency = _undirected_neighbors(graph, etype)
+    if adjacency is None:
+        adjacency = _undirected_neighbors(graph, etype)
     if not adjacency:
         return 0.0
     return sum(len(nbrs) for nbrs in adjacency.values()) / len(adjacency)
 
 
 def clustering_coefficient(
-    graph: Graph, vid: Any, etype: Optional[str] = None
+    graph: Graph,
+    vid: Any,
+    etype: Optional[str] = None,
+    adjacency: Optional[Dict[Any, Set[Any]]] = None,
 ) -> float:
     """Local clustering: closed-pair fraction of the vertex's
     undirected neighborhood."""
-    adjacency = _undirected_neighbors(graph, etype)
+    if adjacency is None:
+        adjacency = _undirected_neighbors(graph, etype)
     neighbors = adjacency.get(vid, set())
     k = len(neighbors)
     if k < 2:
@@ -57,15 +68,22 @@ def clustering_coefficient(
     return 2 * links / (k * (k - 1))
 
 
-def average_clustering(graph: Graph, etype: Optional[str] = None) -> float:
+def average_clustering(
+    graph: Graph,
+    etype: Optional[str] = None,
+    adjacency: Optional[Dict[Any, Set[Any]]] = None,
+) -> float:
     """Mean local clustering over all vertices (networkx's convention:
     degree-<2 vertices count as 0)."""
+    if adjacency is None:
+        adjacency = _undirected_neighbors(graph, etype)
     vertices = list(graph.vertex_ids())
     if not vertices:
         return 0.0
-    return sum(clustering_coefficient(graph, v, etype) for v in vertices) / len(
-        vertices
-    )
+    return sum(
+        clustering_coefficient(graph, v, etype, adjacency=adjacency)
+        for v in vertices
+    ) / len(vertices)
 
 
 def _bfs_distances(adjacency: Dict[Any, Set[Any]], source: Any) -> Dict[Any, int]:
@@ -80,22 +98,33 @@ def _bfs_distances(adjacency: Dict[Any, Set[Any]], source: Any) -> Dict[Any, int
     return dist
 
 
-def eccentricity(graph: Graph, vid: Any, etype: Optional[str] = None) -> int:
+def eccentricity(
+    graph: Graph,
+    vid: Any,
+    etype: Optional[str] = None,
+    adjacency: Optional[Dict[Any, Set[Any]]] = None,
+) -> int:
     """Greatest undirected hop distance from ``vid`` to any reachable
     vertex (0 for isolated vertices)."""
-    adjacency = _undirected_neighbors(graph, etype)
+    if adjacency is None:
+        adjacency = _undirected_neighbors(graph, etype)
     dist = _bfs_distances(adjacency, vid)
     return max(dist.values())
 
 
-def diameter(graph: Graph, etype: Optional[str] = None) -> int:
+def diameter(
+    graph: Graph,
+    etype: Optional[str] = None,
+    adjacency: Optional[Dict[Any, Set[Any]]] = None,
+) -> int:
     """Largest eccentricity over the (largest) connected component.
 
     Exact all-pairs BFS — fine at this library's laptop scales.
     Disconnected pairs are ignored (the diameter of the graph's
     components' union).
     """
-    adjacency = _undirected_neighbors(graph, etype)
+    if adjacency is None:
+        adjacency = _undirected_neighbors(graph, etype)
     best = 0
     for source in adjacency:
         dist = _bfs_distances(adjacency, source)
@@ -105,10 +134,14 @@ def diameter(graph: Graph, etype: Optional[str] = None) -> int:
 
 
 def distance_histogram(
-    graph: Graph, source: Any, etype: Optional[str] = None
+    graph: Graph,
+    source: Any,
+    etype: Optional[str] = None,
+    adjacency: Optional[Dict[Any, Set[Any]]] = None,
 ) -> Dict[int, int]:
     """Hop distance -> vertex count, from one source (undirected)."""
-    adjacency = _undirected_neighbors(graph, etype)
+    if adjacency is None:
+        adjacency = _undirected_neighbors(graph, etype)
     hist: Dict[int, int] = {}
     for d in _bfs_distances(adjacency, source).values():
         hist[d] = hist.get(d, 0) + 1
@@ -116,15 +149,176 @@ def distance_histogram(
 
 
 def describe(graph: Graph, etype: Optional[str] = None) -> Dict[str, Any]:
-    """A one-call statistics summary (used by benchmark logs)."""
+    """A one-call statistics summary (used by benchmark logs).
+
+    The undirected adjacency map is built exactly once and threaded
+    through every metric that needs it.
+    """
+    adjacency = _undirected_neighbors(graph, etype)
     return {
         "vertices": graph.num_vertices,
         "edges": graph.num_edges,
         "density": round(density(graph), 6),
-        "avg_degree": round(average_degree(graph, etype), 3),
-        "avg_clustering": round(average_clustering(graph, etype), 4),
-        "diameter": diameter(graph, etype),
+        "avg_degree": round(average_degree(graph, etype, adjacency=adjacency), 3),
+        "avg_clustering": round(
+            average_clustering(graph, etype, adjacency=adjacency), 4
+        ),
+        "diameter": diameter(graph, etype, adjacency=adjacency),
     }
+
+
+# ---------------------------------------------------------------------------
+# GraphStatsSnapshot — the statistics input of repro.analysis.cost
+# ---------------------------------------------------------------------------
+
+
+class GraphStatsSnapshot(NamedTuple):
+    """An immutable, fingerprint-keyed statistics summary of one graph.
+
+    This is the *only* graph-shaped input the static cost analysis sees:
+    per-type vertex/edge counts, per-edge-type out-degree maxima/sums,
+    the global out-degree histogram, and — for equality-filter
+    selectivity — the maximum frequency of any single value per
+    ``(vertex type, attribute)`` pair.  The fingerprint keys PlanCache
+    entries so a cached :class:`CostCertificate` is reused only while
+    the statistics it was computed from are still current.
+    """
+
+    vertex_counts: Tuple[Tuple[str, int], ...]
+    edge_counts: Tuple[Tuple[str, int], ...]
+    total_vertices: int
+    total_edges: int
+    #: per edge type: (max out-degree over source vertices, total edges)
+    out_degree: Tuple[Tuple[str, Tuple[int, int]], ...]
+    #: per edge type: (max in-degree over target vertices, total edges)
+    in_degree: Tuple[Tuple[str, Tuple[int, int]], ...]
+    #: out-degree value -> vertex count, over all edge types
+    degree_histogram: Tuple[Tuple[int, int], ...]
+    #: (vertex type, attribute) -> max frequency of any single value
+    attr_max_freq: Tuple[Tuple[Tuple[str, str], int], ...]
+    fingerprint: str
+
+    # NamedTuple keeps the snapshot hashable/immutable; dict views are
+    # reconstructed on demand for ergonomic lookups.
+    def vertices_of(self, vtype: Optional[str]) -> int:
+        if vtype is None:
+            return self.total_vertices
+        return dict(self.vertex_counts).get(vtype, 0)
+
+    def edges_of(self, etype: Optional[str]) -> int:
+        if etype is None:
+            return self.total_edges
+        return dict(self.edge_counts).get(etype, 0)
+
+    def max_out_degree(self, etype: Optional[str]) -> int:
+        table = dict(self.out_degree)
+        if etype is None:
+            return max((m for m, _ in table.values()), default=0)
+        return table.get(etype, (0, 0))[0]
+
+    def max_in_degree(self, etype: Optional[str]) -> int:
+        table = dict(self.in_degree)
+        if etype is None:
+            return max((m for m, _ in table.values()), default=0)
+        return table.get(etype, (0, 0))[0]
+
+    def fan_out(self, etype: Optional[str], direction: str) -> int:
+        """Max per-vertex fan-out traversing ``etype`` with a direction
+        adornment (">" along, "<" against, "-" either way)."""
+        if direction == ">":
+            return self.max_out_degree(etype)
+        if direction == "<":
+            return self.max_in_degree(etype)
+        return self.max_out_degree(etype) + self.max_in_degree(etype)
+
+    def max_value_frequency(self, vtype: str, attr: str) -> Optional[int]:
+        """Max multiplicity of any single value of ``attr`` on ``vtype``
+        (``None`` when the attribute was not profiled)."""
+        return dict(self.attr_max_freq).get((vtype, attr))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "vertex_counts": dict(self.vertex_counts),
+            "edge_counts": dict(self.edge_counts),
+            "total_vertices": self.total_vertices,
+            "total_edges": self.total_edges,
+            "out_degree": {k: list(v) for k, v in self.out_degree},
+            "in_degree": {k: list(v) for k, v in self.in_degree},
+            "degree_histogram": {str(k): v for k, v in self.degree_histogram},
+            "fingerprint": self.fingerprint,
+        }
+
+
+def stats_snapshot(graph: Graph) -> GraphStatsSnapshot:
+    """Profile ``graph`` into a :class:`GraphStatsSnapshot`.
+
+    One pass over vertices and one over edges — O(V + E) — so computing
+    a snapshot is never the expensive part of admission or planning.
+    """
+    vertex_counts: Dict[str, int] = {}
+    attr_freq: Dict[Tuple[str, str], Dict[Any, int]] = {}
+    for v in graph.vertices():
+        vertex_counts[v.type] = vertex_counts.get(v.type, 0) + 1
+        for attr, value in (v.attrs or {}).items():
+            try:
+                hash(value)
+            except TypeError:
+                continue
+            bucket = attr_freq.setdefault((v.type, attr), {})
+            bucket[value] = bucket.get(value, 0) + 1
+
+    edge_counts: Dict[str, int] = {}
+    outdeg: Dict[str, Dict[Any, int]] = {}
+    indeg: Dict[str, Dict[Any, int]] = {}
+    for e in graph.edges():
+        edge_counts[e.type] = edge_counts.get(e.type, 0) + 1
+        per_src = outdeg.setdefault(e.type, {})
+        per_src[e.source] = per_src.get(e.source, 0) + 1
+        per_tgt = indeg.setdefault(e.type, {})
+        per_tgt[e.target] = per_tgt.get(e.target, 0) + 1
+
+    out_degree = {
+        etype: (max(per.values(), default=0), sum(per.values()))
+        for etype, per in outdeg.items()
+    }
+    in_degree = {
+        etype: (max(per.values(), default=0), sum(per.values()))
+        for etype, per in indeg.items()
+    }
+    hist: Dict[int, int] = {}
+    total_out: Dict[Any, int] = {}
+    for per in outdeg.values():
+        for src, d in per.items():
+            total_out[src] = total_out.get(src, 0) + d
+    for v in graph.vertices():
+        d = total_out.get(v.vid, 0)
+        hist[d] = hist.get(d, 0) + 1
+
+    attr_max = {
+        key: max(bucket.values(), default=0) for key, bucket in attr_freq.items()
+    }
+
+    digest = hashlib.blake2b(digest_size=12)
+    for part in (
+        sorted(vertex_counts.items()),
+        sorted(edge_counts.items()),
+        sorted(out_degree.items()),
+        sorted(in_degree.items()),
+        sorted(hist.items()),
+        sorted(attr_max.items()),
+    ):
+        digest.update(repr(part).encode())
+    return GraphStatsSnapshot(
+        vertex_counts=tuple(sorted(vertex_counts.items())),
+        edge_counts=tuple(sorted(edge_counts.items())),
+        total_vertices=graph.num_vertices,
+        total_edges=graph.num_edges,
+        out_degree=tuple(sorted(out_degree.items())),
+        in_degree=tuple(sorted(in_degree.items())),
+        degree_histogram=tuple(sorted(hist.items())),
+        attr_max_freq=tuple(sorted(attr_max.items())),
+        fingerprint=digest.hexdigest(),
+    )
 
 
 __all__ = [
@@ -136,4 +330,6 @@ __all__ = [
     "diameter",
     "distance_histogram",
     "describe",
+    "GraphStatsSnapshot",
+    "stats_snapshot",
 ]

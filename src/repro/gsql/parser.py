@@ -182,6 +182,7 @@ class _Parser:
             raise GSQLSyntaxError("no CREATE QUERY found", 1, 1)
         from ..core.tractable import (
             attach_certificates,
+            attach_cost_certificates,
             attach_effect_certificates,
             attach_governor_caps,
         )
@@ -199,6 +200,10 @@ class _Parser:
             # governed/AUTO execution runs them under a soft iteration
             # cap instead of rejecting the query (docs/robustness.md).
             attach_governor_caps(query)
+            # Stamp the structural cost certificate last (it reads the
+            # governed caps above); consumers holding a stats snapshot
+            # re-stamp with concrete closed-form intervals.
+            attach_cost_certificates(query)
         return queries
 
     def parse_query_decl(self) -> Query:

@@ -38,6 +38,7 @@ class ProfileReport:
         result: Any,
         governor: Optional[Any] = None,
         execution: Optional[Dict[str, Any]] = None,
+        cost: Optional[Dict[str, Any]] = None,
     ):
         self.query_name = query_name
         self.engine = engine
@@ -46,6 +47,9 @@ class ProfileReport:
         self.result = result
         self.governor = governor
         self.execution = execution
+        #: Predicted-vs-observed cost comparison (see ``cost_comparison``),
+        #: present when the profiled query carried a CostCertificate.
+        self.cost = cost
 
     # -- structured export --------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -58,6 +62,8 @@ class ProfileReport:
             doc["execution"] = dict(self.execution)
         if self.governor is not None:
             doc["governor"] = self.governor.report_dict()
+        if self.cost is not None:
+            doc["cost"] = self.cost
         return doc
 
     # -- text rendering ------------------------------------------------
@@ -82,6 +88,16 @@ class ProfileReport:
                 lines.append(f"  {name.ljust(width)}  {counters[name]:,}")
         if self.governor is not None:
             lines.append(self.governor.report_line())
+        if self.cost is not None:
+            lines.append(f"cost (predicted, {self.cost['confidence']}):")
+            for name, row in self.cost["metrics"].items():
+                lo, hi = row["predicted"]
+                hi_s = "inf" if hi is None else f"{hi:,}"
+                verdict = "ok" if row["within"] else "OUTSIDE PREDICTION"
+                lines.append(
+                    f"  {name.ljust(14)}  predicted [{lo:,}, {hi_s}]  "
+                    f"observed {row['observed']:,}  {verdict}"
+                )
         return "\n".join(lines)
 
 
@@ -136,10 +152,44 @@ def profile_query(
                     raise  # an outer governor's abort is not ours to eat
     wall = time.perf_counter() - start
     engine = _engine_label(mode)
+    cert = getattr(query, "cost_certificate", None)
+    cost = cost_comparison(cert, collector.counters) if cert is not None else None
     return ProfileReport(
         query.name, engine, wall, collector, result, governor=governor,
-        execution=execution,
+        execution=execution, cost=cost,
     )
+
+
+#: CostCertificate metric -> the engine counter that observes it.
+_COST_COUNTERS = (
+    ("acc_executions", "block.acc_executions"),
+    ("product_states", "sdmc.product_states"),
+    ("paths", "enum.paths_emitted"),
+)
+
+
+def cost_comparison(cert: Any, counters: Dict[str, int]) -> Dict[str, Any]:
+    """Predicted-vs-observed document for one profiled run.
+
+    Pairs each :class:`~repro.core.tractable.CostCertificate` metric
+    with the engine counter that observes it and records whether the
+    observation fell inside the predicted interval (``within``) — the
+    soundness check the calibration harness enforces corpus-wide.
+    """
+    metrics: Dict[str, Any] = {}
+    for name, counter in _COST_COUNTERS:
+        interval = getattr(cert, name)
+        observed = counters.get(counter, 0)
+        metrics[name] = {
+            "predicted": interval.to_list(),
+            "observed": observed,
+            "within": interval.contains(observed),
+        }
+    return {
+        "confidence": cert.confidence.value,
+        "stats_fingerprint": cert.stats_fingerprint,
+        "metrics": metrics,
+    }
 
 
 def _engine_label(mode: Optional[Any]) -> str:
@@ -208,4 +258,4 @@ def _fmt_ms(seconds: float) -> str:
     return f"{seconds:.2f}s"
 
 
-__all__ = ["ProfileReport", "profile_query"]
+__all__ = ["ProfileReport", "profile_query", "cost_comparison"]

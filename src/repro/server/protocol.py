@@ -40,6 +40,11 @@ class OutcomeKind(enum.Enum):
     SHED_CLASS_LIMIT = "shed-class-limit"
     SHED_TENANT_LIMIT = "shed-tenant-limit"
     SHED_DRAINING = "shed-draining"
+    #: Static cost screen: the query's predicted cost (CostCertificate
+    #: upper bound) exceeds its budget class's caps.  Not retryable —
+    #: resubmitting the same query to the same class predicts the same
+    #: breach; the client must pick a roomier class or change the query.
+    PREDICTED_OVER_BUDGET = "predicted-over-budget"
     # Protocol-level failures.
     BAD_REQUEST = "bad-request"
     INTERNAL = "internal-error"
@@ -62,6 +67,7 @@ HTTP_STATUS: Dict[OutcomeKind, int] = {
     OutcomeKind.SHED_CLASS_LIMIT: 429,
     OutcomeKind.SHED_TENANT_LIMIT: 429,
     OutcomeKind.SHED_DRAINING: 503,
+    OutcomeKind.PREDICTED_OVER_BUDGET: 422,
     OutcomeKind.INTERNAL: 500,
 }
 

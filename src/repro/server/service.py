@@ -54,6 +54,7 @@ class QueryService:
         clock=time.monotonic,
         sleep=time.sleep,
         compile_enabled: bool = True,
+        cost_screen_enabled: bool = True,
     ):
         self.admission = AdmissionController(
             classes=classes,
@@ -72,6 +73,15 @@ class QueryService:
         #: compiled execution (``repro serve --no-compile`` clears it);
         #: per-request ``"compile": false`` still opts out individually.
         self.compile_enabled = compile_enabled
+        #: Static cost screen: before dispatching, predict the query's
+        #: cost against its graph's statistics and refuse requests whose
+        #: *provable* upper bound already exceeds the class budget
+        #: (``repro serve --no-cost-screen`` clears it).
+        self.cost_screen_enabled = cost_screen_enabled
+        self._graphs = dict(graphs) if graphs else {}
+        self._graph_paths = dict(graph_paths) if graph_paths else {}
+        self._stats_cache: Dict[str, Any] = {}
+        self._stats_lock = threading.Lock()
         self._clock = clock
         self._sleep = sleep
         self._draining = False
@@ -156,6 +166,90 @@ class QueryService:
                 ),
             )
 
+    # -- the static cost screen ----------------------------------------
+    def _graph_stats(self, name: str):
+        """Lazily computed :class:`~repro.graph.stats.GraphStatsSnapshot`
+        per graph name (cached; ``None`` when the graph is unknown or
+        statistics cannot be gathered)."""
+        with self._stats_lock:
+            if name in self._stats_cache:
+                return self._stats_cache[name]
+        stats = None
+        try:
+            from ..graph.stats import stats_snapshot
+
+            graph = self._graphs.get(name)
+            if graph is None and name in self._graph_paths:
+                from ..graph.io import load_graph_json
+
+                graph = load_graph_json(self._graph_paths[name])
+            if graph is not None:
+                stats = stats_snapshot(graph)
+        except Exception:  # noqa: BLE001 - screen is best-effort
+            stats = None
+        with self._stats_lock:
+            self._stats_cache[name] = stats
+        return stats
+
+    def _cost_screen(
+        self, request: QueryRequest, ticket: Ticket
+    ) -> Optional[Dict[str, Any]]:
+        """Refuse a request whose *predicted* cost provably exceeds its
+        budget class — before it ever reaches the pool.
+
+        The screen is sound-by-construction and therefore conservative:
+        it only rejects when a **finite** certificate upper bound beats a
+        configured cap (:func:`~repro.analysis.cost.budget_breaches`).
+        Anything that prevents prediction — unknown graph, parse error,
+        missing statistics — skips the screen and lets the worker (which
+        owns those diagnostics) produce the terminal outcome.
+        """
+        cls = ticket.budget_class
+        if not self.cost_screen_enabled or not cls.budget:
+            return None
+        stats = self._graph_stats(request.graph)
+        if stats is None:
+            return None
+        try:
+            from ..analysis.cost import budget_breaches
+
+            if self.compile_enabled and request.compile:
+                # Warm path: the plan cache stashes the certificate per
+                # statistics fingerprint, so repeat traffic screens
+                # without re-parsing or re-estimating.
+                from ..compile import compile_query_text
+
+                cert = compile_query_text(request.query_text).cost_for(stats)
+            else:
+                from ..core.tractable import attach_cost_certificates
+                from ..gsql import parse_query
+
+                query = parse_query(request.query_text)
+                attach_cost_certificates(query, stats=stats)
+                cert = query.cost_certificate
+        except Exception:  # noqa: BLE001 - worker owns parse diagnostics
+            return None
+        if cert is None:
+            return None
+        self.collector.count("server.cost.screened")
+        breaches = budget_breaches(cert, cls.budget, engine=request.engine)
+        if not breaches:
+            return None
+        self.collector.count("server.cost.rejections")
+        return outcome(
+            OutcomeKind.PREDICTED_OVER_BUDGET,
+            request_id=request.request_id,
+            budget_class=cls.name,
+            predicted={
+                "confidence": cert.confidence.value,
+                "breaches": [
+                    {"metric": metric, "predicted_max": hi, "cap": cap}
+                    for metric, hi, cap in breaches
+                ],
+            },
+            certificate=cert.to_dict(),
+        )
+
     def _run_admitted(
         self, request: QueryRequest, ticket: Ticket
     ) -> Dict[str, Any]:
@@ -166,6 +260,9 @@ class QueryService:
         dispatched = False
         attempt = 0
         try:
+            refused = self._cost_screen(request, ticket)
+            if refused is not None:
+                return refused
             while True:
                 attempt += 1
                 remaining = ticket.remaining(self._clock())

@@ -142,3 +142,60 @@ def test_directory_walk(write, tmp_path, capsys):
     out = capsys.readouterr().out
     assert "2 sources checked" in out
     assert "2 certificates" in out
+
+
+# ----------------------------------------------------------------------
+# repro check --cost: predicted cost certificates in text and JSON
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def diamond_json(tmp_path):
+    from repro.graph import builders
+    from repro.graph.io import save_graph_json
+
+    path = tmp_path / "diamond.json"
+    save_graph_json(builders.diamond_chain(6), path)
+    return str(path)
+
+
+COST_METRICS = (
+    "frontier", "product_states", "paths", "acc_executions", "accum_bytes",
+)
+
+
+def test_cost_text_output(write, capsys, diamond_json):
+    path = write("paths.gsql", KLEENE)
+    assert main(["check", path, "--cost", "--graph", diamond_json]) == 0
+    out = capsys.readouterr().out
+    assert ": cost closed-form" in out
+    assert "frontier=[0, 19]" in out
+
+
+def test_cost_json_schema_closed_form(write, capsys, diamond_json):
+    path = write("paths.gsql", KLEENE)
+    assert main(
+        ["check", path, "--format", "json", "--cost", "--graph", diamond_json]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    [row] = payload["cost"]
+    assert row["file"] == path
+    assert row["query"] == "paths"
+    assert row["line"] >= 1
+    assert row["confidence"] == "closed-form"
+    assert row["stats_fingerprint"]
+    for metric in COST_METRICS:
+        lo, hi = row[metric]
+        assert lo >= 0 and hi is not None
+    assert row["witnesses"]
+    [summary] = payload["queries"]
+    assert summary["cost"]["confidence"] == "closed-form"
+    assert summary["cost"]["stats_fingerprint"] == row["stats_fingerprint"]
+
+
+def test_cost_json_structural_without_graph(write, capsys):
+    path = write("paths.gsql", KLEENE)
+    assert main(["check", path, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    [row] = payload["cost"]
+    assert row["confidence"] == "unbounded"
+    assert row["stats_fingerprint"] is None
+    assert row["frontier"][1] is None

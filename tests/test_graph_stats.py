@@ -98,3 +98,23 @@ class TestDescribe:
             "diameter",
         }
         assert summary["vertices"] == 10
+
+
+class TestDescribeBuildsAdjacencyOnce:
+    def test_adjacency_computed_once(self, monkeypatch):
+        # describe() threads one adjacency map through every metric;
+        # a second build would silently double the dominant cost.
+        from repro.graph import stats as stats_mod
+
+        calls = []
+        real = stats_mod._undirected_neighbors
+
+        def counting(graph, etype):
+            calls.append(etype)
+            return real(graph, etype)
+
+        monkeypatch.setattr(stats_mod, "_undirected_neighbors", counting)
+        doc = stats_mod.describe(builders.cycle_graph(8))
+        assert doc["vertices"] == 8
+        assert doc["diameter"] == 4
+        assert len(calls) == 1

@@ -74,10 +74,30 @@ class TestLifecycle:
 
     def test_class_budget_enforced(self, service):
         # The bounded class ships a max_paths budget; an enumeration run
-        # over the diamond chain breaches it deterministically.
+        # over the diamond chain breaches it deterministically.  The
+        # static cost screen proves the breach from the certificate and
+        # refuses before dispatch (422, never retryable).
         doc = service.submit(
             _request(engine="nrv", budget_class="bounded")
         )
+        assert doc["outcome"] == "predicted-over-budget"
+        assert doc["http_status"] == 422
+        assert not doc["retryable"]
+        assert doc["attempts"] == 1
+        metrics = [b["metric"] for b in doc["predicted"]["breaches"]]
+        assert "paths" in metrics
+        assert service.collector.counters["server.cost.rejections"] >= 1
+
+    def test_class_budget_enforced_at_runtime_without_screen(self, service):
+        # With the screen off the same breach is caught the old way: by
+        # the worker's governor, at runtime.
+        service.cost_screen_enabled = False
+        try:
+            doc = service.submit(
+                _request(engine="nrv", budget_class="bounded")
+            )
+        finally:
+            service.cost_screen_enabled = True
         assert doc["outcome"] in ("ok", "aborted")
         if doc["outcome"] == "aborted":
             assert not doc["retryable"]
