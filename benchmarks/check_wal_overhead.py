@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Guard the durable-mutation subsystem: reads must not pay for the WAL.
+
+The durability design contract (docs/robustness.md) is that snapshot
+isolation is *copy-on-write*: a committed version of the graph is a
+plain :class:`~repro.graph.Graph`, and a pinned query runs against it
+with zero indirection — no proxy objects, no per-read version checks.
+The WAL itself is on the write path only.  This script enforces that and
+pins the subsystem's public surface against a committed baseline:
+
+1. times the E1 counting kernel (the SDMC product BFS used by every
+   other overhead guard) over a plain graph versus the same graph served
+   as a :class:`~repro.graph.mutation.GraphStore` pinned snapshot view,
+   interleaved, and asserts the median overhead is below the threshold
+   (default 5% — the envelope every repro instrumentation layer holds),
+2. times the mutation path three ways — in-memory store, WAL without
+   fsync, WAL with fsync — and reports the ratios (informational: the
+   durable path *should* cost real I/O; what must stay cheap is reads),
+3. runs a deterministic commit / torn-tail / recover / fsck smoke cycle
+   under a collector and compares the counter values it produces,
+   the write-path fault-site catalog, the fsck check catalog, the
+   mutation op kinds, and the ``conflict`` outcome's HTTP mapping
+   against ``benchmarks/wal_baseline.json`` — renaming a counter or
+   check, or making ``conflict`` retryable, is a deliberate, reviewed
+   change.
+
+Exit status 0 = within budget, 1 = overhead / correctness / baseline
+failure.  Refresh the baseline with ``--write-baseline``.
+
+Usage:  python benchmarks/check_wal_overhead.py [--threshold 0.05]
+        [--blocks 21] [--calls-per-block 200] [--write-baseline]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.darpe.automaton import CompiledDarpe
+from repro.governor import faults
+from repro.graph import Graph, builders
+from repro.graph.fsck import check_catalog, fsck_graph
+from repro.graph.mutation import (
+    OP_KINDS,
+    GraphStore,
+    MutationBatch,
+    recover_graph,
+)
+from repro.graph.wal import list_segments
+from repro.obs import Collector, collect
+from repro.paths import single_source_sdmc
+from repro.server.protocol import (
+    HTTP_STATUS,
+    OutcomeKind,
+    RETRYABLE_OUTCOMES,
+)
+
+BASELINE = Path(__file__).resolve().parent / "wal_baseline.json"
+
+#: The write-path chaos sites this PR added (subset of the full catalog
+#: guarded by check_governor_overhead.py).
+WRITE_SITES = ("epoch.publish", "mutation.apply", "wal.append",
+               "wal.fsync", "wal.rotate")
+
+
+def timed_block(fn, calls):
+    start = time.perf_counter()
+    for _ in range(calls):
+        fn()
+    return time.perf_counter() - start
+
+
+def interleaved_medians(variants, blocks, calls):
+    for fn in variants:  # warm caches
+        timed_block(fn, calls)
+    times = [[] for _ in variants]
+    for _ in range(blocks):
+        for slot, fn in zip(times, variants):
+            slot.append(timed_block(fn, calls))
+    return [statistics.median(slot) for slot in times]
+
+
+def _batches():
+    """Three deterministic batches over a tiny people graph."""
+    return [
+        MutationBatch()
+        .upsert_vertex("ada", "Person", born=1815)
+        .upsert_vertex("charles", "Person")
+        .upsert_edge("ada", "charles", "Knows"),
+        MutationBatch()
+        .upsert_vertex("grace", "Person")
+        .upsert_edge("grace", "ada", "Knows"),
+        MutationBatch().delete_edge("grace", "ada", "Knows"),
+    ]
+
+
+def recovery_smoke():
+    """Commit three batches, tear the tail, recover, fsck — under one
+    collector.  Every counter value is deterministic, so the whole dict
+    is pinned in the baseline."""
+    col = Collector()
+    with tempfile.TemporaryDirectory() as tmp:
+        wal_dir = Path(tmp) / "wal"
+        with collect(col):
+            with GraphStore.open(wal_dir, fsync=False) as store:
+                for batch in _batches():
+                    store.apply(batch)
+            # A crash mid-append: garbage bytes past the last record.
+            tail = list_segments(wal_dir)[-1]
+            with open(tail, "ab") as fh:
+                fh.write(b"torn!")
+            graph, report = recover_graph(wal_dir)
+            fsck_report = fsck_graph(graph, wal_dir=wal_dir)
+    assert report.replayed == 3 and report.truncated_bytes == 5
+    assert fsck_report.ok
+    return {k: col.counters[k] for k in sorted(col.counters)
+            if k.split(".")[0] in ("wal", "mutation", "fsck")}
+
+
+def current_surface():
+    site_names = [name for name, _ in faults.catalog()]
+    return {
+        "write_fault_sites": [s for s in site_names if s in WRITE_SITES],
+        "fsck_checks": [name for name, _ in check_catalog()],
+        "op_kinds": list(OP_KINDS),
+        "conflict_outcome": {
+            "value": OutcomeKind.CONFLICT.value,
+            "http_status": HTTP_STATUS[OutcomeKind.CONFLICT],
+            "retryable": OutcomeKind.CONFLICT in RETRYABLE_OUTCOMES,
+        },
+        "recovery_smoke_counters": recovery_smoke(),
+    }
+
+
+def mutation_ratios(rounds):
+    """Time `rounds` x 3 batch commits per store flavor; return seconds
+    per flavor: (in-memory, wal-no-fsync, wal-fsync)."""
+
+    def run_in_memory():
+        store = GraphStore(Graph(name="bench"))
+        for batch in _batches():
+            store.apply(batch)
+
+    def run_wal(fsync):
+        def run():
+            with tempfile.TemporaryDirectory() as tmp:
+                with GraphStore.open(Path(tmp) / "w", fsync=fsync) as store:
+                    for batch in _batches():
+                        store.apply(batch)
+        return run
+
+    return interleaved_medians(
+        [run_in_memory, run_wal(False), run_wal(True)], blocks=5,
+        calls=rounds)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="maximum tolerated read-path overhead "
+                             "(0.05 = 5%%)")
+    parser.add_argument("--blocks", type=int, default=21,
+                        help="interleaved timing blocks per variant")
+    parser.add_argument("--calls-per-block", type=int, default=200)
+    parser.add_argument("--n", type=int, default=30,
+                        help="diamond-chain size (E1 uses 30)")
+    parser.add_argument("--mutation-rounds", type=int, default=20)
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    args = parser.parse_args(argv)
+
+    surface = current_surface()
+
+    if args.write_baseline:
+        BASELINE.write_text(json.dumps(surface, indent=2) + "\n")
+        print(f"wrote WAL baseline to {BASELINE}")
+        return 0
+
+    failures = 0
+
+    # --- surface: counters, sites, checks, outcome mapping --------------
+    baseline = json.loads(BASELINE.read_text())
+    for key in sorted(surface):
+        if surface[key] != baseline.get(key):
+            print(f"BASELINE MISMATCH {key}:\n  current  {surface[key]}\n"
+                  f"  baseline {baseline.get(key)}", file=sys.stderr)
+            failures += 1
+
+    # --- correctness: a pinned view is the committed graph, verbatim ----
+    # Both variants get a builder-fresh graph: a clone's dicts have a
+    # different allocation history, which shows up as phantom percent
+    # points at this timing resolution.
+    graph = builders.diamond_chain(args.n)
+    store = GraphStore(builders.diamond_chain(args.n))
+    pin = store.pin()
+    view = store.view(pin.epoch)
+    darpe = CompiledDarpe.parse("E>*")
+    if single_source_sdmc(view, "v0", darpe) != single_source_sdmc(
+            graph, "v0", darpe):
+        print("FAIL: pinned view diverges from the plain graph",
+              file=sys.stderr)
+        failures += 1
+
+    # --- overhead: plain graph vs pinned store view ---------------------
+    plain = lambda: single_source_sdmc(graph, "v0", darpe)  # noqa: E731
+    pinned = lambda: single_source_sdmc(view, "v0", darpe)  # noqa: E731
+    med_plain, med_pinned = interleaved_medians(
+        [plain, pinned], args.blocks, args.calls_per_block)
+    read_overhead = med_pinned / med_plain - 1.0
+    pin.release()
+
+    per_call_us = med_plain / args.calls_per_block * 1e6
+    print(f"plain graph kernel      : {per_call_us:8.1f} us/call (median of "
+          f"{args.blocks} x {args.calls_per_block})")
+    print(f"pinned store view       : "
+          f"{med_pinned / args.calls_per_block * 1e6:8.1f} us/call "
+          f"({read_overhead:+.1%} vs plain)")
+
+    # --- mutation path (informational): memory vs WAL vs WAL+fsync ------
+    mem, no_sync, synced = mutation_ratios(args.mutation_rounds)
+    print(f"mutation, in-memory     : "
+          f"{mem / args.mutation_rounds * 1e6:8.1f} us/commit-cycle")
+    print(f"mutation, WAL no fsync  : "
+          f"{no_sync / args.mutation_rounds * 1e6:8.1f} us/commit-cycle "
+          f"({no_sync / mem:.1f}x memory)")
+    print(f"mutation, WAL + fsync   : "
+          f"{synced / args.mutation_rounds * 1e6:8.1f} us/commit-cycle "
+          f"({synced / mem:.1f}x memory; durability is paid here, "
+          f"not on reads)")
+    print(f"surface check           : "
+          f"{len(surface['write_fault_sites'])} write fault sites, "
+          f"{len(surface['fsck_checks'])} fsck checks, "
+          f"{len(surface['recovery_smoke_counters'])} pinned counters")
+
+    if read_overhead > args.threshold:
+        print(f"FAIL: pinned-view read overhead {read_overhead:.1%} exceeds "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        failures += 1
+
+    if failures:
+        print(f"{failures} WAL guard failure(s)", file=sys.stderr)
+        return 1
+    print(f"OK: pinned-view read overhead {read_overhead:+.1%} within "
+          f"{args.threshold:.0%}; surface matches baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,8 @@ Subcommands::
     python -m repro generate-snb out.json --scale 0.5 --seed 42
     python -m repro semantics GRAPH.json SOURCE DARPE [--semantics ...]
     python -m repro serve --graph [NAME=]graph.json [--port 8080] [--workers 4]
+    python -m repro ingest BATCH.json --graph graph.json [--wal-dir DIR]
+    python -m repro fsck --graph graph.json [--wal-dir DIR] [--format json]
 
 ``run`` executes a ``CREATE QUERY`` file against a JSON graph (see
 ``repro.graph.io``), prints PRINT output and result tables, and can
@@ -42,7 +44,20 @@ lint shape.
 ``serve`` starts the fault-tolerant HTTP query service
 (:mod:`repro.server`): admission control with budget classes, a
 process/thread worker pool with crash detection, and bounded
-deterministic retry.
+deterministic retry.  With ``--wal-dir`` every served graph becomes a
+durable :class:`~repro.graph.mutation.GraphStore` — ``POST /ingest``
+batches are WAL-committed and survive crashes.
+
+``ingest`` applies a JSON batch of mutation operations (an array of op
+documents, or ``{"ops": [...]}``) to a graph: with ``--wal-dir`` the
+batch is WAL-committed (recovering any existing log first); without it
+the updated graph is written back atomically.  A batch the graph's
+state rejects (e.g. an edge whose endpoint is missing) exits 1 without
+applying anything.
+
+``fsck`` runs the durability invariant checker
+(:mod:`repro.graph.fsck`) over a graph — optionally the graph
+recovered from ``--wal-dir`` — and exits non-zero on any violation.
 
 Exit codes are the shared taxonomy from :mod:`repro.errors`:
 0 ok, 1 usage-or-lint, 2 governor-abort, 3 accsan-violation.
@@ -109,6 +124,42 @@ def _read_source(path: str) -> str:
 def _load_query(path: str):
     """Read and parse a ``CREATE QUERY`` file via :func:`_read_source`."""
     return parse_query(_read_source(path))
+
+
+def _load_graph(path: str):
+    """Load a JSON graph, or exit 1 with a one-line diagnostic on a
+    missing or malformed file (no traceback) — the graph-side twin of
+    :func:`_read_source`.  :func:`~repro.graph.io.load_graph_json`
+    raises :class:`~repro.errors.GraphError` with the offending
+    path/line already in the message, so this just routes it to stderr.
+    """
+    from .errors import GraphError
+
+    try:
+        return load_graph_json(path)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"{path}: {reason}", file=sys.stderr)
+        raise SystemExit(EXIT_USAGE)
+    except GraphError as exc:
+        print(f"{path}: {exc}", file=sys.stderr)
+        raise SystemExit(EXIT_USAGE)
+
+
+def _recover_graph_or_exit(wal_dir: str, base: Any):
+    """Replay ``wal_dir`` over ``base`` for read-only subcommands, or
+    exit 1 on a corrupt/unreplayable log (no traceback).  ``heal=False``
+    keeps these subcommands strictly read-only: a torn tail is skipped
+    during replay but only a writer open truncates it on disk."""
+    from .errors import MutationError, WalCorruptionError
+    from .graph.mutation import recover_graph
+
+    try:
+        graph, _report = recover_graph(wal_dir, base=base, heal=False)
+    except (OSError, MutationError, WalCorruptionError) as exc:
+        print(f"{wal_dir}: {exc}", file=sys.stderr)
+        raise SystemExit(EXIT_USAGE)
+    return graph
 
 
 def _load_runnable(path: str, graph: Any, no_compile: bool, fresh: bool = False):
@@ -207,7 +258,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     from .errors import AccSanViolation, QueryAbortedError
     from .governor import govern
 
-    graph = load_graph_json(args.graph)
+    graph = _load_graph(args.graph)
+    if args.wal_dir:
+        graph = _recover_graph_or_exit(args.wal_dir, graph)
     query = _load_runnable(
         args.query_file, graph, args.no_compile, fresh=args.sanitize
     )
@@ -279,7 +332,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
 def cmd_profile(args: argparse.Namespace) -> int:
     from .obs import profile_query
 
-    graph = load_graph_json(args.graph)
+    graph = _load_graph(args.graph)
     query = _load_runnable(args.query_file, graph, args.no_compile)
     mode = _ENGINES[args.engine]()
     params = dict(args.param or [])
@@ -315,7 +368,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
         # actually present so pattern positions can be checked.
         from .graph.schema import GraphSchema
 
-        graph = load_graph_json(args.graph)
+        graph = _load_graph(args.graph)
         schema = graph.schema or GraphSchema(graph.name)
         if graph.schema is None:
             for vtype in graph.vertex_types():
@@ -382,7 +435,7 @@ def _load_lint_schema(graph_path: Optional[str], with_stats: bool = False):
         return (None, None) if with_stats else None
     from .graph.schema import GraphSchema
 
-    graph = load_graph_json(graph_path)
+    graph = _load_graph(graph_path)
     schema = graph.schema or GraphSchema(graph.name)
     if graph.schema is None:
         for vtype in graph.vertex_types():
@@ -655,6 +708,7 @@ def cmd_generate_snb(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Start the fault-tolerant query service (see repro.server)."""
+    from .errors import GraphError, WalCorruptionError
     from .server import QueryService, RetryPolicy
     from .server.app import serve
 
@@ -670,7 +724,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     graphs = None
     if args.pool_mode == "thread":
         graphs = {
-            name: load_graph_json(path)
+            name: _load_graph(path)
             for name, path in sorted(graph_paths.items())
         }
     try:
@@ -685,8 +739,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 max_attempts=args.max_attempts, seed=args.retry_seed
             ),
             compile_enabled=not args.no_compile,
+            wal_dir=args.wal_dir,
+            wal_fsync=not args.no_fsync,
         )
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, GraphError, WalCorruptionError) as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return EXIT_USAGE
     print(
@@ -700,7 +756,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_semantics(args: argparse.Namespace) -> int:
-    graph = load_graph_json(args.graph)
+    graph = _load_graph(args.graph)
     darpe = CompiledDarpe.parse(args.darpe)
     source: Any = args.source
     if source not in graph:
@@ -720,6 +776,98 @@ def cmd_semantics(args: argparse.Namespace) -> int:
     for target, count in sorted(rows.items(), key=lambda kv: str(kv[0])):
         print(f"{target}\t{count}")
     return EXIT_OK
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Apply a JSON mutation batch to a graph, WAL-committed when
+    ``--wal-dir`` is given (see docs/robustness.md, "Durability &
+    mutation")."""
+    from .errors import (
+        GraphError,
+        MutationConflictError,
+        MutationError,
+        WalCorruptionError,
+    )
+    from .graph.mutation import GraphStore, MutationBatch
+
+    if not args.graph and not args.wal_dir:
+        print("ingest needs --graph and/or --wal-dir", file=sys.stderr)
+        return EXIT_USAGE
+    base = _load_graph(args.graph) if args.graph else None
+    try:
+        doc = json.loads(_read_source(args.batch))
+    except ValueError as exc:
+        print(f"{args.batch}: invalid JSON: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    ops = doc.get("ops") if isinstance(doc, dict) else doc
+    if not isinstance(ops, list) or not ops:
+        print(
+            f'{args.batch}: expected a JSON array of ops or {{"ops": [...]}}',
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    try:
+        batch = MutationBatch.from_ops(ops)
+    except (TypeError, ValueError) as exc:
+        print(f"{args.batch}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        if args.wal_dir:
+            store = GraphStore.open(
+                args.wal_dir, base=base, fsync=not args.no_fsync
+            )
+        else:
+            store = GraphStore(base)
+        with store:
+            result = store.apply(batch)
+            # Without a WAL the only durable artifact is the JSON graph
+            # itself, so write it back (atomically) unless redirected.
+            out = args.out or (None if args.wal_dir else args.graph)
+            if out:
+                save_graph_json(store.live, out)
+    except MutationConflictError as exc:
+        print(f"conflict: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except (OSError, MutationError, WalCorruptionError, GraphError) as exc:
+        print(f"ingest: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(json.dumps({
+        "epoch": result.epoch, "ops": result.ops, "durable": result.durable,
+    }))
+    return EXIT_OK
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Run the durability invariant checker; exit 1 on any violation."""
+    from .errors import MutationError, WalCorruptionError
+    from .graph.fsck import fsck_graph
+
+    if not args.graph and not args.wal_dir:
+        print("fsck needs --graph and/or --wal-dir", file=sys.stderr)
+        return EXIT_USAGE
+    graph = _load_graph(args.graph) if args.graph else None
+    if args.wal_dir:
+        graph = _recover_graph_or_exit(args.wal_dir, graph)
+    try:
+        report = fsck_graph(graph, wal_dir=args.wal_dir)
+    except (OSError, MutationError, WalCorruptionError) as exc:
+        print(f"fsck: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for violation in report.violations:
+            print(f"{violation.check}: {violation.detail}")
+        verdict = (
+            "ok" if report.ok
+            else f"{len(report.violations)} violation"
+                 f"{'s' if len(report.violations) != 1 else ''}"
+        )
+        print(
+            f"fsck: {len(report.checks)} checks over {report.vertices} "
+            f"vertices / {report.edges} edges: {verdict}"
+        )
+    return EXIT_OK if report.ok else EXIT_USAGE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -776,6 +924,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run a GSQL query file against a JSON graph")
     run_p.add_argument("query_file")
     run_p.add_argument("--graph", required=True)
+    run_p.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="replay this write-ahead log over the graph before running "
+             "(read-only: a torn tail is skipped, not healed)",
+    )
     run_p.add_argument("--engine", choices=sorted(_ENGINES), default="counting")
     run_p.add_argument(
         "--param", action="append", type=_parse_param, metavar="NAME=VALUE"
@@ -917,12 +1070,66 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--retry-seed", type=int, default=0, help="jitter determinism seed"
     )
+    serve_p.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="durable ingestion: each graph gets a write-ahead log under "
+             "DIR/<name>; POST /ingest batches survive crashes",
+    )
+    serve_p.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync on WAL commit (faster, loses the power-failure "
+             "guarantee; process-crash durability is unaffected)",
+    )
     add_no_compile_flag(
         serve_p,
         "disable the worker-side plan cache + compiled execution for "
         "every request (requests cannot re-enable it)",
     )
     serve_p.set_defaults(fn=cmd_serve)
+
+    ingest_p = sub.add_parser(
+        "ingest",
+        help="apply a JSON mutation batch to a graph (WAL-committed "
+             "with --wal-dir; see docs/robustness.md)",
+    )
+    ingest_p.add_argument(
+        "batch", metavar="BATCH",
+        help='JSON file: an array of op documents or {"ops": [...]}',
+    )
+    ingest_p.add_argument(
+        "--graph", default=None,
+        help="base JSON graph (updated in place — atomically — unless "
+             "--wal-dir or --out is given)",
+    )
+    ingest_p.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="write-ahead log directory: recover it first, then commit "
+             "the batch durably",
+    )
+    ingest_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the post-batch graph as JSON to PATH",
+    )
+    ingest_p.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync on WAL commit",
+    )
+    ingest_p.set_defaults(fn=cmd_ingest)
+
+    fsck_p = sub.add_parser(
+        "fsck",
+        help="check graph/WAL durability invariants; exit 1 on violations",
+    )
+    fsck_p.add_argument(
+        "--graph", default=None, help="JSON graph to check"
+    )
+    fsck_p.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="replay this write-ahead log over the graph (read-only) "
+             "and cross-check its epoch",
+    )
+    fsck_p.add_argument("--format", choices=("text", "json"), default="text")
+    fsck_p.set_defaults(fn=cmd_fsck)
 
     sem_p = sub.add_parser(
         "semantics", help="per-target match counts for a DARPE from a source"

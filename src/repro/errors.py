@@ -58,6 +58,51 @@ class GraphError(ReproError):
     """Raised for structural graph errors (unknown vertex ids, etc.)."""
 
 
+class MutationError(GraphError):
+    """Raised by the mutation subsystem (:mod:`repro.graph.mutation`)
+    for failures that are *not* per-operation conflicts: applying to a
+    store poisoned by a crash between WAL commit and publish (it needs
+    :func:`~repro.graph.mutation.recover_graph` first), or a committed
+    WAL record that no longer replays against its base graph.
+    """
+
+
+class MutationConflictError(MutationError):
+    """Raised when a :class:`~repro.graph.mutation.MutationBatch` is
+    rejected by validation — deleting a vertex or edge that does not
+    exist, an edge upsert whose endpoint is missing, a type or
+    directedness change, or a schema violation.
+
+    The whole batch is rejected atomically (nothing was applied and
+    nothing was logged), so the batch can be corrected and resubmitted.
+    ``index`` is the 0-based offending operation's position in the
+    batch and ``op`` its normalized document (``None`` for batch-level
+    conflicts).
+    """
+
+    def __init__(self, message: str, index: int = -1, op: object = None):
+        self.index = index
+        self.op = op
+        super().__init__(message)
+
+
+class WalCorruptionError(ReproError):
+    """Raised when a write-ahead log cannot be read back consistently:
+    a checksum mismatch, torn record or undecodable payload *before*
+    the final segment's tail.  A torn tail (the expected shape of a
+    crash mid-append) is not an error — recovery truncates it; anything
+    earlier means lost committed records, which must be loud.
+
+    ``segment`` names the damaged segment file and ``offset`` the byte
+    offset of the first unreadable record.
+    """
+
+    def __init__(self, message: str, segment: str = "", offset: int = -1):
+        self.segment = segment
+        self.offset = offset
+        super().__init__(message)
+
+
 class DarpeSyntaxError(ReproError):
     """Raised when a DARPE string cannot be parsed.
 

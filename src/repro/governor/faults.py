@@ -88,6 +88,38 @@ SITES: Dict[str, str] = {
         "treated as a straggler — the dispatcher stops waiting, kills "
         "and replaces it, and drains its stale reply"
     ),
+    # -- write-path sites (repro.graph.wal / repro.graph.mutation) -----
+    # These model a crash at each stage of a batch commit.  Sites before
+    # the WAL sync leave log and memory consistent (the batch simply
+    # never happened — safe to retry); a fault after the sync leaves the
+    # record durable but unpublished, so the store poisons itself and
+    # recovery must replay the log.
+    "mutation.apply": (
+        "entry of one GraphStore.apply batch commit, before validation "
+        "and before any WAL bytes (repro.graph.mutation); a hit is one "
+        "batch — armed, the batch is lost cleanly and retryable"
+    ),
+    "wal.append": (
+        "one WAL record append, before the framed bytes are written "
+        "(repro.graph.wal); a hit is one record — armed, the log is "
+        "byte-identical to before the batch"
+    ),
+    "wal.rotate": (
+        "one WAL segment rotation, before the old segment is closed "
+        "(repro.graph.wal); a hit is one rotation — armed, the current "
+        "segment stays open and consistent"
+    ),
+    "wal.fsync": (
+        "one WAL commit fsync (repro.graph.wal); a hit is one commit — "
+        "armed, the just-appended record is rolled off the file tail, "
+        "modelling the worst-case durability outcome of a crashed sync"
+    ),
+    "epoch.publish": (
+        "the in-memory epoch publish, after the WAL sync and before the "
+        "new graph version becomes live (repro.graph.mutation); a hit "
+        "is one commit — armed, the store is poisoned until recovery "
+        "replays the durable-but-unpublished record"
+    ),
 }
 
 #: Actions an armed injection can perform when it fires.

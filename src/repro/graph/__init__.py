@@ -1,9 +1,18 @@
-"""Property-graph substrate: schemas, graphs, and example-graph builders."""
+"""Property-graph substrate: schemas, graphs, example-graph builders,
+and the durable mutation layer (WAL, epoch snapshots, fsck)."""
 
 from .elements import FORWARD, REVERSE, UNDIRECTED, Edge, Step, Vertex, adorn
 from .graph import Graph, induced_subgraph
 from .schema import AttributeDecl, EdgeType, GraphSchema, VertexType
-from . import builders, io, stats
+from .mutation import (
+    GraphStore,
+    MutationBatch,
+    RecoveryReport,
+    recover_graph,
+)
+from .fsck import FsckReport, fsck_graph
+from .wal import WriteAheadLog, scan_wal
+from . import builders, fsck, io, mutation, stats, wal
 
 __all__ = [
     "FORWARD",
@@ -19,7 +28,18 @@ __all__ = [
     "EdgeType",
     "GraphSchema",
     "VertexType",
+    "GraphStore",
+    "MutationBatch",
+    "RecoveryReport",
+    "recover_graph",
+    "FsckReport",
+    "fsck_graph",
+    "WriteAheadLog",
+    "scan_wal",
     "builders",
+    "fsck",
     "io",
+    "mutation",
     "stats",
+    "wal",
 ]

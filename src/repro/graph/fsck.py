@@ -1,0 +1,313 @@
+"""Structural invariant checking for graphs — the recovery oracle.
+
+After a crash, "the store recovered" is only meaningful if the rebuilt
+graph is *internally consistent*: every edge indexed from both ends,
+no step pointing at a vertex or edge that no longer exists, degree
+arithmetic that re-derives from the edge list, and an epoch that
+matches what the WAL says was committed.  :func:`fsck_graph` checks
+exactly that — it re-derives the adjacency index and type index from
+the primary vertex/edge maps and diffs them against the maintained
+ones, so any drift introduced by a mutation bug or a bad replay shows
+up as a named violation.
+
+The chaos recovery sweep (``tests/test_wal_recovery.py``) runs this
+after every simulated crash point, and ``repro fsck`` exposes it on the
+command line.  The check catalog (:data:`CHECKS`) is pinned by the docs
+drift test and the WAL baseline guard.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple, Union
+
+from ..obs import metrics as _obs
+from .elements import FORWARD, REVERSE, UNDIRECTED
+from .graph import Graph
+from .wal import scan_wal
+
+PathLike = Union[str, Path]
+
+#: check name -> what it verifies.  Every violation names its check.
+CHECKS: Dict[str, str] = {
+    "dangling-edge": (
+        "every edge's source and target id resolve to a live vertex"
+    ),
+    "adjacency-symmetry": (
+        "the adjacency index holds exactly one step per crossable "
+        "orientation of each edge (directed: forward at the source and "
+        "reverse at the target; undirected: one at each distinct "
+        "endpoint) and no step for any other edge"
+    ),
+    "degree-reconciliation": (
+        "outdegree/indegree of every vertex re-derived from the edge "
+        "list match the adjacency index, and their totals reconcile "
+        "with the edge count"
+    ),
+    "type-index": (
+        "the vertex type index lists every vertex exactly once under "
+        "its own type, with no stale or duplicate ids"
+    ),
+    "wal-epoch": (
+        "the graph's epoch equals the last committed epoch in the WAL "
+        "(checked only when a WAL directory is given)"
+    ),
+}
+
+
+def _count(name: str, value: int = 1) -> None:
+    col = _obs._ACTIVE
+    if col is not None:
+        col.count(name, value)
+
+
+class FsckViolation(NamedTuple):
+    """One broken invariant: which check, and a one-line detail."""
+
+    check: str
+    detail: str
+
+
+class FsckReport(NamedTuple):
+    """The outcome of one :func:`fsck_graph` run."""
+
+    ok: bool
+    violations: List[FsckViolation]
+    #: Checks that ran, in catalog order.
+    checks: List[str]
+    #: Sizes the checks were computed over.
+    vertices: int
+    edges: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "vertices": self.vertices,
+            "edges": self.edges,
+            "checks": list(self.checks),
+            "violations": [
+                {"check": v.check, "detail": v.detail} for v in self.violations
+            ],
+        }
+
+
+def _expected_steps(graph: Graph) -> Dict[Tuple[Any, str, str], Dict[int, int]]:
+    """Re-derive the adjacency index from the edge map alone:
+    ``(vertex, direction, edge type) -> {eid: multiplicity}``."""
+    expected: Dict[Tuple[Any, str, str], Dict[int, int]] = {}
+
+    def put(vid: Any, direction: str, etype: str, eid: int) -> None:
+        bucket = expected.setdefault((vid, direction, etype), {})
+        bucket[eid] = bucket.get(eid, 0) + 1
+
+    for edge in graph._edges.values():
+        if edge.directed:
+            put(edge.source, FORWARD, edge.type, edge.eid)
+            put(edge.target, REVERSE, edge.type, edge.eid)
+        else:
+            put(edge.source, UNDIRECTED, edge.type, edge.eid)
+            if edge.source != edge.target:
+                put(edge.target, UNDIRECTED, edge.type, edge.eid)
+    return expected
+
+
+def fsck_graph(graph: Graph, wal_dir: Optional[PathLike] = None) -> FsckReport:
+    """Run every invariant check; never raises on a broken graph — the
+    report carries the violations (a missing/corrupt WAL *directory*
+    still raises, since fsck cannot then say anything about epochs)."""
+    violations: List[FsckViolation] = []
+    checks = list(CHECKS)
+    if wal_dir is None:
+        checks.remove("wal-epoch")
+
+    # dangling-edge ----------------------------------------------------
+    for edge in graph._edges.values():
+        for role, vid in (("source", edge.source), ("target", edge.target)):
+            if vid not in graph._vertices:
+                violations.append(
+                    FsckViolation(
+                        "dangling-edge",
+                        f"edge {edge.eid} ({edge.type}) has a deleted "
+                        f"{role} vertex {vid!r}",
+                    )
+                )
+
+    # adjacency-symmetry -----------------------------------------------
+    expected = _expected_steps(graph)
+    actual: Dict[Tuple[Any, str, str], Dict[int, int]] = {}
+    for vid, directions in graph._adjacency.items():
+        if vid not in graph._vertices:
+            violations.append(
+                FsckViolation(
+                    "adjacency-symmetry",
+                    f"adjacency entry for deleted vertex {vid!r}",
+                )
+            )
+        for direction, buckets in directions.items():
+            for etype, steps in buckets.items():
+                bucket = actual.setdefault((vid, direction, etype), {})
+                for step in steps:
+                    bucket[step.edge.eid] = bucket.get(step.edge.eid, 0) + 1
+                    if step.edge.eid not in graph._edges:
+                        violations.append(
+                            FsckViolation(
+                                "adjacency-symmetry",
+                                f"vertex {vid!r} holds a step for deleted "
+                                f"edge {step.edge.eid} ({etype}, {direction})",
+                            )
+                        )
+    for vid in graph._vertices:
+        if vid not in graph._adjacency:
+            violations.append(
+                FsckViolation(
+                    "adjacency-symmetry",
+                    f"vertex {vid!r} has no adjacency entry",
+                )
+            )
+    for key in sorted(set(expected) | set(actual), key=repr):
+        want = expected.get(key, {})
+        have = actual.get(key, {})
+        if want != have:
+            vid, direction, etype = key
+            missing = sorted(eid for eid in want if want[eid] > have.get(eid, 0))
+            extra = sorted(eid for eid in have if have[eid] > want.get(eid, 0))
+            violations.append(
+                FsckViolation(
+                    "adjacency-symmetry",
+                    f"vertex {vid!r} {direction}/{etype}: missing steps for "
+                    f"edges {missing}, unexpected steps for edges {extra}",
+                )
+            )
+
+    # degree-reconciliation --------------------------------------------
+    total_out = 0
+    total_in = 0
+    for vid in graph._vertices:
+        derived_out = sum(
+            sum(bucket.values())
+            for (v, d, _t), bucket in expected.items()
+            if v == vid and d in (FORWARD, UNDIRECTED)
+        )
+        derived_in = sum(
+            sum(bucket.values())
+            for (v, d, _t), bucket in expected.items()
+            if v == vid and d in (REVERSE, UNDIRECTED)
+        )
+        try:
+            out = graph.outdegree(vid)
+            ind = graph.indegree(vid)
+        except Exception as exc:  # pragma: no cover - adjacency missing
+            violations.append(
+                FsckViolation(
+                    "degree-reconciliation",
+                    f"vertex {vid!r}: degree lookup failed ({exc})",
+                )
+            )
+            continue
+        if out != derived_out or ind != derived_in:
+            violations.append(
+                FsckViolation(
+                    "degree-reconciliation",
+                    f"vertex {vid!r}: outdegree {out} (derived {derived_out}), "
+                    f"indegree {ind} (derived {derived_in})",
+                )
+            )
+        total_out += derived_out
+        total_in += derived_in
+    directed = sum(1 for e in graph._edges.values() if e.directed)
+    undirected_inc = sum(
+        1 if e.source == e.target else 2
+        for e in graph._edges.values()
+        if not e.directed
+    )
+    if total_out != directed + undirected_inc or total_in != directed + undirected_inc:
+        violations.append(
+            FsckViolation(
+                "degree-reconciliation",
+                f"degree totals (out={total_out}, in={total_in}) do not "
+                f"reconcile with {directed} directed edges + "
+                f"{undirected_inc} undirected incidences",
+            )
+        )
+
+    # type-index -------------------------------------------------------
+    seen: Dict[Any, str] = {}
+    for vtype, ids in graph._by_type.items():
+        if not ids:
+            violations.append(
+                FsckViolation("type-index", f"empty id list for type {vtype!r}")
+            )
+        for vid in ids:
+            if vid in seen:
+                violations.append(
+                    FsckViolation(
+                        "type-index",
+                        f"vertex {vid!r} indexed under both {seen[vid]!r} "
+                        f"and {vtype!r}",
+                    )
+                )
+            seen[vid] = vtype
+            vertex = graph._vertices.get(vid)
+            if vertex is None:
+                violations.append(
+                    FsckViolation(
+                        "type-index",
+                        f"type index {vtype!r} lists deleted vertex {vid!r}",
+                    )
+                )
+            elif vertex.type != vtype:
+                violations.append(
+                    FsckViolation(
+                        "type-index",
+                        f"vertex {vid!r} has type {vertex.type!r} but is "
+                        f"indexed under {vtype!r}",
+                    )
+                )
+    for vid, vertex in graph._vertices.items():
+        if vid not in seen:
+            violations.append(
+                FsckViolation(
+                    "type-index",
+                    f"vertex {vid!r} ({vertex.type}) missing from the type "
+                    f"index",
+                )
+            )
+
+    # wal-epoch --------------------------------------------------------
+    if wal_dir is not None:
+        scan = scan_wal(wal_dir)
+        if graph.epoch != scan.last_epoch:
+            violations.append(
+                FsckViolation(
+                    "wal-epoch",
+                    f"graph epoch {graph.epoch} != last committed WAL epoch "
+                    f"{scan.last_epoch} "
+                    f"({'graph behind log' if graph.epoch < scan.last_epoch else 'graph ahead of log'})",
+                )
+            )
+
+    _count("fsck.runs")
+    if violations:
+        _count("fsck.violations", len(violations))
+    return FsckReport(
+        ok=not violations,
+        violations=violations,
+        checks=checks,
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+    )
+
+
+def check_catalog() -> List[Tuple[str, str]]:
+    """The (check, description) catalog, sorted — docs and the WAL
+    baseline guard read this."""
+    return sorted(CHECKS.items())
+
+
+__all__ = [
+    "CHECKS",
+    "FsckViolation",
+    "FsckReport",
+    "fsck_graph",
+    "check_catalog",
+]

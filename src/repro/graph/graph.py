@@ -35,6 +35,12 @@ class Graph:
     def __init__(self, schema: Optional[GraphSchema] = None, name: Optional[str] = None):
         self.schema = schema
         self.name = name or (schema.name if schema else "Graph")
+        #: Mutation epoch: 0 for a freshly built graph; every committed
+        #: :class:`~repro.graph.mutation.MutationBatch` bumps it by one.
+        #: Readers pin an epoch through a GraphStore to get snapshot
+        #: isolation; the WAL stamps each record with the epoch it
+        #: produces, which is what crash recovery replays against.
+        self.epoch = 0
         self._vertices: Dict[Any, Vertex] = {}
         self._edges: Dict[int, Edge] = {}
         self._next_eid = 0
@@ -115,6 +121,157 @@ class Graph:
                     Step(edge, UNDIRECTED, source)
                 )
         return edge
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def upsert_vertex(
+        self, vid: Any, vtype: Optional[str] = None, **attrs: Any
+    ) -> Tuple[Vertex, bool]:
+        """Insert or update a vertex; returns ``(vertex, created)``.
+
+        An existing vertex keeps its type (``vtype`` must match when
+        given) and merges ``attrs`` over its current attribute map — the
+        TigerGraph upsert contract.  A new vertex needs ``vtype``.
+        """
+        existing = self._vertices.get(vid)
+        if existing is not None:
+            if vtype is not None and vtype != existing.type:
+                raise GraphError(
+                    f"vertex {vid!r} has type {existing.type!r}; an upsert "
+                    f"cannot change it to {vtype!r}"
+                )
+            if attrs:
+                if self.schema is not None:
+                    vt = self.schema.vertex_type(existing.type)
+                    validated = vt.validate_attrs(attrs)
+                    attrs = {key: validated[key] for key in attrs}
+                existing.attrs.update(attrs)
+            return existing, False
+        if vtype is None:
+            raise GraphError(
+                f"vertex {vid!r} does not exist; an inserting upsert "
+                f"needs a vertex type"
+            )
+        return self.add_vertex(vid, vtype, **attrs), True
+
+    def upsert_edge(
+        self,
+        source: Any,
+        target: Any,
+        etype: str,
+        directed: Optional[bool] = None,
+        **attrs: Any,
+    ) -> Tuple[Edge, bool]:
+        """Insert or update an edge; returns ``(edge, created)``.
+
+        Edge identity for upserts is ``(source, target, type)`` —
+        unordered for undirected types.  When a matching edge exists its
+        attributes are merged; otherwise the edge is inserted (endpoints
+        must already exist).
+        """
+        matches = self.find_edges(source, target, etype)
+        if matches:
+            edge = matches[0]
+            if directed is not None and directed != edge.directed:
+                raise GraphError(
+                    f"edge {source!r}-{target!r} of type {etype!r} is "
+                    f"{'directed' if edge.directed else 'undirected'}; an "
+                    f"upsert cannot change that"
+                )
+            if attrs:
+                if self.schema is not None:
+                    et = self.schema.edge_type(etype)
+                    validated = et.validate_attrs(attrs)
+                    attrs = {key: validated[key] for key in attrs}
+                edge.attrs.update(attrs)
+            return edge, False
+        return self.add_edge(source, target, etype, directed=directed, **attrs), True
+
+    def delete_edge(self, eid: int) -> Edge:
+        """Remove one edge by id; returns the removed edge."""
+        edge = self.edge(eid)
+        del self._edges[eid]
+        if edge.directed:
+            self._drop_step(edge.source, FORWARD, edge.type, eid)
+            self._drop_step(edge.target, REVERSE, edge.type, eid)
+        else:
+            self._drop_step(edge.source, UNDIRECTED, edge.type, eid)
+            if edge.source != edge.target:
+                self._drop_step(edge.target, UNDIRECTED, edge.type, eid)
+        return edge
+
+    def delete_vertex(self, vid: Any) -> List[int]:
+        """Remove a vertex, cascading every incident edge.
+
+        Returns the sorted edge ids that were cascaded — directed in or
+        out, undirected, and self-loops alike.
+        """
+        vertex = self.vertex(vid)
+        cascaded = sorted({step.edge.eid for step in self.steps(vid)})
+        for eid in cascaded:
+            self.delete_edge(eid)
+        del self._adjacency[vid]
+        del self._vertices[vid]
+        ids = self._by_type.get(vertex.type)
+        if ids is not None:
+            ids.remove(vid)
+            if not ids:
+                del self._by_type[vertex.type]
+        return cascaded
+
+    def _drop_step(self, vid: Any, direction: str, etype: str, eid: int) -> None:
+        buckets = self._adjacency[vid][direction]
+        bucket = buckets.get(etype)
+        if bucket is not None:
+            bucket[:] = [step for step in bucket if step.edge.eid != eid]
+            if not bucket:
+                del buckets[etype]
+
+    def clone(self) -> "Graph":
+        """A structurally independent copy: fresh vertex/edge/adjacency
+        objects (attribute maps copied one level deep), shared schema,
+        same edge ids and epoch.  This is the copy-on-write publish step
+        of the mutation layer: mutating the clone never perturbs readers
+        of the original."""
+        other = Graph.__new__(Graph)
+        other.schema = self.schema
+        other.name = self.name
+        other.epoch = self.epoch
+        other._vertices = {}
+        other._edges = {}
+        other._next_eid = self._next_eid
+        other._adjacency = {}
+        other._by_type = defaultdict(list)
+        for vtype, ids in self._by_type.items():
+            other._by_type[vtype] = list(ids)
+        other._edge_type_directed = dict(self._edge_type_directed)
+        for v in self._vertices.values():
+            other._vertices[v.vid] = Vertex(v.vid, v.type, v.attrs)
+            other._adjacency[v.vid] = {
+                FORWARD: defaultdict(list),
+                REVERSE: defaultdict(list),
+                UNDIRECTED: defaultdict(list),
+            }
+        for e in self._edges.values():
+            edge = Edge(e.eid, e.type, e.source, e.target, e.directed, e.attrs)
+            other._edges[e.eid] = edge
+            if edge.directed:
+                other._adjacency[edge.source][FORWARD][edge.type].append(
+                    Step(edge, FORWARD, edge.target)
+                )
+                other._adjacency[edge.target][REVERSE][edge.type].append(
+                    Step(edge, REVERSE, edge.source)
+                )
+            else:
+                other._adjacency[edge.source][UNDIRECTED][edge.type].append(
+                    Step(edge, UNDIRECTED, edge.target)
+                )
+                if edge.source != edge.target:
+                    other._adjacency[edge.target][UNDIRECTED][edge.type].append(
+                        Step(edge, UNDIRECTED, edge.source)
+                    )
+        return other
 
     # ------------------------------------------------------------------
     # Lookup
@@ -255,6 +412,22 @@ class Graph:
             if v.get(attr) == value:
                 return v
         return None
+
+    def find_edges(self, source: Any, target: Any, etype: str) -> List[Edge]:
+        """Edges of ``etype`` between the two vertices, in insertion
+        order.  Directed edges match the ``source -> target`` orientation
+        only; undirected edges match either endpoint order.  Unknown
+        endpoints yield an empty list (upsert-friendly)."""
+        adjacency = self._adjacency.get(source)
+        if adjacency is None:
+            return []
+        found = []
+        for direction in (FORWARD, UNDIRECTED):
+            for step in adjacency[direction].get(etype, ()):
+                if step.neighbor == target:
+                    found.append(step.edge)
+        found.sort(key=lambda e: e.eid)
+        return found
 
     def degree_histogram(self) -> Dict[int, int]:
         """Map from out-degree to number of vertices with that degree."""

@@ -10,14 +10,53 @@ from __future__ import annotations
 
 import csv
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from ..errors import GraphError
+from ..errors import GraphError, ReproError
 from .graph import Graph
 from .schema import GraphSchema
 
 PathLike = Union[str, Path]
+
+
+class _atomic_write:
+    """Context manager writing ``path`` atomically: the body writes to a
+    temp file in the *same directory* (so the final rename never crosses
+    filesystems), which is fsynced and ``os.replace``d into place only on
+    clean exit.  An exception mid-write leaves any existing file at
+    ``path`` untouched — a crash during save can no longer produce a
+    truncated, unloadable graph."""
+
+    def __init__(self, path: PathLike, newline: Optional[str] = None):
+        self.path = os.fspath(path)
+        self.newline = newline
+        self._tmp_path: Optional[str] = None
+        self._fh = None
+
+    def __enter__(self):
+        directory = os.path.dirname(self.path) or "."
+        fd, self._tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(self.path) + ".", suffix=".tmp", dir=directory
+        )
+        self._fh = os.fdopen(fd, "w", newline=self.newline)
+        return self._fh
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        fh, tmp_path = self._fh, self._tmp_path
+        if exc_type is None:
+            fh.flush()
+            os.fsync(fh.fileno())
+            fh.close()
+            os.replace(tmp_path, self.path)
+        else:
+            fh.close()
+            try:
+                os.unlink(tmp_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
 
 
 def _coerce(value: str) -> Any:
@@ -118,10 +157,18 @@ def load_graph_csv(
     name: Optional[str] = None,
     directed: Optional[bool] = None,
 ) -> Graph:
-    """Build a graph from a vertex CSV and an edge CSV."""
+    """Build a graph from a vertex CSV and an edge CSV.
+
+    Malformed CSV content raises :class:`GraphError` with a one-line
+    reason (missing files raise ``OSError``), matching
+    :func:`load_graph_json`.
+    """
     graph = Graph(schema=schema, name=name)
-    load_vertices_csv(graph, vertices_path)
-    load_edges_csv(graph, edges_path, directed=directed)
+    try:
+        load_vertices_csv(graph, vertices_path)
+        load_edges_csv(graph, edges_path, directed=directed)
+    except csv.Error as exc:
+        raise GraphError(f"not valid CSV ({exc})") from exc
     return graph
 
 
@@ -133,6 +180,7 @@ def graph_to_dict(graph: Graph) -> Dict[str, Any]:
     """A JSON-serializable representation of the graph."""
     return {
         "name": graph.name,
+        "epoch": graph.epoch,
         "vertices": [
             {"id": v.vid, "type": v.type, "attrs": v.attrs}
             for v in graph.vertices()
@@ -151,40 +199,69 @@ def graph_to_dict(graph: Graph) -> Dict[str, Any]:
 
 
 def graph_from_dict(data: Dict[str, Any], schema: Optional[GraphSchema] = None) -> Graph:
-    """Rebuild a graph from :func:`graph_to_dict` output."""
-    graph = Graph(schema=schema, name=data.get("name"))
-    for v in data.get("vertices", ()):
-        graph.add_vertex(v["id"], v["type"], **v.get("attrs", {}))
-    for e in data.get("edges", ()):
-        graph.add_edge(
-            e["source"],
-            e["target"],
-            e["type"],
-            directed=e.get("directed", True),
-            **e.get("attrs", {}),
+    """Rebuild a graph from :func:`graph_to_dict` output.
+
+    Raises :class:`GraphError` on a structurally invalid document (not
+    an object, vertices/edges rows missing required fields) so loaders
+    surface one diagnostic type for every malformed-input shape.
+    """
+    if not isinstance(data, dict):
+        raise GraphError(
+            f"graph document must be a JSON object, got {type(data).__name__}"
         )
+    graph = Graph(schema=schema, name=data.get("name"))
+    epoch = data.get("epoch", 0)
+    if not isinstance(epoch, int) or epoch < 0:
+        raise GraphError(f"graph epoch must be a non-negative integer, got {epoch!r}")
+    try:
+        for v in data.get("vertices", ()):
+            graph.add_vertex(v["id"], v["type"], **v.get("attrs", {}))
+        for e in data.get("edges", ()):
+            graph.add_edge(
+                e["source"],
+                e["target"],
+                e["type"],
+                directed=e.get("directed", True),
+                **e.get("attrs", {}),
+            )
+    except ReproError:
+        raise
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise GraphError(f"invalid graph document: {exc!r}") from exc
+    graph.epoch = epoch
     return graph
 
 
 def save_graph_json(graph: Graph, path: PathLike) -> None:
-    with open(path, "w") as fh:
+    """Write the JSON representation atomically (temp file +
+    ``os.replace``): an interrupted save leaves the old file intact."""
+    with _atomic_write(path) as fh:
         json.dump(graph_to_dict(graph), fh)
 
 
 def load_graph_json(path: PathLike, schema: Optional[GraphSchema] = None) -> Graph:
+    """Load a graph from JSON; malformed content raises
+    :class:`GraphError` with a one-line reason (missing/unreadable files
+    raise the usual ``OSError``), so CLIs can print a clean diagnostic
+    instead of a traceback."""
     with open(path) as fh:
-        return graph_from_dict(json.load(fh), schema=schema)
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise GraphError(f"not valid JSON ({exc})") from exc
+    return graph_from_dict(data, schema=schema)
 
 
 def save_graph_csv(graph: Graph, vertices_path: PathLike, edges_path: PathLike) -> None:
     """Write vertex and edge CSVs (attribute columns are unioned across
-    rows; absent attributes serialize as empty cells)."""
+    rows; absent attributes serialize as empty cells).  Each file is
+    written atomically — see :func:`save_graph_json`."""
     vertex_attrs: List[str] = []
     for v in graph.vertices():
         for key in v.attrs:
             if key not in vertex_attrs:
                 vertex_attrs.append(key)
-    with open(vertices_path, "w", newline="") as fh:
+    with _atomic_write(vertices_path, newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(["id", "type"] + vertex_attrs)
         for v in graph.vertices():
@@ -196,7 +273,7 @@ def save_graph_csv(graph: Graph, vertices_path: PathLike, edges_path: PathLike) 
         for key in e.attrs:
             if key not in edge_attrs:
                 edge_attrs.append(key)
-    with open(edges_path, "w", newline="") as fh:
+    with _atomic_write(edges_path, newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(["source", "target", "type", "directed"] + edge_attrs)
         for e in graph.edges():

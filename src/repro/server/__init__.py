@@ -23,6 +23,7 @@ from .admission import AdmissionController, BudgetClass, Ticket, default_classes
 from .pool import WorkerPool, execute_job
 from .protocol import (
     HTTP_STATUS,
+    IngestRequest,
     Job,
     OutcomeKind,
     QueryRequest,
@@ -43,6 +44,7 @@ __all__ = [
     "WorkerPool",
     "execute_job",
     "HTTP_STATUS",
+    "IngestRequest",
     "Job",
     "OutcomeKind",
     "QueryRequest",

@@ -11,6 +11,14 @@ framework, no dependency) exposing three endpoints:
     :func:`repro.server.protocol.outcome`; the HTTP status is its
     ``http_status`` field, and shed responses carry ``Retry-After``.
 
+``POST /ingest``
+    JSON body ``{"ops": [...], "graph": "...", "tenant": "...",
+    "class": "...", "deadline_seconds": ...}`` where ``ops`` holds
+    :class:`~repro.graph.mutation.MutationBatch` operation documents.
+    Rides the same admission/retry machinery as queries; a batch the
+    graph's state rejects is a non-retryable ``conflict`` (HTTP 409),
+    and a committed batch answers with the published epoch.
+
 ``GET /metrics``
     The service's merged counters, admission gauges, pool stats and
     retry policy as JSON.
@@ -33,7 +41,7 @@ import json
 import signal
 from typing import Any, Dict, Optional, Tuple
 
-from .protocol import OutcomeKind, QueryRequest, outcome
+from .protocol import IngestRequest, OutcomeKind, QueryRequest, outcome
 from .service import QueryService
 
 _MAX_BODY = 4 * 1024 * 1024  # 4 MiB: queries are text, not bulk loads.
@@ -75,6 +83,34 @@ def parse_request_body(doc: Any) -> QueryRequest:
     )
 
 
+def parse_ingest_body(doc: Any) -> IngestRequest:
+    """Validate a decoded ``POST /ingest`` JSON body.
+
+    Checks transport shape only (``ops`` is a list, strings are
+    strings); per-op structure and semantics are the service's job —
+    bad op documents come back 400, state conflicts 409.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("request body must be a JSON object")
+    ops = doc.get("ops")
+    if not isinstance(ops, list) or not ops:
+        raise ValueError('"ops" must be a non-empty array')
+    deadline = doc.get("deadline_seconds")
+    if deadline is not None and not isinstance(deadline, (int, float)):
+        raise ValueError('"deadline_seconds" must be a number')
+    for key in ("graph", "tenant", "class", "request_id"):
+        if key in doc and not isinstance(doc[key], str):
+            raise ValueError(f'"{key}" must be a string')
+    return IngestRequest(
+        ops=ops,
+        graph=doc.get("graph", "default"),
+        tenant=doc.get("tenant", "anonymous"),
+        budget_class=doc.get("class", "interactive"),
+        deadline_seconds=float(deadline) if deadline is not None else None,
+        request_id=doc.get("request_id", ""),
+    )
+
+
 class HttpServer:
     """The asyncio listener wrapping one :class:`QueryService`."""
 
@@ -100,6 +136,7 @@ class HttpServer:
         reasons = {
             200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 408: "Request Timeout",
+            409: "Conflict",
             413: "Payload Too Large", 422: "Unprocessable Entity",
             429: "Too Many Requests", 500: "Internal Server Error",
             502: "Bad Gateway", 503: "Service Unavailable",
@@ -196,6 +233,31 @@ class HttpServer:
                 seconds = max(1, -(-doc["retry_after_ms"] // 1000))
                 headers = (("Retry-After", str(seconds)),)
             return self._response(doc["http_status"], doc, headers)
+        if path == "/ingest":
+            if method != "POST":
+                return self._response(
+                    405, {"error": "POST required"}
+                )
+            try:
+                request = parse_ingest_body(
+                    json.loads(body.decode("utf-8") or "null")
+                )
+            except (ValueError, UnicodeDecodeError) as exc:
+                doc = outcome(
+                    OutcomeKind.BAD_REQUEST, error={"message": str(exc)}
+                )
+                return self._response(400, doc)
+            loop = asyncio.get_running_loop()
+            doc = await loop.run_in_executor(
+                None, self.service.ingest, request
+            )
+            headers = ()
+            if doc.get("retry_after_ms") is not None and doc[
+                "http_status"
+            ] in (429, 503):
+                seconds = max(1, -(-doc["retry_after_ms"] // 1000))
+                headers = (("Retry-After", str(seconds)),)
+            return self._response(doc["http_status"], doc, headers)
         return self._response(404, {"error": f"no route {path}"})
 
     # -- lifecycle -----------------------------------------------------
@@ -249,4 +311,4 @@ def serve(
         pass
 
 
-__all__ = ["HttpServer", "serve", "parse_request_body"]
+__all__ = ["HttpServer", "serve", "parse_request_body", "parse_ingest_body"]

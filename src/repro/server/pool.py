@@ -115,6 +115,21 @@ def execute_job(job: Job, graphs: Dict[str, Any]) -> Dict[str, Any]:
                            f"known: {', '.join(sorted(graphs))}"
             },
         )
+    from ..graph.mutation import GraphStore
+
+    if isinstance(graph, GraphStore):
+        # The service pinned job.graph_epoch at admission: resolve to
+        # that exact version so a batch committing mid-query never
+        # changes this query's result.  The pin is held until the
+        # request's terminal outcome, so the version is retained.
+        from ..errors import MutationError
+
+        try:
+            graph = graph.view(job.graph_epoch)
+        except MutationError as exc:
+            return reply(
+                OutcomeKind.INTERNAL, {}, error={"message": str(exc)}
+            )
     try:
         mode = _engine_mode(job.engine)
     except ValueError as exc:

@@ -45,6 +45,13 @@ class OutcomeKind(enum.Enum):
     #: resubmitting the same query to the same class predicts the same
     #: breach; the client must pick a roomier class or change the query.
     PREDICTED_OVER_BUDGET = "predicted-over-budget"
+    #: Mutation-path rejection (``POST /ingest``): the batch conflicts
+    #: with the graph's current state — deleting something that does not
+    #: exist, changing a vertex's type, a schema violation.  Not
+    #: retryable as-is: the batch was rejected atomically (nothing
+    #: applied, nothing logged), and resubmitting it unchanged conflicts
+    #: again; the client must correct the batch.
+    CONFLICT = "conflict"
     # Protocol-level failures.
     BAD_REQUEST = "bad-request"
     INTERNAL = "internal-error"
@@ -68,6 +75,7 @@ HTTP_STATUS: Dict[OutcomeKind, int] = {
     OutcomeKind.SHED_TENANT_LIMIT: 429,
     OutcomeKind.SHED_DRAINING: 503,
     OutcomeKind.PREDICTED_OVER_BUDGET: 422,
+    OutcomeKind.CONFLICT: 409,
     OutcomeKind.INTERNAL: 500,
 }
 
@@ -135,6 +143,25 @@ class Job(NamedTuple):
     budget: Dict[str, Any]
     attempt: int = 1
     compile: bool = True
+    #: The epoch pinned at admission when the graph lives in a
+    #: :class:`~repro.graph.mutation.GraphStore`: the worker runs
+    #: against exactly this version, so a batch committing mid-query
+    #: never changes the query's result (snapshot isolation).  ``None``
+    #: means "the live version" (plain graphs, process workers).
+    graph_epoch: Optional[int] = None
+
+
+class IngestRequest(NamedTuple):
+    """One mutation-batch request (``POST /ingest``), normalized by the
+    HTTP layer (or a test).  ``ops`` holds the operation documents of a
+    :class:`~repro.graph.mutation.MutationBatch`."""
+
+    ops: Any
+    graph: str = "default"
+    tenant: str = "anonymous"
+    budget_class: str = "interactive"
+    deadline_seconds: Optional[float] = None
+    request_id: str = ""
 
 
 def outcome(
@@ -224,6 +251,7 @@ __all__ = [
     "RETRYABLE_ABORT_REASONS",
     "is_retryable",
     "QueryRequest",
+    "IngestRequest",
     "Job",
     "outcome",
     "http_status",

@@ -21,15 +21,18 @@ exactly one ``server.outcome.<kind>`` counter, so the totals reconcile.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import uuid
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
+from ..errors import InjectedFault, MutationConflictError, MutationError
+from ..graph.mutation import GraphStore, MutationBatch
 from ..obs.metrics import Collector
 from .admission import AdmissionController, BudgetClass, Ticket
 from .pool import WorkerPool
-from .protocol import Job, OutcomeKind, QueryRequest, outcome
+from .protocol import IngestRequest, Job, OutcomeKind, QueryRequest, outcome
 from .retry import RetryPolicy
 
 
@@ -55,6 +58,8 @@ class QueryService:
         sleep=time.sleep,
         compile_enabled: bool = True,
         cost_screen_enabled: bool = True,
+        wal_dir: Optional[str] = None,
+        wal_fsync: bool = True,
     ):
         self.admission = AdmissionController(
             classes=classes,
@@ -62,10 +67,43 @@ class QueryService:
             max_tenant_inflight=max_tenant_inflight,
             clock=clock,
         )
+        # Every loaded graph is managed through a GraphStore so ingest
+        # and snapshot isolation work uniformly: with ``wal_dir`` the
+        # store is durable (``<wal_dir>/<name>`` is recovered first and
+        # every committed batch hits the log); without it, batches are
+        # atomic and isolated but in-memory only.  Thread workers share
+        # the stores, so committed epochs become queryable immediately;
+        # process workers snapshot their graphs from ``graph_paths`` at
+        # spawn and serve that version until restarted.
+        self._stores: Dict[str, GraphStore] = {}
+        managed: Optional[Dict[str, Any]] = None
+        base_graphs = dict(graphs) if graphs else {}
+        if wal_dir is not None and not base_graphs and graph_paths:
+            from ..graph.io import load_graph_json
+
+            base_graphs = {
+                name: load_graph_json(path)
+                for name, path in graph_paths.items()
+            }
+        if base_graphs:
+            managed = {}
+            for name, graph in base_graphs.items():
+                if isinstance(graph, GraphStore):
+                    store = graph
+                elif wal_dir is not None:
+                    store = GraphStore.open(
+                        os.path.join(wal_dir, name),
+                        base=graph,
+                        fsync=wal_fsync,
+                    )
+                else:
+                    store = GraphStore(graph)
+                self._stores[name] = store
+                managed[name] = store
         self.pool = WorkerPool(
             size=pool_size,
             mode=pool_mode,
-            graphs=graphs,
+            graphs=managed if managed is not None else graphs,
             graph_paths=graph_paths,
         )
         self.retry = retry if retry is not None else RetryPolicy()
@@ -78,9 +116,12 @@ class QueryService:
         #: *provable* upper bound already exceeds the class budget
         #: (``repro serve --no-cost-screen`` clears it).
         self.cost_screen_enabled = cost_screen_enabled
-        self._graphs = dict(graphs) if graphs else {}
+        self._graphs: Dict[str, Any] = dict(managed) if managed else {}
         self._graph_paths = dict(graph_paths) if graph_paths else {}
-        self._stats_cache: Dict[str, Any] = {}
+        # Statistics cache keyed by (graph name, epoch): a committed
+        # batch bumps the epoch, so the cost screen re-derives stats for
+        # the new version instead of screening against stale counts.
+        self._stats_cache: Dict[Tuple[str, int], Any] = {}
         self._stats_lock = threading.Lock()
         self._clock = clock
         self._sleep = sleep
@@ -108,6 +149,8 @@ class QueryService:
                 return
             self._closed = True
         self.pool.shutdown(grace=grace)
+        for store in self._stores.values():
+            store.close()
 
     def healthz(self) -> Dict[str, Any]:
         status = "draining" if self._draining else "ok"
@@ -166,19 +209,184 @@ class QueryService:
                 ),
             )
 
+    # -- the mutation path ---------------------------------------------
+    def ingest(self, request: IngestRequest) -> Dict[str, Any]:
+        """Run one mutation batch to its terminal outcome.  Never raises.
+
+        Ingest rides the same admission control, deadline and retry
+        machinery as queries: sheds are 429/503 with ``Retry-After``, a
+        transient write-path fault (anything before the WAL sync —
+        nothing applied, nothing logged) is retried within the deadline,
+        and a batch the graph's current state rejects is a terminal,
+        non-retryable :data:`~repro.server.protocol.OutcomeKind.CONFLICT`
+        (HTTP 409) — resubmitting it unchanged conflicts again.
+        """
+        if not request.request_id:
+            request = request._replace(request_id=uuid.uuid4().hex[:12])
+        self.collector.count("server.requests")
+        self.collector.count(f"server.class.{request.budget_class}.requests")
+        try:
+            ticket, shed = self.admission.try_admit(
+                request, draining=self._draining
+            )
+        except KeyError as exc:
+            return self._finish(
+                request,
+                outcome(
+                    OutcomeKind.BAD_REQUEST,
+                    request_id=request.request_id,
+                    error={"message": str(exc.args[0])},
+                ),
+            )
+        if shed is not None:
+            self.collector.count("server.shed")
+            return self._finish(
+                request,
+                outcome(
+                    shed,
+                    request_id=request.request_id,
+                    retry_after_ms=self.retry.retry_after_ms(
+                        request.request_id, 1
+                    ),
+                ),
+            )
+        try:
+            return self._finish(request, self._apply_admitted(request, ticket))
+        except BaseException:  # noqa: BLE001 - ingest must not raise
+            self.admission.release(ticket, dispatched=True)
+            self.collector.count("server.internal_errors")
+            import traceback
+
+            return self._finish(
+                request,
+                outcome(
+                    OutcomeKind.INTERNAL,
+                    request_id=request.request_id,
+                    error={"message": traceback.format_exc(limit=4)},
+                ),
+            )
+
+    def _apply_admitted(
+        self, request: IngestRequest, ticket: Ticket
+    ) -> Dict[str, Any]:
+        """The commit/retry loop for an admitted ingest request."""
+        dispatched = False
+        attempt = 0
+        try:
+            store = self._stores.get(request.graph)
+            if store is None:
+                return outcome(
+                    OutcomeKind.BAD_REQUEST,
+                    request_id=request.request_id,
+                    error={
+                        "message": f"unknown or immutable graph "
+                                   f"{request.graph!r}; mutable graphs: "
+                                   f"{', '.join(sorted(self._stores)) or 'none'}"
+                    },
+                )
+            try:
+                batch = MutationBatch.from_ops(request.ops)
+            except (ValueError, TypeError) as exc:
+                return outcome(
+                    OutcomeKind.BAD_REQUEST,
+                    request_id=request.request_id,
+                    error={"message": str(exc)},
+                )
+            while True:
+                attempt += 1
+                remaining = ticket.remaining(self._clock())
+                if remaining <= 0:
+                    self.collector.count("server.deadline_at_dispatch")
+                    return outcome(
+                        OutcomeKind.DEADLINE_AT_DISPATCH,
+                        request_id=request.request_id,
+                        attempts=attempt,
+                        deadline_seconds=ticket.deadline_seconds,
+                    )
+                if not dispatched:
+                    self.admission.note_dispatched(ticket)
+                    dispatched = True
+                try:
+                    result = store.apply(batch)
+                except MutationConflictError as exc:
+                    self.collector.count("server.ingest.conflicts")
+                    return outcome(
+                        OutcomeKind.CONFLICT,
+                        request_id=request.request_id,
+                        attempts=attempt,
+                        error={
+                            "message": str(exc),
+                            "op_index": exc.index,
+                            "op": exc.op,
+                        },
+                    )
+                except MutationError as exc:
+                    # The store is poisoned (a crash landed between WAL
+                    # commit and publish): only recovery can help, so
+                    # retrying here would be lying to the client.
+                    return outcome(
+                        OutcomeKind.INTERNAL,
+                        request_id=request.request_id,
+                        attempts=attempt,
+                        error={"message": str(exc)},
+                    )
+                except InjectedFault as exc:
+                    # A fault before the WAL sync is transient: the
+                    # batch never happened (log and memory unchanged),
+                    # so a retry is safe.  A post-sync fault poisons the
+                    # store and the next attempt reports INTERNAL above.
+                    last_doc = outcome(
+                        OutcomeKind.FAULT,
+                        request_id=request.request_id,
+                        attempts=attempt,
+                        error={
+                            "message": str(exc),
+                            "site": exc.site,
+                            "hit": exc.hit,
+                        },
+                    )
+                    if not self.retry.should_retry(OutcomeKind.FAULT, attempt):
+                        return last_doc
+                    delay = self.retry.delay(request.request_id, attempt)
+                    if delay >= ticket.remaining(self._clock()):
+                        return last_doc
+                    self.collector.count("server.retries")
+                    self._sleep(delay)
+                    continue
+                self.collector.count("server.ingest.batches")
+                self.collector.count("server.ingest.ops", result.ops)
+                return outcome(
+                    OutcomeKind.OK,
+                    request_id=request.request_id,
+                    attempts=attempt,
+                    ingest={
+                        "graph": request.graph,
+                        "epoch": result.epoch,
+                        "ops": result.ops,
+                        "durable": result.durable,
+                    },
+                )
+        finally:
+            self.admission.release(ticket, dispatched=dispatched)
+
     # -- the static cost screen ----------------------------------------
     def _graph_stats(self, name: str):
         """Lazily computed :class:`~repro.graph.stats.GraphStatsSnapshot`
-        per graph name (cached; ``None`` when the graph is unknown or
-        statistics cannot be gathered)."""
+        per ``(graph name, epoch)`` (cached; ``None`` when the graph is
+        unknown or statistics cannot be gathered).  A committed mutation
+        batch bumps the epoch, which both misses the cache and evicts
+        the superseded entry — the screen never reads stale statistics."""
+        store = self._stores.get(name)
+        graph = store.live if store is not None else self._graphs.get(name)
+        epoch = getattr(graph, "epoch", 0) if graph is not None else 0
+        key = (name, epoch)
         with self._stats_lock:
-            if name in self._stats_cache:
-                return self._stats_cache[name]
+            if key in self._stats_cache:
+                return self._stats_cache[key]
         stats = None
         try:
             from ..graph.stats import stats_snapshot
 
-            graph = self._graphs.get(name)
             if graph is None and name in self._graph_paths:
                 from ..graph.io import load_graph_json
 
@@ -188,7 +396,11 @@ class QueryService:
         except Exception:  # noqa: BLE001 - screen is best-effort
             stats = None
         with self._stats_lock:
-            self._stats_cache[name] = stats
+            for stale in [
+                k for k in self._stats_cache if k[0] == name and k != key
+            ]:
+                del self._stats_cache[stale]
+            self._stats_cache[key] = stats
         return stats
 
     def _cost_screen(
@@ -259,6 +471,11 @@ class QueryService:
         budget["deadline_seconds"] = ticket.deadline_seconds
         dispatched = False
         attempt = 0
+        # Pin the graph's epoch for the whole request (retries
+        # included): every attempt runs against this exact version, so
+        # batches committing mid-request never change the result.
+        store = self._stores.get(request.graph)
+        pin = store.pin() if store is not None else None
         try:
             refused = self._cost_screen(request, ticket)
             if refused is not None:
@@ -285,6 +502,7 @@ class QueryService:
                     ),
                     attempt=attempt,
                     compile=request.compile and self.compile_enabled,
+                    graph_epoch=pin.epoch if pin is not None else None,
                 )
                 if not dispatched:
                     self.admission.note_dispatched(ticket)
@@ -319,6 +537,8 @@ class QueryService:
                 self.collector.count("server.retries")
                 self._sleep(delay)
         finally:
+            if pin is not None:
+                pin.release()
             self.admission.release(ticket, dispatched=dispatched)
 
     def _from_reply(
@@ -362,6 +582,14 @@ class QueryService:
             "pool": self.pool.stats(),
             "retry": self.retry.to_dict(),
             "draining": self._draining,
+            "graphs": {
+                name: {
+                    "epoch": store.epoch,
+                    "durable": store.durable,
+                    "poisoned": store.poisoned is not None,
+                }
+                for name, store in sorted(self._stores.items())
+            },
         }
 
 

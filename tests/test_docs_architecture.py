@@ -85,3 +85,71 @@ class TestCompilationDocs:
         text = (REPO / "README.md").read_text()
         assert "How fast is it?" in text
         assert "plan cache" in text
+
+
+class TestDurabilityDocs:
+    """docs/robustness.md's "Durability & mutation" section must track
+    the live fsck catalog, fault-site catalog and counter surface."""
+
+    def _section(self):
+        text = (DOCS / "robustness.md").read_text()
+        assert "## Durability & mutation" in text
+        return text.split("## Durability & mutation", 1)[1]
+
+    def test_fsck_catalog_documented(self):
+        from repro.graph.fsck import check_catalog
+
+        section = self._section()
+        for name, _desc in check_catalog():
+            assert f"`{name}`" in section, (
+                f"docs/robustness.md durability section is missing the "
+                f"{name} fsck check"
+            )
+
+    def test_write_fault_sites_documented(self):
+        from repro.governor import faults
+
+        section = self._section()
+        write_sites = [
+            name for name, _ in faults.catalog()
+            if name.startswith(("wal.", "mutation.", "epoch."))
+        ]
+        assert len(write_sites) == 5
+        for site in write_sites:
+            assert f"`{site}`" in section, (
+                f"docs/robustness.md durability section is missing the "
+                f"{site} fault site"
+            )
+
+    def test_conflict_outcome_documented(self):
+        text = (DOCS / "robustness.md").read_text()
+        assert "| `conflict` | 409 | no |" in text
+
+    def test_wal_record_format_documented(self):
+        section = self._section()
+        for needle in (
+            "CRC32", "epoch", "fsync", "recover_graph",
+            "check_wal_overhead.py", "wal_baseline.json",
+        ):
+            assert needle in section, (
+                f"docs/robustness.md durability section lost {needle!r}"
+            )
+
+    def test_observability_lists_durability_counters(self):
+        text = (DOCS / "observability.md").read_text()
+        for counter in (
+            "wal.appends", "wal.bytes", "wal.fsyncs", "wal.rotations",
+            "wal.truncated_bytes", "mutation.batches", "mutation.ops",
+            "mutation.conflicts", "mutation.poisoned",
+            "mutation.recovered_records", "fsck.runs", "fsck.violations",
+            "server.ingest.batches", "server.ingest.ops",
+            "server.ingest.conflicts",
+        ):
+            assert counter in text, (
+                f"docs/observability.md is missing the {counter} counter"
+            )
+
+    def test_architecture_mentions_durability_modules(self):
+        text = (DOCS / "architecture.md").read_text()
+        for needle in ("wal", "mutation", "fsck"):
+            assert needle in text

@@ -126,7 +126,20 @@ class TestSiteCoverage:
             "server.worker.crash",
             "server.worker.stall",
         }
-        assert set(WORKLOADS) | {"parallel.worker"} | server_sites == set(SITES)
+        # Write-path sites fire in the mutation/WAL layer and are driven
+        # by the crash-recovery sweep in tests/test_wal_recovery.py.
+        write_sites = {s for s in SITES if s.split(".")[0] in ("wal", "mutation", "epoch")}
+        assert write_sites == {
+            "mutation.apply",
+            "wal.append",
+            "wal.rotate",
+            "wal.fsync",
+            "epoch.publish",
+        }
+        assert (
+            set(WORKLOADS) | {"parallel.worker"} | server_sites | write_sites
+            == set(SITES)
+        )
 
 
 class TestInjectedFaults:

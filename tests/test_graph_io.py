@@ -132,3 +132,85 @@ class TestJson:
         save_graph_json(g, path)
         loaded = load_graph_json(path, schema=schema)
         assert loaded.schema is schema
+
+    def test_epoch_round_trips(self, tmp_path):
+        g = builders.likes_graph()
+        g.epoch = 7
+        path = tmp_path / "g.json"
+        save_graph_json(g, path)
+        assert load_graph_json(path).epoch == 7
+
+
+class TestAtomicSave:
+    """Interrupted saves must never destroy the previous good file."""
+
+    def _unserializable_graph(self):
+        g = Graph(name="boom")
+        g.add_vertex("a", "V", payload=object())  # json.dump will choke
+        return g
+
+    def test_interrupted_json_save_keeps_old_file(self, tmp_path):
+        path = tmp_path / "g.json"
+        save_graph_json(builders.likes_graph(), path)
+        before = path.read_bytes()
+        with pytest.raises(TypeError):
+            save_graph_json(self._unserializable_graph(), path)
+        assert path.read_bytes() == before
+        # No stray temp files left behind either.
+        assert [p.name for p in tmp_path.iterdir()] == ["g.json"]
+
+    def test_interrupted_json_save_leaves_no_file(self, tmp_path):
+        path = tmp_path / "fresh.json"
+        with pytest.raises(TypeError):
+            save_graph_json(self._unserializable_graph(), path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_interrupted_csv_save_keeps_old_files(self, tmp_path):
+        vpath, epath = tmp_path / "v.csv", tmp_path / "e.csv"
+        save_graph_csv(builders.sales_graph(), vpath, epath)
+        v_before, e_before = vpath.read_bytes(), epath.read_bytes()
+
+        import repro.graph.io as io_mod
+
+        class ExplodingWriter:
+            def __init__(self, *a, **k):
+                pass
+
+            def writerow(self, row):
+                raise OSError("disk full")
+
+        real_writer = io_mod.csv.writer
+        io_mod.csv = type("csv_stub", (), {"writer": ExplodingWriter})
+        try:
+            with pytest.raises(OSError):
+                save_graph_csv(builders.mixed_kind_graph(), vpath, epath)
+        finally:
+            io_mod.csv = __import__("csv")
+            assert io_mod.csv.writer is real_writer
+        assert vpath.read_bytes() == v_before
+        assert epath.read_bytes() == e_before
+
+
+class TestLoadDiagnostics:
+    def test_json_not_an_object(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(GraphError, match="object"):
+            load_graph_json(path)
+
+    def test_json_malformed(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphError, match="not valid JSON"):
+            load_graph_json(path)
+
+    def test_json_negative_epoch(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text('{"name": "g", "epoch": -3, "vertices": [], "edges": []}')
+        with pytest.raises(GraphError, match="epoch"):
+            load_graph_json(path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_graph_json(tmp_path / "absent.json")

@@ -1,0 +1,223 @@
+"""Graph mutation: batches, the store's commit protocol, snapshot pins.
+
+Pins the transactional contract from ``docs/robustness.md``: a batch is
+all-or-nothing, committed batches bump the epoch by exactly one, pinned
+readers never observe later commits, and a durable store round-trips
+through its WAL.
+"""
+
+import pytest
+
+from repro.errors import MutationConflictError, MutationError
+from repro.graph import Graph
+from repro.graph.mutation import (
+    GraphStore,
+    MutationBatch,
+    OP_KINDS,
+    apply_ops,
+    recover_graph,
+    validate_batch,
+)
+
+
+def people_graph():
+    g = Graph(name="people")
+    g.add_vertex("ada", "Person", born=1815)
+    g.add_vertex("charles", "Person", born=1791)
+    g.add_vertex("london", "City")
+    g.add_edge("ada", "charles", "Knows", since=1833)
+    g.add_edge("ada", "london", "LivesIn")
+    return g
+
+
+class TestMutationBatch:
+    def test_fluent_builders_produce_op_docs(self):
+        batch = (
+            MutationBatch()
+            .upsert_vertex("ada", "Person", born=1815)
+            .upsert_edge("ada", "charles", "Knows", since=1833)
+            .delete_vertex("byron")
+            .delete_edge("ada", "london", "LivesIn")
+        )
+        assert len(batch) == 4
+        assert [op["op"] for op in batch.ops] == list(OP_KINDS)
+
+    def test_from_ops_round_trips_builder_output(self):
+        batch = MutationBatch().upsert_vertex("x", "V").delete_vertex("y")
+        rebuilt = MutationBatch.from_ops(batch.ops)
+        assert rebuilt.ops == batch.ops
+
+    @pytest.mark.parametrize(
+        "ops, message",
+        [
+            ([42], "op 0: not an object"),
+            ([{"op": "truncate"}], "unknown kind"),
+            ([{"op": "upsert_vertex"}], "needs a 'id' field"),
+            ([{"op": "upsert_edge", "source": "a", "target": "b"}],
+             "needs a 'type' field"),
+            ([{"op": "delete_vertex", "id": "x", "attrs": 3}],
+             "'attrs' must be an object"),
+        ],
+    )
+    def test_from_ops_rejects_bad_structure(self, ops, message):
+        with pytest.raises(ValueError, match=message):
+            MutationBatch.from_ops(ops)
+
+
+class TestApplyOps:
+    def test_upserts_merge_attrs(self):
+        g = people_graph()
+        apply_ops(g, [
+            {"op": "upsert_vertex", "id": "ada", "attrs": {"died": 1852}},
+            {"op": "upsert_edge", "source": "ada", "target": "charles",
+             "type": "Knows", "attrs": {"close": True}},
+        ])
+        assert g.vertex("ada")["born"] == 1815
+        assert g.vertex("ada")["died"] == 1852
+        edge = g.find_edges("ada", "charles", "Knows")[0]
+        assert edge["since"] == 1833 and edge["close"] is True
+
+    def test_delete_edge_removes_all_matches(self):
+        g = people_graph()
+        g.add_edge("ada", "charles", "Knows")  # parallel edge
+        apply_ops(g, [{"op": "delete_edge", "source": "ada",
+                       "target": "charles", "type": "Knows"}])
+        assert g.find_edges("ada", "charles", "Knows") == []
+
+    def test_conflict_carries_index_and_op(self):
+        g = people_graph()
+        with pytest.raises(MutationConflictError) as excinfo:
+            apply_ops(g, [
+                {"op": "upsert_vertex", "id": "mary", "type": "Person"},
+                {"op": "delete_vertex", "id": "nobody"},
+            ])
+        assert excinfo.value.index == 1
+        assert excinfo.value.op["op"] == "delete_vertex"
+
+    def test_validate_batch_never_touches_the_graph(self):
+        g = people_graph()
+        batch = (MutationBatch()
+                 .upsert_vertex("mary", "Person")
+                 .delete_vertex("nobody"))
+        with pytest.raises(MutationConflictError):
+            validate_batch(g, batch)
+        assert not g.has_vertex("mary")
+
+
+class TestGraphStoreCommit:
+    def test_commit_bumps_epoch_and_publishes(self):
+        store = GraphStore(people_graph())
+        result = store.apply(MutationBatch().upsert_vertex("mary", "Person"))
+        assert result.epoch == 1 and result.ops == 1 and not result.durable
+        assert store.epoch == 1
+        assert store.live.has_vertex("mary")
+
+    def test_conflicting_batch_is_atomic_reject(self):
+        store = GraphStore(people_graph())
+        before = store.live
+        batch = (MutationBatch()
+                 .upsert_vertex("mary", "Person")
+                 .delete_edge("mary", "ada", "Knows"))  # no such edge
+        with pytest.raises(MutationConflictError):
+            store.apply(batch)
+        # Nothing applied, nothing published: same object, same epoch.
+        assert store.live is before
+        assert store.epoch == 0
+        assert not store.live.has_vertex("mary")
+
+    def test_commit_publishes_a_fresh_clone(self):
+        store = GraphStore(people_graph())
+        v0 = store.live
+        store.apply(MutationBatch().upsert_vertex("mary", "Person"))
+        assert store.live is not v0
+        assert not v0.has_vertex("mary")  # old version untouched
+
+    def test_raw_op_list_accepted(self):
+        store = GraphStore(people_graph())
+        result = store.apply([{"op": "delete_vertex", "id": "london"}])
+        assert result.epoch == 1
+        assert not store.live.has_vertex("london")
+
+
+class TestSnapshotIsolation:
+    def test_pin_freezes_the_epoch(self):
+        store = GraphStore(people_graph())
+        with store.pin() as pin:
+            assert pin.epoch == 0
+            store.apply(MutationBatch().delete_vertex("london"))
+            store.apply(MutationBatch().upsert_vertex("mary", "Person"))
+            # The pinned graph still sees the original state.
+            assert pin.graph.has_vertex("london")
+            assert not pin.graph.has_vertex("mary")
+            assert store.view(pin.epoch) is pin.graph
+        assert store.epoch == 2
+
+    def test_released_epoch_is_dropped(self):
+        store = GraphStore(people_graph())
+        pin = store.pin()
+        store.apply(MutationBatch().delete_vertex("london"))
+        pin.release()
+        with pytest.raises(MutationError, match="not retained"):
+            store.view(0)
+
+    def test_refcounted_pins(self):
+        store = GraphStore(people_graph())
+        first, second = store.pin(), store.pin()
+        store.apply(MutationBatch().delete_vertex("london"))
+        first.release()
+        assert store.view(0).has_vertex("london")  # second still holds it
+        second.release()
+        with pytest.raises(MutationError):
+            store.view(0)
+
+    def test_view_none_is_live(self):
+        store = GraphStore(people_graph())
+        assert store.view() is store.live
+        assert store.view(0) is store.live
+
+
+class TestDurableStore:
+    def test_open_commit_reopen_round_trip(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        with GraphStore.open(wal_dir, base=people_graph(), fsync=False) as store:
+            assert store.durable
+            assert store.recovery.replayed == 0
+            store.apply(MutationBatch().upsert_vertex("mary", "Person"))
+            store.apply(MutationBatch()
+                        .upsert_edge("mary", "ada", "Knows", since=1834))
+        with GraphStore.open(wal_dir, base=people_graph(), fsync=False) as store:
+            assert store.recovery.replayed == 2
+            assert store.epoch == 2
+            assert store.live.find_edges("mary", "ada", "Knows")
+
+    def test_base_snapshot_skips_absorbed_epochs(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        with GraphStore.open(wal_dir, base=people_graph(), fsync=False) as store:
+            store.apply(MutationBatch().upsert_vertex("mary", "Person"))
+            snapshot = store.live.clone()  # saved at epoch 1
+            store.apply(MutationBatch().delete_vertex("london"))
+        graph, report = recover_graph(wal_dir, base=snapshot)
+        assert report.skipped == 1 and report.replayed == 1
+        assert graph.epoch == 2
+        assert not graph.has_vertex("london")
+
+    def test_stale_base_is_rejected_at_store_construction(self, tmp_path):
+        from repro.graph.wal import WriteAheadLog
+
+        wal_dir = tmp_path / "wal"
+        with GraphStore.open(wal_dir, base=people_graph(), fsync=False) as store:
+            store.apply(MutationBatch().upsert_vertex("mary", "Person"))
+        wal = WriteAheadLog(wal_dir, fsync=False)
+        with pytest.raises(MutationError, match="run recover_graph"):
+            GraphStore(people_graph(), wal=wal)  # epoch 0 < WAL epoch 1
+        wal.close()
+
+    def test_divergent_log_refuses_replay(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        with GraphStore.open(wal_dir, base=people_graph(), fsync=False) as store:
+            store.apply(MutationBatch()
+                        .upsert_edge("ada", "charles", "Admires"))
+        # Replaying over a base missing the endpoints must be loud, not
+        # a silent partial graph.
+        with pytest.raises(MutationError, match="no longer replays"):
+            recover_graph(wal_dir, base=Graph(name="empty"))

@@ -1,0 +1,316 @@
+"""Chaos-tested crash recovery: the PR's durability acceptance sweep.
+
+Three layers of simulated crashes, all deterministic:
+
+1. **Kill-at-every-byte sweep** — a known batch sequence is committed,
+   then the log is truncated at *every byte offset of every segment*
+   (which covers every record boundary and every torn-tail position)
+   plus every whole-segment drop point.  Recovery from each cut must
+   yield exactly the prefix of batches whose records survived intact —
+   never a partial batch — and the recovered graph must be fsck-clean
+   including the WAL-epoch cross-check.
+
+2. **Write-path fault sites** — each of the five chaos sites
+   (``mutation.apply``, ``wal.append``, ``wal.rotate``, ``wal.fsync``,
+   ``epoch.publish``) fires mid-commit; the store is then "killed"
+   (dropped) and reopened from disk.  Faults before the sync barrier
+   mean the batch never happened; a fault after it (``epoch.publish``)
+   means the batch IS durable and recovery replays it.
+
+3. **Snapshot isolation across commits** — a pinned reader's graph is
+   bit-identical (canonically) before and after later batches commit.
+"""
+
+import json
+import shutil
+import struct
+
+import pytest
+
+from repro.errors import InjectedFault, MutationError
+from repro.governor.faults import FaultPlan, inject_faults
+from repro.graph import Graph
+from repro.graph.fsck import fsck_graph
+from repro.graph.io import graph_to_dict
+from repro.graph.mutation import GraphStore, MutationBatch, recover_graph
+from repro.graph.wal import MAGIC, list_segments
+from repro.obs.metrics import collect
+
+_HEADER = struct.Struct("<II")
+
+
+def base_graph():
+    g = Graph(name="chaos")
+    g.add_vertex("root", "Person", seed=True)
+    return g
+
+
+def canonical(graph):
+    """Order-independent equality key for a graph's logical content."""
+    doc = graph_to_dict(graph)
+    doc["vertices"].sort(key=lambda v: repr(v["id"]))
+    doc["edges"].sort(key=lambda e: json.dumps(e, sort_keys=True, default=repr))
+    return json.dumps(doc, sort_keys=True, default=repr)
+
+
+#: The deterministic batch sequence: valid sequentially, exercising
+#: every op kind, attr merges, an undirected self-loop and a cascade.
+def batch_sequence():
+    return [
+        (MutationBatch()
+         .upsert_vertex("a1", "Person", rank=1)
+         .upsert_vertex("a2", "Person")
+         .upsert_edge("a1", "a2", "Knows", since=2001)),
+        (MutationBatch()
+         .upsert_vertex("a3", "Person")
+         .upsert_edge("a2", "a3", "Knows")),
+        MutationBatch().delete_vertex("a1"),
+        (MutationBatch()
+         .upsert_vertex("a4", "City")
+         .upsert_edge("a3", "a4", "Near", directed=False)),
+        MutationBatch().delete_edge("a2", "a3", "Knows"),
+        (MutationBatch()
+         .upsert_vertex("a5", "Person")
+         .upsert_edge("a4", "a4", "Near", directed=False)),
+        MutationBatch().upsert_vertex("a3", rank=3),
+        MutationBatch().delete_vertex("a2"),
+    ]
+
+
+def expected_prefixes():
+    """canonical() of the graph after each prefix of the sequence
+    (index k = first k batches applied)."""
+    states = [canonical(base_graph())]
+    store = GraphStore(base_graph())
+    for batch in batch_sequence():
+        store.apply(batch)
+        states.append(canonical(store.live))
+    return states
+
+
+def _record_boundaries(data):
+    """Byte offsets in a segment at which a record sequence ends
+    cleanly (including the post-header start)."""
+    offsets = [len(MAGIC)]
+    offset = len(MAGIC)
+    while offset + _HEADER.size <= len(data):
+        length, _crc = _HEADER.unpack(data[offset: offset + _HEADER.size])
+        nxt = offset + _HEADER.size + length
+        if nxt > len(data):
+            break
+        offsets.append(nxt)
+        offset = nxt
+    return offsets
+
+
+@pytest.fixture(scope="module")
+def master_log(tmp_path_factory):
+    """A committed WAL (small segments force rotation) plus the
+    expected prefix states."""
+    master = tmp_path_factory.mktemp("chaos") / "wal"
+    with GraphStore.open(
+        master, base=base_graph(), fsync=False, segment_max_bytes=160
+    ) as store:
+        for batch in batch_sequence():
+            store.apply(batch)
+        final = canonical(store.live)
+    return master, expected_prefixes(), final
+
+
+class TestKillAtEveryByte:
+    def test_full_log_recovers_final_state(self, master_log):
+        master, prefixes, final = master_log
+        graph, report = recover_graph(master, base=base_graph(), heal=False)
+        assert canonical(graph) == final == prefixes[-1]
+        assert report.replayed == len(batch_sequence())
+        assert fsck_graph(graph, wal_dir=master).ok
+
+    def test_sweep_every_cut_recovers_a_prefix(self, tmp_path, master_log):
+        master, prefixes, _final = master_log
+        segments = list_segments(master)
+        assert len(segments) >= 2, "sweep must cross a rotation boundary"
+        seg_bytes = [p.read_bytes() for p in segments]
+        seg_boundaries = [_record_boundaries(d) for d in seg_bytes]
+        seg_records = [len(b) - 1 for b in seg_boundaries]
+
+        scenarios = 0
+        boundary_hits = 0
+        for keep in range(len(segments)):
+            prior_records = sum(seg_records[:keep])
+            data = seg_bytes[keep]
+            boundaries = seg_boundaries[keep]
+            for cut in range(len(data) + 1):
+                scenarios += 1
+                work = tmp_path / f"cut-{keep}-{cut}"
+                work.mkdir()
+                for p in segments[:keep]:
+                    shutil.copy(p, work / p.name)
+                (work / segments[keep].name).write_bytes(data[:cut])
+                # Records that survive: whole earlier segments plus the
+                # complete records within the first `cut` bytes.
+                intact = sum(1 for b in boundaries[1:] if b <= cut)
+                if cut in boundaries:
+                    boundary_hits += 1
+                k = prior_records + intact
+                graph, report = recover_graph(work, base=base_graph(), heal=True)
+                assert canonical(graph) == prefixes[k], (
+                    f"cut at segment {keep} offset {cut}: expected the "
+                    f"{k}-batch prefix"
+                )
+                assert report.replayed == k
+                # After healing, the log agrees with the graph's epoch,
+                # so the full catalog (incl. wal-epoch) must pass.
+                assert fsck_graph(graph, wal_dir=work).ok
+                shutil.rmtree(work)
+        # The sweep really covered every record boundary.
+        assert boundary_hits == sum(len(b) for b in seg_boundaries)
+        assert scenarios == sum(len(d) + 1 for d in seg_bytes)
+
+    def test_flipped_byte_in_tail_recovers_prefix(self, tmp_path, master_log):
+        master, prefixes, _final = master_log
+        segments = list_segments(master)
+        work = tmp_path / "flip"
+        shutil.copytree(master, work)
+        tail = work / segments[-1].name
+        data = bytearray(tail.read_bytes())
+        boundaries = _record_boundaries(bytes(data))
+        # Corrupt the first record of the final segment: everything
+        # from it on is dropped, earlier segments survive untouched.
+        data[boundaries[0] + _HEADER.size] ^= 0xFF
+        tail.write_bytes(bytes(data))
+        prior = sum(
+            len(_record_boundaries(p.read_bytes())) - 1 for p in segments[:-1]
+        )
+        graph, report = recover_graph(work, base=base_graph(), heal=True)
+        assert canonical(graph) == prefixes[prior]
+        assert report.truncated_bytes > 0
+        assert fsck_graph(graph, wal_dir=work).ok
+
+
+PRE_DURABILITY_SITES = ["mutation.apply", "wal.append", "wal.fsync"]
+
+
+class TestWritePathFaults:
+    def _run_with_fault(self, wal_dir, site, at_batch, **store_kw):
+        """Apply the batch sequence with `site` armed to fire on its
+        `at_batch`-th hit; returns (committed, faulted_index)."""
+        plan = FaultPlan(seed=7)
+        plan.inject(site, at=at_batch)
+        committed = 0
+        faulted = None
+        with GraphStore.open(
+            wal_dir, base=base_graph(), fsync=False, **store_kw
+        ) as store:
+            with inject_faults(plan):
+                for index, batch in enumerate(batch_sequence()):
+                    try:
+                        store.apply(batch)
+                        committed += 1
+                    except InjectedFault:
+                        faulted = index
+                        break
+        return committed, faulted
+
+    @pytest.mark.parametrize("site", PRE_DURABILITY_SITES)
+    def test_fault_before_durability_loses_only_that_batch(
+        self, tmp_path, site
+    ):
+        prefixes = expected_prefixes()
+        wal_dir = tmp_path / "wal"
+        committed, faulted = self._run_with_fault(wal_dir, site, at_batch=2)
+        assert faulted == 2 and committed == 2
+        # "Kill" the process: reopen from disk.  The faulted batch never
+        # happened — log and recovered graph are the 2-batch prefix.
+        graph, report = recover_graph(wal_dir, base=base_graph())
+        assert report.replayed == 2
+        assert canonical(graph) == prefixes[2]
+        assert fsck_graph(graph, wal_dir=wal_dir).ok
+
+    @pytest.mark.parametrize("site", PRE_DURABILITY_SITES)
+    def test_fault_is_retryable(self, tmp_path, site):
+        wal_dir = tmp_path / "wal"
+        plan = FaultPlan(seed=7)
+        plan.inject(site, at=0)
+        with GraphStore.open(wal_dir, base=base_graph(), fsync=False) as store:
+            batch = batch_sequence()[0]
+            with inject_faults(plan):
+                with pytest.raises(InjectedFault):
+                    store.apply(batch)
+                assert store.poisoned is None
+                result = store.apply(batch)  # the retry commits cleanly
+        assert result.epoch == 1
+        graph, _ = recover_graph(wal_dir, base=base_graph())
+        assert canonical(graph) == expected_prefixes()[1]
+
+    def test_rotate_fault_leaves_log_unchanged(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        # Tiny segments force a rotation inside the armed window.
+        committed, faulted = self._run_with_fault(
+            wal_dir, "wal.rotate", at_batch=0, segment_max_bytes=160
+        )
+        assert faulted is not None
+        prefixes = expected_prefixes()
+        graph, report = recover_graph(wal_dir, base=base_graph())
+        assert report.replayed == committed
+        assert canonical(graph) == prefixes[committed]
+        assert fsck_graph(graph, wal_dir=wal_dir).ok
+
+    def test_publish_fault_poisons_store_but_batch_is_durable(self, tmp_path):
+        prefixes = expected_prefixes()
+        wal_dir = tmp_path / "wal"
+        plan = FaultPlan(seed=7)
+        plan.inject("epoch.publish", at=1)
+        batches = batch_sequence()
+        with GraphStore.open(wal_dir, base=base_graph(), fsync=False) as store:
+            with inject_faults(plan):
+                store.apply(batches[0])
+                with pytest.raises(InjectedFault):
+                    store.apply(batches[1])
+            # Memory is one epoch behind the log; writes refuse...
+            assert store.poisoned is not None
+            assert store.epoch == 1
+            with pytest.raises(MutationError, match="requires recovery"):
+                store.apply(batches[2])
+            # ...but reads on the last published version still work.
+            with store.pin() as pin:
+                assert pin.epoch == 1
+                assert canonical(pin.graph) == prefixes[1]
+        # Recovery replays the durable-but-unpublished record: the
+        # "crashed" batch DID happen.
+        with GraphStore.open(wal_dir, base=base_graph(), fsync=False) as store:
+            assert store.recovery.replayed == 2
+            assert store.poisoned is None
+            assert canonical(store.live) == prefixes[2]
+            assert fsck_graph(store.live, wal_dir=wal_dir).ok
+            store.apply(batches[2])  # and commits flow again
+            assert store.epoch == 3
+
+    def test_recovery_counters_surface(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        with GraphStore.open(wal_dir, base=base_graph(), fsync=False) as store:
+            for batch in batch_sequence()[:3]:
+                store.apply(batch)
+        with collect() as col:
+            graph, report = recover_graph(wal_dir, base=base_graph())
+            fsck_graph(graph, wal_dir=wal_dir)
+        assert col.counter("mutation.recovered_records") == 3
+        assert col.counter("fsck.runs") == 1
+        assert col.counter("fsck.violations") == 0
+
+
+class TestSnapshotAcceptance:
+    def test_pinned_reader_is_identical_across_commits(self):
+        """The acceptance criterion: a reader pinned before ingestion
+        observes the same canonical graph before and after later
+        batches commit."""
+        store = GraphStore(base_graph())
+        store.apply(batch_sequence()[0])
+        pin = store.pin()
+        before = canonical(pin.graph)
+        for batch in batch_sequence()[1:]:
+            store.apply(batch)
+        after = canonical(store.view(pin.epoch))
+        assert before == after
+        assert store.view(pin.epoch) is pin.graph
+        assert canonical(store.live) != before
+        pin.release()
